@@ -1,0 +1,42 @@
+//! `ldapsim` — an interactive sandbox for filter-based directory
+//! replication: generate or import a directory, replicate filters, query
+//! through the replica, apply updates and watch ReSync at work.
+//!
+//! ```console
+//! $ ldapsim
+//! > gen 2000
+//! > install (serialNumber=1000*)
+//! > rsearch (serialNumber=100042)
+//! > stats
+//! ```
+
+use fbdr_bench::shell::{Shell, ShellOutcome};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let mut shell = Shell::new();
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    println!("ldapsim — filter based directory replication sandbox (`help` for commands)");
+    loop {
+        print!("> ");
+        let _ = stdout.flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        match shell.run_command(&line) {
+            ShellOutcome::Output(s) => {
+                if !s.is_empty() {
+                    println!("{s}");
+                }
+            }
+            ShellOutcome::Quit => break,
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Figure 2 (distributed operation processing) and Figure 3 (a ReSync
+//! session) as runnable walkthroughs.
+
+use fbdr_dit::{DitStore, Modification, NamingContext, UpdateOp};
+use fbdr_ldap::{Dn, Entry, Filter, Rdn, Scope, SearchRequest};
+use fbdr_net::{Network, Server};
+use fbdr_resync::{ReSyncControl, SyncAction, SyncMaster};
+
+fn dn(s: &str) -> Dn {
+    s.parse().expect("static dn")
+}
+
+/// Builds the three-server `o=xyz` deployment of Figure 2.
+pub fn figure2_network() -> Network {
+    let mut net = Network::new();
+
+    let mut dit_a = DitStore::new();
+    dit_a.add_suffix(dn("o=xyz"));
+    dit_a
+        .add(Entry::new(dn("o=xyz")).with("objectclass", "organization"))
+        .expect("fresh store");
+    dit_a
+        .add(Entry::new(dn("c=us,o=xyz")).with("objectclass", "country"))
+        .expect("fresh store");
+    dit_a
+        .add(
+            Entry::new(dn("cn=Fred Jones,c=us,o=xyz"))
+                .with("objectclass", "person")
+                .with("cn", "Fred Jones"),
+        )
+        .expect("fresh store");
+    let ctx_a = NamingContext::new(dn("o=xyz"))
+        .with_referral(dn("ou=research,c=us,o=xyz"), "ldap://hostB")
+        .with_referral(dn("c=in,o=xyz"), "ldap://hostC");
+    net.add_server(Server::new("ldap://hostA", dit_a, vec![ctx_a], None));
+
+    let mut dit_b = DitStore::new();
+    dit_b.add_suffix(dn("ou=research,c=us,o=xyz"));
+    dit_b
+        .add(Entry::new(dn("ou=research,c=us,o=xyz")).with("objectclass", "organizationalUnit"))
+        .expect("fresh store");
+    for name in ["John Doe", "Carl Miller", "John Smith"] {
+        dit_b
+            .add(
+                Entry::new(dn(&format!("cn={name},ou=research,c=us,o=xyz")))
+                    .with("objectclass", "person")
+                    .with("cn", name),
+            )
+            .expect("fresh store");
+    }
+    net.add_server(Server::new(
+        "ldap://hostB",
+        dit_b,
+        vec![NamingContext::new(dn("ou=research,c=us,o=xyz"))],
+        Some("ldap://hostA".into()),
+    ));
+
+    let mut dit_c = DitStore::new();
+    dit_c.add_suffix(dn("c=in,o=xyz"));
+    dit_c
+        .add(Entry::new(dn("c=in,o=xyz")).with("objectclass", "country"))
+        .expect("fresh store");
+    dit_c
+        .add(
+            Entry::new(dn("cn=Asha Rao,c=in,o=xyz"))
+                .with("objectclass", "person")
+                .with("cn", "Asha Rao"),
+        )
+        .expect("fresh store");
+    net.add_server(Server::new(
+        "ldap://hostC",
+        dit_c,
+        vec![NamingContext::new(dn("c=in,o=xyz"))],
+        Some("ldap://hostA".into()),
+    ));
+    net
+}
+
+/// One row of the Figure 2 cost table.
+#[derive(Debug, Clone)]
+pub struct Fig2Row {
+    /// Scenario label.
+    pub scenario: String,
+    /// Round trips the operation needed.
+    pub round_trips: u64,
+    /// Referral PDUs received.
+    pub referrals: u64,
+    /// Entries returned.
+    pub entries: u64,
+    /// Elapsed time under the default WAN cost model (ms).
+    pub elapsed_ms: f64,
+}
+
+/// Reproduces the Figure 2 walkthrough: the referral-chased subtree search
+/// versus a direct (single-context) search.
+pub fn fig2() -> Vec<Fig2Row> {
+    let net = figure2_network();
+    let req = SearchRequest::new(dn("o=xyz"), Scope::Subtree, Filter::match_all());
+    let mut rows = Vec::new();
+
+    let mut client = net.client();
+    let r = client.search("ldap://hostB", &req).expect("figure 2 network resolves");
+    rows.push(Fig2Row {
+        scenario: "subtree search from hostB (paper walkthrough)".into(),
+        round_trips: r.stats.round_trips,
+        referrals: r.stats.referrals_received,
+        entries: r.stats.entries_returned,
+        elapsed_ms: net.cost_model().elapsed_ms(r.stats.round_trips),
+    });
+
+    let mut client = net.client();
+    let r = client.search("ldap://hostA", &req).expect("figure 2 network resolves");
+    rows.push(Fig2Row {
+        scenario: "same search sent to hostA directly".into(),
+        round_trips: r.stats.round_trips,
+        referrals: r.stats.referrals_received,
+        entries: r.stats.entries_returned,
+        elapsed_ms: net.cost_model().elapsed_ms(r.stats.round_trips),
+    });
+
+    let mut client = net.client();
+    let local = SearchRequest::new(dn("ou=research,c=us,o=xyz"), Scope::Subtree, Filter::match_all());
+    let r = client.search("ldap://hostB", &local).expect("figure 2 network resolves");
+    rows.push(Fig2Row {
+        scenario: "search answerable by one server".into(),
+        round_trips: r.stats.round_trips,
+        referrals: r.stats.referrals_received,
+        entries: r.stats.entries_returned,
+        elapsed_ms: net.cost_model().elapsed_ms(r.stats.round_trips),
+    });
+    rows
+}
+
+/// Reproduces the Figure 3 message sequence chart; returns the PDU lines
+/// of each phase.
+pub fn fig3() -> Vec<(String, Vec<String>)> {
+    let mut m = SyncMaster::new();
+    m.dit_mut().add_suffix(dn("o=xyz"));
+    m.dit_mut().add(Entry::new(dn("o=xyz"))).expect("fresh store");
+    for cn in ["E1", "E2", "E3"] {
+        m.dit_mut()
+            .add(
+                Entry::new(dn(&format!("cn={cn},o=xyz")))
+                    .with("objectclass", "person")
+                    .with("dept", "7"),
+            )
+            .expect("fresh store");
+    }
+    let s = SearchRequest::new(dn("o=xyz"), Scope::Subtree, Filter::parse("(dept=7)").expect("static"));
+    let mut phases = Vec::new();
+
+    let resp = m.resync(&s, ReSyncControl::poll(None)).expect("initial resync");
+    let cookie = resp.cookie.expect("cookie issued");
+    phases.push((
+        "S, (poll, null)".to_owned(),
+        resp.actions.iter().map(|a| a.to_string()).chain(["cookie".to_owned()]).collect(),
+    ));
+
+    m.apply(UpdateOp::Add(
+        Entry::new(dn("cn=E4,o=xyz")).with("objectclass", "person").with("dept", "7"),
+    ))
+    .expect("valid op");
+    m.apply(UpdateOp::Delete(dn("cn=E1,o=xyz"))).expect("valid op");
+    m.apply(UpdateOp::Modify {
+        dn: dn("cn=E2,o=xyz"),
+        mods: vec![Modification::Replace("dept".into(), vec!["9".into()])],
+    })
+    .expect("valid op");
+    m.apply(UpdateOp::Modify {
+        dn: dn("cn=E3,o=xyz"),
+        mods: vec![Modification::Replace("mail".into(), vec!["e3@xyz.com".into()])],
+    })
+    .expect("valid op");
+
+    let resp = m.resync(&s, ReSyncControl::poll(Some(cookie))).expect("poll");
+    let cookie1 = resp.cookie.expect("cookie issued");
+    phases.push((
+        "S, (poll, cookie)".to_owned(),
+        resp.actions.iter().map(|a| a.to_string()).chain(["cookie1".to_owned()]).collect(),
+    ));
+
+    let (resp, rx) = m.resync_persist(&s, Some(cookie1)).expect("persist");
+    let mut lines: Vec<String> = resp.actions.iter().map(|a| a.to_string()).collect();
+    m.apply(UpdateOp::ModifyDn {
+        dn: dn("cn=E3,o=xyz"),
+        new_rdn: Rdn::new("cn", "E5"),
+        new_superior: None,
+    })
+    .expect("valid op");
+    let notes: Vec<SyncAction> = rx.try_iter().collect();
+    lines.extend(notes.iter().map(|a| a.to_string()));
+    lines.push("abandon".to_owned());
+    phases.push(("S, (persist, cookie1)".to_owned(), lines));
+    m.abandon(cookie1);
+    phases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_shows_four_round_trips() {
+        let rows = fig2();
+        assert_eq!(rows[0].round_trips, 4);
+        assert_eq!(rows[1].round_trips, 3);
+        assert_eq!(rows[2].round_trips, 1);
+        assert!(rows[0].elapsed_ms > rows[2].elapsed_ms);
+        // All scenarios eventually return the full result where applicable.
+        assert_eq!(rows[0].entries, 9);
+        assert_eq!(rows[1].entries, 9);
+    }
+
+    #[test]
+    fn fig3_phases_match_paper() {
+        let phases = fig3();
+        assert_eq!(phases.len(), 3);
+        assert_eq!(phases[0].1.iter().filter(|l| l.ends_with("add")).count(), 3);
+        let poll: &Vec<String> = &phases[1].1;
+        assert!(poll.iter().any(|l| l == "cn=E4,o=xyz, add"));
+        assert!(poll.iter().any(|l| l == "cn=E1,o=xyz, delete"));
+        assert!(poll.iter().any(|l| l == "cn=E2,o=xyz, delete"));
+        assert!(poll.iter().any(|l| l == "cn=E3,o=xyz, mod"));
+        let persist: &Vec<String> = &phases[2].1;
+        assert!(persist.iter().any(|l| l == "cn=E3,o=xyz, delete"));
+        assert!(persist.iter().any(|l| l == "cn=E5,o=xyz, add"));
+        assert_eq!(persist.last().map(String::as_str), Some("abandon"));
+    }
+}

@@ -1,0 +1,234 @@
+//! The containment engine: template-aware dispatch between the three
+//! containment algorithms, with the statistics behind §7.4.
+
+use crate::cross_template::CrossTemplateMatrix;
+use crate::qc::region_contained;
+use crate::same_template::same_template_contained;
+use crate::{filter_contained, Containment};
+use fbdr_ldap::{AttrValue, Filter, SearchRequest, Template};
+use serde::{Deserialize, Serialize};
+
+/// Counters for the work performed by a [`ContainmentEngine`] — the query
+/// processing overhead the paper studies in §7.4.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Checks answered by the O(n) same-template fast path (Prop 3).
+    pub same_template: u64,
+    /// Checks answered by a compiled cross-template condition (Prop 2).
+    pub compiled: u64,
+    /// Checks skipped outright because the pair compiled to *never*.
+    pub skipped_never: u64,
+    /// Checks that fell back to the general procedure (Prop 1).
+    pub general: u64,
+}
+
+impl EngineStats {
+    /// Total containment checks dispatched.
+    pub fn total(&self) -> u64 {
+        self.same_template + self.compiled + self.skipped_never + self.general
+    }
+}
+
+/// A query prepared for repeated containment checks: the request plus its
+/// extracted template and assertion values.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    request: SearchRequest,
+    template: Template,
+    values: Vec<AttrValue>,
+}
+
+impl PreparedQuery {
+    /// Extracts the template and values of a request.
+    pub fn new(request: SearchRequest) -> Self {
+        let (template, values) = Template::of(request.filter());
+        PreparedQuery { request, template, values }
+    }
+
+    /// The underlying search request.
+    pub fn request(&self) -> &SearchRequest {
+        &self.request
+    }
+
+    /// The query's template.
+    pub fn template(&self) -> &Template {
+        &self.template
+    }
+
+    /// The assertion values in slot order.
+    pub fn values(&self) -> &[AttrValue] {
+        &self.values
+    }
+}
+
+/// Template-aware containment dispatcher.
+///
+/// Routes each check to the cheapest applicable algorithm:
+///
+/// 1. identical template → Proposition 3 slot comparison,
+/// 2. compiled template pair → Proposition 2 CNF evaluation (or an
+///    immediate *never*),
+/// 3. otherwise → the general Proposition 1 procedure.
+///
+/// ```
+/// use fbdr_containment::{ContainmentEngine, PreparedQuery};
+/// use fbdr_ldap::{Filter, Scope, SearchRequest};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut engine = ContainmentEngine::new();
+/// let stored = PreparedQuery::new(SearchRequest::new(
+///     "o=xyz".parse()?, Scope::Subtree, Filter::parse("(serialNumber=0456*)")?,
+/// ));
+/// let query = PreparedQuery::new(SearchRequest::new(
+///     "o=xyz".parse()?, Scope::Subtree, Filter::parse("(serialNumber=045612)")?,
+/// ));
+/// assert!(engine.query_contained(&query, &stored));
+/// assert_eq!(engine.stats().compiled, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct ContainmentEngine {
+    matrix: CrossTemplateMatrix,
+    stats: EngineStats,
+}
+
+impl ContainmentEngine {
+    /// Creates an engine with an empty compiled-condition cache.
+    pub fn new() -> Self {
+        ContainmentEngine::default()
+    }
+
+    /// Work counters accumulated so far.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Resets the work counters (the compiled cache is kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = EngineStats::default();
+    }
+
+    /// Number of compiled template pairs cached.
+    pub fn compiled_pairs(&self) -> usize {
+        self.matrix.len()
+    }
+
+    /// Template-aware filter containment: is `q`'s filter contained in
+    /// `s`'s filter?
+    pub fn filter_contained(&mut self, q: &PreparedQuery, s: &PreparedQuery) -> bool {
+        if q.template.id() == s.template.id() {
+            self.stats.same_template += 1;
+            return same_template_contained(q.request.filter(), s.request.filter());
+        }
+        if let Some(cond) = self.matrix.condition(&q.template, &s.template) {
+            if cond.is_never() {
+                self.stats.skipped_never += 1;
+                return false;
+            }
+            self.stats.compiled += 1;
+            return cond.eval(&q.values, &s.values);
+        }
+        self.stats.general += 1;
+        filter_contained(q.request.filter(), s.request.filter()) == Containment::Yes
+    }
+
+    /// Full `QC(Q, Qs)` with template-aware filter dispatch: region,
+    /// attribute-subset and filter containment.
+    pub fn query_contained(&mut self, q: &PreparedQuery, s: &PreparedQuery) -> bool {
+        region_contained(
+            q.request.base(),
+            q.request.scope(),
+            s.request.base(),
+            s.request.scope(),
+        ) && q.request.attrs().is_subset_of(s.request.attrs())
+            && self.filter_contained(q, s)
+    }
+
+    /// Convenience: checks an unprepared filter pair through the dispatch
+    /// (templates are extracted on the fly).
+    pub fn filters_contained(&mut self, f1: &Filter, f2: &Filter) -> bool {
+        let q = PreparedQuery::new(SearchRequest::from_root(f1.clone()));
+        let s = PreparedQuery::new(SearchRequest::from_root(f2.clone()));
+        self.filter_contained(&q, &s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbdr_ldap::Scope;
+
+    fn prep(base: &str, filter: &str) -> PreparedQuery {
+        PreparedQuery::new(SearchRequest::new(
+            base.parse().unwrap(),
+            Scope::Subtree,
+            Filter::parse(filter).unwrap(),
+        ))
+    }
+
+    #[test]
+    fn same_template_dispatch() {
+        let mut e = ContainmentEngine::new();
+        let q = prep("o=xyz", "(serialNumber=0456*)");
+        let s = prep("o=xyz", "(serialNumber=045*)");
+        assert!(e.filter_contained(&q, &s));
+        assert!(!e.filter_contained(&s, &q));
+        assert_eq!(e.stats().same_template, 2);
+        assert_eq!(e.stats().compiled, 0);
+        assert_eq!(e.stats().general, 0);
+    }
+
+    #[test]
+    fn compiled_dispatch() {
+        let mut e = ContainmentEngine::new();
+        let q = prep("o=xyz", "(serialNumber=045612)");
+        let s = prep("o=xyz", "(serialNumber=0456*)");
+        assert!(e.filter_contained(&q, &s));
+        assert_eq!(e.stats().compiled, 1);
+        // Cached on second use.
+        assert!(e.filter_contained(&q, &s));
+        assert_eq!(e.stats().compiled, 2);
+        assert_eq!(e.compiled_pairs(), 1);
+    }
+
+    #[test]
+    fn never_pairs_are_skipped() {
+        let mut e = ContainmentEngine::new();
+        // (sn=_) can never be answered by (&(sn=_)(ou=_)) — the paper's
+        // own example of template elimination.
+        let q = prep("o=xyz", "(sn=doe)");
+        let s = prep("o=xyz", "(&(sn=doe)(ou=research))");
+        assert!(!e.filter_contained(&q, &s));
+        assert_eq!(e.stats().skipped_never, 1);
+    }
+
+    #[test]
+    fn general_fallback() {
+        let mut e = ContainmentEngine::new();
+        let q = prep("o=xyz", "(|(sn=a)(sn=b))");
+        let s = prep("o=xyz", "(|(sn=a)(sn=b)(sn=c))");
+        assert!(e.filter_contained(&q, &s));
+        assert_eq!(e.stats().general, 1);
+    }
+
+    #[test]
+    fn query_contained_checks_region() {
+        let mut e = ContainmentEngine::new();
+        let s = prep("c=us,o=xyz", "(serialNumber=0456*)");
+        assert!(e.query_contained(&prep("c=us,o=xyz", "(serialNumber=045612)"), &s));
+        assert!(!e.query_contained(&prep("o=xyz", "(serialNumber=045612)"), &s));
+    }
+
+    #[test]
+    fn stats_total_and_reset() {
+        let mut e = ContainmentEngine::new();
+        let q = prep("o=xyz", "(a=1)");
+        let s = prep("o=xyz", "(a=1)");
+        e.filter_contained(&q, &s);
+        assert_eq!(e.stats().total(), 1);
+        e.reset_stats();
+        assert_eq!(e.stats().total(), 0);
+        assert_eq!(e.compiled_pairs(), 0); // nothing was compiled
+    }
+}

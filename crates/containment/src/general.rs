@@ -1,0 +1,201 @@
+//! The general filter-containment decision procedure (Proposition 1).
+
+use crate::nnf::{to_dnf, to_nnf, Nnf};
+use crate::sat::{conjunct_sat, Sat};
+use crate::Containment;
+use fbdr_ldap::Filter;
+
+/// Cap on the DNF expansion of `F1 ∧ ¬F2`; beyond it the check answers
+/// `Unknown`. Filters in practice come from small templates, far below this.
+const DNF_CAP: usize = 512;
+
+/// Decides whether `f1` is semantically contained in `f2` — every entry
+/// matching `f1` also matches `f2` (Proposition 1: `F1 ∧ ¬F2` must be
+/// unsatisfiable).
+///
+/// The result is three-valued: [`Containment::Unknown`] is returned when
+/// the satisfiability reasoning cannot decide (treat as "not contained"
+/// when answering from a cache). `Yes` and `No` are definite.
+///
+/// ```
+/// use fbdr_containment::{filter_contained, Containment};
+/// use fbdr_ldap::Filter;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let f1 = Filter::parse("(&(sn=Doe)(age>=40))")?;
+/// let f2 = Filter::parse("(age>=30)")?;
+/// assert_eq!(filter_contained(&f1, &f2), Containment::Yes);
+/// # Ok(())
+/// # }
+/// ```
+pub fn filter_contained(f1: &Filter, f2: &Filter) -> Containment {
+    let combined = Nnf::And(vec![to_nnf(f1, false), to_nnf(f2, true)]);
+    let Some(dnf) = to_dnf(&combined, DNF_CAP) else {
+        return Containment::Unknown;
+    };
+    let mut unknown = false;
+    for conjunct in &dnf {
+        match conjunct_sat(conjunct) {
+            Sat::Sat => return Containment::No,
+            Sat::Unknown => unknown = true,
+            Sat::Unsat => {}
+        }
+    }
+    if unknown {
+        Containment::Unknown
+    } else {
+        Containment::Yes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(f1: &str, f2: &str) -> Containment {
+        filter_contained(&Filter::parse(f1).unwrap(), &Filter::parse(f2).unwrap())
+    }
+
+    #[test]
+    fn reflexive() {
+        for f in ["(sn=Doe)", "(&(a=1)(b=2))", "(|(a=1)(b=2))", "(sn=smi*)", "(a>=3)"] {
+            assert_eq!(c(f, f), Containment::Yes, "{f} ⊆ {f}");
+        }
+    }
+
+    #[test]
+    fn equality_in_equality() {
+        assert_eq!(c("(sn=Doe)", "(sn=Doe)"), Containment::Yes);
+        assert_eq!(c("(sn=Doe)", "(sn=Smith)"), Containment::No);
+        // Normalized comparison.
+        assert_eq!(c("(sn=doe)", "(sn=DOE)"), Containment::Yes);
+    }
+
+    #[test]
+    fn conjunction_weakening() {
+        assert_eq!(c("(&(sn=Doe)(givenName=John))", "(sn=Doe)"), Containment::Yes);
+        assert_eq!(c("(sn=Doe)", "(&(sn=Doe)(givenName=John))"), Containment::No);
+    }
+
+    #[test]
+    fn disjunction_widening() {
+        assert_eq!(c("(sn=Doe)", "(|(sn=Doe)(sn=Smith))"), Containment::Yes);
+        assert_eq!(c("(|(sn=Doe)(sn=Smith))", "(sn=Doe)"), Containment::No);
+        assert_eq!(
+            c("(|(sn=Doe)(sn=Smith))", "(|(sn=Smith)(sn=Doe)(sn=Jones))"),
+            Containment::Yes
+        );
+    }
+
+    #[test]
+    fn paper_example_age() {
+        // (age=X) is answered by (age>=Y) iff Y <= X.
+        assert_eq!(c("(age=40)", "(age>=30)"), Containment::Yes);
+        assert_eq!(c("(age=30)", "(age>=30)"), Containment::Yes);
+        assert_eq!(c("(age=20)", "(age>=30)"), Containment::No);
+    }
+
+    #[test]
+    fn paper_proposition2_example() {
+        // F1 = (a>=p)∧(b<=q), F2 = (a=x)∨(b<=y); contained iff q <= y
+        // (the (a=x) disjunct can never cover a range on a).
+        assert_eq!(c("(&(a>=5)(b<=10))", "(|(a=5)(b<=20))"), Containment::Yes);
+        assert_eq!(c("(&(a>=5)(b<=10))", "(|(a=5)(b<=10))"), Containment::Yes);
+        assert_eq!(c("(&(a>=5)(b<=10))", "(|(a=5)(b<=9))"), Containment::No);
+    }
+
+    #[test]
+    fn range_containment() {
+        assert_eq!(c("(a>=5)", "(a>=3)"), Containment::Yes);
+        assert_eq!(c("(a>=3)", "(a>=5)"), Containment::No);
+        assert_eq!(c("(a<=3)", "(a<=5)"), Containment::Yes);
+        assert_eq!(c("(a<=5)", "(a<=3)"), Containment::No);
+        assert_eq!(c("(&(a>=3)(a<=5))", "(&(a>=2)(a<=6))"), Containment::Yes);
+        assert_eq!(c("(&(a>=2)(a<=6))", "(&(a>=3)(a<=5))"), Containment::No);
+    }
+
+    #[test]
+    fn substring_containment() {
+        assert_eq!(c("(serialNumber=0456*)", "(serialNumber=045*)"), Containment::Yes);
+        assert_eq!(c("(serialNumber=045*)", "(serialNumber=0456*)"), Containment::No);
+        assert_eq!(c("(serialNumber=045612)", "(serialNumber=0456*)"), Containment::Yes);
+        assert_eq!(c("(serialNumber=0456*)", "(serialNumber=045612)"), Containment::No);
+        assert_eq!(c("(sn=*son)", "(sn=*on)"), Containment::Yes);
+        assert_eq!(c("(mail=*@us.xyz.com)", "(mail=*xyz.com)"), Containment::Yes);
+    }
+
+    #[test]
+    fn presence_is_weakest_on_attribute() {
+        assert_eq!(c("(sn=Doe)", "(sn=*)"), Containment::Yes);
+        assert_eq!(c("(sn=smi*)", "(sn=*)"), Containment::Yes);
+        assert_eq!(c("(a>=3)", "(a=*)"), Containment::Yes);
+        assert_eq!(c("(sn=*)", "(sn=Doe)"), Containment::No);
+    }
+
+    #[test]
+    fn everything_contained_in_objectclass_star() {
+        // (objectclass=*) can only answer filters that *require* an
+        // objectclass value — which positive filters on other attributes
+        // do not. (In a real DIT every entry has objectclass, but filter
+        // containment is decided over all possible entries.)
+        assert_eq!(c("(objectclass=person)", "(objectclass=*)"), Containment::Yes);
+        assert_eq!(
+            c("(&(objectclass=person)(sn=Doe))", "(objectclass=*)"),
+            Containment::Yes
+        );
+    }
+
+    #[test]
+    fn negation_handling() {
+        assert_eq!(c("(&(a=1)(!(b=2)))", "(a=1)"), Containment::Yes);
+        // Multi-valued semantics: {a: 1, 2} matches (a=1) but not ¬(a=2),
+        // so (a=1) is NOT contained in (!(a=2)).
+        assert_eq!(c("(a=1)", "(!(a=2))"), Containment::No);
+        assert_eq!(c("(a=1)", "(!(a=1))"), Containment::No);
+        assert_eq!(c("(!(a=1))", "(!(a=1))"), Containment::Yes);
+        // ¬(a=1) does not contain ¬(a=2).
+        assert_eq!(c("(!(a=1))", "(!(a=2))"), Containment::No);
+        // Double negation.
+        assert_eq!(c("(!(!(a=1)))", "(a=1)"), Containment::Yes);
+    }
+
+    #[test]
+    fn multivalued_soundness_cases() {
+        // (&(a=1)(a=2)) is satisfiable with multi-valued a, so it is NOT
+        // vacuously contained in an unrelated filter.
+        assert_eq!(c("(&(a=1)(a=2))", "(b=3)"), Containment::No);
+        // But it is contained in each of its conjuncts.
+        assert_eq!(c("(&(a=1)(a=2))", "(a=1)"), Containment::Yes);
+        assert_eq!(c("(&(a=1)(a=2))", "(|(a=1)(a=3))"), Containment::Yes);
+    }
+
+    #[test]
+    fn department_generalization_from_paper() {
+        // §3.1.2: dept 2406/2407 queries answered by the 240* filter.
+        let stored = "(&(objectclass=inetOrgPerson)(departmentNumber=240*))";
+        assert_eq!(
+            c("(&(objectclass=inetOrgPerson)(departmentNumber=2406))", stored),
+            Containment::Yes
+        );
+        assert_eq!(
+            c("(&(objectclass=inetOrgPerson)(departmentNumber=2407))", stored),
+            Containment::Yes
+        );
+        assert_eq!(
+            c("(&(objectclass=inetOrgPerson)(departmentNumber=2506))", stored),
+            Containment::No
+        );
+    }
+
+    #[test]
+    fn cross_attribute_no_containment() {
+        assert_eq!(c("(a=1)", "(b=1)"), Containment::No);
+    }
+
+    #[test]
+    fn unknown_collapses_safely() {
+        assert!(!Containment::Unknown.is_contained());
+        assert!(Containment::Yes.is_contained());
+        assert!(!Containment::No.is_contained());
+    }
+}

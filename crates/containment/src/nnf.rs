@@ -1,0 +1,138 @@
+//! Negation normal form and DNF expansion of filters.
+//!
+//! `F1 ∧ ¬F2` is rewritten into a disjunction of conjunctions of literals,
+//! where a literal is a possibly-negated simple predicate. Under LDAP's
+//! multi-valued attribute semantics a positive literal is existential
+//! ("some value of the attribute satisfies the comparison") and a negated
+//! literal is universal ("no value satisfies it").
+
+use fbdr_ldap::{Filter, Predicate};
+
+/// A possibly-negated predicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Lit {
+    pub pred: Predicate,
+    pub negated: bool,
+}
+
+/// Filters in negation normal form.
+#[derive(Debug, Clone)]
+pub(crate) enum Nnf {
+    And(Vec<Nnf>),
+    Or(Vec<Nnf>),
+    Lit(Lit),
+}
+
+/// Converts a filter to NNF, optionally negating it first.
+pub(crate) fn to_nnf(f: &Filter, negate: bool) -> Nnf {
+    match f {
+        Filter::And(fs) => {
+            let subs = fs.iter().map(|s| to_nnf(s, negate)).collect();
+            if negate {
+                Nnf::Or(subs)
+            } else {
+                Nnf::And(subs)
+            }
+        }
+        Filter::Or(fs) => {
+            let subs = fs.iter().map(|s| to_nnf(s, negate)).collect();
+            if negate {
+                Nnf::And(subs)
+            } else {
+                Nnf::Or(subs)
+            }
+        }
+        Filter::Not(sub) => to_nnf(sub, !negate),
+        Filter::Pred(p) => Nnf::Lit(Lit { pred: p.clone(), negated: negate }),
+    }
+}
+
+/// Expands NNF into DNF: a list of conjunctions of literals. Returns `None`
+/// when the expansion would exceed `cap` conjuncts (caller should answer
+/// `Unknown`).
+pub(crate) fn to_dnf(n: &Nnf, cap: usize) -> Option<Vec<Vec<Lit>>> {
+    match n {
+        Nnf::Lit(l) => Some(vec![vec![l.clone()]]),
+        Nnf::Or(subs) => {
+            let mut out = Vec::new();
+            for s in subs {
+                out.extend(to_dnf(s, cap)?);
+                if out.len() > cap {
+                    return None;
+                }
+            }
+            Some(out)
+        }
+        Nnf::And(subs) => {
+            let mut acc: Vec<Vec<Lit>> = vec![Vec::new()];
+            for s in subs {
+                let d = to_dnf(s, cap)?;
+                let mut next = Vec::with_capacity(acc.len() * d.len());
+                for a in &acc {
+                    for b in &d {
+                        let mut c = a.clone();
+                        c.extend(b.iter().cloned());
+                        next.push(c);
+                    }
+                }
+                if next.len() > cap {
+                    return None;
+                }
+                acc = next;
+            }
+            Some(acc)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(s: &str) -> Filter {
+        Filter::parse(s).unwrap()
+    }
+
+    #[test]
+    fn nnf_pushes_negation_inward() {
+        let n = to_nnf(&f("(!(&(a=1)(b=2)))"), false);
+        match n {
+            Nnf::Or(subs) => {
+                assert_eq!(subs.len(), 2);
+                for s in subs {
+                    match s {
+                        Nnf::Lit(l) => assert!(l.negated),
+                        other => panic!("expected literal, got {other:?}"),
+                    }
+                }
+            }
+            other => panic!("expected Or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let n = to_nnf(&f("(!(!(a=1)))"), false);
+        match n {
+            Nnf::Lit(l) => assert!(!l.negated),
+            other => panic!("expected literal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dnf_of_conjunction_of_disjunctions() {
+        // (a=1 | a=2) & (b=1 | b=2) -> 4 conjuncts of 2 literals.
+        let n = to_nnf(&f("(&(|(a=1)(a=2))(|(b=1)(b=2)))"), false);
+        let d = to_dnf(&n, 100).unwrap();
+        assert_eq!(d.len(), 4);
+        assert!(d.iter().all(|c| c.len() == 2));
+    }
+
+    #[test]
+    fn dnf_cap_returns_none() {
+        // 2^6 = 64 conjuncts > 10.
+        let big = "(&(|(a=1)(a=2))(|(b=1)(b=2))(|(c=1)(c=2))(|(d=1)(d=2))(|(e=1)(e=2))(|(g=1)(g=2)))";
+        let n = to_nnf(&f(big), false);
+        assert!(to_dnf(&n, 10).is_none());
+    }
+}

@@ -1,0 +1,152 @@
+//! The semantic query containment algorithm `QC(Q, Qs)` (§4 of the paper).
+
+use crate::{filter_contained, Containment};
+use fbdr_ldap::{Dn, Scope, SearchRequest};
+
+/// Checks whether the base/scope region of `(b, s)` lies inside the region
+/// of `(bs, ss)` — conditions (i) of semantic query containment, exactly
+/// the control flow of the paper's `QC` pseudocode.
+pub fn region_contained(b: &Dn, s: Scope, bs: &Dn, ss: Scope) -> bool {
+    if bs == b && (ss == s || ss == Scope::Subtree) {
+        // Same base: contained for equal scopes or a SUBTREE superquery.
+        // (BASE is *not* inside ONE-LEVEL: one-level excludes the base.)
+        return true;
+    }
+    if !bs.is_ancestor_or_self_of(b) {
+        return false;
+    }
+    if ss == Scope::Subtree {
+        return true;
+    }
+    // ss ∈ {Base, OneLevel} with bs a (proper or improper) ancestor of b:
+    // the only remaining containment is a BASE query at a child of a
+    // SINGLE-LEVEL query's base.
+    ss > s && bs.is_parent_of(b)
+}
+
+/// `QC(Q, Qs)`: true when query `Q` is semantically contained in `Qs` —
+/// its base/scope region lies inside `Qs`'s, its requested attributes are
+/// a subset, and its filter is contained in `Qs`'s filter.
+///
+/// The filter check uses the general decision procedure
+/// ([`filter_contained`]); `Unknown` results count as *not contained*,
+/// which keeps replicas sound. Template-aware callers should prefer
+/// [`ContainmentEngine::query_contained`](crate::ContainmentEngine::query_contained),
+/// which dispatches to the cheaper Proposition 2/3 paths first.
+///
+/// ```
+/// use fbdr_containment::query_contained;
+/// use fbdr_ldap::{Filter, Scope, SearchRequest};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let stored = SearchRequest::new(
+///     "o=xyz".parse()?,
+///     Scope::Subtree,
+///     Filter::parse("(serialNumber=0456*)")?,
+/// );
+/// let query = SearchRequest::new(
+///     "c=us,o=xyz".parse()?,
+///     Scope::Subtree,
+///     Filter::parse("(serialNumber=045612)")?,
+/// );
+/// assert!(query_contained(&query, &stored));
+/// assert!(!query_contained(&stored, &query));
+/// # Ok(())
+/// # }
+/// ```
+pub fn query_contained(q: &SearchRequest, qs: &SearchRequest) -> bool {
+    region_contained(q.base(), q.scope(), qs.base(), qs.scope())
+        && q.attrs().is_subset_of(qs.attrs())
+        && filter_contained(q.filter(), qs.filter()) == Containment::Yes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbdr_ldap::{AttrSelection, Filter};
+
+    fn dn(s: &str) -> Dn {
+        s.parse().unwrap()
+    }
+
+    fn req(base: &str, scope: Scope, filter: &str) -> SearchRequest {
+        SearchRequest::new(dn(base), scope, Filter::parse(filter).unwrap())
+    }
+
+    #[test]
+    fn region_same_base() {
+        let b = dn("o=xyz");
+        assert!(region_contained(&b, Scope::Base, &b, Scope::Base));
+        assert!(region_contained(&b, Scope::Base, &b, Scope::Subtree));
+        assert!(region_contained(&b, Scope::OneLevel, &b, Scope::Subtree));
+        assert!(!region_contained(&b, Scope::Subtree, &b, Scope::OneLevel));
+        assert!(!region_contained(&b, Scope::OneLevel, &b, Scope::Base));
+        // BASE is not inside ONE-LEVEL at the same base (one-level
+        // excludes the base entry itself).
+        assert!(!region_contained(&b, Scope::Base, &b, Scope::OneLevel));
+    }
+
+    #[test]
+    fn region_descendant_base() {
+        let root = dn("o=xyz");
+        let child = dn("c=us,o=xyz");
+        let deep = dn("cn=x,ou=r,c=us,o=xyz");
+        assert!(region_contained(&deep, Scope::Subtree, &root, Scope::Subtree));
+        assert!(region_contained(&child, Scope::Base, &root, Scope::OneLevel));
+        assert!(!region_contained(&child, Scope::OneLevel, &root, Scope::OneLevel));
+        assert!(!region_contained(&deep, Scope::Base, &root, Scope::OneLevel));
+        assert!(!region_contained(&root, Scope::Base, &child, Scope::Subtree));
+    }
+
+    #[test]
+    fn region_disjoint_bases() {
+        assert!(!region_contained(
+            &dn("c=in,o=xyz"),
+            Scope::Base,
+            &dn("c=us,o=xyz"),
+            Scope::Subtree
+        ));
+    }
+
+    #[test]
+    fn full_qc_with_filters() {
+        let stored = req("o=xyz", Scope::Subtree, "(serialNumber=0456*)");
+        assert!(query_contained(&req("o=xyz", Scope::Subtree, "(serialNumber=045612)"), &stored));
+        assert!(query_contained(
+            &req("c=us,o=xyz", Scope::Subtree, "(serialNumber=04567*)"),
+            &stored
+        ));
+        assert!(!query_contained(&req("o=xyz", Scope::Subtree, "(serialNumber=0756*)"), &stored));
+        assert!(!query_contained(&req("o=abc", Scope::Subtree, "(serialNumber=045612)"), &stored));
+    }
+
+    #[test]
+    fn attribute_subset_condition() {
+        let stored = SearchRequest::with_attrs(
+            dn("o=xyz"),
+            Scope::Subtree,
+            Filter::parse("(sn=*)").unwrap(),
+            AttrSelection::list(["cn", "mail"]),
+        );
+        let ok = SearchRequest::with_attrs(
+            dn("o=xyz"),
+            Scope::Subtree,
+            Filter::parse("(sn=doe)").unwrap(),
+            AttrSelection::list(["cn"]),
+        );
+        let too_wide = SearchRequest::new(dn("o=xyz"), Scope::Subtree, Filter::parse("(sn=doe)").unwrap());
+        assert!(query_contained(&ok, &stored));
+        assert!(!query_contained(&too_wide, &stored)); // requests all attrs
+    }
+
+    #[test]
+    fn null_based_query_needs_null_based_stored(){
+        // §3.1.1: queries with base "" can only be answered by stored
+        // queries replicated from the root.
+        let stored_root = req("", Scope::Subtree, "(uid=*)");
+        let stored_sub = req("o=xyz", Scope::Subtree, "(uid=*)");
+        let q = req("", Scope::Subtree, "(uid=jdoe)");
+        assert!(query_contained(&q, &stored_root));
+        assert!(!query_contained(&q, &stored_sub));
+    }
+}

@@ -1,0 +1,165 @@
+//! Same-template containment — Proposition 3.
+//!
+//! Two positive filters of the same template differ only in assertion
+//! values; `F1 ⊆ F2` holds if each predicate of `F1` is contained in the
+//! corresponding predicate of `F2`. The check is O(n) in the number of
+//! predicates and fully avoids the DNF machinery.
+
+use fbdr_ldap::{AttrValue, Comparison, Filter, Predicate, SubstringPattern};
+
+/// Slot-by-slot containment for two filters of the *same template*.
+///
+/// Returns `true` when containment is established; `false` means "not
+/// established by this fast path" (the filters may still be related in ways
+/// only the general procedure detects, e.g. across `Or` branches).
+///
+/// For `Not` sub-filters the comparison direction flips (`¬a ⊆ ¬b` iff
+/// `b ⊆ a`), which keeps the check sound beyond the paper's positive-filter
+/// statement.
+///
+/// # Panics
+///
+/// Does not panic, but silently returns `false` when the filters do not
+/// share a structure — callers are expected to have matched
+/// [`TemplateId`](fbdr_ldap::TemplateId)s first.
+pub fn same_template_contained(f1: &Filter, f2: &Filter) -> bool {
+    walk(f1, f2, false)
+}
+
+fn walk(f1: &Filter, f2: &Filter, flipped: bool) -> bool {
+    match (f1, f2) {
+        (Filter::And(a), Filter::And(b)) | (Filter::Or(a), Filter::Or(b)) => {
+            a.len() == b.len() && a.iter().zip(b).all(|(x, y)| walk(x, y, flipped))
+        }
+        (Filter::Not(a), Filter::Not(b)) => walk(a, b, !flipped),
+        (Filter::Pred(p1), Filter::Pred(p2)) => {
+            if flipped {
+                pred_contained(p2, p1)
+            } else {
+                pred_contained(p1, p2)
+            }
+        }
+        _ => false,
+    }
+}
+
+/// Predicate-level containment for same-kind predicates.
+fn pred_contained(p1: &Predicate, p2: &Predicate) -> bool {
+    if p1.attr() != p2.attr() {
+        return false;
+    }
+    match (p1.comparison(), p2.comparison()) {
+        (Comparison::Eq(x), Comparison::Eq(y)) => x == y,
+        (Comparison::Ge(x), Comparison::Ge(y)) => range_implies_ge(x, y),
+        (Comparison::Le(x), Comparison::Le(y)) => range_implies_le(x, y),
+        (Comparison::Present, Comparison::Present) => true,
+        (Comparison::Substring(a), Comparison::Substring(b)) => substring_implies(a, b),
+        _ => false,
+    }
+}
+
+/// Every value satisfying `(a>=x)` also satisfies `(a>=y)`.
+///
+/// With typed range semantics this requires the two assertions to be of the
+/// same type: integer/integer compares numerically, string/string
+/// lexicographically, and mixed types never imply each other (an integer
+/// range admits only integers, which need not satisfy a lexicographic
+/// bound, and vice versa).
+pub(crate) fn range_implies_ge(x: &AttrValue, y: &AttrValue) -> bool {
+    match (x.as_int(), y.as_int()) {
+        (Some(a), Some(b)) => a >= b,
+        (None, None) => x.normalized() >= y.normalized(),
+        _ => false,
+    }
+}
+
+/// Every value satisfying `(a<=x)` also satisfies `(a<=y)`.
+pub(crate) fn range_implies_le(x: &AttrValue, y: &AttrValue) -> bool {
+    match (x.as_int(), y.as_int()) {
+        (Some(a), Some(b)) => a <= b,
+        (None, None) => x.normalized() <= y.normalized(),
+        _ => false,
+    }
+}
+
+/// Every string matching pattern `a` also matches pattern `b`, given both
+/// patterns have the same star shape (same template).
+pub(crate) fn substring_implies(a: &SubstringPattern, b: &SubstringPattern) -> bool {
+    let init_ok = match (a.initial(), b.initial()) {
+        (Some(ai), Some(bi)) => ai.starts_with(bi),
+        (None, None) => true,
+        _ => return false,
+    };
+    let fin_ok = match (a.final_part(), b.final_part()) {
+        (Some(af), Some(bf)) => af.ends_with(bf),
+        (None, None) => true,
+        _ => return false,
+    };
+    init_ok
+        && fin_ok
+        && a.any().len() == b.any().len()
+        && a.any().iter().zip(b.any()).all(|(x, y)| x.contains(y.as_str()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(f1: &str, f2: &str) -> bool {
+        same_template_contained(&Filter::parse(f1).unwrap(), &Filter::parse(f2).unwrap())
+    }
+
+    #[test]
+    fn equality_slots() {
+        assert!(c("(sn=Doe)", "(sn=Doe)"));
+        assert!(!c("(sn=Doe)", "(sn=Smith)"));
+        assert!(c("(&(sn=Doe)(givenName=John))", "(&(sn=Doe)(givenName=John))"));
+        assert!(!c("(&(sn=Doe)(givenName=John))", "(&(sn=Doe)(givenName=Jane))"));
+    }
+
+    #[test]
+    fn prefix_slots() {
+        assert!(c("(serialNumber=0456*)", "(serialNumber=045*)"));
+        assert!(!c("(serialNumber=045*)", "(serialNumber=0456*)"));
+        assert!(c("(serialNumber=0456*)", "(serialNumber=0456*)"));
+    }
+
+    #[test]
+    fn suffix_and_middle_slots() {
+        assert!(c("(mail=*@us.xyz.com)", "(mail=*xyz.com)"));
+        assert!(!c("(mail=*xyz.com)", "(mail=*@us.xyz.com)"));
+        assert!(c("(cn=*john smith*)", "(cn=*smith*)"));
+        assert!(!c("(cn=*smith*)", "(cn=*john smith*)"));
+    }
+
+    #[test]
+    fn range_slots() {
+        assert!(c("(age>=40)", "(age>=30)"));
+        assert!(!c("(age>=30)", "(age>=40)"));
+        assert!(c("(age<=30)", "(age<=40)"));
+        assert!(!c("(age<=40)", "(age<=30)"));
+        // Mixed-type assertions never imply.
+        assert!(!c("(age>=40)", "(age>=abc)"));
+    }
+
+    #[test]
+    fn or_shape_componentwise() {
+        assert!(c("(|(a>=5)(b=1))", "(|(a>=3)(b=1))"));
+        assert!(!c("(|(a>=3)(b=1))", "(|(a>=5)(b=1))"));
+    }
+
+    #[test]
+    fn not_flips_direction() {
+        // ¬(a>=3) ⊆ ¬(a>=5) iff (a>=5) ⊆ (a>=3): yes.
+        assert!(!c("(!(a>=5))", "(!(a>=3))"));
+        assert!(c("(!(a>=3))", "(!(a>=5))"));
+        assert!(c("(&(b=1)(!(a>=3)))", "(&(b=1)(!(a>=5)))"));
+    }
+
+    #[test]
+    fn different_shapes_rejected() {
+        assert!(!c("(sn=Doe)", "(&(sn=Doe)(a=1))"));
+        assert!(!c("(sn=do*)", "(sn=*do)"));
+        assert!(!c("(sn=Doe)", "(sn=do*)")); // cross-kind is not this path's job
+    }
+}

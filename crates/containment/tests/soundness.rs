@@ -1,0 +1,164 @@
+//! Property tests: containment verdicts must be *sound* with respect to
+//! actual filter evaluation over randomly generated (multi-valued) entries.
+//!
+//! * If any containment path says `F1 ⊆ F2`, then every sampled entry
+//!   matching `F1` must match `F2`.
+//! * `Containment::No` claims a witness exists — sampling cannot refute
+//!   that, so only `Yes` verdicts are checked.
+
+use fbdr_containment::{filter_contained, same_template_contained, Containment, ContainmentEngine, PreparedQuery};
+use fbdr_ldap::{Entry, Filter, SearchRequest, Template};
+use proptest::prelude::*;
+
+/// Attribute names drawn from a small pool so filters collide often.
+fn attr() -> impl Strategy<Value = String> {
+    prop_oneof![Just("a".to_owned()), Just("b".to_owned()), Just("sn".to_owned())]
+}
+
+/// Values drawn from small integers and short strings so that ranges,
+/// prefixes and equalities interact.
+fn value() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (0i64..10).prop_map(|n| n.to_string()),
+        (0i64..10).prop_map(|n| format!("0{n}")),
+        "[a-c]{1,3}",
+    ]
+}
+
+fn predicate() -> impl Strategy<Value = String> {
+    (attr(), value(), 0u8..5).prop_map(|(a, v, k)| match k {
+        0 => format!("({a}={v})"),
+        1 => format!("({a}>={v})"),
+        2 => format!("({a}<={v})"),
+        3 => format!("({a}={v}*)"),
+        _ => format!("({a}=*)"),
+    })
+}
+
+/// Filters up to depth 2 over the predicate pool.
+fn filter_str() -> impl Strategy<Value = String> {
+    let leaf = predicate();
+    leaf.prop_recursive(2, 8, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..3)
+                .prop_map(|fs| format!("(&{})", fs.join(""))),
+            prop::collection::vec(inner.clone(), 1..3)
+                .prop_map(|fs| format!("(|{})", fs.join(""))),
+            inner.prop_map(|f| format!("(!{f})")),
+        ]
+    })
+}
+
+/// Random multi-valued entries over the same attribute/value pools.
+fn entry() -> impl Strategy<Value = Entry> {
+    prop::collection::vec((attr(), prop::collection::vec(value(), 1..3)), 0..4).prop_map(|attrs| {
+        let mut e = Entry::new("cn=test,o=xyz".parse().expect("valid dn"));
+        for (a, vs) in attrs {
+            for v in vs {
+                e.add(a.as_str(), v.as_str());
+            }
+        }
+        e
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The general procedure's `Yes` implies semantic containment on every
+    /// sampled entry.
+    #[test]
+    fn general_yes_is_sound(
+        f1s in filter_str(),
+        f2s in filter_str(),
+        entries in prop::collection::vec(entry(), 16),
+    ) {
+        let f1 = Filter::parse(&f1s).expect("generated filters parse");
+        let f2 = Filter::parse(&f2s).expect("generated filters parse");
+        if filter_contained(&f1, &f2) == Containment::Yes {
+            for e in &entries {
+                prop_assert!(
+                    !f1.matches(e) || f2.matches(e),
+                    "claimed {f1s} ⊆ {f2s} but entry breaks it:\n{e}"
+                );
+            }
+        }
+    }
+
+    /// Reflexivity: every filter is contained in itself (never `No`).
+    #[test]
+    fn reflexive_never_no(f in filter_str()) {
+        let f = Filter::parse(&f).expect("generated filters parse");
+        prop_assert_ne!(filter_contained(&f, &f), Containment::No);
+    }
+
+    /// The same-template fast path agrees with evaluation.
+    #[test]
+    fn same_template_yes_is_sound(
+        f1s in filter_str(),
+        f2s in filter_str(),
+        entries in prop::collection::vec(entry(), 16),
+    ) {
+        let f1 = Filter::parse(&f1s).expect("generated filters parse");
+        let f2 = Filter::parse(&f2s).expect("generated filters parse");
+        let (t1, _) = Template::of(&f1);
+        let (t2, _) = Template::of(&f2);
+        if t1.id() == t2.id() && same_template_contained(&f1, &f2) {
+            for e in &entries {
+                prop_assert!(
+                    !f1.matches(e) || f2.matches(e),
+                    "same-template claimed {f1s} ⊆ {f2s} but entry breaks it:\n{e}"
+                );
+            }
+        }
+    }
+
+    /// The engine dispatcher (whatever path it picks) stays sound.
+    #[test]
+    fn engine_yes_is_sound(
+        f1s in filter_str(),
+        f2s in filter_str(),
+        entries in prop::collection::vec(entry(), 16),
+    ) {
+        let f1 = Filter::parse(&f1s).expect("generated filters parse");
+        let f2 = Filter::parse(&f2s).expect("generated filters parse");
+        let mut engine = ContainmentEngine::new();
+        let q = PreparedQuery::new(SearchRequest::from_root(f1.clone()));
+        let s = PreparedQuery::new(SearchRequest::from_root(f2.clone()));
+        if engine.filter_contained(&q, &s) {
+            for e in &entries {
+                prop_assert!(
+                    !f1.matches(e) || f2.matches(e),
+                    "engine claimed {f1s} ⊆ {f2s} but entry breaks it:\n{e}"
+                );
+            }
+        }
+    }
+
+    /// The engine's fast paths never contradict the general procedure: a
+    /// fast-path `true` may not meet a general `No`.
+    #[test]
+    fn engine_agrees_with_general(f1s in filter_str(), f2s in filter_str()) {
+        let f1 = Filter::parse(&f1s).expect("generated filters parse");
+        let f2 = Filter::parse(&f2s).expect("generated filters parse");
+        let mut engine = ContainmentEngine::new();
+        let q = PreparedQuery::new(SearchRequest::from_root(f1.clone()));
+        let s = PreparedQuery::new(SearchRequest::from_root(f2.clone()));
+        if engine.filter_contained(&q, &s) {
+            prop_assert_ne!(
+                filter_contained(&f1, &f2),
+                Containment::No,
+                "engine says contained, general refutes: {} ⊆ {}", f1s, f2s
+            );
+        }
+    }
+
+    /// Parse/print round trip for generated filters.
+    #[test]
+    fn parse_print_round_trip(fs in filter_str()) {
+        let f = Filter::parse(&fs).expect("generated filters parse");
+        let printed = f.to_string();
+        let reparsed = Filter::parse(&printed).expect("printed form parses");
+        prop_assert_eq!(f, reparsed);
+    }
+}

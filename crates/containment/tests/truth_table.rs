@@ -1,0 +1,137 @@
+//! Exhaustive cross-kind containment truth table, checked against a
+//! brute-force oracle over a dense grid of candidate values.
+//!
+//! For every ordered pair of predicate kinds (equality, `>=`, `<=`,
+//! presence, prefix/suffix/contains substrings) and a grid of assertion
+//! values, the three-valued verdict must be consistent with evaluation:
+//!
+//! * `Yes` → every grid entry matching F1 matches F2;
+//! * `No` → some grid entry matches F1 but not F2 **or** the grid simply
+//!   cannot refute it (No claims a witness exists somewhere);
+//! * over the integer-only grid, `Yes`/`No` must be *exact* where both
+//!   filters only use integer-typed assertions.
+
+use fbdr_containment::{filter_contained, Containment};
+use fbdr_ldap::{Entry, Filter};
+
+/// All single-predicate filters over attribute `a` for a small value pool.
+fn predicate_pool() -> Vec<String> {
+    let mut out = Vec::new();
+    for v in ["3", "5", "7", "05", "bb", "bd"] {
+        out.push(format!("(a={v})"));
+        out.push(format!("(a>={v})"));
+        out.push(format!("(a<={v})"));
+    }
+    for p in ["b", "bb", "5"] {
+        out.push(format!("(a={p}*)"));
+        out.push(format!("(a=*{p})"));
+        out.push(format!("(a=*{p}*)"));
+    }
+    out.push("(a=*)".to_owned());
+    out
+}
+
+/// Candidate single values an entry's `a` attribute may hold.
+fn value_grid() -> Vec<String> {
+    let mut g: Vec<String> = (0..10).map(|n| n.to_string()).collect();
+    g.extend((0..10).map(|n| format!("0{n}")));
+    g.extend(["b", "bb", "bbb", "bd", "bdb", "a", "c", "5b", "b5"].map(str::to_owned));
+    g
+}
+
+fn entry_with(value: &str) -> Entry {
+    Entry::new("cn=x,o=y".parse().expect("dn")).with("a", value)
+}
+
+#[test]
+fn verdicts_consistent_with_grid_evaluation() {
+    let pool = predicate_pool();
+    let grid = value_grid();
+    let mut checked = 0;
+    let mut yes = 0;
+    for f1s in &pool {
+        let f1 = Filter::parse(f1s).expect("pool parses");
+        for f2s in &pool {
+            let f2 = Filter::parse(f2s).expect("pool parses");
+            let verdict = filter_contained(&f1, &f2);
+            checked += 1;
+            if verdict == Containment::Yes {
+                yes += 1;
+                for v in &grid {
+                    let e = entry_with(v);
+                    assert!(
+                        !f1.matches(&e) || f2.matches(&e),
+                        "claimed {f1s} ⊆ {f2s}, but value {v:?} breaks it"
+                    );
+                }
+            }
+        }
+    }
+    // Sanity: the table is not trivially all-No.
+    assert!(yes >= pool.len(), "only {yes} Yes verdicts in {checked} checks");
+}
+
+/// For integer-only assertion pairs the procedure must be *decisive and
+/// exact*: Yes iff no integer (in a generous range) refutes containment.
+#[test]
+fn integer_pairs_are_exact() {
+    let kinds: Vec<String> = ["3", "5", "7"]
+        .iter()
+        .flat_map(|v| {
+            vec![format!("(a={v})"), format!("(a>={v})"), format!("(a<={v})")]
+        })
+        .collect();
+    for f1s in &kinds {
+        let f1 = Filter::parse(f1s).expect("parses");
+        for f2s in &kinds {
+            let f2 = Filter::parse(f2s).expect("parses");
+            let verdict = filter_contained(&f1, &f2);
+            assert_ne!(
+                verdict,
+                Containment::Unknown,
+                "integer pair must be decisive: {f1s} ⊆ {f2s}"
+            );
+            // Oracle over integers -20..20 with two spellings each.
+            let mut refuted = false;
+            for n in -20..20 {
+                for spelled in [n.to_string(), format!("0{n}")] {
+                    let e = entry_with(&spelled);
+                    if f1.matches(&e) && !f2.matches(&e) {
+                        refuted = true;
+                    }
+                }
+            }
+            let expected = if refuted { Containment::No } else { Containment::Yes };
+            assert_eq!(verdict, expected, "{f1s} ⊆ {f2s}");
+        }
+    }
+}
+
+/// The documented paper examples, as a compact regression table.
+#[test]
+fn paper_examples_table() {
+    let cases: &[(&str, &str, Containment)] = &[
+        // (age=X) answered by (age>=Y) iff Y <= X.
+        ("(age=40)", "(age>=30)", Containment::Yes),
+        ("(age=29)", "(age>=30)", Containment::No),
+        // Template elimination: (sn=_) can never be answered by (&(sn=_)(ou=_)).
+        ("(sn=doe)", "(&(sn=doe)(ou=research))", Containment::No),
+        // §3.1.2 department generalization.
+        (
+            "(&(objectclass=inetOrgPerson)(departmentNumber=2406))",
+            "(&(objectclass=inetOrgPerson)(departmentNumber=240*))",
+            Containment::Yes,
+        ),
+        // Proposition 2 worked example: F1=(a>=p)∧(b<=q), F2=(a=x)∨(b<=y),
+        // contained iff q <= y.
+        ("(&(a>=2)(b<=5))", "(|(a=2)(b<=9))", Containment::Yes),
+        ("(&(a>=2)(b<=5))", "(|(a=2)(b<=4))", Containment::No),
+    ];
+    for (f1, f2, want) in cases {
+        let got = filter_contained(
+            &Filter::parse(f1).expect("parses"),
+            &Filter::parse(f2).expect("parses"),
+        );
+        assert_eq!(got, *want, "{f1} ⊆ {f2}");
+    }
+}

@@ -1,0 +1,238 @@
+//! The `Replicator` façade: master + filter replica + optional dynamic
+//! selection behind one query interface.
+
+use fbdr_dit::{ChangeRecord, DitError, UpdateOp};
+use fbdr_ldap::{Entry, SearchRequest};
+use fbdr_replica::{FilterReplica, ReplicaStats};
+use fbdr_resync::{SyncError, SyncMaster, SyncTraffic};
+use fbdr_selection::FilterSelector;
+use serde::{Deserialize, Serialize};
+
+/// Who answered a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServedBy {
+    /// Answered locally by the replica (a hit).
+    Replica,
+    /// Forwarded to the master (a miss → referral in a real deployment).
+    Master,
+}
+
+/// Accumulated traffic/cost report for a [`Replicator`].
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct ReplicatorReport {
+    /// ReSync traffic for the currently stored filters (component (i) of
+    /// §7.3 update traffic).
+    pub resync_traffic: SyncTraffic,
+    /// Content-load traffic from installing new filters (component (ii)).
+    pub revolution_traffic: SyncTraffic,
+    /// Queries forwarded to the master.
+    pub wan_queries: u64,
+    /// Entries fetched from the master on misses.
+    pub wan_entries: u64,
+    /// Revolutions performed.
+    pub revolutions: u64,
+}
+
+/// A remote filter-based replica bound to its master directory.
+///
+/// Owns the [`SyncMaster`] (the simulated wide-area master) and a
+/// [`FilterReplica`]; optionally a [`FilterSelector`] observes the query
+/// stream and periodically *revolves* the stored filter set (§6.2).
+#[derive(Debug)]
+pub struct Replicator {
+    master: SyncMaster,
+    replica: FilterReplica,
+    selector: Option<FilterSelector>,
+    cache_misses: bool,
+    report: ReplicatorReport,
+}
+
+impl Replicator {
+    /// Creates a replicator; `cache_window` recent user queries are cached
+    /// (0 disables caching).
+    pub fn new(master: SyncMaster, cache_window: usize) -> Self {
+        Replicator {
+            master,
+            replica: FilterReplica::new(cache_window),
+            selector: None,
+            cache_misses: cache_window > 0,
+            report: ReplicatorReport::default(),
+        }
+    }
+
+    /// Attaches a dynamic filter selector.
+    pub fn with_selector(mut self, selector: FilterSelector) -> Self {
+        self.selector = Some(selector);
+        self
+    }
+
+    /// Read access to the master.
+    pub fn master(&self) -> &SyncMaster {
+        &self.master
+    }
+
+    /// Read access to the replica.
+    pub fn replica(&self) -> &FilterReplica {
+        &self.replica
+    }
+
+    /// Traffic report.
+    pub fn report(&self) -> ReplicatorReport {
+        self.report
+    }
+
+    /// Replica hit statistics.
+    pub fn stats(&self) -> ReplicaStats {
+        self.replica.stats()
+    }
+
+    /// Installs a statically configured generalized filter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SyncError`] from the master.
+    pub fn install_filter(&mut self, request: SearchRequest) -> Result<SyncTraffic, SyncError> {
+        let t = self.replica.install_filter(&mut self.master, request)?;
+        self.report.revolution_traffic.absorb(&t);
+        Ok(t)
+    }
+
+    /// Answers a query: locally when possible, otherwise from the master
+    /// (counting WAN traffic and, if enabled, caching the result).
+    pub fn search(&mut self, query: &SearchRequest) -> (Vec<Entry>, ServedBy) {
+        if let Some(sel) = &mut self.selector {
+            sel.observe(query);
+        }
+        if let Some(entries) = self.replica.try_answer(query) {
+            self.maybe_revolve();
+            return (entries, ServedBy::Replica);
+        }
+        let entries = self.master.dit().search(query);
+        self.report.wan_queries += 1;
+        self.report.wan_entries += entries.len() as u64;
+        if self.cache_misses {
+            self.replica.cache_query(query.clone(), &entries);
+        }
+        self.maybe_revolve();
+        (entries, ServedBy::Master)
+    }
+
+    /// Applies an update at the master (maintaining ReSync sessions).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DitError`] from the master's store.
+    pub fn apply_update(&mut self, op: UpdateOp) -> Result<ChangeRecord, DitError> {
+        self.master.apply(op)
+    }
+
+    /// Polls the master for all replicated filters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SyncError`].
+    pub fn sync(&mut self) -> Result<SyncTraffic, SyncError> {
+        let t = self.replica.sync(&mut self.master)?;
+        self.report.resync_traffic.absorb(&t);
+        Ok(t)
+    }
+
+    fn maybe_revolve(&mut self) {
+        if let Some(sel) = &mut self.selector {
+            if sel.revolution_due() {
+                if let Ok(rep) = sel.revolve(&mut self.master, &mut self.replica) {
+                    self.report.revolutions += 1;
+                    self.report.revolution_traffic.absorb(&rep.traffic);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbdr_ldap::Filter;
+    use fbdr_selection::generalize::ValuePrefix;
+    use fbdr_selection::SelectorConfig;
+
+    fn master() -> SyncMaster {
+        let mut m = SyncMaster::new();
+        m.dit_mut().add_suffix("o=xyz".parse().unwrap());
+        m.dit_mut().add(Entry::new("o=xyz".parse().unwrap())).unwrap();
+        for i in 0..20 {
+            m.dit_mut()
+                .add(
+                    Entry::new(format!("cn=e{i},o=xyz").parse().unwrap())
+                        .with("objectclass", "person")
+                        .with("serialNumber", &format!("04{:04}", i)),
+                )
+                .unwrap();
+        }
+        m
+    }
+
+    fn q(sn: &str) -> SearchRequest {
+        SearchRequest::from_root(Filter::parse(&format!("(serialNumber={sn})")).unwrap())
+    }
+
+    #[test]
+    fn static_filter_serves_hits() {
+        let mut r = Replicator::new(master(), 0);
+        r.install_filter(SearchRequest::from_root(Filter::parse("(serialNumber=040*)").unwrap()))
+            .unwrap();
+        let (es, served) = r.search(&q("040005"));
+        assert_eq!(served, ServedBy::Replica);
+        assert_eq!(es.len(), 1);
+        let (_, served) = r.search(&q("041000"));
+        assert_eq!(served, ServedBy::Master);
+        assert_eq!(r.report().wan_queries, 1);
+        assert_eq!(r.stats().hits, 1);
+    }
+
+    #[test]
+    fn miss_caching_serves_repeats() {
+        let mut r = Replicator::new(master(), 8);
+        let (_, s1) = r.search(&q("040010"));
+        assert_eq!(s1, ServedBy::Master);
+        let (es, s2) = r.search(&q("040010"));
+        assert_eq!(s2, ServedBy::Replica);
+        assert_eq!(es.len(), 1);
+        assert_eq!(r.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn dynamic_selection_installs_hot_region() {
+        let selector = FilterSelector::new(
+            SelectorConfig { revolution_interval: 10, entry_budget: 50, max_candidates: 64 },
+            vec![Box::new(ValuePrefix::new("serialNumber", vec![4]))],
+        );
+        let mut r = Replicator::new(master(), 0).with_selector(selector);
+        // 10 queries in the 0400xx region trigger a revolution.
+        for i in 0..10 {
+            r.search(&q(&format!("04{:04}", i % 5)));
+        }
+        assert_eq!(r.report().revolutions, 1);
+        assert!(r.replica().filter_count() >= 1);
+        let (_, served) = r.search(&q("040003"));
+        assert_eq!(served, ServedBy::Replica);
+    }
+
+    #[test]
+    fn sync_after_update_propagates() {
+        let mut r = Replicator::new(master(), 0);
+        r.install_filter(SearchRequest::from_root(Filter::parse("(serialNumber=040*)").unwrap()))
+            .unwrap();
+        r.apply_update(UpdateOp::Add(
+            Entry::new("cn=new,o=xyz".parse().unwrap())
+                .with("objectclass", "person")
+                .with("serialNumber", "040099"),
+        ))
+        .unwrap();
+        let t = r.sync().unwrap();
+        assert_eq!(t.full_entries, 1);
+        let (es, served) = r.search(&q("040099"));
+        assert_eq!(served, ServedBy::Replica);
+        assert_eq!(es.len(), 1);
+    }
+}

@@ -1,0 +1,126 @@
+//! Naming contexts — the unit of directory partitioning (§2.3).
+//!
+//! A naming context is a subtree of the DIT rooted at its *suffix* and
+//! terminated by leaf entries or *referral objects* pointing at servers
+//! holding subordinate naming contexts. Formally `C = (S, R1, …, Rn)`.
+
+use fbdr_ldap::Dn;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A naming context: suffix DN plus the DNs of its referral objects, each
+/// labelled with the URL (server name) it refers to.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NamingContext {
+    suffix: Dn,
+    /// `(referral DN, target server url)` pairs. Each referral DN is below
+    /// the suffix and marks the root of a subordinate naming context held
+    /// elsewhere.
+    referrals: Vec<(Dn, String)>,
+}
+
+impl NamingContext {
+    /// Creates a context with no referrals (a complete subtree).
+    pub fn new(suffix: Dn) -> Self {
+        NamingContext { suffix, referrals: Vec::new() }
+    }
+
+    /// Adds a referral object at `dn` pointing to `url`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dn` is not strictly below the suffix — a referral object
+    /// must live inside the context it delimits.
+    pub fn with_referral(mut self, dn: Dn, url: impl Into<String>) -> Self {
+        assert!(
+            self.suffix.is_ancestor_of(&dn),
+            "referral {dn} must be below suffix {}",
+            self.suffix
+        );
+        self.referrals.push((dn, url.into()));
+        self
+    }
+
+    /// The suffix (root DN) of the context.
+    pub fn suffix(&self) -> &Dn {
+        &self.suffix
+    }
+
+    /// The referral objects `(dn, url)`.
+    pub fn referrals(&self) -> &[(Dn, String)] {
+        &self.referrals
+    }
+
+    /// True when `dn` falls inside this context: at or below the suffix and
+    /// not at or below any referral object.
+    pub fn holds(&self, dn: &Dn) -> bool {
+        self.suffix.is_ancestor_or_self_of(dn)
+            && !self.referrals.iter().any(|(r, _)| r.is_ancestor_or_self_of(dn))
+    }
+
+    /// Referrals whose subtree intersects the subtree rooted at `base` —
+    /// the referrals a subtree search from `base` must chase.
+    pub fn referrals_under<'a>(&'a self, base: &'a Dn) -> impl Iterator<Item = &'a (Dn, String)> + 'a {
+        self.referrals
+            .iter()
+            .filter(move |(r, _)| base.is_ancestor_or_self_of(r) || r.is_ancestor_of(base))
+    }
+}
+
+impl fmt::Display for NamingContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C(\"{}\"", self.suffix)?;
+        for (dn, url) in &self.referrals {
+            write!(f, ", R(\"{dn}\" -> {url})")?;
+        }
+        f.write_str(")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dn(s: &str) -> Dn {
+        s.parse().unwrap()
+    }
+
+    /// The hostA context of Figure 2: suffix o=xyz with referrals for the
+    /// research and India subtrees.
+    fn host_a() -> NamingContext {
+        NamingContext::new(dn("o=xyz"))
+            .with_referral(dn("ou=research,c=us,o=xyz"), "ldap://hostB")
+            .with_referral(dn("c=in,o=xyz"), "ldap://hostC")
+    }
+
+    #[test]
+    fn holds_excludes_referral_subtrees() {
+        let c = host_a();
+        assert!(c.holds(&dn("o=xyz")));
+        assert!(c.holds(&dn("c=us,o=xyz")));
+        assert!(!c.holds(&dn("ou=research,c=us,o=xyz")));
+        assert!(!c.holds(&dn("cn=x,ou=research,c=us,o=xyz")));
+        assert!(!c.holds(&dn("cn=y,c=in,o=xyz")));
+        assert!(!c.holds(&dn("o=abc")));
+    }
+
+    #[test]
+    fn referrals_under_base() {
+        let c = host_a();
+        let root = dn("o=xyz");
+        assert_eq!(c.referrals_under(&root).count(), 2);
+        let us = dn("c=us,o=xyz");
+        let under_us: Vec<_> = c.referrals_under(&us).collect();
+        assert_eq!(under_us.len(), 1);
+        assert_eq!(under_us[0].1, "ldap://hostB");
+        // A base *inside* a referral subtree also needs that referral.
+        let inside = dn("cn=z,ou=research,c=us,o=xyz");
+        assert_eq!(c.referrals_under(&inside).count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be below suffix")]
+    fn referral_outside_suffix_panics() {
+        let _ = NamingContext::new(dn("o=xyz")).with_referral(dn("o=abc"), "ldap://x");
+    }
+}

@@ -1,0 +1,65 @@
+//! Errors for DIT update operations.
+
+use fbdr_ldap::Dn;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`DitStore`](crate::DitStore) update operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DitError {
+    /// The target entry does not exist.
+    NoSuchEntry(Dn),
+    /// An entry with that DN already exists.
+    AlreadyExists(Dn),
+    /// The entry's parent does not exist and the DN is not a registered
+    /// suffix.
+    NoParent(Dn),
+    /// The operation requires a leaf entry but the target has children.
+    NotLeaf(Dn),
+    /// A modify targeted an attribute/value that is not present.
+    NoSuchValue(Dn, String),
+    /// Renaming would move the entry under itself.
+    MoveUnderSelf(Dn),
+}
+
+impl fmt::Display for DitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DitError::NoSuchEntry(dn) => write!(f, "no such entry: {dn}"),
+            DitError::AlreadyExists(dn) => write!(f, "entry already exists: {dn}"),
+            DitError::NoParent(dn) => write!(f, "parent entry does not exist: {dn}"),
+            DitError::NotLeaf(dn) => write!(f, "entry is not a leaf: {dn}"),
+            DitError::NoSuchValue(dn, what) => write!(f, "no such value on {dn}: {what}"),
+            DitError::MoveUnderSelf(dn) => write!(f, "cannot move entry under itself: {dn}"),
+        }
+    }
+}
+
+impl Error for DitError {}
+
+/// Error from [`DitStore::import_ldif`](crate::DitStore::import_ldif).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImportError {
+    /// The LDIF text was malformed.
+    Ldif(fbdr_ldap::ldif::LdifError),
+    /// An entry could not be added to the store.
+    Dit(DitError),
+}
+
+impl fmt::Display for ImportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImportError::Ldif(e) => write!(f, "import failed: {e}"),
+            ImportError::Dit(e) => write!(f, "import failed: {e}"),
+        }
+    }
+}
+
+impl Error for ImportError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ImportError::Ldif(e) => Some(e),
+            ImportError::Dit(e) => Some(e),
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Attribute indexes: equality, ordering (range) and prefix (substring).
+//!
+//! Every attribute is indexed two ways:
+//!
+//! * `text` — normalized value text in lexicographic order, serving equality
+//!   lookups and `initial` substring (prefix) scans;
+//! * `ord` — values in [`AttrValue`] order (numeric-aware), serving `>=` /
+//!   `<=` range scans with semantics identical to predicate evaluation.
+
+use fbdr_ldap::{AttrName, AttrValue, Dn};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::ops::Bound;
+
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+struct AttrIndex {
+    text: BTreeMap<String, BTreeSet<Dn>>,
+    #[serde(with = "crate::serde_util")]
+    ord: BTreeMap<AttrValue, BTreeSet<Dn>>,
+}
+
+/// Index over all attributes of a store.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub(crate) struct Indexes {
+    #[serde(with = "crate::serde_util")]
+    by_attr: HashMap<AttrName, AttrIndex>,
+}
+
+impl Indexes {
+    pub(crate) fn insert(&mut self, attr: &AttrName, value: &AttrValue, dn: &Dn) {
+        let idx = self.by_attr.entry(attr.clone()).or_default();
+        idx.text.entry(value.normalized().to_owned()).or_default().insert(dn.clone());
+        idx.ord.entry(value.clone()).or_default().insert(dn.clone());
+    }
+
+    pub(crate) fn remove(&mut self, attr: &AttrName, value: &AttrValue, dn: &Dn) {
+        if let Some(idx) = self.by_attr.get_mut(attr) {
+            if let Some(set) = idx.text.get_mut(value.normalized()) {
+                set.remove(dn);
+                if set.is_empty() {
+                    idx.text.remove(value.normalized());
+                }
+            }
+            if let Some(set) = idx.ord.get_mut(value) {
+                set.remove(dn);
+                if set.is_empty() {
+                    idx.ord.remove(value);
+                }
+            }
+        }
+    }
+
+    /// DNs of entries having `attr = value` (normalized equality).
+    pub(crate) fn lookup_eq(&self, attr: &AttrName, value: &AttrValue) -> BTreeSet<Dn> {
+        self.by_attr
+            .get(attr)
+            .and_then(|i| i.text.get(value.normalized()))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// DNs of entries having a value of `attr` starting with `prefix`
+    /// (normalized). A superset check for substring predicates with an
+    /// `initial` component.
+    pub(crate) fn lookup_prefix(&self, attr: &AttrName, prefix: &str) -> BTreeSet<Dn> {
+        let mut out = BTreeSet::new();
+        if let Some(i) = self.by_attr.get(attr) {
+            for (_k, dns) in i
+                .text
+                .range::<String, _>((Bound::Included(prefix.to_owned()), Bound::Unbounded))
+                .take_while(|(k, _)| k.starts_with(prefix))
+            {
+                out.extend(dns.iter().cloned());
+            }
+        }
+        out
+    }
+
+    /// DNs of entries having a value in `[ge, le]` (either bound
+    /// optional). The result is a *superset* of the matching entries
+    /// (callers verify with full predicate evaluation). Bounds dispatch on
+    /// their type, mirroring typed range predicates:
+    ///
+    /// * integer-typed bounds scan the `ord` map (where all integers sort
+    ///   numerically before all non-integers), widened to the neighbouring
+    ///   integer because alternate spellings of the bound value ("0500"
+    ///   for 500) sort before its canonical spelling — yet every spelling
+    ///   of `i` sorts strictly after every spelling of `i - 1`;
+    /// * string-typed bounds scan the `text` map, which is exactly the
+    ///   lexicographic order the predicate uses.
+    pub(crate) fn lookup_range(
+        &self,
+        attr: &AttrName,
+        ge: Option<&AttrValue>,
+        le: Option<&AttrValue>,
+    ) -> BTreeSet<Dn> {
+        let mut parts: Vec<BTreeSet<Dn>> = Vec::new();
+        if let Some(v) = ge {
+            parts.push(self.lookup_one_bound(attr, v, true));
+        }
+        if let Some(v) = le {
+            parts.push(self.lookup_one_bound(attr, v, false));
+        }
+        match parts.len() {
+            0 => self.lookup_present(attr),
+            1 => parts.pop().expect("len checked"),
+            _ => {
+                let b = parts.pop().expect("len checked");
+                let a = parts.pop().expect("len checked");
+                a.intersection(&b).cloned().collect()
+            }
+        }
+    }
+
+    /// Candidates for a single `>=` (`is_lower`) or `<=` bound.
+    fn lookup_one_bound(&self, attr: &AttrName, bound: &AttrValue, is_lower: bool) -> BTreeSet<Dn> {
+        let mut out = BTreeSet::new();
+        let Some(i) = self.by_attr.get(attr) else {
+            return out;
+        };
+        match bound.as_int() {
+            Some(n) => {
+                // Integer-typed: only integer values can match; widen by
+                // one to cover alternate spellings of the bound value.
+                let (lo, hi) = if is_lower {
+                    let b = if n > i64::MIN {
+                        Bound::Excluded(AttrValue::new((n - 1).to_string()))
+                    } else {
+                        Bound::Unbounded
+                    };
+                    (b, Bound::Unbounded)
+                } else {
+                    let b = if n < i64::MAX {
+                        Bound::Excluded(AttrValue::new((n + 1).to_string()))
+                    } else {
+                        Bound::Unbounded
+                    };
+                    (Bound::Unbounded, b)
+                };
+                for (_v, dns) in i.ord.range((lo, hi)) {
+                    out.extend(dns.iter().cloned());
+                }
+            }
+            None => {
+                // String-typed: the text map is keyed by normalized text
+                // in exactly the predicate's lexicographic order.
+                let key = bound.normalized().to_owned();
+                let range: (Bound<String>, Bound<String>) = if is_lower {
+                    (Bound::Included(key), Bound::Unbounded)
+                } else {
+                    (Bound::Unbounded, Bound::Included(key))
+                };
+                for (_k, dns) in i.text.range::<String, _>(range) {
+                    out.extend(dns.iter().cloned());
+                }
+            }
+        }
+        out
+    }
+
+    /// DNs of entries where `attr` is present.
+    pub(crate) fn lookup_present(&self, attr: &AttrName) -> BTreeSet<Dn> {
+        let mut out = BTreeSet::new();
+        if let Some(i) = self.by_attr.get(attr) {
+            for dns in i.text.values() {
+                out.extend(dns.iter().cloned());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dn(s: &str) -> Dn {
+        s.parse().unwrap()
+    }
+
+    fn sample() -> Indexes {
+        let mut ix = Indexes::default();
+        let sn: AttrName = "serialNumber".into();
+        ix.insert(&sn, &"045612".into(), &dn("cn=a,o=x"));
+        ix.insert(&sn, &"045699".into(), &dn("cn=b,o=x"));
+        ix.insert(&sn, &"120000".into(), &dn("cn=c,o=x"));
+        ix
+    }
+
+    #[test]
+    fn eq_lookup() {
+        let ix = sample();
+        let got = ix.lookup_eq(&"serialnumber".into(), &"045612".into());
+        assert_eq!(got.len(), 1);
+        assert!(got.contains(&dn("cn=a,o=x")));
+        assert!(ix.lookup_eq(&"serialnumber".into(), &"999".into()).is_empty());
+        assert!(ix.lookup_eq(&"mail".into(), &"x".into()).is_empty());
+    }
+
+    #[test]
+    fn prefix_lookup() {
+        let ix = sample();
+        assert_eq!(ix.lookup_prefix(&"serialnumber".into(), "0456").len(), 2);
+        assert_eq!(ix.lookup_prefix(&"serialnumber".into(), "04561").len(), 1);
+        assert_eq!(ix.lookup_prefix(&"serialnumber".into(), "9").len(), 0);
+        assert_eq!(ix.lookup_prefix(&"serialnumber".into(), "").len(), 3);
+    }
+
+    #[test]
+    fn range_lookup_is_numeric_for_ints() {
+        let ix = sample();
+        // 45612 and 45699 and 120000 numerically.
+        let ge = AttrValue::new("45650");
+        assert_eq!(ix.lookup_range(&"serialnumber".into(), Some(&ge), None).len(), 2);
+        let le = AttrValue::new("45650");
+        assert_eq!(ix.lookup_range(&"serialnumber".into(), None, Some(&le)).len(), 1);
+        assert_eq!(ix.lookup_range(&"serialnumber".into(), None, None).len(), 3);
+    }
+
+    #[test]
+    fn present_lookup_and_removal() {
+        let mut ix = sample();
+        assert_eq!(ix.lookup_present(&"serialnumber".into()).len(), 3);
+        ix.remove(&"serialNumber".into(), &"045612".into(), &dn("cn=a,o=x"));
+        assert_eq!(ix.lookup_present(&"serialnumber".into()).len(), 2);
+        assert!(ix.lookup_eq(&"serialnumber".into(), &"045612".into()).is_empty());
+    }
+
+    #[test]
+    fn multiple_dns_per_value() {
+        let mut ix = Indexes::default();
+        ix.insert(&"dept".into(), &"2406".into(), &dn("cn=a,o=x"));
+        ix.insert(&"dept".into(), &"2406".into(), &dn("cn=b,o=x"));
+        assert_eq!(ix.lookup_eq(&"dept".into(), &"2406".into()).len(), 2);
+        ix.remove(&"dept".into(), &"2406".into(), &dn("cn=a,o=x"));
+        assert_eq!(ix.lookup_eq(&"dept".into(), &"2406".into()).len(), 1);
+    }
+}

@@ -1,0 +1,29 @@
+//! Map (de)serialization as sequences of pairs, for maps whose keys are
+//! not strings (JSON object keys must be strings).
+
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+/// Serializes any map-like collection as a sequence of `(key, value)`
+/// pairs.
+pub(crate) fn serialize<'a, K, V, M, S>(map: &'a M, ser: S) -> Result<S::Ok, S::Error>
+where
+    &'a M: IntoIterator<Item = (&'a K, &'a V)>,
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    S: Serializer,
+{
+    ser.collect_seq(map)
+}
+
+/// Deserializes a sequence of `(key, value)` pairs into any
+/// `FromIterator` map.
+pub(crate) fn deserialize<'de, K, V, M, D>(de: D) -> Result<M, D::Error>
+where
+    M: FromIterator<(K, V)>,
+    K: Deserialize<'de>,
+    V: Deserialize<'de>,
+    D: Deserializer<'de>,
+{
+    let pairs = Vec::<(K, V)>::deserialize(de)?;
+    Ok(pairs.into_iter().collect())
+}

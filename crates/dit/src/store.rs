@@ -1,0 +1,788 @@
+//! The DIT store: hierarchical entry storage, indexed search, updates.
+
+use crate::changelog::{ChangeKind, ChangeRecord, Csn, Tombstone};
+use crate::error::{DitError, ImportError};
+use crate::index::Indexes;
+use crate::update::{Modification, UpdateOp};
+use fbdr_ldap::{AttrName, AttrValue, Comparison, Dn, Entry, Filter, Scope, SearchRequest};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// Hierarchical path key: RDNs root-first, normalized, so that the subtree
+/// of a DN is a contiguous key range in a `BTreeMap`.
+type PathKey = Vec<String>;
+
+fn path_key(dn: &Dn) -> PathKey {
+    dn.rdns()
+        .iter()
+        .rev()
+        .map(|r| format!("{}={}", r.attr().lower(), r.value().normalized()))
+        .collect()
+}
+
+fn key_starts_with(key: &[String], prefix: &[String]) -> bool {
+    key.len() >= prefix.len() && &key[..prefix.len()] == prefix
+}
+
+/// An in-memory Directory Information Tree with attribute indexes, a
+/// changelog and tombstones.
+///
+/// Entries may only be added under an existing parent or at a registered
+/// suffix ([`DitStore::add_suffix`]). Deletes and renames require leaf
+/// entries, matching LDAP semantics.
+///
+/// Every applied update produces a [`ChangeRecord`] with a monotonically
+/// increasing [`Csn`]; the record is also appended to the store's changelog.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct DitStore {
+    #[serde(with = "crate::serde_util")]
+    entries: BTreeMap<PathKey, Entry>,
+    suffixes: Vec<Dn>,
+    indexes: Indexes,
+    csn: Csn,
+    changelog: Vec<ChangeRecord>,
+    tombstones: Vec<Tombstone>,
+}
+
+impl DitStore {
+    /// Creates an empty store with no suffixes.
+    pub fn new() -> Self {
+        DitStore::default()
+    }
+
+    /// Registers a suffix: a DN at which a naming context may start without
+    /// its parent existing in this store.
+    pub fn add_suffix(&mut self, dn: Dn) {
+        if !self.suffixes.contains(&dn) {
+            self.suffixes.push(dn);
+        }
+    }
+
+    /// Registered suffixes.
+    pub fn suffixes(&self) -> &[Dn] {
+        &self.suffixes
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Current (latest applied) change sequence number.
+    pub fn csn(&self) -> Csn {
+        self.csn
+    }
+
+    /// The full changelog, oldest first.
+    pub fn changelog(&self) -> &[ChangeRecord] {
+        &self.changelog
+    }
+
+    /// Changelog records with CSN strictly greater than `since`.
+    pub fn changelog_since(&self, since: Csn) -> &[ChangeRecord] {
+        // CSNs are assigned 1,2,3… so record i has CSN i+1.
+        let start = (since.0 as usize).min(self.changelog.len());
+        &self.changelog[start..]
+    }
+
+    /// Tombstones of entries deleted after `since`.
+    pub fn tombstones_since(&self, since: Csn) -> impl Iterator<Item = &Tombstone> {
+        self.tombstones.iter().filter(move |t| t.csn > since)
+    }
+
+    /// Looks up an entry by DN.
+    pub fn get(&self, dn: &Dn) -> Option<&Entry> {
+        self.entries.get(&path_key(dn))
+    }
+
+    /// True if an entry exists at `dn`.
+    pub fn contains(&self, dn: &Dn) -> bool {
+        self.entries.contains_key(&path_key(dn))
+    }
+
+    /// True if `dn` has at least one child entry.
+    pub fn has_children(&self, dn: &Dn) -> bool {
+        let key = path_key(dn);
+        self.entries
+            .range((Bound::Excluded(key.clone()), Bound::Unbounded))
+            .next()
+            .is_some_and(|(k, _)| key_starts_with(k, &key))
+    }
+
+    /// Iterates all entries in DN (hierarchical) order.
+    pub fn iter(&self) -> impl Iterator<Item = &Entry> {
+        self.entries.values()
+    }
+
+    /// Iterates entries in the subtree rooted at `base` (including `base`).
+    pub fn subtree(&self, base: &Dn) -> impl Iterator<Item = &Entry> {
+        let key = path_key(base);
+        self.entries
+            .range((Bound::Included(key.clone()), Bound::Unbounded))
+            .take_while(move |(k, _)| key_starts_with(k, &key))
+            .map(|(_, e)| e)
+    }
+
+    /// Iterates immediate children of `base`.
+    pub fn children(&self, base: &Dn) -> impl Iterator<Item = &Entry> {
+        let depth = base.depth() + 1;
+        self.subtree(base).filter(move |e| e.dn().depth() == depth)
+    }
+
+    // ---------------------------------------------------------------
+    // LDIF import / export
+    // ---------------------------------------------------------------
+
+    /// Exports the whole store (or a subtree) as LDIF content records, in
+    /// hierarchical order (parents before children, so the output
+    /// re-imports cleanly).
+    pub fn export_ldif(&self, base: Option<&Dn>) -> String {
+        let entries: Vec<Entry> = match base {
+            Some(b) => self.subtree(b).cloned().collect(),
+            None => self.iter().cloned().collect(),
+        };
+        fbdr_ldap::ldif::to_ldif(&entries)
+    }
+
+    /// Imports LDIF content records, registering each record whose parent
+    /// is absent as a suffix (so arbitrary dumps load). Returns the number
+    /// of entries added.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`DitError`] (e.g. a duplicate DN); entries added
+    /// before the failure remain.
+    pub fn import_ldif(&mut self, text: &str) -> Result<usize, ImportError> {
+        let entries = fbdr_ldap::ldif::parse_ldif(text).map_err(ImportError::Ldif)?;
+        let mut added = 0;
+        for e in entries {
+            match e.dn().parent() {
+                Some(p) if self.contains(&p) => {}
+                _ => self.add_suffix(e.dn().clone()),
+            }
+            self.add(e).map_err(ImportError::Dit)?;
+            added += 1;
+        }
+        Ok(added)
+    }
+
+    // ---------------------------------------------------------------
+    // Updates
+    // ---------------------------------------------------------------
+
+    /// Applies an update operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DitError`] (and leaves the store unchanged) when the
+    /// operation's preconditions fail; see the individual operations.
+    pub fn apply(&mut self, op: UpdateOp) -> Result<ChangeRecord, DitError> {
+        match op {
+            UpdateOp::Add(e) => self.add(e),
+            UpdateOp::Delete(dn) => self.delete(&dn),
+            UpdateOp::Modify { dn, mods } => self.modify(&dn, mods),
+            UpdateOp::ModifyDn { dn, new_rdn, new_superior } => {
+                self.modify_dn(&dn, new_rdn, new_superior)
+            }
+        }
+    }
+
+    /// Adds an entry.
+    ///
+    /// # Errors
+    ///
+    /// * [`DitError::AlreadyExists`] if the DN is taken.
+    /// * [`DitError::NoParent`] if the parent is absent and the DN is not a
+    ///   registered suffix.
+    pub fn add(&mut self, entry: Entry) -> Result<ChangeRecord, DitError> {
+        let dn = entry.dn().clone();
+        if self.contains(&dn) {
+            return Err(DitError::AlreadyExists(dn));
+        }
+        let is_suffix = self.suffixes.contains(&dn);
+        if !is_suffix {
+            match dn.parent() {
+                Some(p) if self.contains(&p) => {}
+                _ => return Err(DitError::NoParent(dn)),
+            }
+        }
+        for (a, vs) in entry.attrs() {
+            for v in vs {
+                self.indexes.insert(a, v, &dn);
+            }
+        }
+        let changes = entry
+            .attrs()
+            .map(|(a, vs)| (a.clone(), vs.iter().cloned().collect()))
+            .collect();
+        self.entries.insert(path_key(&dn), entry);
+        Ok(self.record(dn, ChangeKind::Add, changes, None))
+    }
+
+    /// Deletes a leaf entry.
+    ///
+    /// # Errors
+    ///
+    /// * [`DitError::NoSuchEntry`] if absent.
+    /// * [`DitError::NotLeaf`] if the entry has children.
+    pub fn delete(&mut self, dn: &Dn) -> Result<ChangeRecord, DitError> {
+        if !self.contains(dn) {
+            return Err(DitError::NoSuchEntry(dn.clone()));
+        }
+        if self.has_children(dn) {
+            return Err(DitError::NotLeaf(dn.clone()));
+        }
+        let entry = self.entries.remove(&path_key(dn)).expect("checked contains");
+        for (a, vs) in entry.attrs() {
+            for v in vs {
+                self.indexes.remove(a, v, dn);
+            }
+        }
+        let rec = self.record(dn.clone(), ChangeKind::Delete, Vec::new(), None);
+        self.tombstones.push(Tombstone { dn: dn.clone(), csn: rec.csn });
+        Ok(rec)
+    }
+
+    /// Modifies an entry's attributes.
+    ///
+    /// # Errors
+    ///
+    /// * [`DitError::NoSuchEntry`] if absent.
+    /// * [`DitError::NoSuchValue`] when deleting a value/attribute that is
+    ///   not present (the store is left unchanged).
+    pub fn modify(&mut self, dn: &Dn, mods: Vec<Modification>) -> Result<ChangeRecord, DitError> {
+        let key = path_key(dn);
+        let Some(entry) = self.entries.get(&key) else {
+            return Err(DitError::NoSuchEntry(dn.clone()));
+        };
+        // Validate and apply on a copy first so failures leave no trace.
+        let mut updated = entry.clone();
+        for m in &mods {
+            match m {
+                Modification::AddValues(a, vs) => {
+                    for v in vs {
+                        updated.add(a.clone(), v.clone());
+                    }
+                }
+                Modification::DeleteValues(a, vs) => {
+                    for v in vs {
+                        if !updated.remove_value(a, v) {
+                            return Err(DitError::NoSuchValue(dn.clone(), format!("{a}: {v}")));
+                        }
+                    }
+                }
+                Modification::DeleteAttr(a) => {
+                    if !updated.remove_attr(a) {
+                        return Err(DitError::NoSuchValue(dn.clone(), a.to_string()));
+                    }
+                }
+                Modification::Replace(a, vs) => {
+                    updated.replace(a.clone(), vs.iter().cloned());
+                }
+            }
+        }
+        let old = self.entries.insert(key, updated.clone()).expect("entry exists");
+        self.reindex(dn, &old, &updated);
+        let touched: Vec<AttrName> = {
+            let mut t: Vec<AttrName> = mods.iter().map(|m| m.attr().clone()).collect();
+            t.dedup();
+            t
+        };
+        let changes = touched
+            .into_iter()
+            .map(|a| {
+                let vals: Vec<AttrValue> = updated.values(&a).cloned().collect();
+                (a, vals)
+            })
+            .collect();
+        Ok(self.record(dn.clone(), ChangeKind::Modify, changes, None))
+    }
+
+    /// Renames and/or moves a leaf entry. Implements `deleteOldRDN=TRUE`
+    /// semantics: the old RDN value is removed from the entry's attributes
+    /// and the new one added.
+    ///
+    /// # Errors
+    ///
+    /// * [`DitError::NoSuchEntry`] if the source is absent.
+    /// * [`DitError::NotLeaf`] if the source has children.
+    /// * [`DitError::AlreadyExists`] if the destination DN is taken.
+    /// * [`DitError::NoParent`] if the new superior does not exist.
+    /// * [`DitError::MoveUnderSelf`] if the new superior is under the source.
+    pub fn modify_dn(
+        &mut self,
+        dn: &Dn,
+        new_rdn: fbdr_ldap::Rdn,
+        new_superior: Option<Dn>,
+    ) -> Result<ChangeRecord, DitError> {
+        if !self.contains(dn) {
+            return Err(DitError::NoSuchEntry(dn.clone()));
+        }
+        if self.has_children(dn) {
+            return Err(DitError::NotLeaf(dn.clone()));
+        }
+        let parent = match new_superior {
+            Some(p) => {
+                if dn.is_ancestor_or_self_of(&p) {
+                    return Err(DitError::MoveUnderSelf(dn.clone()));
+                }
+                if !self.contains(&p) && !self.suffixes.contains(&p) {
+                    return Err(DitError::NoParent(p));
+                }
+                p
+            }
+            None => dn.parent().ok_or_else(|| DitError::NoSuchEntry(dn.clone()))?,
+        };
+        let new_dn = parent.child(new_rdn.clone());
+        if self.contains(&new_dn) {
+            return Err(DitError::AlreadyExists(new_dn));
+        }
+        let mut entry = self.entries.remove(&path_key(dn)).expect("checked contains");
+        // Index removal under the old DN.
+        for (a, vs) in entry.attrs() {
+            for v in vs {
+                self.indexes.remove(a, v, dn);
+            }
+        }
+        // deleteOldRDN: drop the old naming value, add the new one.
+        if let Some(old_rdn) = dn.rdn() {
+            entry.remove_value(old_rdn.attr(), old_rdn.value());
+        }
+        entry.add(new_rdn.attr().clone(), new_rdn.value().clone());
+        entry.set_dn(new_dn.clone());
+        for (a, vs) in entry.attrs() {
+            for v in vs {
+                self.indexes.insert(a, v, &new_dn);
+            }
+        }
+        let changes = vec![(
+            new_rdn.attr().clone(),
+            entry.values(new_rdn.attr()).cloned().collect(),
+        )];
+        self.entries.insert(path_key(&new_dn), entry);
+        Ok(self.record(dn.clone(), ChangeKind::ModifyDn, changes, Some(new_dn)))
+    }
+
+    fn reindex(&mut self, dn: &Dn, old: &Entry, new: &Entry) {
+        for (a, vs) in old.attrs() {
+            for v in vs {
+                if !new.has_value(a, v) {
+                    self.indexes.remove(a, v, dn);
+                }
+            }
+        }
+        for (a, vs) in new.attrs() {
+            for v in vs {
+                if !old.has_value(a, v) {
+                    self.indexes.insert(a, v, dn);
+                }
+            }
+        }
+    }
+
+    fn record(
+        &mut self,
+        dn: Dn,
+        kind: ChangeKind,
+        changes: Vec<(AttrName, Vec<AttrValue>)>,
+        new_dn: Option<Dn>,
+    ) -> ChangeRecord {
+        self.csn = self.csn.next();
+        let rec = ChangeRecord { csn: self.csn, dn, kind, changes, new_dn };
+        self.changelog.push(rec.clone());
+        rec
+    }
+
+    // ---------------------------------------------------------------
+    // Search
+    // ---------------------------------------------------------------
+
+    /// Evaluates a search request, returning matching entries projected on
+    /// the requested attributes, in DN order.
+    pub fn search(&self, req: &SearchRequest) -> Vec<Entry> {
+        self.search_refs(req).into_iter().map(|e| req.attrs().project(e)).collect()
+    }
+
+    /// Evaluates a search request and sorts the results server-side per
+    /// an RFC 2891 sort control (the paper's §2.2 example of an LDAP
+    /// control).
+    pub fn search_sorted(&self, req: &SearchRequest, keys: &[fbdr_ldap::SortKey]) -> Vec<Entry> {
+        let mut out = self.search(req);
+        fbdr_ldap::sort_entries(&mut out, keys);
+        out
+    }
+
+    /// Evaluates a search request, returning only the DNs of matches.
+    pub fn search_dns(&self, req: &SearchRequest) -> Vec<Dn> {
+        self.search_refs(req).into_iter().map(|e| e.dn().clone()).collect()
+    }
+
+    /// Number of entries matching a filter anywhere in the store — the
+    /// "size" estimate used by filter selection (§6.2).
+    pub fn count_matching(&self, filter: &Filter) -> usize {
+        match self.plan(filter) {
+            Some(cands) => cands
+                .iter()
+                .filter(|dn| self.get(dn).is_some_and(|e| filter.matches(e)))
+                .count(),
+            None => self.iter().filter(|e| filter.matches(e)).count(),
+        }
+    }
+
+    fn search_refs(&self, req: &SearchRequest) -> Vec<&Entry> {
+        match req.scope() {
+            Scope::Base => {
+                return self
+                    .get(req.base())
+                    .filter(|e| req.filter().matches(e))
+                    .into_iter()
+                    .collect();
+            }
+            Scope::OneLevel => {
+                return self.children(req.base()).filter(|e| req.filter().matches(e)).collect();
+            }
+            Scope::Subtree => {}
+        }
+        if let Some(cands) = self.plan(req.filter()) {
+            let mut out: Vec<&Entry> = cands
+                .iter()
+                .filter(|dn| req.scope().contains(req.base(), dn))
+                .filter_map(|dn| self.get(dn))
+                .filter(|e| req.filter().matches(e))
+                .collect();
+            out.sort_by_key(|e| path_key(e.dn()));
+            out
+        } else {
+            self.subtree(req.base()).filter(|e| req.filter().matches(e)).collect()
+        }
+    }
+
+    /// Index-based candidate planning: returns a superset of the DNs whose
+    /// entries can match `filter`, or `None` when the index cannot help
+    /// (e.g. negations) and a scan is required.
+    fn plan(&self, filter: &Filter) -> Option<std::collections::BTreeSet<Dn>> {
+        match filter {
+            Filter::Pred(p) => match p.comparison() {
+                Comparison::Eq(v) => Some(self.indexes.lookup_eq(p.attr(), v)),
+                Comparison::Ge(v) => Some(self.indexes.lookup_range(p.attr(), Some(v), None)),
+                Comparison::Le(v) => Some(self.indexes.lookup_range(p.attr(), None, Some(v))),
+                Comparison::Present => Some(self.indexes.lookup_present(p.attr())),
+                Comparison::Substring(pat) => pat
+                    .initial()
+                    .map(|init| self.indexes.lookup_prefix(p.attr(), init)),
+            },
+            Filter::And(fs) => {
+                // Any one conjunct's candidates form a superset of the
+                // answer; take the smallest available.
+                fs.iter().filter_map(|f| self.plan(f)).min_by_key(|s| s.len())
+            }
+            Filter::Or(fs) => {
+                let mut out = std::collections::BTreeSet::new();
+                for f in fs {
+                    out.extend(self.plan(f)?);
+                }
+                Some(out)
+            }
+            Filter::Not(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbdr_ldap::Rdn;
+
+    fn dn(s: &str) -> Dn {
+        s.parse().unwrap()
+    }
+
+    fn base_store() -> DitStore {
+        let mut s = DitStore::new();
+        s.add_suffix(dn("o=xyz"));
+        s.add(Entry::new(dn("o=xyz")).with("objectclass", "organization")).unwrap();
+        s.add(Entry::new(dn("c=us,o=xyz")).with("objectclass", "country")).unwrap();
+        s.add(Entry::new(dn("c=in,o=xyz")).with("objectclass", "country")).unwrap();
+        for (cn, sn, c, mail) in [
+            ("John Doe", "045612", "us", "john@us.xyz.com"),
+            ("Jane Roe", "045699", "us", "jane@us.xyz.com"),
+            ("Ravi Rao", "120001", "in", "ravi@in.xyz.com"),
+        ] {
+            s.add(
+                Entry::new(dn(&format!("cn={cn},c={c},o=xyz")))
+                    .with("objectclass", "inetOrgPerson")
+                    .with("cn", cn)
+                    .with("serialNumber", sn)
+                    .with("mail", mail),
+            )
+            .unwrap();
+        }
+        s
+    }
+
+    fn sub(base: &str, f: &str) -> SearchRequest {
+        SearchRequest::new(dn(base), Scope::Subtree, Filter::parse(f).unwrap())
+    }
+
+    #[test]
+    fn add_requires_parent_or_suffix() {
+        let mut s = DitStore::new();
+        s.add_suffix(dn("o=xyz"));
+        assert!(matches!(
+            s.add(Entry::new(dn("cn=x,o=xyz"))),
+            Err(DitError::NoParent(_))
+        ));
+        s.add(Entry::new(dn("o=xyz"))).unwrap();
+        s.add(Entry::new(dn("cn=x,o=xyz"))).unwrap();
+        assert!(matches!(
+            s.add(Entry::new(dn("cn=x,o=xyz"))),
+            Err(DitError::AlreadyExists(_))
+        ));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn delete_leaf_only() {
+        let mut s = base_store();
+        assert!(matches!(s.delete(&dn("c=us,o=xyz")), Err(DitError::NotLeaf(_))));
+        s.delete(&dn("cn=John Doe,c=us,o=xyz")).unwrap();
+        assert!(!s.contains(&dn("cn=John Doe,c=us,o=xyz")));
+        assert!(matches!(
+            s.delete(&dn("cn=John Doe,c=us,o=xyz")),
+            Err(DitError::NoSuchEntry(_))
+        ));
+        // Tombstone recorded.
+        assert_eq!(s.tombstones_since(Csn::ZERO).count(), 1);
+    }
+
+    #[test]
+    fn search_by_equality_uses_index() {
+        let s = base_store();
+        let hits = s.search(&sub("o=xyz", "(serialNumber=045612)"));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].dn(), &dn("cn=John Doe,c=us,o=xyz"));
+    }
+
+    #[test]
+    fn search_by_prefix() {
+        let s = base_store();
+        assert_eq!(s.search(&sub("o=xyz", "(serialNumber=0456*)")).len(), 2);
+        assert_eq!(s.search(&sub("c=in,o=xyz", "(serialNumber=0456*)")).len(), 0);
+        assert_eq!(s.search(&sub("o=xyz", "(serialNumber=12*)")).len(), 1);
+    }
+
+    #[test]
+    fn search_scope_variants() {
+        let s = base_store();
+        let all = SearchRequest::new(dn("o=xyz"), Scope::Subtree, Filter::match_all());
+        assert_eq!(s.search(&all).len(), 6);
+        let one = SearchRequest::new(dn("o=xyz"), Scope::OneLevel, Filter::match_all());
+        assert_eq!(s.search(&one).len(), 2); // c=us, c=in
+        let base = SearchRequest::new(dn("c=us,o=xyz"), Scope::Base, Filter::match_all());
+        assert_eq!(s.search(&base).len(), 1);
+    }
+
+    #[test]
+    fn search_with_negation_scans() {
+        let s = base_store();
+        let hits = s.search(&sub("o=xyz", "(&(objectclass=inetOrgPerson)(!(mail=john@us.xyz.com)))"));
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn search_matches_brute_force() {
+        let s = base_store();
+        for f in [
+            "(objectclass=*)",
+            "(serialNumber>=45650)",
+            "(serialNumber<=45650)",
+            "(|(cn=John Doe)(cn=Ravi Rao))",
+            "(&(objectclass=inetOrgPerson)(mail=*xyz.com))",
+            "(cn=J*)",
+        ] {
+            let req = sub("o=xyz", f);
+            let brute: Vec<Dn> = s
+                .iter()
+                .filter(|e| req.matches(e))
+                .map(|e| e.dn().clone())
+                .collect();
+            let mut got = s.search_dns(&req);
+            got.sort();
+            let mut want = brute;
+            want.sort();
+            assert_eq!(got, want, "mismatch for {f}");
+        }
+    }
+
+    #[test]
+    fn modify_updates_index() {
+        let mut s = base_store();
+        let target = dn("cn=John Doe,c=us,o=xyz");
+        s.modify(
+            &target,
+            vec![Modification::Replace("mail".into(), vec!["doe@us.xyz.com".into()])],
+        )
+        .unwrap();
+        assert_eq!(s.search(&sub("o=xyz", "(mail=john@us.xyz.com)")).len(), 0);
+        assert_eq!(s.search(&sub("o=xyz", "(mail=doe@us.xyz.com)")).len(), 1);
+    }
+
+    #[test]
+    fn modify_failure_leaves_store_unchanged() {
+        let mut s = base_store();
+        let target = dn("cn=John Doe,c=us,o=xyz");
+        let before = s.get(&target).unwrap().clone();
+        let err = s.modify(
+            &target,
+            vec![
+                Modification::Replace("mail".into(), vec!["new@x".into()]),
+                Modification::DeleteValues("fax".into(), vec!["123".into()]),
+            ],
+        );
+        assert!(matches!(err, Err(DitError::NoSuchValue(_, _))));
+        assert_eq!(s.get(&target).unwrap(), &before);
+        assert_eq!(s.search(&sub("o=xyz", "(mail=john@us.xyz.com)")).len(), 1);
+    }
+
+    #[test]
+    fn modify_dn_renames_and_reindexes() {
+        let mut s = base_store();
+        let old = dn("cn=John Doe,c=us,o=xyz");
+        let rec = s
+            .modify_dn(&old, Rdn::new("cn", "John M Doe"), None)
+            .unwrap();
+        assert_eq!(rec.kind, ChangeKind::ModifyDn);
+        assert_eq!(rec.new_dn.as_ref().unwrap(), &dn("cn=John M Doe,c=us,o=xyz"));
+        assert!(!s.contains(&old));
+        let e = s.get(&dn("cn=John M Doe,c=us,o=xyz")).unwrap();
+        // deleteOldRDN applied.
+        assert!(!e.has_value(&"cn".into(), &"John Doe".into()));
+        assert!(e.has_value(&"cn".into(), &"John M Doe".into()));
+        // Index follows the rename.
+        assert_eq!(s.search(&sub("o=xyz", "(cn=John M Doe)")).len(), 1);
+        assert_eq!(s.search(&sub("o=xyz", "(cn=John Doe)")).len(), 0);
+    }
+
+    #[test]
+    fn modify_dn_move_to_new_superior() {
+        let mut s = base_store();
+        let old = dn("cn=Ravi Rao,c=in,o=xyz");
+        s.modify_dn(&old, Rdn::new("cn", "Ravi Rao"), Some(dn("c=us,o=xyz"))).unwrap();
+        assert!(s.contains(&dn("cn=Ravi Rao,c=us,o=xyz")));
+        // Subtree membership changed.
+        assert_eq!(s.search(&sub("c=in,o=xyz", "(cn=Ravi Rao)")).len(), 0);
+        assert_eq!(s.search(&sub("c=us,o=xyz", "(cn=Ravi Rao)")).len(), 1);
+    }
+
+    #[test]
+    fn changelog_accumulates_in_csn_order() {
+        let mut s = base_store();
+        let n0 = s.changelog().len();
+        let c0 = s.csn();
+        s.delete(&dn("cn=Ravi Rao,c=in,o=xyz")).unwrap();
+        s.modify(
+            &dn("cn=Jane Roe,c=us,o=xyz"),
+            vec![Modification::Replace("mail".into(), vec!["j@x".into()])],
+        )
+        .unwrap();
+        assert_eq!(s.changelog().len(), n0 + 2);
+        let since = s.changelog_since(c0);
+        assert_eq!(since.len(), 2);
+        assert!(since[0].csn < since[1].csn);
+        assert_eq!(since[0].kind, ChangeKind::Delete);
+        // Delete records carry no attributes — the changelog limitation.
+        assert!(since[0].changes.is_empty());
+    }
+
+    #[test]
+    fn count_matching() {
+        let s = base_store();
+        assert_eq!(s.count_matching(&Filter::parse("(objectclass=inetOrgPerson)").unwrap()), 3);
+        assert_eq!(s.count_matching(&Filter::parse("(serialNumber=0456*)").unwrap()), 2);
+        assert_eq!(s.count_matching(&Filter::parse("(!(objectclass=*))").unwrap()), 0);
+    }
+
+    #[test]
+    fn sorted_search_control() {
+        let s = base_store();
+        let req = sub("o=xyz", "(objectclass=inetOrgPerson)");
+        let sorted = s.search_sorted(&req, &[fbdr_ldap::SortKey::descending("serialNumber")]);
+        let serials: Vec<String> = sorted
+            .iter()
+            .map(|e| e.first_value(&"serialNumber".into()).unwrap().raw().to_owned())
+            .collect();
+        assert_eq!(serials, ["120001", "045699", "045612"]);
+    }
+
+    #[test]
+    fn store_serde_round_trip_preserves_behaviour() {
+        let mut s = base_store();
+        s.delete(&dn("cn=Ravi Rao,c=in,o=xyz")).unwrap();
+        let json = serde_json::to_string(&s).expect("store serializes");
+        let restored: DitStore = serde_json::from_str(&json).expect("store deserializes");
+        assert_eq!(restored.len(), s.len());
+        assert_eq!(restored.csn(), s.csn());
+        assert_eq!(restored.changelog().len(), s.changelog().len());
+        assert_eq!(
+            restored.tombstones_since(Csn::ZERO).count(),
+            s.tombstones_since(Csn::ZERO).count()
+        );
+        // Indexed searches behave identically after the round trip.
+        for f in ["(serialNumber=0456*)", "(serialNumber>=45650)", "(mail=*xyz.com)"] {
+            let q = sub("o=xyz", f);
+            assert_eq!(restored.search_dns(&q), s.search_dns(&q), "{f}");
+        }
+    }
+
+    #[test]
+    fn ldif_export_import_round_trip() {
+        let s = base_store();
+        let text = s.export_ldif(None);
+        let mut restored = DitStore::new();
+        let n = restored.import_ldif(&text).unwrap();
+        assert_eq!(n, s.len());
+        assert_eq!(restored.len(), s.len());
+        for e in s.iter() {
+            assert_eq!(restored.get(e.dn()), Some(e));
+        }
+        // Searches behave identically on the restored store.
+        let q = sub("o=xyz", "(serialNumber=0456*)");
+        assert_eq!(restored.search(&q).len(), s.search(&q).len());
+    }
+
+    #[test]
+    fn ldif_subtree_export() {
+        let s = base_store();
+        let base = dn("c=us,o=xyz");
+        let text = s.export_ldif(Some(&base));
+        let mut restored = DitStore::new();
+        assert_eq!(restored.import_ldif(&text).unwrap(), 3);
+        assert!(restored.contains(&dn("cn=John Doe,c=us,o=xyz")));
+        assert!(!restored.contains(&dn("c=in,o=xyz")));
+    }
+
+    #[test]
+    fn ldif_import_duplicate_fails() {
+        let s = base_store();
+        let text = s.export_ldif(None);
+        let mut target = base_store();
+        assert!(matches!(
+            target.import_ldif(&text),
+            Err(ImportError::Dit(DitError::AlreadyExists(_)))
+        ));
+    }
+
+    #[test]
+    fn subtree_and_children_iteration() {
+        let s = base_store();
+        assert_eq!(s.subtree(&dn("c=us,o=xyz")).count(), 3);
+        assert_eq!(s.children(&dn("o=xyz")).count(), 2);
+        assert_eq!(s.subtree(&dn("o=none")).count(), 0);
+    }
+}

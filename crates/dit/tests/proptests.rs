@@ -1,0 +1,190 @@
+//! Property tests for the DIT store: indexed search must agree with a
+//! brute-force scan after any sequence of updates, and the changelog must
+//! replay to the same state.
+
+use fbdr_dit::{diff_entries, ChangeKind, DitStore, Modification, UpdateOp};
+use fbdr_ldap::{Dn, Entry, Filter, Rdn, Scope, SearchRequest};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Add { id: usize, dept: u8, serial: u16 },
+    Delete { id: usize },
+    SetDept { id: usize, dept: u8 },
+    Rename { id: usize, new_id: usize },
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..16, 0u8..5, 0u16..1000).prop_map(|(id, dept, serial)| Op::Add { id, dept, serial }),
+        (0usize..16).prop_map(|id| Op::Delete { id }),
+        (0usize..16, 0u8..5).prop_map(|(id, dept)| Op::SetDept { id, dept }),
+        (0usize..16, 0usize..16).prop_map(|(id, new_id)| Op::Rename { id, new_id }),
+    ]
+}
+
+fn dn_of(id: usize) -> Dn {
+    format!("cn=p{id},o=xyz").parse().expect("valid dn")
+}
+
+fn fresh() -> DitStore {
+    let mut d = DitStore::new();
+    d.add_suffix("o=xyz".parse().expect("valid dn"));
+    d.add(Entry::new("o=xyz".parse().expect("valid dn"))).expect("add root");
+    d
+}
+
+fn apply(d: &mut DitStore, op: &Op) {
+    let _ = match op {
+        Op::Add { id, dept, serial } => d.apply(UpdateOp::Add(
+            Entry::new(dn_of(*id))
+                .with("objectclass", "person")
+                .with("dept", &dept.to_string())
+                .with("serialNumber", &format!("{serial:06}")),
+        )),
+        Op::Delete { id } => d.apply(UpdateOp::Delete(dn_of(*id))),
+        Op::SetDept { id, dept } => d.apply(UpdateOp::Modify {
+            dn: dn_of(*id),
+            mods: vec![Modification::Replace("dept".into(), vec![dept.to_string().into()])],
+        }),
+        Op::Rename { id, new_id } => d.apply(UpdateOp::ModifyDn {
+            dn: dn_of(*id),
+            new_rdn: Rdn::new("cn", format!("p{new_id}")),
+            new_superior: None,
+        }),
+    };
+}
+
+fn queries() -> Vec<SearchRequest> {
+    let filters = [
+        "(objectclass=person)",
+        "(dept=2)",
+        "(serialNumber=0001*)",
+        "(serialNumber>=500)",
+        "(serialNumber<=300)",
+        "(|(dept=1)(dept=3))",
+        "(&(objectclass=person)(!(dept=0)))",
+        "(cn=p1*)",
+        "(cn>=p1)",
+        "(cn<=p12)",
+        "(&(cn>=p1)(cn<=p5))",
+    ];
+    filters
+        .iter()
+        .map(|f| {
+            SearchRequest::new(
+                "o=xyz".parse().expect("valid dn"),
+                Scope::Subtree,
+                Filter::parse(f).expect("valid filter"),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Indexed search results equal a brute-force scan, after any op mix.
+    #[test]
+    fn search_equals_brute_force(ops in prop::collection::vec(op(), 0..60)) {
+        let mut d = fresh();
+        for o in &ops {
+            apply(&mut d, o);
+        }
+        for req in queries() {
+            let mut got = d.search_dns(&req);
+            got.sort();
+            let mut want: Vec<Dn> = d
+                .iter()
+                .filter(|e| req.matches(e))
+                .map(|e| e.dn().clone())
+                .collect();
+            want.sort();
+            prop_assert_eq!(got, want, "index/scan mismatch for {}", req);
+        }
+    }
+
+    /// count_matching equals the brute-force count.
+    #[test]
+    fn count_matching_is_exact(ops in prop::collection::vec(op(), 0..60)) {
+        let mut d = fresh();
+        for o in &ops {
+            apply(&mut d, o);
+        }
+        for req in queries() {
+            let got = d.count_matching(req.filter());
+            let want = d.iter().filter(|e| req.filter().matches(e)).count();
+            prop_assert_eq!(got, want, "count mismatch for {}", req.filter());
+        }
+    }
+
+    /// The changelog's CSNs increase strictly and deletes produce
+    /// tombstones with matching CSNs.
+    #[test]
+    fn changelog_csn_monotone(ops in prop::collection::vec(op(), 0..60)) {
+        let mut d = fresh();
+        for o in &ops {
+            apply(&mut d, o);
+        }
+        let mut last = fbdr_dit::Csn::ZERO;
+        for rec in d.changelog() {
+            prop_assert!(rec.csn > last);
+            last = rec.csn;
+        }
+        let delete_csns: Vec<_> = d
+            .changelog()
+            .iter()
+            .filter(|r| r.kind == ChangeKind::Delete)
+            .map(|r| r.csn)
+            .collect();
+        let tombstone_csns: Vec<_> =
+            d.tombstones_since(fbdr_dit::Csn::ZERO).map(|t| t.csn).collect();
+        prop_assert_eq!(delete_csns, tombstone_csns);
+    }
+
+    /// `diff_entries(old, new)` applied to `old` yields exactly `new`.
+    #[test]
+    fn diff_entries_round_trip(
+        old_attrs in prop::collection::vec(("[a-d]", prop::collection::vec("[0-9a-c]{1,3}", 1..3)), 0..4),
+        new_attrs in prop::collection::vec(("[a-d]", prop::collection::vec("[0-9a-c]{1,3}", 1..3)), 0..4),
+    ) {
+        let mut d = fresh();
+        let dn: Dn = "cn=t,o=xyz".parse().expect("dn");
+        let mut old = Entry::new(dn.clone());
+        for (a, vs) in &old_attrs {
+            for v in vs {
+                old.add(a.as_str(), v.as_str());
+            }
+        }
+        let mut new = Entry::new(dn.clone());
+        for (a, vs) in &new_attrs {
+            for v in vs {
+                new.add(a.as_str(), v.as_str());
+            }
+        }
+        d.add(old.clone()).expect("add");
+        let mods = diff_entries(&old, &new);
+        if mods.is_empty() {
+            prop_assert_eq!(&old, &new);
+        } else {
+            d.modify(&dn, mods).expect("diff mods are valid");
+            prop_assert_eq!(d.get(&dn).expect("entry exists"), &new);
+        }
+    }
+
+    /// Parent links stay intact: every entry except suffixes has a parent.
+    #[test]
+    fn tree_structure_invariant(ops in prop::collection::vec(op(), 0..60)) {
+        let mut d = fresh();
+        for o in &ops {
+            apply(&mut d, o);
+        }
+        let suffix: Dn = "o=xyz".parse().expect("valid dn");
+        for e in d.iter() {
+            if e.dn() != &suffix {
+                let p = e.dn().parent().expect("non-suffix entries have parents");
+                prop_assert!(d.contains(&p), "orphan entry {}", e.dn());
+            }
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Distinguished names and the hierarchical naming model.
+//!
+//! A [`Dn`] is a (possibly empty) sequence of [`Rdn`]s ordered leaf-first,
+//! exactly as written in LDAP string form: in
+//! `cn=John Doe,ou=research,c=us,o=xyz` the leftmost RDN names the entry and
+//! the rightmost names the topmost container. The empty DN (`""`) names the
+//! root of the DIT.
+//!
+//! The paper's containment algorithms are built on two relations provided
+//! here: `isSuffix(a, b)` — *a is an ancestor of b* — is
+//! [`Dn::is_ancestor_of`], and `isparent(a, b)` is [`Dn::is_parent_of`].
+
+use crate::{AttrName, AttrValue, NameParseError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A relative distinguished name: one `attr=value` naming component.
+///
+/// Comparison is case-insensitive on both sides (via [`AttrName`] and
+/// [`AttrValue`] semantics).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Rdn {
+    attr: AttrName,
+    value: AttrValue,
+}
+
+impl Rdn {
+    /// Creates an RDN from an attribute name and value.
+    pub fn new(attr: impl Into<AttrName>, value: impl Into<AttrValue>) -> Self {
+        Rdn { attr: attr.into(), value: value.into() }
+    }
+
+    /// The naming attribute type.
+    pub fn attr(&self) -> &AttrName {
+        &self.attr
+    }
+
+    /// The naming attribute value.
+    pub fn value(&self) -> &AttrValue {
+        &self.value
+    }
+}
+
+impl fmt::Display for Rdn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.attr, escape_value(self.value.raw()))
+    }
+}
+
+/// A distinguished name; empty means the DIT root.
+///
+/// ```
+/// use fbdr_ldap::Dn;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let base: Dn = "o=xyz".parse()?;
+/// let entry: Dn = "cn=John Doe,ou=research,c=us,o=xyz".parse()?;
+/// assert!(base.is_ancestor_of(&entry));
+/// assert_eq!(entry.depth(), 4);
+/// assert_eq!(entry.parent().unwrap().to_string(), "ou=research,c=us,o=xyz");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct Dn {
+    /// RDNs leaf-first (index 0 is the entry's own RDN).
+    rdns: Vec<Rdn>,
+}
+
+impl Dn {
+    /// The root DN (empty sequence of RDNs).
+    pub fn root() -> Self {
+        Dn { rdns: Vec::new() }
+    }
+
+    /// Builds a DN from RDNs ordered leaf-first.
+    pub fn from_rdns(rdns: Vec<Rdn>) -> Self {
+        Dn { rdns }
+    }
+
+    /// True for the DIT root.
+    pub fn is_root(&self) -> bool {
+        self.rdns.is_empty()
+    }
+
+    /// Number of RDN components (0 for the root).
+    pub fn depth(&self) -> usize {
+        self.rdns.len()
+    }
+
+    /// The entry's own (leftmost) RDN, if not the root.
+    pub fn rdn(&self) -> Option<&Rdn> {
+        self.rdns.first()
+    }
+
+    /// RDNs leaf-first.
+    pub fn rdns(&self) -> &[Rdn] {
+        &self.rdns
+    }
+
+    /// The parent DN; `None` for the root.
+    pub fn parent(&self) -> Option<Dn> {
+        if self.rdns.is_empty() {
+            None
+        } else {
+            Some(Dn { rdns: self.rdns[1..].to_vec() })
+        }
+    }
+
+    /// The DN of a child of `self` named by `rdn`.
+    pub fn child(&self, rdn: Rdn) -> Dn {
+        let mut rdns = Vec::with_capacity(self.rdns.len() + 1);
+        rdns.push(rdn);
+        rdns.extend_from_slice(&self.rdns);
+        Dn { rdns }
+    }
+
+    /// `isSuffix(self, other)` of the paper including equality: true when
+    /// `self` is `other` or an ancestor of it. The root is an ancestor of
+    /// every DN.
+    pub fn is_ancestor_or_self_of(&self, other: &Dn) -> bool {
+        let n = self.rdns.len();
+        let m = other.rdns.len();
+        n <= m && self.rdns[..] == other.rdns[m - n..]
+    }
+
+    /// Strict ancestor: `self` is a proper ancestor of `other`.
+    pub fn is_ancestor_of(&self, other: &Dn) -> bool {
+        self.rdns.len() < other.rdns.len() && self.is_ancestor_or_self_of(other)
+    }
+
+    /// `isparent(self, other)` of the paper: `self` is the immediate parent
+    /// of `other`.
+    pub fn is_parent_of(&self, other: &Dn) -> bool {
+        other.rdns.len() == self.rdns.len() + 1 && self.is_ancestor_or_self_of(other)
+    }
+}
+
+impl fmt::Display for Dn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, rdn) in self.rdns.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{rdn}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Dn {
+    type Err = NameParseError;
+
+    /// Parses the LDAP string form. Commas and equals signs inside values
+    /// may be escaped with a backslash (`\,`, `\=`, `\\`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Ok(Dn::root());
+        }
+        let mut rdns = Vec::new();
+        for comp in split_unescaped(s, ',') {
+            let comp = comp.trim();
+            if comp.is_empty() {
+                return Err(NameParseError::new("empty RDN component"));
+            }
+            let mut parts = split_unescaped(comp, '=');
+            let attr = parts
+                .next()
+                .ok_or_else(|| NameParseError::new(format!("missing '=' in {comp:?}")))?;
+            let value = parts
+                .next()
+                .ok_or_else(|| NameParseError::new(format!("missing '=' in {comp:?}")))?;
+            if parts.next().is_some() {
+                return Err(NameParseError::new(format!("unescaped '=' in value of {comp:?}")));
+            }
+            let attr = attr.trim();
+            if attr.is_empty() {
+                return Err(NameParseError::new(format!("empty attribute in {comp:?}")));
+            }
+            rdns.push(Rdn::new(attr, unescape(value.trim())));
+        }
+        Ok(Dn { rdns })
+    }
+}
+
+/// Splits `s` on `sep`, honouring backslash escapes.
+fn split_unescaped(s: &str, sep: char) -> impl Iterator<Item = String> + '_ {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut escaped = false;
+    for c in s.chars() {
+        if escaped {
+            cur.push('\\');
+            cur.push(c);
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == sep {
+            parts.push(std::mem::take(&mut cur));
+        } else {
+            cur.push(c);
+        }
+    }
+    if escaped {
+        cur.push('\\');
+    }
+    parts.push(cur);
+    parts.into_iter()
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut escaped = false;
+    for c in s.chars() {
+        if escaped {
+            out.push(c);
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn escape_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        if matches!(c, ',' | '=' | '\\') {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dn(s: &str) -> Dn {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let d = dn("cn=John Doe,ou=research,c=us,o=xyz");
+        assert_eq!(d.to_string(), "cn=John Doe,ou=research,c=us,o=xyz");
+        assert_eq!(d.depth(), 4);
+        assert_eq!(d.rdn().unwrap().attr().as_str(), "cn");
+    }
+
+    #[test]
+    fn root_dn() {
+        let r = dn("");
+        assert!(r.is_root());
+        assert_eq!(r.to_string(), "");
+        assert!(r.is_ancestor_or_self_of(&dn("o=xyz")));
+        assert!(r.is_ancestor_of(&dn("o=xyz")));
+        assert!(!r.is_ancestor_of(&r));
+    }
+
+    #[test]
+    fn ancestor_relations() {
+        let base = dn("o=xyz");
+        let mid = dn("c=us,o=xyz");
+        let leaf = dn("cn=x,ou=research,c=us,o=xyz");
+        assert!(base.is_ancestor_of(&mid));
+        assert!(base.is_ancestor_of(&leaf));
+        assert!(mid.is_ancestor_of(&leaf));
+        assert!(!mid.is_ancestor_of(&base));
+        assert!(!dn("c=in,o=xyz").is_ancestor_of(&leaf));
+        assert!(base.is_ancestor_or_self_of(&base));
+    }
+
+    #[test]
+    fn parent_relations() {
+        let p = dn("ou=research,c=us,o=xyz");
+        let c = dn("cn=x,ou=research,c=us,o=xyz");
+        assert!(p.is_parent_of(&c));
+        assert!(!p.is_parent_of(&p));
+        assert!(!dn("o=xyz").is_parent_of(&c));
+        assert_eq!(c.parent().unwrap(), p);
+        assert_eq!(dn("").parent(), None);
+    }
+
+    #[test]
+    fn child_construction() {
+        let p = dn("c=us,o=xyz");
+        let c = p.child(Rdn::new("cn", "Fred Jones"));
+        assert_eq!(c.to_string(), "cn=Fred Jones,c=us,o=xyz");
+        assert!(p.is_parent_of(&c));
+    }
+
+    #[test]
+    fn case_insensitive_comparison() {
+        assert_eq!(dn("CN=John Doe,O=XYZ"), dn("cn=john doe,o=xyz"));
+        assert!(dn("O=XYZ").is_ancestor_of(&dn("cn=a,o=xyz")));
+    }
+
+    #[test]
+    fn escaped_comma_in_value() {
+        let d = dn(r"cn=Doe\, John,o=xyz");
+        assert_eq!(d.depth(), 2);
+        assert_eq!(d.rdn().unwrap().value().raw(), "Doe, John");
+        // Round trips through Display.
+        let d2: Dn = d.to_string().parse().unwrap();
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!("cn".parse::<Dn>().is_err());
+        assert!("cn=a,,o=b".parse::<Dn>().is_err());
+        assert!("=v,o=b".parse::<Dn>().is_err());
+    }
+}

@@ -1,0 +1,254 @@
+//! Directory entries: DN-named sets of attribute/value pairs.
+
+use crate::{AttrName, AttrValue, Dn};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// An entry in the Directory Information Tree.
+///
+/// An entry is a set of attribute/value pairs plus a distinguished name.
+/// Attributes are multi-valued sets; values compare with the normalized
+/// semantics of [`AttrValue`].
+///
+/// ```
+/// use fbdr_ldap::Entry;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut e = Entry::new("cn=John Doe,o=xyz".parse()?);
+/// e.add_str("objectclass", "inetOrgPerson");
+/// e.add_str("cn", "John Doe");
+/// e.add_str("cn", "John M Doe");
+/// assert!(e.has_value(&"CN".into(), &"john doe".into()));
+/// assert_eq!(e.values(&"cn".into()).count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Entry {
+    dn: Dn,
+    attrs: BTreeMap<AttrName, BTreeSet<AttrValue>>,
+}
+
+impl Entry {
+    /// Creates an empty entry with the given name.
+    pub fn new(dn: Dn) -> Self {
+        Entry { dn, attrs: BTreeMap::new() }
+    }
+
+    /// The entry's distinguished name.
+    pub fn dn(&self) -> &Dn {
+        &self.dn
+    }
+
+    /// Renames the entry (modify DN). The caller is responsible for keeping
+    /// any store indexes consistent.
+    pub fn set_dn(&mut self, dn: Dn) {
+        self.dn = dn;
+    }
+
+    /// Adds a value; returns true if it was not already present.
+    pub fn add(&mut self, attr: impl Into<AttrName>, value: impl Into<AttrValue>) -> bool {
+        self.attrs.entry(attr.into()).or_default().insert(value.into())
+    }
+
+    /// Convenience for `add` with string literals.
+    pub fn add_str(&mut self, attr: &str, value: &str) -> bool {
+        self.add(attr, value)
+    }
+
+    /// Builder-style `add` for test and example construction.
+    pub fn with(mut self, attr: &str, value: &str) -> Self {
+        self.add(attr, value);
+        self
+    }
+
+    /// Removes a single value; returns true if it was present. Removes the
+    /// attribute entirely when its last value goes.
+    pub fn remove_value(&mut self, attr: &AttrName, value: &AttrValue) -> bool {
+        if let Some(set) = self.attrs.get_mut(attr) {
+            let removed = set.remove(value);
+            if set.is_empty() {
+                self.attrs.remove(attr);
+            }
+            removed
+        } else {
+            false
+        }
+    }
+
+    /// Removes an attribute and all its values; returns true if present.
+    pub fn remove_attr(&mut self, attr: &AttrName) -> bool {
+        self.attrs.remove(attr).is_some()
+    }
+
+    /// Replaces all values of an attribute. An empty iterator removes the
+    /// attribute.
+    pub fn replace<I, V>(&mut self, attr: impl Into<AttrName>, values: I)
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<AttrValue>,
+    {
+        let attr = attr.into();
+        let set: BTreeSet<AttrValue> = values.into_iter().map(Into::into).collect();
+        if set.is_empty() {
+            self.attrs.remove(&attr);
+        } else {
+            self.attrs.insert(attr, set);
+        }
+    }
+
+    /// True if the attribute exists with the given value.
+    pub fn has_value(&self, attr: &AttrName, value: &AttrValue) -> bool {
+        self.attrs.get(attr).is_some_and(|s| s.contains(value))
+    }
+
+    /// True if the attribute is present with at least one value.
+    pub fn has_attr(&self, attr: &AttrName) -> bool {
+        self.attrs.contains_key(attr)
+    }
+
+    /// Iterates the values of an attribute (empty if absent).
+    pub fn values<'a>(&'a self, attr: &AttrName) -> impl Iterator<Item = &'a AttrValue> + 'a {
+        self.attrs.get(attr).into_iter().flatten()
+    }
+
+    /// The first value of an attribute, if any.
+    pub fn first_value(&self, attr: &AttrName) -> Option<&AttrValue> {
+        self.values(attr).next()
+    }
+
+    /// Iterates `(name, values)` pairs in attribute-name order.
+    pub fn attrs(&self) -> impl Iterator<Item = (&AttrName, &BTreeSet<AttrValue>)> {
+        self.attrs.iter()
+    }
+
+    /// Names of all present attributes.
+    pub fn attr_names(&self) -> impl Iterator<Item = &AttrName> {
+        self.attrs.keys()
+    }
+
+    /// Values of the `objectclass` attribute.
+    pub fn object_classes(&self) -> impl Iterator<Item = &AttrValue> {
+        self.values(&AttrName::new("objectclass"))
+    }
+
+    /// Projects the entry onto a subset of attributes (used when answering
+    /// searches that request specific attributes). The DN is always kept.
+    pub fn project<'a, I>(&self, attrs: I) -> Entry
+    where
+        I: IntoIterator<Item = &'a AttrName>,
+    {
+        let mut out = Entry::new(self.dn.clone());
+        for a in attrs {
+            if let Some(set) = self.attrs.get(a) {
+                out.attrs.insert(a.clone(), set.clone());
+            }
+        }
+        out
+    }
+
+    /// Estimated wire size in bytes: DN plus every attribute name and value.
+    ///
+    /// Used by the traffic cost model; this intentionally approximates a
+    /// BER-encoded LDAP entry PDU rather than reproducing ASN.1 exactly.
+    pub fn estimated_size(&self) -> usize {
+        let mut n = self.dn.to_string().len() + 8;
+        for (a, vs) in &self.attrs {
+            for v in vs {
+                n += a.as_str().len() + v.raw().len() + 4;
+            }
+        }
+        n
+    }
+}
+
+impl fmt::Display for Entry {
+    /// LDIF-like rendering.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "dn: {}", self.dn)?;
+        for (a, vs) in &self.attrs {
+            for v in vs {
+                writeln!(f, "{a}: {v}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn person() -> Entry {
+        Entry::new("cn=John Doe,ou=research,c=us,o=xyz".parse().unwrap())
+            .with("objectclass", "inetOrgPerson")
+            .with("cn", "John Doe")
+            .with("cn", "John M Doe")
+            .with("telephoneNumber", "2618-2618")
+            .with("mail", "john@us.xyz.com")
+            .with("serialNumber", "0456")
+            .with("departmentNumber", "80")
+    }
+
+    #[test]
+    fn multi_valued_attributes() {
+        let e = person();
+        assert_eq!(e.values(&"cn".into()).count(), 2);
+        assert!(e.has_value(&"cn".into(), &"JOHN M DOE".into()));
+    }
+
+    #[test]
+    fn add_is_set_semantics() {
+        let mut e = person();
+        assert!(!e.add("cn", "john doe")); // normalized duplicate
+        assert_eq!(e.values(&"cn".into()).count(), 2);
+    }
+
+    #[test]
+    fn remove_value_and_attr() {
+        let mut e = person();
+        assert!(e.remove_value(&"cn".into(), &"John Doe".into()));
+        assert_eq!(e.values(&"cn".into()).count(), 1);
+        assert!(e.remove_value(&"cn".into(), &"John M Doe".into()));
+        assert!(!e.has_attr(&"cn".into()));
+        assert!(!e.remove_value(&"cn".into(), &"gone".into()));
+        assert!(e.remove_attr(&"mail".into()));
+        assert!(!e.has_attr(&"mail".into()));
+    }
+
+    #[test]
+    fn replace_semantics() {
+        let mut e = person();
+        e.replace("departmentNumber", ["81", "82"]);
+        let vals: Vec<_> = e.values(&"departmentNumber".into()).map(|v| v.raw().to_owned()).collect();
+        assert_eq!(vals, ["81", "82"]);
+        e.replace("departmentNumber", Vec::<&str>::new());
+        assert!(!e.has_attr(&"departmentNumber".into()));
+    }
+
+    #[test]
+    fn projection_keeps_requested_attrs() {
+        let e = person();
+        let p = e.project([&"cn".into(), &"mail".into()]);
+        assert!(p.has_attr(&"cn".into()));
+        assert!(p.has_attr(&"mail".into()));
+        assert!(!p.has_attr(&"serialNumber".into()));
+        assert_eq!(p.dn(), e.dn());
+    }
+
+    #[test]
+    fn object_classes_accessor() {
+        let e = person();
+        let ocs: Vec<_> = e.object_classes().map(|v| v.normalized().to_owned()).collect();
+        assert_eq!(ocs, ["inetorgperson"]);
+    }
+
+    #[test]
+    fn estimated_size_positive_and_monotonic() {
+        let mut e = person();
+        let before = e.estimated_size();
+        e.add("description", "some text");
+        assert!(e.estimated_size() > before);
+    }
+}

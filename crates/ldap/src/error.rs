@@ -1,0 +1,57 @@
+//! Error types for parsing names and filters.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a string is not a valid RFC 2254 filter.
+///
+/// Carries the byte offset at which parsing failed and a short message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterParseError {
+    pos: usize,
+    msg: String,
+}
+
+impl FilterParseError {
+    pub(crate) fn new(pos: usize, msg: impl Into<String>) -> Self {
+        FilterParseError { pos, msg: msg.into() }
+    }
+
+    /// Byte offset in the input at which the error was detected.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Human-readable description of what went wrong.
+    pub fn message(&self) -> &str {
+        &self.msg
+    }
+}
+
+impl fmt::Display for FilterParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid filter at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl Error for FilterParseError {}
+
+/// Error returned when a string is not a valid distinguished name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NameParseError {
+    msg: String,
+}
+
+impl NameParseError {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        NameParseError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for NameParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distinguished name: {}", self.msg)
+    }
+}
+
+impl Error for NameParseError {}

@@ -1,0 +1,346 @@
+//! LDIF (LDAP Data Interchange Format, RFC 2849) content records:
+//! serialization and parsing of entries.
+//!
+//! The subset implemented is content LDIF — `dn:` followed by
+//! `attribute: value` lines, records separated by blank lines — with
+//! base64 encoding (`::`) for values that LDIF cannot carry in the clear
+//! (leading/trailing spaces, leading `:`/`<`, non-ASCII or control
+//! characters) and line continuations (a leading space joins to the
+//! previous line).
+//!
+//! ```
+//! use fbdr_ldap::{ldif, Entry};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let e = Entry::new("cn=John Doe,o=xyz".parse()?)
+//!     .with("objectclass", "inetOrgPerson")
+//!     .with("mail", "john@xyz.com");
+//! let text = ldif::to_ldif(std::slice::from_ref(&e));
+//! let parsed = ldif::parse_ldif(&text)?;
+//! assert_eq!(parsed, vec![e]);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{Entry, NameParseError};
+use std::error::Error;
+use std::fmt;
+
+/// Error from LDIF parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LdifError {
+    line: usize,
+    msg: String,
+}
+
+impl LdifError {
+    fn new(line: usize, msg: impl Into<String>) -> Self {
+        LdifError { line, msg: msg.into() }
+    }
+
+    /// 1-based line number the error was detected at.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for LdifError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LDIF error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl Error for LdifError {}
+
+impl From<NameParseError> for LdifError {
+    fn from(e: NameParseError) -> Self {
+        LdifError { line: 0, msg: e.to_string() }
+    }
+}
+
+/// Serializes entries as LDIF content records.
+pub fn to_ldif(entries: &[Entry]) -> String {
+    let mut out = String::new();
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        push_line(&mut out, "dn", &e.dn().to_string());
+        for (a, vs) in e.attrs() {
+            for v in vs {
+                push_line(&mut out, a.as_str(), v.raw());
+            }
+        }
+    }
+    out
+}
+
+/// Parses LDIF content records into entries.
+///
+/// # Errors
+///
+/// Returns [`LdifError`] with the offending line for malformed input:
+/// records not starting with `dn:`, lines without a separator, invalid
+/// base64, or invalid DNs.
+pub fn parse_ldif(text: &str) -> Result<Vec<Entry>, LdifError> {
+    // Unfold continuations, remembering original line numbers.
+    let mut logical: Vec<(usize, String)> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        if let Some(rest) = raw.strip_prefix(' ') {
+            match logical.last_mut() {
+                Some((_, prev)) if !prev.is_empty() => prev.push_str(rest),
+                _ => return Err(LdifError::new(i + 1, "continuation without a previous line")),
+            }
+        } else {
+            logical.push((i + 1, raw.to_owned()));
+        }
+    }
+
+    let mut entries = Vec::new();
+    let mut current: Option<Entry> = None;
+    for (lineno, line) in logical {
+        if line.is_empty() {
+            if let Some(e) = current.take() {
+                entries.push(e);
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (attr, value) = split_attr_value(&line, lineno)?;
+        if attr.eq_ignore_ascii_case("dn") {
+            if let Some(e) = current.take() {
+                entries.push(e);
+            }
+            let dn = value
+                .parse()
+                .map_err(|e: NameParseError| LdifError::new(lineno, e.to_string()))?;
+            current = Some(Entry::new(dn));
+        } else {
+            match &mut current {
+                Some(e) => {
+                    e.add(attr.as_str(), value.as_str());
+                }
+                None => {
+                    return Err(LdifError::new(lineno, "attribute line before any dn:"));
+                }
+            }
+        }
+    }
+    if let Some(e) = current.take() {
+        entries.push(e);
+    }
+    Ok(entries)
+}
+
+fn split_attr_value(line: &str, lineno: usize) -> Result<(String, String), LdifError> {
+    let colon = line
+        .find(':')
+        .ok_or_else(|| LdifError::new(lineno, format!("missing ':' in {line:?}")))?;
+    let attr = line[..colon].trim().to_owned();
+    if attr.is_empty() {
+        return Err(LdifError::new(lineno, "empty attribute name"));
+    }
+    let rest = &line[colon + 1..];
+    if let Some(b64) = rest.strip_prefix(':') {
+        let bytes = base64_decode(b64.trim_start())
+            .ok_or_else(|| LdifError::new(lineno, "invalid base64 value"))?;
+        let s = String::from_utf8(bytes)
+            .map_err(|_| LdifError::new(lineno, "base64 value is not UTF-8"))?;
+        Ok((attr, s))
+    } else {
+        Ok((attr, rest.strip_prefix(' ').unwrap_or(rest).to_owned()))
+    }
+}
+
+/// True when LDIF requires base64 for this value.
+fn needs_base64(v: &str) -> bool {
+    v.is_empty()
+        || v.starts_with(' ')
+        || v.ends_with(' ')
+        || v.starts_with(':')
+        || v.starts_with('<')
+        || v.chars().any(|c| !(' '..='~').contains(&c))
+}
+
+fn push_line(out: &mut String, attr: &str, value: &str) {
+    let line = if needs_base64(value) {
+        format!("{attr}:: {}", base64_encode(value.as_bytes()))
+    } else {
+        format!("{attr}: {value}")
+    };
+    // Fold at 76 characters per RFC 2849.
+    let bytes = line.as_bytes();
+    let mut start = 0;
+    let mut first = true;
+    while start < bytes.len() {
+        let width = if first { 76 } else { 75 };
+        let mut end = (start + width).min(bytes.len());
+        // Don't split a UTF-8 code point.
+        while end < bytes.len() && bytes[end] & 0b1100_0000 == 0b1000_0000 {
+            end -= 1;
+        }
+        if !first {
+            out.push(' ');
+        }
+        out.push_str(&line[start..end]);
+        out.push('\n');
+        first = false;
+        start = end;
+    }
+}
+
+const B64: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+fn base64_encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b = [chunk[0], *chunk.get(1).unwrap_or(&0), *chunk.get(2).unwrap_or(&0)];
+        let n = (u32::from(b[0]) << 16) | (u32::from(b[1]) << 8) | u32::from(b[2]);
+        out.push(B64[(n >> 18) as usize & 63] as char);
+        out.push(B64[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 { B64[(n >> 6) as usize & 63] as char } else { '=' });
+        out.push(if chunk.len() > 2 { B64[n as usize & 63] as char } else { '=' });
+    }
+    out
+}
+
+fn base64_decode(s: &str) -> Option<Vec<u8>> {
+    fn val(c: u8) -> Option<u32> {
+        match c {
+            b'A'..=b'Z' => Some(u32::from(c - b'A')),
+            b'a'..=b'z' => Some(u32::from(c - b'a') + 26),
+            b'0'..=b'9' => Some(u32::from(c - b'0') + 52),
+            b'+' => Some(62),
+            b'/' => Some(63),
+            _ => None,
+        }
+    }
+    let s: Vec<u8> = s.bytes().filter(|b| !b.is_ascii_whitespace()).collect();
+    if !s.len().is_multiple_of(4) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(s.len() / 4 * 3);
+    for chunk in s.chunks(4) {
+        let pad = chunk.iter().filter(|&&c| c == b'=').count();
+        if pad > 2 || (pad > 0 && (chunk[2] == b'=' && chunk[3] != b'=')) {
+            return None;
+        }
+        let mut n: u32 = 0;
+        for (i, &c) in chunk.iter().enumerate() {
+            let v = if c == b'=' {
+                if i < 2 {
+                    return None;
+                }
+                0
+            } else {
+                val(c)?
+            };
+            n = (n << 6) | v;
+        }
+        out.push((n >> 16) as u8);
+        if pad < 2 {
+            out.push((n >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(n as u8);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn person() -> Entry {
+        Entry::new("cn=John Doe,ou=research,c=us,o=xyz".parse().unwrap())
+            .with("objectclass", "inetOrgPerson")
+            .with("cn", "John Doe")
+            .with("cn", "John M Doe")
+            .with("mail", "john@us.xyz.com")
+            .with("serialNumber", "0456")
+    }
+
+    #[test]
+    fn round_trip_simple() {
+        let entries = vec![person(), Entry::new("o=xyz".parse().unwrap()).with("o", "xyz")];
+        let text = to_ldif(&entries);
+        let parsed = parse_ldif(&text).unwrap();
+        assert_eq!(parsed, entries);
+    }
+
+    #[test]
+    fn renders_expected_shape() {
+        let text = to_ldif(&[person()]);
+        assert!(text.starts_with("dn: cn=John Doe,ou=research,c=us,o=xyz\n"));
+        assert!(text.contains("mail: john@us.xyz.com\n"));
+        assert!(text.contains("serialNumber: 0456\n"));
+    }
+
+    #[test]
+    fn base64_for_awkward_values() {
+        let e = Entry::new("cn=x,o=y".parse().unwrap())
+            .with("description", " leading space")
+            .with("info", "trailing space ")
+            .with("note", ":starts with colon")
+            .with("uni", "héllo wörld");
+        let text = to_ldif(std::slice::from_ref(&e));
+        assert!(text.contains("description:: "), "got:\n{text}");
+        assert!(text.contains("uni:: "));
+        let parsed = parse_ldif(&text).unwrap();
+        assert_eq!(parsed, vec![e]);
+    }
+
+    #[test]
+    fn long_lines_fold_and_unfold() {
+        let long: String = "x".repeat(300);
+        let e = Entry::new("cn=a,o=y".parse().unwrap()).with("description", &long);
+        let text = to_ldif(std::slice::from_ref(&e));
+        assert!(text.lines().all(|l| l.len() <= 76), "a line exceeds 76 chars");
+        let parsed = parse_ldif(&text).unwrap();
+        assert_eq!(parsed, vec![e]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# a comment\ndn: cn=a,o=y\ncn: a\n\n\n# another\ndn: cn=b,o=y\ncn: b\n";
+        let parsed = parse_ldif(text).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[1].dn().to_string(), "cn=b,o=y");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_ldif("dn: cn=a,o=y\nbroken line\n").unwrap_err();
+        assert_eq!(e.line(), 2);
+        let e = parse_ldif("cn: before dn\n").unwrap_err();
+        assert_eq!(e.line(), 1);
+        let e = parse_ldif("dn: cn=a,o=y\nx:: !!!not-base64!!!\n").unwrap_err();
+        assert_eq!(e.line(), 2);
+        let e = parse_ldif(" leading continuation\n").unwrap_err();
+        assert_eq!(e.line(), 1);
+    }
+
+    #[test]
+    fn base64_codec_round_trip() {
+        for s in ["", "a", "ab", "abc", "abcd", "héllo wörld", "\u{1F600} emoji"] {
+            let enc = base64_encode(s.as_bytes());
+            let dec = base64_decode(&enc).unwrap();
+            assert_eq!(String::from_utf8(dec).unwrap(), s);
+        }
+        assert_eq!(base64_encode(b"Man"), "TWFu");
+        assert_eq!(base64_encode(b"Ma"), "TWE=");
+        assert_eq!(base64_encode(b"M"), "TQ==");
+        assert!(base64_decode("TWF").is_none());
+        assert!(base64_decode("T!==").is_none());
+    }
+
+    #[test]
+    fn multivalued_preserved() {
+        let text = to_ldif(&[person()]);
+        let parsed = parse_ldif(&text).unwrap();
+        assert_eq!(parsed[0].values(&"cn".into()).count(), 2);
+    }
+}

@@ -1,0 +1,299 @@
+//! LDAP templates — query prototypes (§3.4.2 of the paper).
+//!
+//! A *template* is a filter with every assertion value replaced by the `_`
+//! character: `(&(sn=_)(givenName=_))`, `(sn=_*)`. Typical directory
+//! applications generate queries from a small, finite set of templates, and
+//! the containment algorithms exploit this:
+//!
+//! 1. comparisons against templates that cannot possibly answer a query are
+//!    eliminated up front,
+//! 2. containment conditions between two templates can be computed apriori
+//!    (Proposition 2), and
+//! 3. containment within one template reduces to comparing assertion values
+//!    slot by slot (Proposition 3).
+//!
+//! [`Template::of`] extracts a query's template together with its assertion
+//! values in slot order.
+
+use crate::{AttrName, Comparison, Filter, Predicate, SubstringPattern};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier for a template: its canonical string form, e.g. `(sn=_*)`.
+///
+/// Comparing two `TemplateId`s answers "do these queries share a prototype".
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TemplateId(String);
+
+impl TemplateId {
+    /// The canonical template string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for TemplateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Description of one value slot in a template.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Slot {
+    attr: AttrName,
+    kind: String,
+}
+
+impl Slot {
+    /// The attribute this slot's predicate constrains.
+    pub fn attr(&self) -> &AttrName {
+        &self.attr
+    }
+
+    /// The comparison kind label (see [`Comparison::kind`]).
+    pub fn kind(&self) -> &str {
+        &self.kind
+    }
+}
+
+/// A query template: filter structure with assertion values abstracted.
+///
+/// ```
+/// use fbdr_ldap::{Filter, Template};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let q = Filter::parse("(&(sn=Doe)(givenName=John))")?;
+/// let (t, values) = Template::of(&q);
+/// assert_eq!(t.id().as_str(), "(&(sn=_)(givenname=_))");
+/// assert_eq!(values.len(), 2);
+/// assert_eq!(values[0].raw(), "Doe");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Template {
+    id: TemplateId,
+    /// Structure with values dropped; used to re-instantiate queries.
+    shape: Filter,
+    slots: Vec<Slot>,
+}
+
+impl Template {
+    /// Extracts the template of a filter and the assertion values, in
+    /// slot (left-to-right) order. Presence predicates contribute no slot.
+    /// Substring predicates contribute one slot per text component, and the
+    /// star shape is part of the template (so `(sn=_*)` and `(sn=*_)` are
+    /// different templates).
+    pub fn of(filter: &Filter) -> (Template, Vec<crate::AttrValue>) {
+        let mut slots = Vec::new();
+        let mut values = Vec::new();
+        let shape = abstract_filter(filter, &mut slots, &mut values);
+        let id = TemplateId(render(&shape));
+        (Template { id, shape, slots }, values)
+    }
+
+    /// The canonical identifier.
+    pub fn id(&self) -> &TemplateId {
+        &self.id
+    }
+
+    /// The value slots, left to right.
+    pub fn slots(&self) -> &[Slot] {
+        &self.slots
+    }
+
+    /// Number of value slots.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The abstracted filter structure (assertion values are the literal
+    /// string `_`).
+    pub fn shape(&self) -> &Filter {
+        &self.shape
+    }
+
+    /// Re-instantiates a concrete filter from assertion values.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` when `values.len() != self.slot_count()`.
+    pub fn instantiate(&self, values: &[crate::AttrValue]) -> Option<Filter> {
+        if values.len() != self.slots.len() {
+            return None;
+        }
+        let mut idx = 0;
+        Some(substitute(&self.shape, values, &mut idx))
+    }
+}
+
+impl fmt::Display for Template {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id.as_str())
+    }
+}
+
+const PLACEHOLDER: &str = "_";
+
+fn abstract_filter(f: &Filter, slots: &mut Vec<Slot>, values: &mut Vec<crate::AttrValue>) -> Filter {
+    match f {
+        Filter::And(fs) => Filter::And(fs.iter().map(|s| abstract_filter(s, slots, values)).collect()),
+        Filter::Or(fs) => Filter::Or(fs.iter().map(|s| abstract_filter(s, slots, values)).collect()),
+        Filter::Not(s) => Filter::Not(Box::new(abstract_filter(s, slots, values))),
+        Filter::Pred(p) => Filter::Pred(abstract_pred(p, slots, values)),
+    }
+}
+
+fn abstract_pred(p: &Predicate, slots: &mut Vec<Slot>, values: &mut Vec<crate::AttrValue>) -> Predicate {
+    let kind = p.comparison().kind();
+    // Lowercase the attribute in the shape so template identity is
+    // independent of how the application spelled the attribute name.
+    let attr = AttrName::new(p.attr().lower());
+    let mut push = |v: crate::AttrValue| {
+        slots.push(Slot { attr: attr.clone(), kind: kind.clone() });
+        values.push(v);
+    };
+    match p.comparison() {
+        Comparison::Eq(v) => {
+            push(v.clone());
+            Predicate::eq(attr.clone(), PLACEHOLDER)
+        }
+        Comparison::Ge(v) => {
+            push(v.clone());
+            Predicate::ge(attr.clone(), PLACEHOLDER)
+        }
+        Comparison::Le(v) => {
+            push(v.clone());
+            Predicate::le(attr.clone(), PLACEHOLDER)
+        }
+        Comparison::Present => Predicate::present(attr.clone()),
+        Comparison::Substring(pat) => {
+            for c in pat.components() {
+                push(crate::AttrValue::new(c));
+            }
+            let abs = SubstringPattern::new(
+                pat.initial().map(|_| PLACEHOLDER.to_owned()),
+                pat.any().iter().map(|_| PLACEHOLDER.to_owned()).collect(),
+                pat.final_part().map(|_| PLACEHOLDER.to_owned()),
+            );
+            Predicate::substring(attr.clone(), abs)
+        }
+    }
+}
+
+fn substitute(f: &Filter, values: &[crate::AttrValue], idx: &mut usize) -> Filter {
+    match f {
+        Filter::And(fs) => Filter::And(fs.iter().map(|s| substitute(s, values, idx)).collect()),
+        Filter::Or(fs) => Filter::Or(fs.iter().map(|s| substitute(s, values, idx)).collect()),
+        Filter::Not(s) => Filter::Not(Box::new(substitute(s, values, idx))),
+        Filter::Pred(p) => {
+            let mut next = || {
+                let v = values[*idx].clone();
+                *idx += 1;
+                v
+            };
+            let pred = match p.comparison() {
+                Comparison::Eq(_) => Predicate::eq(p.attr().clone(), next()),
+                Comparison::Ge(_) => Predicate::ge(p.attr().clone(), next()),
+                Comparison::Le(_) => Predicate::le(p.attr().clone(), next()),
+                Comparison::Present => Predicate::present(p.attr().clone()),
+                Comparison::Substring(pat) => {
+                    let initial = pat.initial().map(|_| next().raw().to_owned());
+                    let any = pat.any().iter().map(|_| next().raw().to_owned()).collect();
+                    let fin = pat.final_part().map(|_| next().raw().to_owned());
+                    Predicate::substring(p.attr().clone(), SubstringPattern::new(initial, any, fin))
+                }
+            };
+            Filter::Pred(pred)
+        }
+    }
+}
+
+fn render(shape: &Filter) -> String {
+    shape.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AttrValue;
+
+    fn f(s: &str) -> Filter {
+        Filter::parse(s).unwrap()
+    }
+
+    #[test]
+    fn equality_template() {
+        let (t, vals) = Template::of(&f("(uid=jdoe)"));
+        assert_eq!(t.id().as_str(), "(uid=_)");
+        assert_eq!(vals, vec![AttrValue::new("jdoe")]);
+        assert_eq!(t.slots()[0].attr().as_str(), "uid");
+        assert_eq!(t.slots()[0].kind(), "=");
+    }
+
+    #[test]
+    fn conjunction_template_matches_paper_examples() {
+        let (t, _) = Template::of(&f("(&(cn=Fred)(ou=research))"));
+        assert_eq!(t.id().as_str(), "(&(cn=_)(ou=_))");
+        let (t2, _) = Template::of(&f("(&(sn=Doe)(givenName=John))"));
+        assert_eq!(t2.id().as_str(), "(&(sn=_)(givenname=_))");
+    }
+
+    #[test]
+    fn substring_template_keeps_star_shape() {
+        let (t, vals) = Template::of(&f("(sn=smi*)"));
+        assert_eq!(t.id().as_str(), "(sn=_*)");
+        assert_eq!(vals, vec![AttrValue::new("smi")]);
+        let (t2, _) = Template::of(&f("(sn=*ith)"));
+        assert_eq!(t2.id().as_str(), "(sn=*_)");
+        assert_ne!(t.id(), t2.id());
+        let (t3, vals3) = Template::of(&f("(serialNumber=04*56)"));
+        assert_eq!(t3.id().as_str(), "(serialnumber=_*_)");
+        assert_eq!(vals3.len(), 2);
+    }
+
+    #[test]
+    fn presence_contributes_no_slot() {
+        let (t, vals) = Template::of(&f("(&(objectclass=*)(dept=2406))"));
+        assert_eq!(t.id().as_str(), "(&(objectclass=*)(dept=_))");
+        assert_eq!(vals.len(), 1);
+    }
+
+    #[test]
+    fn same_template_different_values() {
+        let (t1, v1) = Template::of(&f("(dept=2406)"));
+        let (t2, v2) = Template::of(&f("(dept=2407)"));
+        assert_eq!(t1.id(), t2.id());
+        assert_ne!(v1, v2);
+    }
+
+    #[test]
+    fn instantiate_round_trip() {
+        for s in [
+            "(&(sn=Doe)(givenName=John))",
+            "(sn=smi*th)",
+            "(&(objectclass=*)(age>=30))",
+            "(|(a=1)(!(b<=2)))",
+        ] {
+            let q = f(s);
+            let (t, vals) = Template::of(&q);
+            let back = t.instantiate(&vals).expect("arity matches");
+            assert_eq!(back, q, "instantiate(of({s})) differs");
+        }
+    }
+
+    #[test]
+    fn instantiate_wrong_arity_is_none() {
+        let (t, _) = Template::of(&f("(&(a=1)(b=2))"));
+        assert!(t.instantiate(&[AttrValue::new("x")]).is_none());
+    }
+
+    #[test]
+    fn attr_names_case_insensitive_in_id() {
+        let (t1, _) = Template::of(&f("(SN=Doe)"));
+        let (t2, _) = Template::of(&f("(sn=Doe)"));
+        assert_eq!(t1.id(), t2.id());
+        assert_eq!(t1.slots()[0].attr(), t2.slots()[0].attr());
+    }
+}

@@ -1,0 +1,192 @@
+//! Property tests for the LDAP data model: parser round trips and
+//! matching-semantics invariants.
+
+use fbdr_ldap::{AttrValue, Dn, Entry, Filter, Scope};
+use proptest::prelude::*;
+
+fn attr() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9-]{0,8}"
+}
+
+/// Values including whitespace, unicode-ish text, numbers and characters
+/// that need escaping in filters.
+fn value() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[ -~]{1,12}",
+        "-?[0-9]{1,9}",
+        Just("a*b(c)d\\e".to_owned()),
+        "[α-ω]{1,4}",
+    ]
+}
+
+fn filter_str() -> impl Strategy<Value = String> {
+    let leaf = (attr(), value(), 0u8..4).prop_map(|(a, v, k)| {
+        let esc: String = v
+            .chars()
+            .map(|c| match c {
+                '(' => "\\28".to_owned(),
+                ')' => "\\29".to_owned(),
+                '*' => "\\2a".to_owned(),
+                '\\' => "\\5c".to_owned(),
+                other => other.to_string(),
+            })
+            .collect();
+        // Avoid values that normalize to empty (whitespace-only).
+        let esc = if esc.trim().is_empty() { "x".to_owned() } else { esc };
+        match k {
+            0 => format!("({a}={esc})"),
+            1 => format!("({a}>={esc})"),
+            2 => format!("({a}<={esc})"),
+            _ => format!("({a}={esc}*)"),
+        }
+    });
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4)
+                .prop_map(|fs| format!("(&{})", fs.join(""))),
+            prop::collection::vec(inner.clone(), 1..4)
+                .prop_map(|fs| format!("(|{})", fs.join(""))),
+            inner.prop_map(|f| format!("(!{f})")),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1024))]
+
+    /// Filter print → parse is the identity.
+    #[test]
+    fn filter_print_parse_round_trip(s in filter_str()) {
+        let f = Filter::parse(&s).expect("generated filter parses");
+        let printed = f.to_string();
+        let reparsed = Filter::parse(&printed)
+            .unwrap_or_else(|e| panic!("printed form {printed:?} fails to parse: {e}"));
+        prop_assert_eq!(f, reparsed);
+    }
+
+    /// DN display → parse is the identity (values may contain commas,
+    /// equals signs and backslashes).
+    #[test]
+    fn dn_display_parse_round_trip(
+        parts in prop::collection::vec(("[a-z]{1,5}", "[ -~&&[^\\\\]]{1,10}"), 1..5)
+    ) {
+        let dn = Dn::from_rdns(
+            parts
+                .iter()
+                .filter(|(_, v)| !v.trim().is_empty())
+                .map(|(a, v)| fbdr_ldap::Rdn::new(a.as_str(), v.as_str()))
+                .collect(),
+        );
+        let printed = dn.to_string();
+        let reparsed: Dn = printed.parse()
+            .unwrap_or_else(|e| panic!("printed DN {printed:?} fails to parse: {e}"));
+        prop_assert_eq!(dn, reparsed);
+    }
+
+    /// Ancestor/parent relations are consistent.
+    #[test]
+    fn dn_relations_consistent(
+        parts in prop::collection::vec("[a-z]{1,4}", 1..6)
+    ) {
+        let mut dn = Dn::root();
+        for (i, p) in parts.iter().enumerate() {
+            let child = dn.child(fbdr_ldap::Rdn::new("cn", format!("{p}{i}")));
+            prop_assert!(dn.is_parent_of(&child));
+            prop_assert!(dn.is_ancestor_or_self_of(&child));
+            prop_assert!(!child.is_ancestor_or_self_of(&dn) || child == dn);
+            prop_assert_eq!(child.parent().expect("child has parent"), dn);
+            dn = child;
+        }
+        prop_assert!(Dn::root().is_ancestor_or_self_of(&dn));
+    }
+
+    /// AttrValue ordering is a lawful total order consistent with Eq.
+    #[test]
+    fn attr_value_order_lawful(a in value(), b in value(), c in value()) {
+        let (x, y, z) = (AttrValue::new(a), AttrValue::new(b), AttrValue::new(c));
+        // Antisymmetry / consistency with Eq.
+        if x == y {
+            prop_assert_eq!(x.cmp(&y), std::cmp::Ordering::Equal);
+        }
+        if x.cmp(&y) == std::cmp::Ordering::Equal {
+            prop_assert_eq!(&x, &y);
+        }
+        // Transitivity.
+        if x <= y && y <= z {
+            prop_assert!(x <= z);
+        }
+    }
+
+    /// Scope region membership matches its definition.
+    #[test]
+    fn scope_membership(depth_base in 0usize..3, extra in 0usize..3) {
+        let mut base = Dn::root();
+        for i in 0..depth_base {
+            base = base.child(fbdr_ldap::Rdn::new("ou", format!("b{i}")));
+        }
+        let mut dn = base.clone();
+        for i in 0..extra {
+            dn = dn.child(fbdr_ldap::Rdn::new("cn", format!("c{i}")));
+        }
+        prop_assert_eq!(Scope::Base.contains(&base, &dn), extra == 0);
+        prop_assert_eq!(Scope::OneLevel.contains(&base, &dn), extra == 1);
+        prop_assert!(Scope::Subtree.contains(&base, &dn));
+    }
+
+    /// Simplification never changes what a filter matches.
+    #[test]
+    fn simplify_preserves_semantics(
+        fs in filter_str(),
+        attrs in prop::collection::vec(("[a-c]", "[0-9a-c]{1,3}"), 0..6),
+    ) {
+        let f = Filter::parse(&fs).expect("generated filter parses");
+        let simp = f.simplify();
+        let mut e = Entry::new("cn=x,o=y".parse().expect("dn"));
+        for (a, v) in &attrs {
+            e.add(a.as_str(), v.as_str());
+        }
+        prop_assert_eq!(f.matches(&e), simp.matches(&e), "simplify changed semantics of {}", fs);
+        // And it is idempotent.
+        prop_assert_eq!(simp.simplify(), simp);
+    }
+
+    /// The filter parser never panics and errors carry sane positions.
+    #[test]
+    fn parser_total_on_arbitrary_input(s in "[\\x00-\\x7f]{0,40}") {
+        match Filter::parse(&s) {
+            Ok(f) => {
+                // Whatever parsed must round-trip.
+                let printed = f.to_string();
+                prop_assert_eq!(Filter::parse(&printed).expect("printed form parses"), f);
+            }
+            Err(e) => prop_assert!(e.position() <= s.len()),
+        }
+    }
+
+    /// The DN parser never panics on arbitrary input.
+    #[test]
+    fn dn_parser_total_on_arbitrary_input(s in "[\\x00-\\x7f]{0,40}") {
+        let _ = s.parse::<Dn>();
+    }
+
+    /// LDIF parsing never panics on arbitrary input.
+    #[test]
+    fn ldif_parser_total_on_arbitrary_input(s in "[\\x00-\\x7f]{0,120}") {
+        let _ = fbdr_ldap::ldif::parse_ldif(&s);
+    }
+
+    /// An entry matches `(a=v)` for every value it holds (normalized).
+    #[test]
+    fn equality_matches_own_values(vals in prop::collection::vec(value(), 1..4)) {
+        let mut e = Entry::new("cn=x,o=y".parse().expect("dn"));
+        for v in &vals {
+            if !AttrValue::new(v.as_str()).normalized().is_empty() {
+                e.add("a", v.as_str());
+            }
+        }
+        for v in e.values(&"a".into()).cloned().collect::<Vec<_>>() {
+            let p = fbdr_ldap::Predicate::eq("a", v);
+            prop_assert!(p.matches(&e));
+        }
+    }
+}

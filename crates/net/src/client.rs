@@ -1,0 +1,294 @@
+//! The referral-chasing client.
+
+use crate::cost::OpStats;
+use crate::server::ServerOutcome;
+use crate::Network;
+use fbdr_ldap::{Dn, Entry, Scope, SearchRequest};
+use std::collections::{HashSet, VecDeque};
+use std::error::Error;
+use std::fmt;
+
+/// Error from a distributed operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The named server is not part of the network.
+    UnknownServer(String),
+    /// No server holds the target base.
+    NoSuchObject(Dn),
+    /// Referral chasing revisited a `(server, base)` pair — broken
+    /// referral topology.
+    ReferralLoop(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownServer(u) => write!(f, "unknown server: {u}"),
+            NetError::NoSuchObject(dn) => write!(f, "no such object: {dn}"),
+            NetError::ReferralLoop(u) => write!(f, "referral loop via {u}"),
+        }
+    }
+}
+
+impl Error for NetError {}
+
+/// Result of a fully-chased distributed search.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// All entries collected across servers, deduplicated by DN.
+    pub entries: Vec<Entry>,
+    /// Cost accounting for the whole operation.
+    pub stats: OpStats,
+}
+
+/// A client that performs distributed operations against a [`Network`],
+/// chasing default referrals and continuation references (Figure 2).
+#[derive(Debug)]
+pub struct Client<'a> {
+    net: &'a Network,
+    total: OpStats,
+}
+
+impl<'a> Client<'a> {
+    pub(crate) fn new(net: &'a Network) -> Self {
+        Client { net, total: OpStats::default() }
+    }
+
+    /// Statistics accumulated over the client's lifetime.
+    pub fn lifetime_stats(&self) -> OpStats {
+        self.total
+    }
+
+    /// Performs a search starting at `server_url`, chasing referrals until
+    /// the result is complete.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetError::UnknownServer`] if a referral names an unknown server.
+    /// * [`NetError::NoSuchObject`] if no server holds the base.
+    /// * [`NetError::ReferralLoop`] on cyclic referrals.
+    pub fn search(&mut self, server_url: &str, req: &SearchRequest) -> Result<SearchResult, NetError> {
+        let mut stats = OpStats::default();
+        let mut entries: Vec<Entry> = Vec::new();
+        let mut seen_dns: HashSet<String> = HashSet::new();
+        let mut visited: HashSet<(String, String)> = HashSet::new();
+        let mut queue: VecDeque<(String, SearchRequest)> = VecDeque::new();
+        queue.push_back((server_url.to_owned(), req.clone()));
+        let overhead = self.net.cost_model().pdu_overhead as u64;
+
+        while let Some((url, request)) = queue.pop_front() {
+            let key = (url.clone(), request.base().to_string());
+            if !visited.insert(key) {
+                return Err(NetError::ReferralLoop(url));
+            }
+            let server = self
+                .net
+                .server(&url)
+                .ok_or_else(|| NetError::UnknownServer(url.clone()))?;
+            stats.round_trips += 1;
+            stats.bytes_sent += request.estimated_size() as u64 + overhead;
+            match server.handle_search(&request) {
+                ServerOutcome::DefaultReferral(next) => {
+                    stats.referrals_received += 1;
+                    stats.bytes_received += next.len() as u64 + overhead;
+                    queue.push_back((next, request));
+                }
+                ServerOutcome::NoSuchObject => {
+                    return Err(NetError::NoSuchObject(request.base().clone()));
+                }
+                ServerOutcome::Results { entries: found, continuations } => {
+                    for e in found {
+                        stats.entries_returned += 1;
+                        stats.bytes_received += e.estimated_size() as u64 + overhead;
+                        if seen_dns.insert(e.dn().to_string()) {
+                            entries.push(e);
+                        }
+                    }
+                    for (base, next_url) in continuations {
+                        stats.referrals_received += 1;
+                        stats.bytes_received += (base.to_string().len() + next_url.len()) as u64 + overhead;
+                        let next_req = continuation_request(&request, base);
+                        queue.push_back((next_url, next_req));
+                    }
+                }
+            }
+        }
+        self.total.absorb(&stats);
+        Ok(SearchResult { entries, stats })
+    }
+}
+
+/// Builds the modified request a continuation reference requires: the base
+/// moves to the subordinate context's root, and the scope adapts (a
+/// one-level search continuing into a child referral becomes a base
+/// search of that child).
+fn continuation_request(orig: &SearchRequest, new_base: Dn) -> SearchRequest {
+    let scope = match orig.scope() {
+        Scope::Subtree => Scope::Subtree,
+        Scope::OneLevel => Scope::Base,
+        Scope::Base => Scope::Base,
+    };
+    SearchRequest::with_attrs(new_base, scope, orig.filter().clone(), orig.attrs().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Server;
+    use fbdr_dit::{DitStore, NamingContext};
+    use fbdr_ldap::Filter;
+
+    fn dn(s: &str) -> Dn {
+        s.parse().unwrap()
+    }
+
+    /// The three-server o=xyz deployment of Figure 2.
+    fn figure2_network() -> Network {
+        let mut net = Network::new();
+
+        // hostA: suffix o=xyz with referrals to hostB and hostC.
+        let mut dit_a = DitStore::new();
+        dit_a.add_suffix(dn("o=xyz"));
+        dit_a.add(Entry::new(dn("o=xyz")).with("objectclass", "organization")).unwrap();
+        dit_a.add(Entry::new(dn("c=us,o=xyz")).with("objectclass", "country")).unwrap();
+        dit_a
+            .add(Entry::new(dn("cn=Fred Jones,c=us,o=xyz")).with("objectclass", "person"))
+            .unwrap();
+        let ctx_a = NamingContext::new(dn("o=xyz"))
+            .with_referral(dn("ou=research,c=us,o=xyz"), "ldap://hostB")
+            .with_referral(dn("c=in,o=xyz"), "ldap://hostC");
+        net.add_server(Server::new("ldap://hostA", dit_a, vec![ctx_a], None));
+
+        // hostB: the research subtree.
+        let mut dit_b = DitStore::new();
+        dit_b.add_suffix(dn("ou=research,c=us,o=xyz"));
+        dit_b
+            .add(Entry::new(dn("ou=research,c=us,o=xyz")).with("objectclass", "organizationalUnit"))
+            .unwrap();
+        for name in ["John Doe", "Carl Miller", "John Smith"] {
+            dit_b
+                .add(
+                    Entry::new(dn(&format!("cn={name},ou=research,c=us,o=xyz")))
+                        .with("objectclass", "person")
+                        .with("cn", name),
+                )
+                .unwrap();
+        }
+        let ctx_b = NamingContext::new(dn("ou=research,c=us,o=xyz"));
+        net.add_server(Server::new(
+            "ldap://hostB",
+            dit_b,
+            vec![ctx_b],
+            Some("ldap://hostA".into()),
+        ));
+
+        // hostC: the India subtree.
+        let mut dit_c = DitStore::new();
+        dit_c.add_suffix(dn("c=in,o=xyz"));
+        dit_c.add(Entry::new(dn("c=in,o=xyz")).with("objectclass", "country")).unwrap();
+        dit_c
+            .add(Entry::new(dn("cn=Asha Rao,c=in,o=xyz")).with("objectclass", "person"))
+            .unwrap();
+        let ctx_c = NamingContext::new(dn("c=in,o=xyz"));
+        net.add_server(Server::new(
+            "ldap://hostC",
+            dit_c,
+            vec![ctx_c],
+            Some("ldap://hostA".into()),
+        ));
+        net
+    }
+
+    #[test]
+    fn figure2_walkthrough_costs_four_round_trips() {
+        let net = figure2_network();
+        let mut client = net.client();
+        // Client sends the subtree search for o=xyz to hostB, as in the
+        // paper's walkthrough.
+        let req = SearchRequest::new(dn("o=xyz"), Scope::Subtree, Filter::match_all());
+        let result = client.search("ldap://hostB", &req).unwrap();
+        // hostB → default referral; hostA → 3 entries + 2 continuations;
+        // hostB and hostC → remaining entries. Four round trips total.
+        assert_eq!(result.stats.round_trips, 4);
+        assert_eq!(result.stats.referrals_received, 3); // 1 default + 2 continuations
+        assert_eq!(result.entries.len(), 3 + 4 + 2);
+    }
+
+    #[test]
+    fn direct_hit_is_one_round_trip() {
+        let net = figure2_network();
+        let mut client = net.client();
+        let req = SearchRequest::new(dn("ou=research,c=us,o=xyz"), Scope::Subtree, Filter::match_all());
+        let result = client.search("ldap://hostB", &req).unwrap();
+        assert_eq!(result.stats.round_trips, 1);
+        assert_eq!(result.entries.len(), 4);
+        assert_eq!(result.stats.referrals_received, 0);
+    }
+
+    #[test]
+    fn filtered_distributed_search() {
+        let net = figure2_network();
+        let mut client = net.client();
+        let req = SearchRequest::new(dn("o=xyz"), Scope::Subtree, Filter::parse("(cn=John*)").unwrap());
+        let result = client.search("ldap://hostA", &req).unwrap();
+        let mut names: Vec<String> = result
+            .entries
+            .iter()
+            .map(|e| e.dn().rdn().unwrap().value().raw().to_owned())
+            .collect();
+        names.sort();
+        assert_eq!(names, ["John Doe", "John Smith"]);
+        // hostA + 2 continuations = 3 round trips.
+        assert_eq!(result.stats.round_trips, 3);
+    }
+
+    #[test]
+    fn unknown_base_errors() {
+        let net = figure2_network();
+        let mut client = net.client();
+        let req = SearchRequest::new(dn("o=absent"), Scope::Subtree, Filter::match_all());
+        match client.search("ldap://hostB", &req) {
+            Err(NetError::NoSuchObject(_)) => {}
+            other => panic!("expected NoSuchObject, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_server_errors() {
+        let net = figure2_network();
+        let mut client = net.client();
+        let req = SearchRequest::new(dn("o=xyz"), Scope::Subtree, Filter::match_all());
+        assert!(matches!(
+            client.search("ldap://nowhere", &req),
+            Err(NetError::UnknownServer(_))
+        ));
+    }
+
+    #[test]
+    fn lifetime_stats_accumulate() {
+        let net = figure2_network();
+        let mut client = net.client();
+        let req = SearchRequest::new(dn("c=in,o=xyz"), Scope::Subtree, Filter::match_all());
+        client.search("ldap://hostC", &req).unwrap();
+        client.search("ldap://hostC", &req).unwrap();
+        assert_eq!(client.lifetime_stats().round_trips, 2);
+        assert_eq!(client.lifetime_stats().entries_returned, 4);
+    }
+
+    #[test]
+    fn referral_loop_detected() {
+        // Two servers pointing default referrals at each other, neither
+        // holding the base.
+        let mut net = Network::new();
+        let mk = |url: &str, other: &str| {
+            let mut dit = DitStore::new();
+            dit.add_suffix(dn("o=q"));
+            Server::new(url, dit, vec![NamingContext::new(dn("o=q"))], Some(other.into()))
+        };
+        net.add_server(mk("ldap://x", "ldap://y"));
+        net.add_server(mk("ldap://y", "ldap://x"));
+        let mut client = net.client();
+        let req = SearchRequest::new(dn("o=zz"), Scope::Subtree, Filter::match_all());
+        assert!(matches!(client.search("ldap://x", &req), Err(NetError::ReferralLoop(_))));
+    }
+}

@@ -1,0 +1,82 @@
+//! Network cost model and per-operation statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Cost parameters for the simulated network.
+///
+/// Defaults model a WAN client against a remote master (the scenario that
+/// motivates partial replication): 50 ms round-trip time.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Client↔server round-trip time in milliseconds.
+    pub rtt_ms: f64,
+    /// Fixed per-PDU overhead in bytes (envelope, message id, controls).
+    pub pdu_overhead: usize,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel { rtt_ms: 50.0, pdu_overhead: 16 }
+    }
+}
+
+impl CostModel {
+    /// A LAN-ish model (1 ms RTT) for replica-local traffic.
+    pub fn lan() -> Self {
+        CostModel { rtt_ms: 1.0, pdu_overhead: 16 }
+    }
+
+    /// Estimated elapsed time for an operation that took `round_trips`
+    /// sequential round trips.
+    pub fn elapsed_ms(&self, round_trips: u64) -> f64 {
+        self.rtt_ms * round_trips as f64
+    }
+}
+
+/// Accumulated statistics for one or more distributed operations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpStats {
+    /// Sequential request/response exchanges with any server.
+    pub round_trips: u64,
+    /// Entry PDUs received.
+    pub entries_returned: u64,
+    /// Referral / continuation-reference PDUs received.
+    pub referrals_received: u64,
+    /// Request bytes sent (including per-PDU overhead).
+    pub bytes_sent: u64,
+    /// Response bytes received (entries + referrals + overhead).
+    pub bytes_received: u64,
+}
+
+impl OpStats {
+    /// Merges another operation's statistics into this one.
+    pub fn absorb(&mut self, other: &OpStats) {
+        self.round_trips += other.round_trips;
+        self.entries_returned += other.entries_returned;
+        self.referrals_received += other.referrals_received;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_scales_with_round_trips() {
+        let m = CostModel::default();
+        assert_eq!(m.elapsed_ms(4), 200.0);
+        assert!(CostModel::lan().elapsed_ms(4) < m.elapsed_ms(1));
+    }
+
+    #[test]
+    fn absorb_sums_fields() {
+        let mut a = OpStats { round_trips: 1, entries_returned: 3, ..OpStats::default() };
+        let b = OpStats { round_trips: 2, referrals_received: 1, ..OpStats::default() };
+        a.absorb(&b);
+        assert_eq!(a.round_trips, 3);
+        assert_eq!(a.entries_returned, 3);
+        assert_eq!(a.referrals_received, 1);
+    }
+}

@@ -1,0 +1,214 @@
+//! A directory server holding one or more naming contexts.
+
+use fbdr_dit::{DitStore, NamingContext};
+use fbdr_ldap::{Dn, Entry, Scope, SearchRequest};
+
+/// How a server responds to a search request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerOutcome {
+    /// The server does not hold the target base: the client should retry
+    /// at this URL (a *default referral*, used for distributed name
+    /// resolution).
+    DefaultReferral(String),
+    /// The server does not hold the target base and has nowhere to point.
+    NoSuchObject,
+    /// Entries from the locally held part of the region, plus continuation
+    /// references `(new base, server url)` for subordinate naming contexts
+    /// that intersect the search region.
+    Results {
+        /// Locally matching entries.
+        entries: Vec<Entry>,
+        /// Continuation references the client must chase.
+        continuations: Vec<(Dn, String)>,
+    },
+}
+
+/// One LDAP server: a DIT store plus the naming contexts it masters and an
+/// optional default referral pointing at a superior server.
+///
+/// Implements [`DirectoryService`](crate::DirectoryService), so it can be
+/// added to a [`Network`](crate::Network) alongside replicas and other
+/// custom nodes.
+#[derive(Debug)]
+pub struct Server {
+    url: String,
+    dit: DitStore,
+    contexts: Vec<NamingContext>,
+    default_referral: Option<String>,
+}
+
+impl Server {
+    /// Creates a server.
+    pub fn new(
+        url: impl Into<String>,
+        dit: DitStore,
+        contexts: Vec<NamingContext>,
+        default_referral: Option<String>,
+    ) -> Self {
+        Server { url: url.into(), dit, contexts, default_referral }
+    }
+
+    /// The server's URL (its identity in the network).
+    pub fn url(&self) -> &str {
+        &self.url
+    }
+
+    /// The naming contexts this server masters.
+    pub fn contexts(&self) -> &[NamingContext] {
+        &self.contexts
+    }
+
+    /// The server's DIT store.
+    pub fn dit(&self) -> &DitStore {
+        &self.dit
+    }
+
+    /// Mutable access to the DIT (to apply updates in tests/workloads).
+    pub fn dit_mut(&mut self) -> &mut DitStore {
+        &mut self.dit
+    }
+
+    /// Handles one search request, without any referral chasing — that is
+    /// the client's job.
+    pub fn handle_search(&self, req: &SearchRequest) -> ServerOutcome {
+        // Name resolution: find the context holding the base object. A
+        // *topmost* server (one with no superior to refer to) additionally
+        // answers searches based above its suffixes — the root-based
+        // queries minimally directory-enabled applications issue (§3.1.1)
+        // — over every context inside the search region. Subordinate
+        // servers instead punt such searches to their superior.
+        let holder = self.contexts.iter().find(|c| c.holds(req.base()));
+        let relevant: Vec<&NamingContext> = match holder {
+            Some(c) => vec![c],
+            None if self.default_referral.is_none() => self
+                .contexts
+                .iter()
+                .filter(|c| req.base().is_ancestor_of(c.suffix()))
+                .collect(),
+            None => Vec::new(),
+        };
+        if relevant.is_empty() {
+            // If the base sits inside a referral subtree of one of our
+            // contexts, point at the subordinate server directly.
+            for c in &self.contexts {
+                for (rdn, url) in c.referrals() {
+                    if rdn.is_ancestor_or_self_of(req.base()) {
+                        return ServerOutcome::DefaultReferral(url.clone());
+                    }
+                }
+            }
+            return match &self.default_referral {
+                Some(url) => ServerOutcome::DefaultReferral(url.clone()),
+                None => ServerOutcome::NoSuchObject,
+            };
+        }
+        let entries = self.dit.search(req);
+        let mut continuations = Vec::new();
+        for ctx in relevant {
+            match req.scope() {
+                Scope::Base => {}
+                Scope::OneLevel => continuations.extend(
+                    ctx.referrals_under(req.base())
+                        .filter(|(dn, _)| req.base().is_parent_of(dn))
+                        .cloned(),
+                ),
+                Scope::Subtree => {
+                    continuations.extend(ctx.referrals_under(req.base()).cloned())
+                }
+            }
+        }
+        ServerOutcome::Results { entries, continuations }
+    }
+}
+
+impl crate::DirectoryService for Server {
+    fn url(&self) -> &str {
+        Server::url(self)
+    }
+
+    fn handle_search(&self, req: &SearchRequest) -> ServerOutcome {
+        Server::handle_search(self, req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbdr_ldap::Filter;
+
+    fn dn(s: &str) -> Dn {
+        s.parse().unwrap()
+    }
+
+    fn host_a() -> Server {
+        let mut dit = DitStore::new();
+        dit.add_suffix(dn("o=xyz"));
+        dit.add(Entry::new(dn("o=xyz")).with("objectclass", "organization")).unwrap();
+        dit.add(Entry::new(dn("c=us,o=xyz")).with("objectclass", "country")).unwrap();
+        dit.add(Entry::new(dn("cn=Fred Jones,c=us,o=xyz")).with("objectclass", "person")).unwrap();
+        let ctx = NamingContext::new(dn("o=xyz"))
+            .with_referral(dn("ou=research,c=us,o=xyz"), "ldap://hostB")
+            .with_referral(dn("c=in,o=xyz"), "ldap://hostC");
+        Server::new("ldap://hostA", dit, vec![ctx], None)
+    }
+
+    #[test]
+    fn holds_base_returns_local_entries_and_continuations() {
+        let a = host_a();
+        let req = SearchRequest::new(dn("o=xyz"), Scope::Subtree, Filter::match_all());
+        match a.handle_search(&req) {
+            ServerOutcome::Results { entries, continuations } => {
+                assert_eq!(entries.len(), 3);
+                assert_eq!(continuations.len(), 2);
+            }
+            other => panic!("expected results, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_base_gives_default_referral() {
+        let mut dit = DitStore::new();
+        dit.add_suffix(dn("ou=research,c=us,o=xyz"));
+        let ctx = NamingContext::new(dn("ou=research,c=us,o=xyz"));
+        let b = Server::new("ldap://hostB", dit, vec![ctx], Some("ldap://hostA".into()));
+        let req = SearchRequest::new(dn("o=xyz"), Scope::Subtree, Filter::match_all());
+        assert_eq!(
+            b.handle_search(&req),
+            ServerOutcome::DefaultReferral("ldap://hostA".into())
+        );
+    }
+
+    #[test]
+    fn base_inside_referral_subtree_points_at_subordinate() {
+        let a = host_a();
+        let req = SearchRequest::new(
+            dn("cn=x,ou=research,c=us,o=xyz"),
+            Scope::Base,
+            Filter::match_all(),
+        );
+        assert_eq!(
+            a.handle_search(&req),
+            ServerOutcome::DefaultReferral("ldap://hostB".into())
+        );
+    }
+
+    #[test]
+    fn no_default_referral_is_no_such_object() {
+        let a = host_a();
+        let req = SearchRequest::new(dn("o=abc"), Scope::Subtree, Filter::match_all());
+        assert_eq!(a.handle_search(&req), ServerOutcome::NoSuchObject);
+    }
+
+    #[test]
+    fn base_scope_has_no_continuations() {
+        let a = host_a();
+        let req = SearchRequest::new(dn("o=xyz"), Scope::Base, Filter::match_all());
+        match a.handle_search(&req) {
+            ServerOutcome::Results { entries, continuations } => {
+                assert_eq!(entries.len(), 1);
+                assert!(continuations.is_empty());
+            }
+            other => panic!("expected results, got {other:?}"),
+        }
+    }
+}

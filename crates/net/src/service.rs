@@ -1,0 +1,73 @@
+//! The service abstraction: anything that can answer (or refer) searches
+//! can be a node in the [`Network`](crate::Network) — a master
+//! [`Server`](crate::Server) holding naming contexts, or a partial
+//! replica that answers contained queries and refers everything else.
+
+use crate::server::ServerOutcome;
+use fbdr_ldap::SearchRequest;
+
+/// A directory node addressable by URL in a [`Network`](crate::Network).
+///
+/// Implementations must be `Send + Sync` so one network can serve
+/// concurrent clients from multiple threads.
+pub trait DirectoryService: std::fmt::Debug + Send + Sync {
+    /// The node's URL (its identity in the network).
+    fn url(&self) -> &str;
+
+    /// Handles one search request; referral chasing is the client's job.
+    fn handle_search(&self, req: &SearchRequest) -> ServerOutcome;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Network, Server};
+    use fbdr_dit::{DitStore, NamingContext};
+    use fbdr_ldap::{Entry, Filter, Scope};
+
+    /// A minimal custom service: answers nothing, always refers.
+    #[derive(Debug)]
+    struct AlwaysRefer {
+        url: String,
+        target: String,
+    }
+
+    impl DirectoryService for AlwaysRefer {
+        fn url(&self) -> &str {
+            &self.url
+        }
+
+        fn handle_search(&self, _req: &SearchRequest) -> ServerOutcome {
+            ServerOutcome::DefaultReferral(self.target.clone())
+        }
+    }
+
+    #[test]
+    fn custom_services_participate_in_referral_chasing() {
+        let mut dit = DitStore::new();
+        dit.add_suffix("o=xyz".parse().unwrap());
+        dit.add(Entry::new("o=xyz".parse().unwrap()).with("objectclass", "organization"))
+            .unwrap();
+        let mut net = Network::new();
+        net.add_server(Server::new(
+            "ldap://master",
+            dit,
+            vec![NamingContext::new("o=xyz".parse().unwrap())],
+            None,
+        ));
+        net.add_service(Box::new(AlwaysRefer {
+            url: "ldap://edge".into(),
+            target: "ldap://master".into(),
+        }));
+
+        let req = SearchRequest::new(
+            "o=xyz".parse().unwrap(),
+            Scope::Subtree,
+            Filter::match_all(),
+        );
+        let mut client = net.client();
+        let res = client.search("ldap://edge", &req).unwrap();
+        assert_eq!(res.entries.len(), 1);
+        assert_eq!(res.stats.round_trips, 2); // edge refers, master answers
+    }
+}

@@ -1,0 +1,162 @@
+//! Property tests for the distributed directory: referral chasing must be
+//! *complete* (collect exactly the entries a global view would return) and
+//! must terminate on arbitrary partitions of a random tree.
+
+use fbdr_dit::{DitStore, NamingContext};
+use fbdr_ldap::{Dn, Entry, Filter, Scope, SearchRequest};
+use fbdr_net::{Network, Server};
+use proptest::prelude::*;
+
+/// A random two-level DIT under o=xyz: containers `ou=o<i>` with leaves
+/// `cn=e<j>`. `cut(i)` decides whether container subtree `i` is delegated
+/// to its own server.
+#[derive(Debug, Clone)]
+struct World {
+    containers: Vec<usize>, // leaves per container
+    cuts: Vec<bool>,        // delegated?
+}
+
+fn world() -> impl Strategy<Value = World> {
+    (
+        prop::collection::vec(0usize..5, 1..6),
+        prop::collection::vec(any::<bool>(), 6),
+    )
+        .prop_map(|(containers, cuts)| World { containers, cuts })
+}
+
+fn dn(s: &str) -> Dn {
+    s.parse().expect("valid dn")
+}
+
+fn leaf_entry(ci: usize, j: usize) -> Entry {
+    Entry::new(dn(&format!("cn=e{ci}x{j},ou=o{ci},o=xyz")))
+        .with("objectclass", "person")
+        .with("tag", &format!("{}", (ci + j) % 3))
+}
+
+/// Builds the partitioned network plus a flat global store for oracle
+/// comparison.
+fn build(w: &World) -> (Network, DitStore) {
+    let mut global = DitStore::new();
+    global.add_suffix(dn("o=xyz"));
+    global.add(Entry::new(dn("o=xyz"))).expect("add root");
+
+    let mut root_dit = DitStore::new();
+    root_dit.add_suffix(dn("o=xyz"));
+    root_dit.add(Entry::new(dn("o=xyz"))).expect("add root");
+    let mut root_ctx = NamingContext::new(dn("o=xyz"));
+    let mut subordinate_servers: Vec<Server> = Vec::new();
+
+    for (ci, &leaves) in w.containers.iter().enumerate() {
+        let container = Entry::new(dn(&format!("ou=o{ci},o=xyz"))).with("objectclass", "organizationalUnit");
+        global.add(container.clone()).expect("add container");
+        let delegated = w.cuts.get(ci).copied().unwrap_or(false);
+        if delegated {
+            let url = format!("ldap://sub{ci}");
+            root_ctx = root_ctx.with_referral(dn(&format!("ou=o{ci},o=xyz")), url.clone());
+            let mut sub_dit = DitStore::new();
+            sub_dit.add_suffix(dn(&format!("ou=o{ci},o=xyz")));
+            sub_dit.add(container).expect("add container");
+            for j in 0..leaves {
+                let e = leaf_entry(ci, j);
+                global.add(e.clone()).expect("add leaf");
+                sub_dit.add(e).expect("add leaf");
+            }
+            subordinate_servers.push(Server::new(
+                url,
+                sub_dit,
+                vec![NamingContext::new(dn(&format!("ou=o{ci},o=xyz")))],
+                Some("ldap://root".into()),
+            ));
+        } else {
+            root_dit.add(container).expect("add container");
+            for j in 0..leaves {
+                let e = leaf_entry(ci, j);
+                global.add(e.clone()).expect("add leaf");
+                root_dit.add(e).expect("add leaf");
+            }
+        }
+    }
+    let mut net = Network::new();
+    net.add_server(Server::new("ldap://root", root_dit, vec![root_ctx], None));
+    for s in subordinate_servers {
+        net.add_server(s);
+    }
+    (net, global)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The referral-chasing client collects exactly the global answer,
+    /// from any starting server.
+    #[test]
+    fn chased_search_is_complete(w in world(), tag in 0usize..3, start_at_sub in any::<bool>()) {
+        let (net, global) = build(&w);
+        let req = SearchRequest::new(
+            dn("o=xyz"),
+            Scope::Subtree,
+            Filter::parse(&format!("(tag={tag})")).expect("valid filter"),
+        );
+        let mut want: Vec<String> = global
+            .search_dns(&req)
+            .iter()
+            .map(|d| d.to_string())
+            .collect();
+        want.sort();
+
+        let start = if start_at_sub {
+            net.urls().find(|u| u.starts_with("ldap://sub")).unwrap_or("ldap://root").to_owned()
+        } else {
+            "ldap://root".to_owned()
+        };
+        let mut client = net.client();
+        let result = client.search(&start, &req).expect("resolvable topology");
+        let mut got: Vec<String> = result.entries.iter().map(|e| e.dn().to_string()).collect();
+        got.sort();
+        prop_assert_eq!(got, want, "incomplete result from {}", start);
+        // Round trips: one per server touched, plus at most one default
+        // referral hop for name resolution.
+        let delegated = w.cuts.iter().take(w.containers.len()).filter(|&&c| c).count() as u64;
+        prop_assert!(result.stats.round_trips <= delegated + 2);
+    }
+
+    /// Base and one-level scopes are also complete across partitions.
+    #[test]
+    fn scoped_searches_complete(w in world()) {
+        let (net, global) = build(&w);
+        for req in [
+            SearchRequest::new(dn("o=xyz"), Scope::OneLevel, Filter::match_all()),
+            SearchRequest::new(dn("o=xyz"), Scope::Base, Filter::match_all()),
+        ] {
+            let mut want: Vec<String> =
+                global.search_dns(&req).iter().map(|d| d.to_string()).collect();
+            want.sort();
+            let mut client = net.client();
+            let result = client.search("ldap://root", &req).expect("resolvable");
+            let mut got: Vec<String> =
+                result.entries.iter().map(|e| e.dn().to_string()).collect();
+            got.sort();
+            prop_assert_eq!(got, want, "scope {:?}", req.scope());
+        }
+    }
+
+    /// Entry lookups inside a delegated subtree resolve from anywhere.
+    #[test]
+    fn base_lookup_in_delegated_subtree(w in world()) {
+        let Some(ci) = w.cuts.iter().take(w.containers.len()).position(|&c| c) else {
+            return Ok(()); // nothing delegated in this world
+        };
+        if w.containers[ci] == 0 {
+            return Ok(());
+        }
+        let (net, global) = build(&w);
+        let target = dn(&format!("cn=e{ci}x0,ou=o{ci},o=xyz"));
+        prop_assume!(global.contains(&target));
+        let req = SearchRequest::new(target.clone(), Scope::Base, Filter::match_all());
+        let mut client = net.client();
+        let result = client.search("ldap://root", &req).expect("resolvable");
+        prop_assert_eq!(result.entries.len(), 1);
+        prop_assert_eq!(result.entries[0].dn(), &target);
+    }
+}

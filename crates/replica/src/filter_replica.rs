@@ -1,0 +1,797 @@
+//! The filter-based replication model (the paper's contribution).
+
+use crate::stats::ReplicaStats;
+use crossbeam::channel::Receiver;
+use fbdr_containment::{ContainmentEngine, EngineStats, PreparedQuery};
+use fbdr_ldap::{Entry, SearchRequest};
+use fbdr_resync::{Cookie, ReSyncControl, SyncAction, SyncError, SyncMaster, SyncTraffic};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Why a query's content is stored in the replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoredQueryKind {
+    /// A generalized filter, statically or dynamically selected, kept in
+    /// sync with the master via ReSync.
+    Generalized,
+    /// A recently performed user query, cached for temporal locality and
+    /// *not* updated (§7.4) — evicted FIFO from a fixed window.
+    Cached,
+}
+
+#[derive(Debug)]
+struct StoredQuery {
+    prepared: PreparedQuery,
+    cookie: Option<Cookie>,
+    dns: HashSet<String>,
+    hits: u64,
+    /// Live notification channel for persist-mode filters.
+    notifications: Option<Receiver<SyncAction>>,
+}
+
+/// A filter-based replica: entries satisfying one or more stored LDAP
+/// queries plus the meta information (search specifications) needed to
+/// decide answerability by semantic containment.
+///
+/// Entries are stored once and shared between overlapping stored queries;
+/// [`FilterReplica::entry_count`] is the replica-size metric of Figures
+/// 4–7, and [`FilterReplica::stored_query_count`] the x-axis of Figures
+/// 8–9.
+#[derive(Debug)]
+pub struct FilterReplica {
+    filters: Vec<StoredQuery>,
+    cache: VecDeque<StoredQuery>,
+    cache_window: usize,
+    entries: HashMap<String, Entry>,
+    refcount: HashMap<String, usize>,
+    engine: ContainmentEngine,
+    stats: ReplicaStats,
+}
+
+impl FilterReplica {
+    /// Creates a replica that caches up to `cache_window` recent user
+    /// queries (0 disables query caching).
+    pub fn new(cache_window: usize) -> Self {
+        FilterReplica {
+            filters: Vec::new(),
+            cache: VecDeque::new(),
+            cache_window,
+            entries: HashMap::new(),
+            refcount: HashMap::new(),
+            engine: ContainmentEngine::new(),
+            stats: ReplicaStats::default(),
+        }
+    }
+
+    /// Number of distinct entries stored (replica size).
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of stored queries (generalized + cached) — the §7.4
+    /// processing-overhead driver.
+    pub fn stored_query_count(&self) -> usize {
+        self.filters.len() + self.cache.len()
+    }
+
+    /// Number of synchronized generalized filters.
+    pub fn filter_count(&self) -> usize {
+        self.filters.len()
+    }
+
+    /// Number of cached user queries currently held.
+    pub fn cached_query_count(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Hit statistics.
+    pub fn stats(&self) -> ReplicaStats {
+        self.stats
+    }
+
+    /// Resets hit statistics (e.g. after the training day).
+    pub fn reset_stats(&mut self) {
+        self.stats = ReplicaStats::default();
+    }
+
+    /// Containment-engine work counters (for §7.4).
+    pub fn engine_stats(&self) -> EngineStats {
+        self.engine.stats()
+    }
+
+    /// The stored generalized filters with their accumulated hit counts.
+    pub fn filters(&self) -> impl Iterator<Item = (&SearchRequest, u64)> {
+        self.filters.iter().map(|s| (s.prepared.request(), s.hits))
+    }
+
+    // ------------------------------------------------------------------
+    // Filter management (replica content determination, §6)
+    // ------------------------------------------------------------------
+
+    /// Installs a generalized filter: starts a ReSync session at the
+    /// master and loads the initial content. Returns the load traffic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SyncError`] from the master.
+    pub fn install_filter(
+        &mut self,
+        master: &mut SyncMaster,
+        request: SearchRequest,
+    ) -> Result<SyncTraffic, SyncError> {
+        let resp = master.resync(&request, ReSyncControl::poll(None))?;
+        let traffic = resp.traffic();
+        let mut sq = StoredQuery {
+            prepared: PreparedQuery::new(request),
+            cookie: resp.cookie,
+            dns: HashSet::new(),
+            hits: 0,
+            notifications: None,
+        };
+        self.apply_actions(&mut sq, &resp.actions);
+        self.filters.push(sq);
+        Ok(traffic)
+    }
+
+    /// Installs a generalized filter in *persist* mode: the master streams
+    /// change notifications over an open channel instead of waiting for
+    /// polls; [`FilterReplica::drain_notifications`] applies whatever has
+    /// arrived. This is the persistent-search-style strong(er) consistency
+    /// option of §5.2, at the cost of one open connection per filter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SyncError`] from the master.
+    pub fn install_filter_persistent(
+        &mut self,
+        master: &mut SyncMaster,
+        request: SearchRequest,
+    ) -> Result<SyncTraffic, SyncError> {
+        let (resp, rx) = master.resync_persist(&request, None)?;
+        let traffic = resp.traffic();
+        let mut sq = StoredQuery {
+            prepared: PreparedQuery::new(request),
+            cookie: resp.cookie,
+            dns: HashSet::new(),
+            hits: 0,
+            notifications: Some(rx),
+        };
+        self.apply_actions(&mut sq, &resp.actions);
+        self.filters.push(sq);
+        Ok(traffic)
+    }
+
+    /// Applies every pending persist-mode notification across all
+    /// persistent filters. Returns the traffic the notifications
+    /// represent.
+    pub fn drain_notifications(&mut self) -> SyncTraffic {
+        let mut traffic = SyncTraffic::default();
+        let mut filters = std::mem::take(&mut self.filters);
+        for sq in &mut filters {
+            if let Some(rx) = &sq.notifications {
+                let pending: Vec<SyncAction> = rx.try_iter().collect();
+                for a in &pending {
+                    traffic.count(a);
+                }
+                self.apply_actions(sq, &pending);
+            }
+        }
+        self.filters = filters;
+        traffic
+    }
+
+    /// Removes a generalized filter (revolution eviction), ending its sync
+    /// session and garbage-collecting entries no other stored query needs.
+    /// Returns true if the filter was present.
+    pub fn remove_filter(&mut self, master: &mut SyncMaster, request: &SearchRequest) -> bool {
+        let Some(pos) = self
+            .filters
+            .iter()
+            .position(|s| s.prepared.request() == request)
+        else {
+            return false;
+        };
+        let sq = self.filters.remove(pos);
+        if let Some(c) = sq.cookie {
+            master.abandon(c);
+        }
+        for dn in &sq.dns {
+            self.unref(dn);
+        }
+        true
+    }
+
+    /// Polls the master for every synchronized filter and applies the
+    /// updates. Returns the total resync traffic — component (i) of the
+    /// filter replica's update traffic (§7.3).
+    ///
+    /// When the master has expired a session (its §5.2 admin time limit),
+    /// the filter recovers automatically: a fresh session is established
+    /// and the content reloaded from scratch (stale entries are dropped).
+    ///
+    /// # Errors
+    ///
+    /// Propagates other [`SyncError`]s; filters synced before the failure
+    /// keep their updates.
+    pub fn sync(&mut self, master: &mut SyncMaster) -> Result<SyncTraffic, SyncError> {
+        let mut total = SyncTraffic::default();
+        let mut filters = std::mem::take(&mut self.filters);
+        for sq in &mut filters {
+            let resp = match master.resync(sq.prepared.request(), ReSyncControl::poll(sq.cookie)) {
+                Ok(resp) => resp,
+                Err(SyncError::UnknownCookie(_)) => {
+                    // Session expired at the master: start over with a
+                    // full reload of this filter's content.
+                    match master.resync(sq.prepared.request(), ReSyncControl::poll(None)) {
+                        Ok(resp) => {
+                            let old: Vec<String> = sq.dns.drain().collect();
+                            for dn in old {
+                                self.unref(&dn);
+                            }
+                            sq.cookie = resp.cookie;
+                            resp
+                        }
+                        Err(e) => {
+                            self.filters = filters;
+                            return Err(e);
+                        }
+                    }
+                }
+                Err(e) => {
+                    self.filters = filters;
+                    return Err(e);
+                }
+            };
+            total.absorb(&resp.traffic());
+            let actions = resp.actions;
+            self.apply_actions(sq, &actions);
+        }
+        self.filters = filters;
+        Ok(total)
+    }
+
+    /// Polls the master for a *single* stored filter, leaving the others
+    /// untouched. This is what lets a deployment give different object
+    /// types different consistency levels (§3.2): hot, volatile filters
+    /// can poll frequently while stable ones poll rarely — something a
+    /// subtree replica cannot do, since one subtree mixes object types.
+    ///
+    /// Returns `Ok(None)` when `request` is not a stored filter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SyncError`] from the master.
+    pub fn sync_filter(
+        &mut self,
+        master: &mut SyncMaster,
+        request: &SearchRequest,
+    ) -> Result<Option<SyncTraffic>, SyncError> {
+        let Some(pos) = self
+            .filters
+            .iter()
+            .position(|s| s.prepared.request() == request)
+        else {
+            return Ok(None);
+        };
+        let mut sq = self.filters.remove(pos);
+        let resp = master.resync(sq.prepared.request(), ReSyncControl::poll(sq.cookie));
+        match resp {
+            Ok(resp) => {
+                let traffic = resp.traffic();
+                self.apply_actions(&mut sq, &resp.actions);
+                self.filters.insert(pos, sq);
+                Ok(Some(traffic))
+            }
+            Err(e) => {
+                self.filters.insert(pos, sq);
+                Err(e)
+            }
+        }
+    }
+
+    /// Caches a recently performed user query and its result (fetched from
+    /// the master after a miss). Evicts the oldest cached query beyond the
+    /// window. Cached queries are not synchronized.
+    pub fn cache_query(&mut self, request: SearchRequest, result: &[Entry]) {
+        if self.cache_window == 0 {
+            return;
+        }
+        let mut sq = StoredQuery {
+            prepared: PreparedQuery::new(request),
+            cookie: None,
+            dns: HashSet::new(),
+            hits: 0,
+            notifications: None,
+        };
+        for e in result {
+            let k = key(e);
+            if sq.dns.insert(k.clone()) {
+                *self.refcount.entry(k.clone()).or_insert(0) += 1;
+                self.entries.insert(k, e.clone());
+            }
+        }
+        self.cache.push_back(sq);
+        while self.cache.len() > self.cache_window {
+            let old = self.cache.pop_front().expect("len checked");
+            for dn in &old.dns {
+                self.unref(dn);
+            }
+        }
+    }
+
+    /// Drops all cached user queries.
+    pub fn clear_query_cache(&mut self) {
+        while let Some(old) = self.cache.pop_front() {
+            for dn in &old.dns {
+                self.unref(dn);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Query answering
+    // ------------------------------------------------------------------
+
+    /// Tries to answer a query locally: the query must be semantically
+    /// contained (`QC`) in some stored query. Returns the locally
+    /// evaluated entries on a hit, `None` (→ referral) on a miss.
+    pub fn try_answer(&mut self, query: &SearchRequest) -> Option<Vec<Entry>> {
+        self.stats.queries += 1;
+        let prepared = PreparedQuery::new(query.clone());
+        // Generalized filters first (they are authoritative and synced).
+        for i in 0..self.filters.len() {
+            if self.engine.query_contained(&prepared, &self.filters[i].prepared) {
+                self.filters[i].hits += 1;
+                self.stats.hits += 1;
+                self.stats.generalized_hits += 1;
+                let dns = self.filters[i].dns.clone();
+                return Some(self.evaluate(query, &dns));
+            }
+        }
+        for i in 0..self.cache.len() {
+            if self.engine.query_contained(&prepared, &self.cache[i].prepared) {
+                self.cache[i].hits += 1;
+                self.stats.hits += 1;
+                self.stats.cache_hits += 1;
+                let dns = self.cache[i].dns.clone();
+                return Some(self.evaluate(query, &dns));
+            }
+        }
+        None
+    }
+
+    /// Tries to answer a query from the **union** of stored generalized
+    /// filters — an extension beyond the paper, which only checks
+    /// containment in a single stored query (§3.4.2). A query like
+    /// `(|(serialNumber=0456*)(serialNumber=0457*))` is answerable when
+    /// each branch is covered by a different stored filter.
+    ///
+    /// The check is sound: the query region must lie inside every
+    /// contributing filter's region, and the query filter must be
+    /// contained (general Prop 1 procedure) in the disjunction of the
+    /// contributing filters. Returns `None` on a miss; does not consult
+    /// the query cache. Statistics count this as a generalized hit.
+    pub fn try_answer_composed(&mut self, query: &SearchRequest) -> Option<Vec<Entry>> {
+        if let Some(hit) = self.try_answer(query) {
+            return Some(hit);
+        }
+        // Candidates: stored filters whose region and attribute selection
+        // cover the query's (the filter part is checked on the union).
+        let candidates: Vec<usize> = (0..self.filters.len())
+            .filter(|&i| {
+                let s = self.filters[i].prepared.request();
+                fbdr_containment::region_contained(
+                    query.base(),
+                    query.scope(),
+                    s.base(),
+                    s.scope(),
+                ) && query.attrs().is_subset_of(s.attrs())
+            })
+            .collect();
+        if candidates.len() < 2 {
+            return None; // single-filter containment already failed above
+        }
+        let union = fbdr_ldap::Filter::or(
+            candidates
+                .iter()
+                .map(|&i| self.filters[i].prepared.request().filter().clone())
+                .collect(),
+        );
+        if fbdr_containment::filter_contained(query.filter(), &union)
+            != fbdr_containment::Containment::Yes
+        {
+            return None;
+        }
+        // The try_answer call above already counted this query (as a
+        // miss); composition converts it into a hit.
+        self.stats.hits += 1;
+        self.stats.generalized_hits += 1;
+        let mut dns: HashSet<String> = HashSet::new();
+        for &i in &candidates {
+            self.filters[i].hits += 1;
+            dns.extend(self.filters[i].dns.iter().cloned());
+        }
+        Some(self.evaluate(query, &dns))
+    }
+
+    /// Evaluates a query over one stored query's content.
+    fn evaluate(&self, query: &SearchRequest, dns: &HashSet<String>) -> Vec<Entry> {
+        let mut out: Vec<Entry> = dns
+            .iter()
+            .filter_map(|k| self.entries.get(k))
+            .filter(|e| query.matches(e))
+            .map(|e| query.attrs().project(e))
+            .collect();
+        out.sort_by(|a, b| a.dn().cmp(b.dn()));
+        out
+    }
+
+    fn apply_actions(&mut self, sq: &mut StoredQuery, actions: &[SyncAction]) {
+        for a in actions {
+            match a {
+                SyncAction::Add(e) | SyncAction::Modify(e) => {
+                    let k = key(e);
+                    if sq.dns.insert(k.clone()) {
+                        *self.refcount.entry(k.clone()).or_insert(0) += 1;
+                    }
+                    self.entries.insert(k, e.clone());
+                }
+                SyncAction::Delete(dn) => {
+                    let k = dn_key(dn);
+                    if sq.dns.remove(&k) {
+                        self.unref(&k);
+                    }
+                }
+                SyncAction::Retain(_) => {}
+            }
+        }
+    }
+
+    fn unref(&mut self, k: &str) {
+        if let Some(rc) = self.refcount.get_mut(k) {
+            *rc -= 1;
+            if *rc == 0 {
+                self.refcount.remove(k);
+                self.entries.remove(k);
+            }
+        }
+    }
+}
+
+fn key(e: &Entry) -> String {
+    dn_key(e.dn())
+}
+
+fn dn_key(dn: &fbdr_ldap::Dn) -> String {
+    dn.rdns()
+        .iter()
+        .map(|r| format!("{}={}", r.attr().lower(), r.value().normalized()))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbdr_dit::{Modification, UpdateOp};
+    use fbdr_ldap::{Dn, Filter, Scope};
+
+    fn dn(s: &str) -> Dn {
+        s.parse().unwrap()
+    }
+
+    fn person(cn: &str, c: &str, sn: &str, dept: &str) -> Entry {
+        Entry::new(dn(&format!("cn={cn},c={c},o=xyz")))
+            .with("objectclass", "inetOrgPerson")
+            .with("cn", cn)
+            .with("serialNumber", sn)
+            .with("departmentNumber", dept)
+    }
+
+    fn master() -> SyncMaster {
+        let mut m = SyncMaster::new();
+        m.dit_mut().add_suffix(dn("o=xyz"));
+        m.dit_mut().add(Entry::new(dn("o=xyz"))).unwrap();
+        for c in ["us", "in"] {
+            m.dit_mut().add(Entry::new(dn(&format!("c={c},o=xyz")))).unwrap();
+        }
+        for (cn, c, sn, dept) in [
+            ("a", "us", "045611", "2406"),
+            ("b", "us", "045612", "2406"),
+            ("c", "in", "045621", "2407"),
+            ("d", "in", "120001", "9900"),
+        ] {
+            m.dit_mut().add(person(cn, c, sn, dept)).unwrap();
+        }
+        m
+    }
+
+    fn root_query(f: &str) -> SearchRequest {
+        SearchRequest::from_root(Filter::parse(f).unwrap())
+    }
+
+    fn sub_query(base: &str, f: &str) -> SearchRequest {
+        SearchRequest::new(dn(base), Scope::Subtree, Filter::parse(f).unwrap())
+    }
+
+    #[test]
+    fn install_filter_loads_content() {
+        let mut m = master();
+        let mut r = FilterReplica::new(0);
+        let t = r
+            .install_filter(&mut m, root_query("(serialNumber=0456*)"))
+            .unwrap();
+        assert_eq!(t.full_entries, 3);
+        assert_eq!(r.entry_count(), 3);
+        assert_eq!(r.filter_count(), 1);
+    }
+
+    #[test]
+    fn answers_contained_queries_spanning_subtrees() {
+        // §3.1.2: semantic locality is not spatial — the 0456* filter
+        // answers queries for entries in different country subtrees.
+        let mut m = master();
+        let mut r = FilterReplica::new(0);
+        r.install_filter(&mut m, root_query("(serialNumber=0456*)")).unwrap();
+
+        let q_us = root_query("(serialNumber=045611)");
+        let hit = r.try_answer(&q_us).expect("hit");
+        assert_eq!(hit.len(), 1);
+        assert_eq!(hit[0].dn(), &dn("cn=a,c=us,o=xyz"));
+
+        let q_in = root_query("(serialNumber=045621)");
+        let hit = r.try_answer(&q_in).expect("hit across subtrees");
+        assert_eq!(hit[0].dn(), &dn("cn=c,c=in,o=xyz"));
+
+        assert!(r.try_answer(&root_query("(serialNumber=120001)")).is_none());
+        assert_eq!(r.stats().queries, 3);
+        assert_eq!(r.stats().hits, 2);
+        assert_eq!(r.stats().generalized_hits, 2);
+    }
+
+    #[test]
+    fn null_based_queries_answerable() {
+        // §3.1.1: filter replicas can replicate null-based queries.
+        let mut m = master();
+        let mut r = FilterReplica::new(0);
+        r.install_filter(&mut m, root_query("(departmentNumber=240*)")).unwrap();
+        assert!(r.try_answer(&root_query("(departmentNumber=2406)")).is_some());
+        // Narrower base still contained.
+        assert!(r
+            .try_answer(&sub_query("c=us,o=xyz", "(departmentNumber=2406)"))
+            .is_some());
+    }
+
+    #[test]
+    fn narrower_base_filters_results_by_scope() {
+        let mut m = master();
+        let mut r = FilterReplica::new(0);
+        r.install_filter(&mut m, root_query("(serialNumber=0456*)")).unwrap();
+        let q = sub_query("c=in,o=xyz", "(serialNumber=0456*)");
+        let hit = r.try_answer(&q).expect("hit");
+        assert_eq!(hit.len(), 1);
+        assert_eq!(hit[0].dn(), &dn("cn=c,c=in,o=xyz"));
+    }
+
+    #[test]
+    fn sync_propagates_updates() {
+        let mut m = master();
+        let mut r = FilterReplica::new(0);
+        r.install_filter(&mut m, root_query("(departmentNumber=2406)")).unwrap();
+        assert_eq!(r.entry_count(), 2);
+
+        // d moves into the content, a moves out.
+        m.apply(UpdateOp::Modify {
+            dn: dn("cn=d,c=in,o=xyz"),
+            mods: vec![Modification::Replace("departmentNumber".into(), vec!["2406".into()])],
+        })
+        .unwrap();
+        m.apply(UpdateOp::Modify {
+            dn: dn("cn=a,c=us,o=xyz"),
+            mods: vec![Modification::Replace("departmentNumber".into(), vec!["2409".into()])],
+        })
+        .unwrap();
+        let t = r.sync(&mut m).unwrap();
+        assert_eq!(t.full_entries, 1);
+        assert_eq!(t.dn_only, 1);
+        assert_eq!(r.entry_count(), 2);
+        let hit = r.try_answer(&root_query("(departmentNumber=2406)")).unwrap();
+        let dns: Vec<String> = hit.iter().map(|e| e.dn().to_string()).collect();
+        assert_eq!(dns, ["cn=b,c=us,o=xyz", "cn=d,c=in,o=xyz"]);
+    }
+
+    #[test]
+    fn overlapping_filters_share_entries() {
+        let mut m = master();
+        let mut r = FilterReplica::new(0);
+        r.install_filter(&mut m, root_query("(serialNumber=0456*)")).unwrap();
+        r.install_filter(&mut m, root_query("(departmentNumber=2406)")).unwrap();
+        // a and b are in both contents; c only in the serial filter.
+        assert_eq!(r.entry_count(), 3);
+        // Removing one filter keeps shared entries alive.
+        let serial = root_query("(serialNumber=0456*)");
+        assert!(r.remove_filter(&mut m, &serial));
+        assert_eq!(r.filter_count(), 1);
+        assert_eq!(r.entry_count(), 2); // c garbage-collected
+        assert!(r.try_answer(&root_query("(serialNumber=045611)")).is_none());
+        assert!(r.try_answer(&root_query("(departmentNumber=2406)")).is_some());
+    }
+
+    #[test]
+    fn query_cache_window_and_eviction() {
+        let m = master();
+        let mut r = FilterReplica::new(2);
+        // Miss path: caller fetches from master and caches.
+        let q1 = root_query("(serialNumber=045611)");
+        assert!(r.try_answer(&q1).is_none());
+        let res1 = m.dit().search(&q1);
+        r.cache_query(q1.clone(), &res1);
+        assert_eq!(r.cached_query_count(), 1);
+        // Repeat of q1 now hits the cache.
+        assert!(r.try_answer(&q1).is_some());
+        assert_eq!(r.stats().cache_hits, 1);
+
+        // Two more cached queries evict q1 (window = 2).
+        for f in ["(serialNumber=045612)", "(serialNumber=120001)"] {
+            let q = root_query(f);
+            let res = m.dit().search(&q);
+            r.cache_query(q, &res);
+        }
+        assert_eq!(r.cached_query_count(), 2);
+        assert!(r.try_answer(&q1).is_none(), "q1 should be evicted");
+    }
+
+    #[test]
+    fn clear_query_cache_drops_entries() {
+        let m = master();
+        let mut r = FilterReplica::new(4);
+        let q = root_query("(serialNumber=045611)");
+        let res = m.dit().search(&q);
+        r.cache_query(q, &res);
+        assert_eq!(r.entry_count(), 1);
+        r.clear_query_cache();
+        assert_eq!(r.entry_count(), 0);
+        assert_eq!(r.cached_query_count(), 0);
+    }
+
+    #[test]
+    fn composed_answering_covers_unions() {
+        let mut m = master();
+        let mut r = FilterReplica::new(0);
+        r.install_filter(&mut m, root_query("(serialNumber=0456*)")).unwrap();
+        r.install_filter(&mut m, root_query("(serialNumber=12*)")).unwrap();
+
+        // Neither stored filter alone contains this disjunction, but
+        // their union does.
+        let q = root_query("(|(serialNumber=045612)(serialNumber=120001))");
+        assert!(r.try_answer(&q).is_none(), "single-filter containment must miss");
+        let hit = r.try_answer_composed(&q).expect("union containment hits");
+        let dns: Vec<String> = hit.iter().map(|e| e.dn().to_string()).collect();
+        assert_eq!(dns, ["cn=b,c=us,o=xyz", "cn=d,c=in,o=xyz"]);
+        assert_eq!(r.stats().generalized_hits, 1);
+        // The explicit try_answer above plus the composed call count two
+        // query attempts; the composed hit is counted exactly once.
+        assert_eq!(r.stats().queries, 2);
+        assert_eq!(r.stats().hits, 1);
+
+        // A disjunct outside both filters stays a miss.
+        let q = root_query("(|(serialNumber=045612)(serialNumber=999999))");
+        assert!(r.try_answer_composed(&q).is_none());
+    }
+
+    #[test]
+    fn attribute_projection_on_answers() {
+        let mut m = master();
+        let mut r = FilterReplica::new(0);
+        r.install_filter(&mut m, root_query("(serialNumber=0456*)")).unwrap();
+        let q = SearchRequest::with_attrs(
+            Dn::root(),
+            Scope::Subtree,
+            Filter::parse("(serialNumber=045611)").unwrap(),
+            fbdr_ldap::AttrSelection::list(["cn"]),
+        );
+        let hit = r.try_answer(&q).expect("hit");
+        assert!(hit[0].has_attr(&"cn".into()));
+        assert!(!hit[0].has_attr(&"serialNumber".into()));
+    }
+
+    #[test]
+    fn sync_recovers_from_expired_session() {
+        let mut m = master();
+        let mut r = FilterReplica::new(0);
+        r.install_filter(&mut m, root_query("(serialNumber=0456*)")).unwrap();
+        assert_eq!(r.entry_count(), 3);
+
+        // Changes happen, then the master expires all idle sessions.
+        m.apply(UpdateOp::Modify {
+            dn: dn("cn=a,c=us,o=xyz"),
+            mods: vec![Modification::Replace("serialNumber".into(), vec!["999999".into()])],
+        })
+        .unwrap();
+        m.apply(UpdateOp::Add(person("e", "us", "045650", "2406"))).unwrap();
+        assert_eq!(m.expire_idle(0), 1);
+
+        // The poll recovers via a fresh full load; content converges.
+        let t = r.sync(&mut m).unwrap();
+        assert_eq!(t.full_entries, 3, "full reload of the filter content");
+        assert_eq!(r.entry_count(), 3);
+        let hit = r.try_answer(&root_query("(serialNumber=0456*)")).unwrap();
+        let dns: Vec<String> = hit.iter().map(|e| e.dn().to_string()).collect();
+        assert_eq!(dns, ["cn=b,c=us,o=xyz", "cn=c,c=in,o=xyz", "cn=e,c=us,o=xyz"]);
+        // The stale entry (a, now 999999) is gone.
+        assert!(r.try_answer(&root_query("(serialNumber=999999)")).is_none());
+
+        // Subsequent polls use the recovered session incrementally.
+        m.apply(UpdateOp::Add(person("f", "in", "045660", "2407"))).unwrap();
+        let t = r.sync(&mut m).unwrap();
+        assert_eq!(t.full_entries, 1);
+    }
+
+    #[test]
+    fn persistent_filter_streams_updates() {
+        let mut m = master();
+        let mut r = FilterReplica::new(0);
+        r.install_filter_persistent(&mut m, root_query("(departmentNumber=2406)")).unwrap();
+        assert_eq!(r.entry_count(), 2);
+
+        // An update at the master arrives without any poll.
+        m.apply(UpdateOp::Modify {
+            dn: dn("cn=d,c=in,o=xyz"),
+            mods: vec![Modification::Replace("departmentNumber".into(), vec!["2406".into()])],
+        })
+        .unwrap();
+        let t = r.drain_notifications();
+        assert_eq!(t.full_entries, 1);
+        assert_eq!(r.entry_count(), 3);
+        let hit = r.try_answer(&root_query("(departmentNumber=2406)")).unwrap();
+        assert_eq!(hit.len(), 3);
+
+        // Draining again is a no-op.
+        assert_eq!(r.drain_notifications().pdus(), 0);
+    }
+
+    #[test]
+    fn per_filter_sync_supports_consistency_levels() {
+        let mut m = master();
+        let mut r = FilterReplica::new(0);
+        let hot = root_query("(departmentNumber=2406)");
+        let cold = root_query("(serialNumber=12*)");
+        r.install_filter(&mut m, hot.clone()).unwrap();
+        r.install_filter(&mut m, cold.clone()).unwrap();
+
+        // Updates touch both contents.
+        m.apply(UpdateOp::Modify {
+            dn: dn("cn=a,c=us,o=xyz"),
+            mods: vec![Modification::Replace("mail".into(), vec!["hot@x".into()])],
+        })
+        .unwrap();
+        m.apply(UpdateOp::Modify {
+            dn: dn("cn=d,c=in,o=xyz"),
+            mods: vec![Modification::Replace("mail".into(), vec!["cold@x".into()])],
+        })
+        .unwrap();
+
+        // Only the hot filter polls.
+        let t = r.sync_filter(&mut m, &hot).unwrap().expect("hot filter stored");
+        assert_eq!(t.full_entries, 1);
+        let hot_ans = r.try_answer(&root_query("(mail=hot@x)"));
+        assert!(hot_ans.is_none(), "mail query is not contained in dept filter");
+        // The hot entry was refreshed...
+        let e = r.try_answer(&hot).unwrap();
+        assert!(e.iter().any(|e| e.has_value(&"mail".into(), &"hot@x".into())));
+        // ...while the cold filter's content is still stale.
+        let e = r.try_answer(&cold).unwrap();
+        assert!(!e.iter().any(|e| e.has_value(&"mail".into(), &"cold@x".into())));
+
+        // Unknown filters return None.
+        assert!(r.sync_filter(&mut m, &root_query("(cn=zz)")).unwrap().is_none());
+    }
+
+    #[test]
+    fn engine_stats_exposed() {
+        let mut m = master();
+        let mut r = FilterReplica::new(0);
+        r.install_filter(&mut m, root_query("(serialNumber=0456*)")).unwrap();
+        r.try_answer(&root_query("(serialNumber=045611)"));
+        assert!(r.engine_stats().total() > 0);
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+//! Partial replicas of a directory: the paper's two replication models.
+//!
+//! * [`SubtreeReplica`] — the conventional model (§3.4.1): the replica
+//!   holds one or more naming contexts (subtrees, possibly delimited by
+//!   referral objects) and answers a query iff the base lies inside a held
+//!   context (`isContained`) and, for full answers, no subordinate
+//!   referral intersects the query region.
+//! * [`FilterReplica`] — the paper's model: the replica stores the content
+//!   of one or more *LDAP queries* — statically configured generalized
+//!   filters kept in sync via ReSync, plus a short window of recently
+//!   performed user queries cached for temporal locality (§7.4). An
+//!   incoming query is answerable iff it is semantically contained
+//!   (`QC`) in some stored query.
+//!
+//! Both replicas expose [`try_answer`](FilterReplica::try_answer) returning
+//! the locally computed result on a hit and `None` (→ referral to the
+//! master) on a miss, plus hit-ratio accounting ([`ReplicaStats`]).
+
+mod filter_replica;
+mod stats;
+mod subtree;
+
+pub use filter_replica::{FilterReplica, StoredQueryKind};
+pub use stats::ReplicaStats;
+pub use subtree::SubtreeReplica;
+
+pub use fbdr_resync::SyncTraffic;

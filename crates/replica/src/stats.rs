@@ -1,0 +1,52 @@
+//! Hit-ratio accounting shared by both replica models.
+
+use serde::{Deserialize, Serialize};
+
+/// Query-answering statistics for a replica.
+///
+/// *Hit ratio* is the fraction of client requests completely answered by
+/// the replica without generating referrals (§3.1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicaStats {
+    /// Queries received.
+    pub queries: u64,
+    /// Queries fully answered locally.
+    pub hits: u64,
+    /// Hits answered by a synchronized (generalized) stored query.
+    pub generalized_hits: u64,
+    /// Hits answered by a cached recent user query.
+    pub cache_hits: u64,
+}
+
+impl ReplicaStats {
+    /// The hit ratio `hits / queries` (0.0 when no queries were seen).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.queries as f64
+        }
+    }
+
+    /// Misses (queries that generated referrals).
+    pub fn misses(&self) -> u64 {
+        self.queries - self.hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_handles_zero() {
+        assert_eq!(ReplicaStats::default().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn ratio_and_misses() {
+        let s = ReplicaStats { queries: 10, hits: 5, generalized_hits: 3, cache_hits: 2 };
+        assert!((s.hit_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(s.misses(), 5);
+    }
+}

@@ -1,0 +1,578 @@
+//! The master (supplier) side of the ReSync protocol.
+
+use crate::protocol::{
+    Cookie, ReSyncControl, SyncAction, SyncError, SyncMode, SyncResponse,
+};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use fbdr_dit::{ChangeRecord, DitError, DitStore, UpdateOp};
+use fbdr_ldap::{Dn, Entry, SearchRequest};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Per-session state: the request, what the replica has been sent, the
+/// live content, and the **session history** — DNs that left the content
+/// since the last response (the paper's alternative to changelogs and
+/// tombstones).
+#[derive(Debug, Serialize, Deserialize)]
+struct Session {
+    request: SearchRequest,
+    /// DNs the replica holds (content as of the last response).
+    sent: HashSet<Dn>,
+    /// Current content DNs, maintained at update time.
+    current: HashSet<Dn>,
+    /// `E10`: DNs that left the content since the last response and are
+    /// held by the replica.
+    departed: HashSet<Dn>,
+    /// `E11` candidates: in-content DNs modified since the last response.
+    changed: HashSet<Dn>,
+    /// Persist-mode notification channel, if the session is persistent.
+    /// Not persisted: a restored persist session degrades to polling (its
+    /// cookie stays valid), exactly like a dropped TCP connection.
+    #[serde(skip)]
+    notify: Option<Sender<SyncAction>>,
+    /// Receiver parked until the client picks it up.
+    #[serde(skip)]
+    parked_receiver: Option<Receiver<SyncAction>>,
+    /// Master op-count at last activity, for idle expiry.
+    last_active: u64,
+}
+
+/// A master directory server that owns a [`DitStore`] and maintains ReSync
+/// sessions over it.
+///
+/// All updates **must** flow through [`SyncMaster::apply`] once sessions
+/// exist — that is where session history is recorded. [`SyncMaster::dit_mut`]
+/// is intended for initial bulk loading and suffix registration.
+#[derive(Debug, Default, Serialize, Deserialize)]
+pub struct SyncMaster {
+    dit: DitStore,
+    sessions: HashMap<u64, Session>,
+    next_cookie: u64,
+    ops_applied: u64,
+}
+
+impl SyncMaster {
+    /// Creates a master with an empty DIT.
+    pub fn new() -> Self {
+        SyncMaster::default()
+    }
+
+    /// Creates a master around an already-loaded DIT.
+    pub fn with_dit(dit: DitStore) -> Self {
+        SyncMaster { dit, ..SyncMaster::default() }
+    }
+
+    /// The underlying DIT store.
+    pub fn dit(&self) -> &DitStore {
+        &self.dit
+    }
+
+    /// Mutable access to the DIT for setup (suffixes, bulk load). Updates
+    /// applied here bypass session bookkeeping; use [`SyncMaster::apply`]
+    /// once sessions exist.
+    pub fn dit_mut(&mut self) -> &mut DitStore {
+        &mut self.dit
+    }
+
+    /// Number of live sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Total updates applied through this master.
+    pub fn ops_applied(&self) -> u64 {
+        self.ops_applied
+    }
+
+    // ------------------------------------------------------------------
+    // Updates
+    // ------------------------------------------------------------------
+
+    /// Applies an update to the DIT and maintains every live session's
+    /// content and history; persist-mode sessions are notified
+    /// immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DitError`] from the store; sessions are untouched on
+    /// failure.
+    pub fn apply(&mut self, op: UpdateOp) -> Result<ChangeRecord, DitError> {
+        let target = op.target().clone();
+        let rec = self.dit.apply(op)?;
+        self.ops_applied += 1;
+        let new_dn = rec.new_dn.clone().unwrap_or_else(|| target.clone());
+        let renamed = rec.new_dn.is_some();
+        // Entry state after the operation (None if deleted).
+        let new_entry = self.dit.get(&new_dn).cloned();
+        for session in self.sessions.values_mut() {
+            if renamed {
+                session.note_departure(&target);
+                if let Some(e) = &new_entry {
+                    session.note_arrival_or_change(e);
+                }
+            } else {
+                match &new_entry {
+                    Some(e) => session.note_arrival_or_change(e),
+                    None => session.note_departure(&target),
+                }
+            }
+        }
+        Ok(rec)
+    }
+
+    // ------------------------------------------------------------------
+    // ReSync request handling
+    // ------------------------------------------------------------------
+
+    /// Handles a ReSync request: `(search request, control)`.
+    ///
+    /// * `cookie == None` — starts a session; the full content is sent.
+    /// * `cookie == Some` — sends updates accumulated since the last
+    ///   request on that session.
+    /// * mode `Persist` — additionally arms a notification channel; fetch
+    ///   it with [`SyncMaster::take_receiver`].
+    /// * mode `SyncEnd` — terminates the session.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::UnknownCookie`] for dead sessions,
+    /// [`SyncError::MissingCookie`] for `sync_end` without a cookie, and
+    /// [`SyncError::RequestMismatch`] when a resumed session was created
+    /// for a different search request.
+    pub fn resync(&mut self, request: &SearchRequest, ctl: ReSyncControl) -> Result<SyncResponse, SyncError> {
+        match ctl.mode {
+            SyncMode::SyncEnd => {
+                let cookie = ctl.cookie.ok_or(SyncError::MissingCookie)?;
+                self.sessions
+                    .remove(&cookie.0)
+                    .ok_or(SyncError::UnknownCookie(cookie))?;
+                return Ok(SyncResponse { actions: Vec::new(), cookie: None });
+            }
+            SyncMode::Poll | SyncMode::Persist => {}
+        }
+        let cookie = match ctl.cookie {
+            None => self.start_session(request),
+            Some(c) => c,
+        };
+        let ops_applied = self.ops_applied;
+        let session = self
+            .sessions
+            .get_mut(&cookie.0)
+            .ok_or(SyncError::UnknownCookie(cookie))?;
+        if session.request != *request {
+            return Err(SyncError::RequestMismatch(cookie));
+        }
+        session.last_active = ops_applied;
+        let actions = session.drain_actions(&self.dit);
+        if ctl.mode == SyncMode::Persist && session.notify.is_none() {
+            let (tx, rx) = unbounded();
+            session.notify = Some(tx);
+            session.parked_receiver = Some(rx);
+        }
+        Ok(SyncResponse { actions, cookie: Some(cookie) })
+    }
+
+    /// Convenience for persist mode: performs the request and hands back
+    /// the notification receiver in one call.
+    ///
+    /// # Errors
+    ///
+    /// As [`SyncMaster::resync`].
+    pub fn resync_persist(
+        &mut self,
+        request: &SearchRequest,
+        cookie: Option<Cookie>,
+    ) -> Result<(SyncResponse, Receiver<SyncAction>), SyncError> {
+        let resp = self.resync(request, ReSyncControl::persist(cookie))?;
+        let c = resp.cookie.expect("persist responses carry a cookie");
+        let rx = self.take_receiver(c).ok_or(SyncError::UnknownCookie(c))?;
+        Ok((resp, rx))
+    }
+
+    /// Takes the parked notification receiver of a persist session.
+    /// Returns `None` if the session is unknown or the receiver was
+    /// already taken.
+    pub fn take_receiver(&mut self, cookie: Cookie) -> Option<Receiver<SyncAction>> {
+        self.sessions.get_mut(&cookie.0)?.parked_receiver.take()
+    }
+
+    /// Abandons a session (e.g. the client dropped a persistent search).
+    pub fn abandon(&mut self, cookie: Cookie) {
+        self.sessions.remove(&cookie.0);
+    }
+
+    /// Expires sessions idle for more than `max_idle_ops` applied updates
+    /// — the admin time limit of §5.2. Returns how many were dropped.
+    pub fn expire_idle(&mut self, max_idle_ops: u64) -> usize {
+        let cutoff = self.ops_applied.saturating_sub(max_idle_ops);
+        let before = self.sessions.len();
+        self.sessions.retain(|_, s| s.last_active >= cutoff || s.notify.is_some());
+        before - self.sessions.len()
+    }
+
+    /// The DNs a session's replica currently holds, sorted — test and
+    /// debugging aid.
+    pub fn session_sent_dns(&self, cookie: Cookie) -> Option<Vec<String>> {
+        self.sessions.get(&cookie.0).map(|s| {
+            let mut v: Vec<String> = s.sent.iter().map(|d| d.to_string()).collect();
+            v.sort();
+            v
+        })
+    }
+
+    fn start_session(&mut self, request: &SearchRequest) -> Cookie {
+        self.next_cookie += 1;
+        let cookie = Cookie(self.next_cookie);
+        let current: HashSet<Dn> = self.dit.search_dns(request).into_iter().collect();
+        self.sessions.insert(
+            cookie.0,
+            Session {
+                request: request.clone(),
+                sent: HashSet::new(), // nothing sent yet → everything is an add
+                current,
+                departed: HashSet::new(),
+                changed: HashSet::new(),
+                notify: None,
+                parked_receiver: None,
+                last_active: self.ops_applied,
+            },
+        );
+        cookie
+    }
+}
+
+impl Session {
+    /// Handles an entry that now exists at `entry.dn()` (added, modified
+    /// or rename target).
+    fn note_arrival_or_change(&mut self, entry: &Entry) {
+        let dn = entry.dn();
+        let now_in = self.request.matches(entry);
+        let was_in = self.current.contains(dn);
+        match (was_in, now_in) {
+            (false, true) => {
+                self.current.insert(dn.clone());
+                self.departed.remove(dn);
+                self.changed.insert(dn.clone());
+                self.push(SyncAction::Add(entry.clone()));
+            }
+            (true, true) => {
+                self.changed.insert(dn.clone());
+                self.push(SyncAction::Modify(entry.clone()));
+            }
+            (true, false) => self.depart(dn.clone()),
+            (false, false) => {}
+        }
+    }
+
+    /// Handles an entry that no longer exists at `dn` (deleted or rename
+    /// source).
+    fn note_departure(&mut self, dn: &Dn) {
+        if self.current.contains(dn) {
+            self.depart(dn.clone());
+        }
+    }
+
+    fn depart(&mut self, dn: Dn) {
+        self.current.remove(&dn);
+        self.changed.remove(&dn);
+        if self.sent.contains(&dn) {
+            self.departed.insert(dn.clone());
+        }
+        self.push(SyncAction::Delete(dn));
+    }
+
+    fn push(&mut self, action: SyncAction) {
+        if let Some(tx) = &self.notify {
+            // A dropped receiver means the client abandoned the persistent
+            // search; the session stays pollable.
+            let _ = tx.send(action);
+        }
+    }
+
+    /// Builds the poll response: adds (current \ sent), modifies
+    /// (changed ∩ current ∩ sent) and deletes (departed), then advances
+    /// the session state.
+    fn drain_actions(&mut self, dit: &DitStore) -> Vec<SyncAction> {
+        let mut actions = Vec::new();
+        for dn in &self.departed {
+            actions.push(SyncAction::Delete(dn.clone()));
+        }
+        let mut adds: Vec<&Dn> = self.current.difference(&self.sent).collect();
+        adds.sort();
+        for dn in adds {
+            if let Some(e) = dit.get(dn) {
+                actions.push(SyncAction::Add(e.clone()));
+            }
+        }
+        let mut mods: Vec<&Dn> = self
+            .changed
+            .iter()
+            .filter(|dn| self.sent.contains(*dn) && self.current.contains(*dn))
+            .collect();
+        mods.sort();
+        for dn in mods {
+            if let Some(e) = dit.get(dn) {
+                actions.push(SyncAction::Modify(e.clone()));
+            }
+        }
+        self.sent = self.current.clone();
+        self.departed.clear();
+        self.changed.clear();
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ReplicaContent;
+    use fbdr_dit::Modification;
+    use fbdr_ldap::{Filter, Rdn, Scope};
+
+    fn dn(s: &str) -> Dn {
+        s.parse().unwrap()
+    }
+
+    fn person(cn: &str, dept: &str) -> Entry {
+        Entry::new(dn(&format!("cn={cn},o=xyz")))
+            .with("objectclass", "person")
+            .with("cn", cn)
+            .with("dept", dept)
+    }
+
+    fn master_with(entries: Vec<Entry>) -> SyncMaster {
+        let mut m = SyncMaster::new();
+        m.dit_mut().add_suffix(dn("o=xyz"));
+        m.dit_mut().add(Entry::new(dn("o=xyz"))).unwrap();
+        for e in entries {
+            m.dit_mut().add(e).unwrap();
+        }
+        m
+    }
+
+    fn dept7() -> SearchRequest {
+        SearchRequest::new(dn("o=xyz"), Scope::Subtree, Filter::parse("(dept=7)").unwrap())
+    }
+
+    #[test]
+    fn initial_sync_sends_full_content() {
+        let mut m = master_with(vec![person("a", "7"), person("b", "7"), person("c", "9")]);
+        let resp = m.resync(&dept7(), ReSyncControl::poll(None)).unwrap();
+        assert_eq!(resp.actions.len(), 2);
+        assert!(resp.actions.iter().all(|a| matches!(a, SyncAction::Add(_))));
+        assert!(resp.cookie.is_some());
+    }
+
+    #[test]
+    fn incremental_poll_sends_only_changes() {
+        let mut m = master_with(vec![person("a", "7"), person("b", "9")]);
+        let req = dept7();
+        let c = m.resync(&req, ReSyncControl::poll(None)).unwrap().cookie.unwrap();
+
+        // b moves into the content; a is modified in place; add c outside.
+        m.apply(UpdateOp::Modify {
+            dn: dn("cn=b,o=xyz"),
+            mods: vec![Modification::Replace("dept".into(), vec!["7".into()])],
+        })
+        .unwrap();
+        m.apply(UpdateOp::Modify {
+            dn: dn("cn=a,o=xyz"),
+            mods: vec![Modification::Replace("mail".into(), vec!["a@x".into()])],
+        })
+        .unwrap();
+        m.apply(UpdateOp::Add(person("c", "9"))).unwrap();
+
+        let resp = m.resync(&req, ReSyncControl::poll(Some(c))).unwrap();
+        let mut kinds: Vec<String> = resp
+            .actions
+            .iter()
+            .map(|a| format!("{a}"))
+            .collect();
+        kinds.sort();
+        assert_eq!(kinds, ["cn=a,o=xyz, mod", "cn=b,o=xyz, add"]);
+
+        // Next poll is empty.
+        let resp2 = m.resync(&req, ReSyncControl::poll(Some(c))).unwrap();
+        assert!(resp2.actions.is_empty());
+    }
+
+    #[test]
+    fn departure_sends_delete_dn_only() {
+        let mut m = master_with(vec![person("a", "7")]);
+        let req = dept7();
+        let c = m.resync(&req, ReSyncControl::poll(None)).unwrap().cookie.unwrap();
+        // Modified out of the content.
+        m.apply(UpdateOp::Modify {
+            dn: dn("cn=a,o=xyz"),
+            mods: vec![Modification::Replace("dept".into(), vec!["8".into()])],
+        })
+        .unwrap();
+        let resp = m.resync(&req, ReSyncControl::poll(Some(c))).unwrap();
+        assert_eq!(resp.actions, vec![SyncAction::Delete(dn("cn=a,o=xyz"))]);
+        let t = resp.traffic();
+        assert_eq!(t.dn_only, 1);
+        assert_eq!(t.full_entries, 0);
+    }
+
+    #[test]
+    fn unsent_arrivals_that_depart_are_never_mentioned() {
+        let mut m = master_with(vec![]);
+        let req = dept7();
+        let c = m.resync(&req, ReSyncControl::poll(None)).unwrap().cookie.unwrap();
+        // Enters and leaves between polls: replica never needs to know.
+        m.apply(UpdateOp::Add(person("x", "7"))).unwrap();
+        m.apply(UpdateOp::Delete(dn("cn=x,o=xyz"))).unwrap();
+        let resp = m.resync(&req, ReSyncControl::poll(Some(c))).unwrap();
+        assert!(resp.actions.is_empty());
+    }
+
+    #[test]
+    fn rename_is_delete_plus_add() {
+        let mut m = master_with(vec![person("a", "7")]);
+        let req = dept7();
+        let c = m.resync(&req, ReSyncControl::poll(None)).unwrap().cookie.unwrap();
+        m.apply(UpdateOp::ModifyDn {
+            dn: dn("cn=a,o=xyz"),
+            new_rdn: Rdn::new("cn", "a2"),
+            new_superior: None,
+        })
+        .unwrap();
+        let resp = m.resync(&req, ReSyncControl::poll(Some(c))).unwrap();
+        assert_eq!(resp.actions.len(), 2);
+        assert!(resp
+            .actions
+            .iter()
+            .any(|a| matches!(a, SyncAction::Delete(d) if *d == dn("cn=a,o=xyz"))));
+        assert!(resp
+            .actions
+            .iter()
+            .any(|a| matches!(a, SyncAction::Add(e) if e.dn() == &dn("cn=a2,o=xyz"))));
+    }
+
+    #[test]
+    fn replica_content_converges_through_polls() {
+        let mut m = master_with(vec![person("a", "7"), person("b", "7")]);
+        let req = dept7();
+        let mut replica = ReplicaContent::new();
+        let resp = m.resync(&req, ReSyncControl::poll(None)).unwrap();
+        let c = resp.cookie.unwrap();
+        replica.apply_all(&resp.actions);
+
+        m.apply(UpdateOp::Delete(dn("cn=a,o=xyz"))).unwrap();
+        m.apply(UpdateOp::Add(person("d", "7"))).unwrap();
+        let resp = m.resync(&req, ReSyncControl::poll(Some(c))).unwrap();
+        replica.apply_all(&resp.actions);
+
+        let master_dns: Vec<String> = {
+            let mut v: Vec<String> = m.dit().search_dns(&req).iter().map(|d| d.to_string()).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(replica.sorted_dns(), master_dns);
+    }
+
+    #[test]
+    fn persist_mode_streams_notifications() {
+        let mut m = master_with(vec![person("a", "7")]);
+        let req = dept7();
+        let (resp, rx) = m.resync_persist(&req, None).unwrap();
+        assert_eq!(resp.actions.len(), 1);
+
+        m.apply(UpdateOp::Add(person("b", "7"))).unwrap();
+        m.apply(UpdateOp::Delete(dn("cn=a,o=xyz"))).unwrap();
+        m.apply(UpdateOp::Add(person("z", "9"))).unwrap(); // outside content
+
+        let notes: Vec<SyncAction> = rx.try_iter().collect();
+        assert_eq!(notes.len(), 2);
+        assert!(matches!(&notes[0], SyncAction::Add(e) if e.dn() == &dn("cn=b,o=xyz")));
+        assert!(matches!(&notes[1], SyncAction::Delete(d) if *d == dn("cn=a,o=xyz")));
+    }
+
+    #[test]
+    fn poll_then_upgrade_to_persist() {
+        let mut m = master_with(vec![person("a", "7")]);
+        let req = dept7();
+        let c = m.resync(&req, ReSyncControl::poll(None)).unwrap().cookie.unwrap();
+        m.apply(UpdateOp::Add(person("b", "7"))).unwrap();
+        // Resume with persist: catch-up batch plus a live channel — the
+        // Figure 3 session shape.
+        let (resp, rx) = m.resync_persist(&req, Some(c)).unwrap();
+        assert_eq!(resp.actions.len(), 1);
+        m.apply(UpdateOp::Add(person("e", "7"))).unwrap();
+        assert_eq!(rx.try_iter().count(), 1);
+    }
+
+    #[test]
+    fn sync_end_terminates_session() {
+        let mut m = master_with(vec![person("a", "7")]);
+        let req = dept7();
+        let c = m.resync(&req, ReSyncControl::poll(None)).unwrap().cookie.unwrap();
+        assert_eq!(m.session_count(), 1);
+        m.resync(&req, ReSyncControl::sync_end(c)).unwrap();
+        assert_eq!(m.session_count(), 0);
+        assert_eq!(
+            m.resync(&req, ReSyncControl::poll(Some(c))),
+            Err(SyncError::UnknownCookie(c))
+        );
+    }
+
+    #[test]
+    fn request_mismatch_rejected() {
+        let mut m = master_with(vec![person("a", "7")]);
+        let c = m.resync(&dept7(), ReSyncControl::poll(None)).unwrap().cookie.unwrap();
+        let other = SearchRequest::new(dn("o=xyz"), Scope::Subtree, Filter::parse("(dept=8)").unwrap());
+        assert_eq!(
+            m.resync(&other, ReSyncControl::poll(Some(c))),
+            Err(SyncError::RequestMismatch(c))
+        );
+    }
+
+    #[test]
+    fn master_state_survives_serde_round_trip() {
+        // A master (with live sessions and history) serializes and
+        // restores; polling continues incrementally with the old cookie.
+        let mut m = master_with(vec![person("a", "7")]);
+        let req = dept7();
+        let c = m.resync(&req, ReSyncControl::poll(None)).unwrap().cookie.unwrap();
+        m.apply(UpdateOp::Add(person("b", "7"))).unwrap();
+
+        let snapshot = serde_json::to_string(&m).expect("master serializes");
+        let mut restored: SyncMaster = serde_json::from_str(&snapshot).expect("deserializes");
+        assert_eq!(restored.session_count(), 1);
+        assert_eq!(restored.dit().len(), m.dit().len());
+
+        let resp = restored.resync(&req, ReSyncControl::poll(Some(c))).unwrap();
+        assert_eq!(resp.actions.len(), 1);
+        assert!(matches!(&resp.actions[0], SyncAction::Add(e) if e.dn() == &dn("cn=b,o=xyz")));
+        // Searches on the restored DIT use rebuilt state correctly.
+        assert_eq!(restored.dit().search_dns(&req).len(), 2);
+    }
+
+    #[test]
+    fn restored_persist_session_degrades_to_polling() {
+        let mut m = master_with(vec![person("a", "7")]);
+        let req = dept7();
+        let (resp, _rx) = m.resync_persist(&req, None).unwrap();
+        let c = resp.cookie.unwrap();
+        let snapshot = serde_json::to_string(&m).expect("serializes");
+        let mut restored: SyncMaster = serde_json::from_str(&snapshot).expect("deserializes");
+        // The channel is gone, but the cookie still works for polling.
+        restored.apply(UpdateOp::Add(person("b", "7"))).unwrap();
+        let resp = restored.resync(&req, ReSyncControl::poll(Some(c))).unwrap();
+        assert_eq!(resp.actions.len(), 1);
+        assert!(restored.take_receiver(c).is_none());
+    }
+
+    #[test]
+    fn idle_sessions_expire() {
+        let mut m = master_with(vec![person("a", "7")]);
+        let req = dept7();
+        let _c = m.resync(&req, ReSyncControl::poll(None)).unwrap().cookie.unwrap();
+        for i in 0..5 {
+            m.apply(UpdateOp::Add(person(&format!("p{i}"), "9"))).unwrap();
+        }
+        assert_eq!(m.expire_idle(10), 0);
+        assert_eq!(m.expire_idle(3), 1);
+        assert_eq!(m.session_count(), 0);
+    }
+}

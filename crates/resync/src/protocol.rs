@@ -1,0 +1,229 @@
+//! Wire-level types of the ReSync protocol.
+
+use fbdr_ldap::{Dn, Entry};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Opaque resumption token identifying an update session at the master.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Cookie(pub u64);
+
+impl fmt::Display for Cookie {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cookie:{}", self.0)
+    }
+}
+
+/// Mode requested in a `reSyncControl = (mode, cookie)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SyncMode {
+    /// One batch of updates now; a cookie to resume later.
+    Poll,
+    /// One batch now, then change notifications on an open channel.
+    Persist,
+    /// Terminate the session identified by the cookie.
+    SyncEnd,
+}
+
+/// The control attached to a search request to make it a ReSync request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReSyncControl {
+    /// Requested update mode.
+    pub mode: SyncMode,
+    /// `None` starts a new session (full content); `Some` resumes one.
+    pub cookie: Option<Cookie>,
+}
+
+impl ReSyncControl {
+    /// Poll-mode control.
+    pub fn poll(cookie: Option<Cookie>) -> Self {
+        ReSyncControl { mode: SyncMode::Poll, cookie }
+    }
+
+    /// Persist-mode control.
+    pub fn persist(cookie: Option<Cookie>) -> Self {
+        ReSyncControl { mode: SyncMode::Persist, cookie }
+    }
+
+    /// Session termination.
+    pub fn sync_end(cookie: Cookie) -> Self {
+        ReSyncControl { mode: SyncMode::SyncEnd, cookie: Some(cookie) }
+    }
+}
+
+/// One update PDU: an entry (or DN) plus the action the replica must take.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SyncAction {
+    /// Entry moved into the content — the complete entry is sent. (May
+    /// result from an add, modify or modify DN at the master.)
+    Add(Entry),
+    /// Entry changed but stayed in the content — the complete entry.
+    Modify(Entry),
+    /// Entry moved out of the content — only the DN travels. (May result
+    /// from a delete, modify or rename.)
+    Delete(Dn),
+    /// Entry is unchanged and still in the content (used by history-free
+    /// synchronization per equation (3)) — only the DN travels.
+    Retain(Dn),
+}
+
+impl SyncAction {
+    /// The DN the action concerns.
+    pub fn dn(&self) -> &Dn {
+        match self {
+            SyncAction::Add(e) | SyncAction::Modify(e) => e.dn(),
+            SyncAction::Delete(dn) | SyncAction::Retain(dn) => dn,
+        }
+    }
+
+    /// Estimated wire size in bytes.
+    pub fn estimated_size(&self) -> usize {
+        match self {
+            SyncAction::Add(e) | SyncAction::Modify(e) => e.estimated_size() + 8,
+            SyncAction::Delete(dn) | SyncAction::Retain(dn) => dn.to_string().len() + 8,
+        }
+    }
+
+    /// True when the full entry travels (add/modify).
+    pub fn carries_entry(&self) -> bool {
+        matches!(self, SyncAction::Add(_) | SyncAction::Modify(_))
+    }
+}
+
+impl fmt::Display for SyncAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyncAction::Add(e) => write!(f, "{}, add", e.dn()),
+            SyncAction::Modify(e) => write!(f, "{}, mod", e.dn()),
+            SyncAction::Delete(dn) => write!(f, "{dn}, delete"),
+            SyncAction::Retain(dn) => write!(f, "{dn}, retain"),
+        }
+    }
+}
+
+/// Response to a ReSync request: the update actions plus, in poll mode,
+/// the cookie to resume the session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyncResponse {
+    /// Actions in master apply order (coalesced per DN).
+    pub actions: Vec<SyncAction>,
+    /// Resumption cookie (`None` after `sync_end`).
+    pub cookie: Option<Cookie>,
+}
+
+impl SyncResponse {
+    /// Aggregated traffic cost of this response.
+    pub fn traffic(&self) -> SyncTraffic {
+        let mut t = SyncTraffic::default();
+        for a in &self.actions {
+            t.count(a);
+        }
+        t
+    }
+}
+
+/// Synchronization traffic accounting: how many full entries travelled,
+/// how many DN-only PDUs, and estimated bytes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyncTraffic {
+    /// PDUs carrying a complete entry (add/modify).
+    pub full_entries: u64,
+    /// PDUs carrying only a DN (delete/retain).
+    pub dn_only: u64,
+    /// Estimated bytes across all PDUs.
+    pub bytes: u64,
+}
+
+impl SyncTraffic {
+    /// Accounts one action.
+    pub fn count(&mut self, action: &SyncAction) {
+        if action.carries_entry() {
+            self.full_entries += 1;
+        } else {
+            self.dn_only += 1;
+        }
+        self.bytes += action.estimated_size() as u64;
+    }
+
+    /// Merges another accounting into this one.
+    pub fn absorb(&mut self, other: &SyncTraffic) {
+        self.full_entries += other.full_entries;
+        self.dn_only += other.dn_only;
+        self.bytes += other.bytes;
+    }
+
+    /// Total PDU count.
+    pub fn pdus(&self) -> u64 {
+        self.full_entries + self.dn_only
+    }
+}
+
+/// Errors from ReSync request handling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SyncError {
+    /// The cookie does not name a live session (expired or never issued).
+    UnknownCookie(Cookie),
+    /// A `sync_end` or resume was sent without a cookie.
+    MissingCookie,
+    /// The resumed session was established for a different search request.
+    RequestMismatch(Cookie),
+}
+
+impl fmt::Display for SyncError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyncError::UnknownCookie(c) => write!(f, "unknown or expired session {c}"),
+            SyncError::MissingCookie => f.write_str("request requires a cookie"),
+            SyncError::RequestMismatch(c) => {
+                write!(f, "search request does not match session {c}")
+            }
+        }
+    }
+}
+
+impl Error for SyncError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_sizes_and_kinds() {
+        let e = Entry::new("cn=a,o=xyz".parse().unwrap()).with("mail", "a@b.c");
+        let add = SyncAction::Add(e.clone());
+        let del = SyncAction::Delete(e.dn().clone());
+        assert!(add.carries_entry());
+        assert!(!del.carries_entry());
+        assert!(add.estimated_size() > del.estimated_size());
+        assert_eq!(add.dn(), e.dn());
+    }
+
+    #[test]
+    fn traffic_accounting() {
+        let e = Entry::new("cn=a,o=xyz".parse().unwrap()).with("mail", "a@b.c");
+        let resp = SyncResponse {
+            actions: vec![
+                SyncAction::Add(e.clone()),
+                SyncAction::Modify(e.clone()),
+                SyncAction::Delete(e.dn().clone()),
+                SyncAction::Retain(e.dn().clone()),
+            ],
+            cookie: Some(Cookie(1)),
+        };
+        let t = resp.traffic();
+        assert_eq!(t.full_entries, 2);
+        assert_eq!(t.dn_only, 2);
+        assert_eq!(t.pdus(), 4);
+        assert!(t.bytes > 0);
+    }
+
+    #[test]
+    fn control_constructors() {
+        assert_eq!(ReSyncControl::poll(None).mode, SyncMode::Poll);
+        assert_eq!(ReSyncControl::persist(None).mode, SyncMode::Persist);
+        let end = ReSyncControl::sync_end(Cookie(3));
+        assert_eq!(end.mode, SyncMode::SyncEnd);
+        assert_eq!(end.cookie, Some(Cookie(3)));
+    }
+}

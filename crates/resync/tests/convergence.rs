@@ -1,0 +1,189 @@
+//! Convergence properties: after any sequence of updates and a sync cycle,
+//! the replica content equals the master's current answer — for ReSync
+//! (poll and persist) and for every convergent baseline.
+
+use fbdr_dit::{Modification, UpdateOp};
+use fbdr_ldap::{Dn, Entry, Filter, Rdn, Scope, SearchRequest};
+use fbdr_resync::baseline::{
+    divergence, ChangelogSync, FullReload, RetainSync, Synchronizer, TombstoneSync,
+};
+use fbdr_resync::{ReSyncControl, ReplicaContent, SyncMaster};
+use proptest::prelude::*;
+
+/// An abstract operation against a pool of person entries.
+#[derive(Debug, Clone)]
+enum Op {
+    Add { id: usize, dept: u8 },
+    Delete { id: usize },
+    SetDept { id: usize, dept: u8 },
+    SetMail { id: usize, tag: u8 },
+    Rename { id: usize, new_id: usize },
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..12, 0u8..4).prop_map(|(id, dept)| Op::Add { id, dept }),
+        (0usize..12).prop_map(|id| Op::Delete { id }),
+        (0usize..12, 0u8..4).prop_map(|(id, dept)| Op::SetDept { id, dept }),
+        (0usize..12, 0u8..4).prop_map(|(id, tag)| Op::SetMail { id, tag }),
+        (0usize..12, 0usize..12).prop_map(|(id, new_id)| Op::Rename { id, new_id }),
+    ]
+}
+
+fn dn_of(id: usize) -> Dn {
+    format!("cn=p{id},o=xyz").parse().expect("valid dn")
+}
+
+fn entry_of(id: usize, dept: u8) -> Entry {
+    Entry::new(dn_of(id))
+        .with("objectclass", "person")
+        .with("cn", &format!("p{id}"))
+        .with("dept", &dept.to_string())
+}
+
+fn fresh_master() -> SyncMaster {
+    let mut m = SyncMaster::new();
+    m.dit_mut().add_suffix("o=xyz".parse().expect("valid dn"));
+    m.dit_mut().add(Entry::new("o=xyz".parse().expect("valid dn"))).expect("suffix add");
+    m
+}
+
+/// Applies an abstract op, ignoring precondition failures (they model
+/// clients racing each other).
+fn apply(m: &mut SyncMaster, op: &Op) {
+    let _ = match op {
+        Op::Add { id, dept } => m.apply(UpdateOp::Add(entry_of(*id, *dept))),
+        Op::Delete { id } => m.apply(UpdateOp::Delete(dn_of(*id))),
+        Op::SetDept { id, dept } => m.apply(UpdateOp::Modify {
+            dn: dn_of(*id),
+            mods: vec![Modification::Replace("dept".into(), vec![dept.to_string().into()])],
+        }),
+        Op::SetMail { id, tag } => m.apply(UpdateOp::Modify {
+            dn: dn_of(*id),
+            mods: vec![Modification::Replace("mail".into(), vec![format!("m{tag}@x").into()])],
+        }),
+        Op::Rename { id, new_id } => m.apply(UpdateOp::ModifyDn {
+            dn: dn_of(*id),
+            new_rdn: Rdn::new("cn", format!("p{new_id}")),
+            new_superior: None,
+        }),
+    };
+}
+
+fn request() -> SearchRequest {
+    SearchRequest::new(
+        "o=xyz".parse().expect("valid dn"),
+        Scope::Subtree,
+        Filter::parse("(&(objectclass=person)(dept=1))").expect("valid filter"),
+    )
+}
+
+/// Full comparison: DNs *and* entry contents must match the master.
+fn assert_converged(m: &SyncMaster, req: &SearchRequest, replica: &ReplicaContent) {
+    assert!(
+        divergence(m.dit(), req, replica).is_empty(),
+        "replica DNs diverge from master"
+    );
+    for e in replica.iter() {
+        let master_entry = m.dit().get(e.dn()).expect("replica entry exists at master");
+        assert_eq!(e, master_entry, "entry content diverged for {}", e.dn());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// ReSync poll mode converges after every poll, at arbitrary poll
+    /// boundaries within the op stream.
+    #[test]
+    fn resync_poll_converges(ops in prop::collection::vec(op(), 1..60), poll_every in 1usize..7) {
+        let mut m = fresh_master();
+        let req = request();
+        let mut replica = ReplicaContent::new();
+        let resp = m.resync(&req, ReSyncControl::poll(None)).expect("initial resync");
+        let cookie = resp.cookie.expect("cookie issued");
+        replica.apply_all(&resp.actions);
+        assert_converged(&m, &req, &replica);
+
+        for (i, o) in ops.iter().enumerate() {
+            apply(&mut m, o);
+            if (i + 1) % poll_every == 0 {
+                let resp = m.resync(&req, ReSyncControl::poll(Some(cookie))).expect("poll");
+                replica.apply_all(&resp.actions);
+                assert_converged(&m, &req, &replica);
+            }
+        }
+        let resp = m.resync(&req, ReSyncControl::poll(Some(cookie))).expect("final poll");
+        replica.apply_all(&resp.actions);
+        assert_converged(&m, &req, &replica);
+    }
+
+    /// ReSync persist mode: applying streamed notifications converges.
+    #[test]
+    fn resync_persist_converges(ops in prop::collection::vec(op(), 1..60)) {
+        let mut m = fresh_master();
+        let req = request();
+        let mut replica = ReplicaContent::new();
+        let (resp, rx) = m.resync_persist(&req, None).expect("initial persist");
+        replica.apply_all(&resp.actions);
+
+        for o in &ops {
+            apply(&mut m, o);
+        }
+        for action in rx.try_iter() {
+            replica.apply(&action);
+        }
+        assert_converged(&m, &req, &replica);
+    }
+
+    /// Poll traffic never exceeds full reload (entry-PDU-wise the replica
+    /// receives at most the changed set).
+    #[test]
+    fn resync_poll_traffic_bounded_by_reload(ops in prop::collection::vec(op(), 1..40)) {
+        let mut m = fresh_master();
+        let req = request();
+        let resp = m.resync(&req, ReSyncControl::poll(None)).expect("initial resync");
+        let cookie = resp.cookie.expect("cookie issued");
+        for o in &ops {
+            apply(&mut m, o);
+        }
+        let resp = m.resync(&req, ReSyncControl::poll(Some(cookie))).expect("poll");
+        let t = resp.traffic();
+        let full = m.dit().search(&req).len() as u64;
+        prop_assert!(t.full_entries <= full + ops.len() as u64);
+        // Deletes are DN-only.
+        for a in &resp.actions {
+            if let fbdr_resync::SyncAction::Delete(_) = a {
+                prop_assert!(!a.carries_entry());
+            }
+        }
+    }
+
+    /// Every convergent baseline actually converges on random streams.
+    #[test]
+    fn baselines_converge(ops in prop::collection::vec(op(), 1..50), cycles in 1usize..4) {
+        let req = request();
+        let strategies: Vec<Box<dyn Synchronizer>> = vec![
+            Box::new(FullReload),
+            Box::new(RetainSync::default()),
+            Box::new(TombstoneSync::default()),
+            Box::new(ChangelogSync::default()),
+        ];
+        for mut s in strategies {
+            let mut m = fresh_master();
+            let mut replica = ReplicaContent::new();
+            s.sync(m.dit(), &req, &mut replica);
+            let chunk = ops.len().div_ceil(cycles);
+            for part in ops.chunks(chunk.max(1)) {
+                for o in part {
+                    apply(&mut m, o);
+                }
+                s.sync(m.dit(), &req, &mut replica);
+                prop_assert!(
+                    divergence(m.dit(), &req, &replica).is_empty(),
+                    "{} diverged", s.name()
+                );
+            }
+        }
+    }
+}

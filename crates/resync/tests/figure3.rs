@@ -1,0 +1,96 @@
+//! The Figure 3 message sequence chart, asserted step by step.
+//!
+//! Entries E1…E5; search request S = all persons with dept=7. The session
+//! runs: initial poll (null cookie) → poll with cookie → switch to persist
+//! → abandon.
+
+use fbdr_dit::{Modification, UpdateOp};
+use fbdr_ldap::{Dn, Entry, Filter, Rdn, Scope, SearchRequest};
+use fbdr_resync::{ReSyncControl, ReplicaContent, SyncAction, SyncMaster};
+
+fn dn(s: &str) -> Dn {
+    s.parse().unwrap()
+}
+
+fn person(cn: &str, dept: &str) -> Entry {
+    Entry::new(dn(&format!("cn={cn},o=xyz")))
+        .with("objectclass", "person")
+        .with("cn", cn)
+        .with("dept", dept)
+}
+
+#[test]
+fn figure3_session() {
+    let mut m = SyncMaster::new();
+    m.dit_mut().add_suffix(dn("o=xyz"));
+    m.dit_mut().add(Entry::new(dn("o=xyz"))).unwrap();
+    // E1, E2, E3 are in the content of S when the session starts.
+    for cn in ["E1", "E2", "E3"] {
+        m.dit_mut().add(person(cn, "7")).unwrap();
+    }
+    let s = SearchRequest::new(dn("o=xyz"), Scope::Subtree, Filter::parse("(dept=7)").unwrap());
+    let mut replica = ReplicaContent::new();
+
+    // --- S, (poll, null): E1 add, E2 add, E3 add; cookie ---
+    let resp = m.resync(&s, ReSyncControl::poll(None)).unwrap();
+    assert_eq!(resp.actions.len(), 3);
+    assert!(resp.actions.iter().all(SyncAction::carries_entry));
+    let cookie = resp.cookie.expect("cookie");
+    replica.apply_all(&resp.actions);
+    assert_eq!(replica.len(), 3);
+
+    // --- between polls: E4 added (A); E1, E2 deleted (D) / moved out (M);
+    //     E3 modified in place (M) ---
+    m.apply(UpdateOp::Add(person("E4", "7"))).unwrap();
+    m.apply(UpdateOp::Delete(dn("cn=E1,o=xyz"))).unwrap();
+    m.apply(UpdateOp::Modify {
+        dn: dn("cn=E2,o=xyz"),
+        mods: vec![Modification::Replace("dept".into(), vec!["9".into()])],
+    })
+    .unwrap();
+    m.apply(UpdateOp::Modify {
+        dn: dn("cn=E3,o=xyz"),
+        mods: vec![Modification::Replace("mail".into(), vec!["e3@xyz.com".into()])],
+    })
+    .unwrap();
+
+    // --- S, (poll, cookie): E4 add; E1, E2 delete; E3 mod; cookie1 ---
+    let resp = m.resync(&s, ReSyncControl::poll(Some(cookie))).unwrap();
+    let mut lines: Vec<String> = resp.actions.iter().map(|a| a.to_string()).collect();
+    lines.sort();
+    assert_eq!(
+        lines,
+        [
+            "cn=E1,o=xyz, delete",
+            "cn=E2,o=xyz, delete",
+            "cn=E3,o=xyz, mod",
+            "cn=E4,o=xyz, add",
+        ]
+    );
+    let cookie1 = resp.cookie.expect("cookie1");
+    replica.apply_all(&resp.actions);
+    assert_eq!(replica.len(), 2); // E3, E4
+
+    // --- S, (persist, cookie1): rename E3 -> E5 streams a delete for the
+    //     old DN and an add for the new one ---
+    let (resp, rx) = m.resync_persist(&s, Some(cookie1)).unwrap();
+    assert!(resp.actions.is_empty(), "nothing changed since the poll");
+    m.apply(UpdateOp::ModifyDn {
+        dn: dn("cn=E3,o=xyz"),
+        new_rdn: Rdn::new("cn", "E5"),
+        new_superior: None,
+    })
+    .unwrap();
+    let notes: Vec<SyncAction> = rx.try_iter().collect();
+    let mut note_lines: Vec<String> = notes.iter().map(|a| a.to_string()).collect();
+    note_lines.sort();
+    assert_eq!(note_lines, ["cn=E3,o=xyz, delete", "cn=E5,o=xyz, add"]);
+    replica.apply_all(&notes);
+
+    // --- abandon ---
+    m.abandon(cookie1);
+    assert_eq!(m.session_count(), 0);
+
+    // Final replica state: E4 and E5.
+    assert_eq!(replica.sorted_dns(), ["cn=e4,o=xyz", "cn=e5,o=xyz"]);
+}

@@ -1,0 +1,253 @@
+//! Filter generalization rules (§6.1).
+//!
+//! User queries return too few entries to be efficient replication units;
+//! generalized forms of them describe frequently accessed *regions*. The
+//! paper's two guidelines are implemented as composable rules:
+//!
+//! 1. generalization based on attribute components — e.g.
+//!    `(telephoneNumber=261-758xx)` → `(telephoneNumber=261-758*)`
+//!    ([`ValuePrefix`]);
+//! 2. generalization based on the natural hierarchy of filters — e.g.
+//!    `(&(div=X)(dept=D))` → `(&(div=X)(dept=*))` ([`WidenToPresence`]),
+//!    or mapping every `(location=L)` query to the whole location region
+//!    ([`ConstantRegion`]).
+
+use fbdr_ldap::{AttrName, Comparison, Filter, Predicate, SearchRequest, SubstringPattern};
+
+/// A rule mapping a user query to zero or more generalized queries that
+/// contain it.
+pub trait Generalizer: std::fmt::Debug {
+    /// Candidate generalized queries for `q` (empty when the rule does not
+    /// apply).
+    fn generalize(&self, q: &SearchRequest) -> Vec<SearchRequest>;
+}
+
+/// Generalizes equality predicates on one attribute to value prefixes:
+/// `(serialNumber=045612)` → `(serialNumber=0456*)`.
+///
+/// One candidate per configured prefix length (shorter prefixes are
+/// coarser regions with more entries).
+#[derive(Debug, Clone)]
+pub struct ValuePrefix {
+    attr: AttrName,
+    lens: Vec<usize>,
+}
+
+impl ValuePrefix {
+    /// Creates the rule for `attr` with the given prefix lengths.
+    pub fn new(attr: impl Into<AttrName>, lens: Vec<usize>) -> Self {
+        ValuePrefix { attr: attr.into(), lens }
+    }
+}
+
+impl Generalizer for ValuePrefix {
+    fn generalize(&self, q: &SearchRequest) -> Vec<SearchRequest> {
+        let mut out = Vec::new();
+        for len in &self.lens {
+            if let Some(f) = map_predicates(q.filter(), &mut |p| {
+                if p.attr() == &self.attr {
+                    if let Comparison::Eq(v) = p.comparison() {
+                        let norm = v.normalized();
+                        if norm.chars().count() > *len && *len > 0 {
+                            let prefix: String = norm.chars().take(*len).collect();
+                            return Some(Predicate::substring(
+                                p.attr().clone(),
+                                SubstringPattern::prefix(prefix),
+                            ));
+                        }
+                    }
+                }
+                None
+            }) {
+                out.push(SearchRequest::with_attrs(
+                    q.base().clone(),
+                    q.scope(),
+                    f,
+                    q.attrs().clone(),
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Widens the predicate on one attribute to a presence test, keeping the
+/// rest of the query: `(&(div=X)(dept=D))` → `(&(div=X)(dept=*))` — the
+/// "all departments of a division" region.
+#[derive(Debug, Clone)]
+pub struct WidenToPresence {
+    attr: AttrName,
+}
+
+impl WidenToPresence {
+    /// Creates the rule for `attr`.
+    pub fn new(attr: impl Into<AttrName>) -> Self {
+        WidenToPresence { attr: attr.into() }
+    }
+}
+
+impl Generalizer for WidenToPresence {
+    fn generalize(&self, q: &SearchRequest) -> Vec<SearchRequest> {
+        match map_predicates(q.filter(), &mut |p| {
+            if p.attr() == &self.attr && !matches!(p.comparison(), Comparison::Present) {
+                Some(Predicate::present(p.attr().clone()))
+            } else {
+                None
+            }
+        }) {
+            Some(f) => vec![SearchRequest::with_attrs(
+                q.base().clone(),
+                q.scope(),
+                f,
+                q.attrs().clone(),
+            )],
+            None => Vec::new(),
+        }
+    }
+}
+
+/// Maps every query whose filter mentions a trigger attribute to one fixed
+/// region query — e.g. every `(location=L)` query to the whole location
+/// tree (§7.2(c): the location tree is small and hot, so it is replicated
+/// entirely).
+#[derive(Debug, Clone)]
+pub struct ConstantRegion {
+    trigger: AttrName,
+    region: SearchRequest,
+}
+
+impl ConstantRegion {
+    /// Creates the rule: queries mentioning `trigger` generalize to
+    /// `region`.
+    pub fn new(trigger: impl Into<AttrName>, region: SearchRequest) -> Self {
+        ConstantRegion { trigger: trigger.into(), region }
+    }
+}
+
+impl Generalizer for ConstantRegion {
+    fn generalize(&self, q: &SearchRequest) -> Vec<SearchRequest> {
+        if q.filter().attr_names().iter().any(|a| **a == self.trigger) {
+            vec![self.region.clone()]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// The identity "generalization": the user query itself becomes a
+/// candidate replication unit. Useful where result sets are already
+/// region-sized (e.g. one department's entries) and finer-grained
+/// selection than [`WidenToPresence`] is wanted.
+#[derive(Debug, Clone, Default)]
+pub struct Identity;
+
+impl Identity {
+    /// Creates the rule.
+    pub fn new() -> Self {
+        Identity
+    }
+}
+
+impl Generalizer for Identity {
+    fn generalize(&self, q: &SearchRequest) -> Vec<SearchRequest> {
+        vec![q.clone()]
+    }
+}
+
+/// Rewrites predicates through `f`, returning `Some(filter)` only when at
+/// least one predicate was rewritten (otherwise the rule does not apply).
+fn map_predicates(
+    filter: &Filter,
+    f: &mut impl FnMut(&Predicate) -> Option<Predicate>,
+) -> Option<Filter> {
+    let mut changed = false;
+    let out = walk(filter, f, &mut changed);
+    changed.then_some(out)
+}
+
+fn walk(
+    filter: &Filter,
+    f: &mut impl FnMut(&Predicate) -> Option<Predicate>,
+    changed: &mut bool,
+) -> Filter {
+    match filter {
+        Filter::And(fs) => Filter::And(fs.iter().map(|s| walk(s, f, changed)).collect()),
+        Filter::Or(fs) => Filter::Or(fs.iter().map(|s| walk(s, f, changed)).collect()),
+        Filter::Not(s) => Filter::Not(Box::new(walk(s, f, changed))),
+        Filter::Pred(p) => match f(p) {
+            Some(np) => {
+                *changed = true;
+                Filter::Pred(np)
+            }
+            None => Filter::Pred(p.clone()),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbdr_containment::query_contained;
+    use fbdr_ldap::Scope;
+
+    fn root_query(f: &str) -> SearchRequest {
+        SearchRequest::from_root(Filter::parse(f).unwrap())
+    }
+
+    #[test]
+    fn prefix_generalization() {
+        let rule = ValuePrefix::new("serialNumber", vec![4, 3]);
+        let q = root_query("(serialNumber=045612)");
+        let gens = rule.generalize(&q);
+        assert_eq!(gens.len(), 2);
+        assert_eq!(gens[0].filter().to_string(), "(serialNumber=0456*)");
+        assert_eq!(gens[1].filter().to_string(), "(serialNumber=045*)");
+        // Every generalization contains the original query.
+        for g in &gens {
+            assert!(query_contained(&q, g), "{} should contain {}", g.filter(), q.filter());
+        }
+    }
+
+    #[test]
+    fn prefix_rule_skips_short_values_and_other_attrs() {
+        let rule = ValuePrefix::new("serialNumber", vec![4]);
+        assert!(rule.generalize(&root_query("(serialNumber=045)")).is_empty());
+        assert!(rule.generalize(&root_query("(mail=a@b.c)")).is_empty());
+        // Substring queries are not re-generalized.
+        assert!(rule.generalize(&root_query("(serialNumber=0456*)")).is_empty());
+    }
+
+    #[test]
+    fn widen_to_presence() {
+        let rule = WidenToPresence::new("dept");
+        let q = root_query("(&(dept=2406)(div=software))");
+        let gens = rule.generalize(&q);
+        assert_eq!(gens.len(), 1);
+        assert_eq!(gens[0].filter().to_string(), "(&(dept=*)(div=software))");
+        assert!(query_contained(&q, &gens[0]));
+        assert!(rule.generalize(&root_query("(div=software)")).is_empty());
+    }
+
+    #[test]
+    fn constant_region() {
+        let region = SearchRequest::new(
+            "ou=locations,o=xyz".parse().unwrap(),
+            Scope::Subtree,
+            Filter::match_all(),
+        );
+        let rule = ConstantRegion::new("location", region.clone());
+        let q = root_query("(location=bangalore)");
+        let gens = rule.generalize(&q);
+        assert_eq!(gens.len(), 1);
+        assert_eq!(gens[0], region);
+        assert!(rule.generalize(&root_query("(sn=doe)")).is_empty());
+    }
+
+    #[test]
+    fn paper_telephone_example() {
+        let rule = ValuePrefix::new("telephoneNumber", vec![7]);
+        let q = root_query("(telephoneNumber=261-7580)");
+        let gens = rule.generalize(&q);
+        assert_eq!(gens[0].filter().to_string(), "(telephoneNumber=261-758*)");
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+//! Replica content determination (§6 of the paper): generalizing user
+//! queries into candidate filters and selecting which to replicate.
+//!
+//! * [`generalize`] — rules that map a user query to *generalized*
+//!   candidate filters describing regions of semantic/spatial locality:
+//!   value prefixes (`(serialNumber=0456*)`), predicate widening
+//!   (`(&(div=X)(dept=*))` for "all departments of division X"), and
+//!   constant regions (the whole location tree).
+//! * [`FilterSelector`] — the paper's §6.2 scheme: candidates accrue *hit*
+//!   statistics; every `R` queries (the *revolution interval*) the
+//!   candidates with the best benefit/size ratios are installed into the
+//!   replica, within an entry budget. Benefit = hits since the last
+//!   revolution; size = number of entries matching the filter at the
+//!   master.
+//! * [`EvolutionSelector`] — the evolution/revolution baseline of
+//!   Kapitskaia, Ng and Srivastava \[12\], which updates the stored set on
+//!   *every* query; its filter churn shows why per-query evolutions are
+//!   unsuitable for a replication scenario (§6.2).
+
+pub mod generalize;
+
+mod evolution;
+mod selector;
+
+pub use evolution::{EvolutionReport, EvolutionSelector};
+pub use selector::{FilterSelector, RevolutionReport, SelectorConfig};

@@ -1,0 +1,433 @@
+//! Periodic benefit/size filter selection (§6.2).
+
+use crate::generalize::Generalizer;
+use fbdr_ldap::SearchRequest;
+use fbdr_replica::FilterReplica;
+use fbdr_resync::{SyncError, SyncMaster, SyncTraffic};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Configuration for the periodic selector.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SelectorConfig {
+    /// Queries between revolutions (the paper's `R`, e.g. 6000 or 10000).
+    pub revolution_interval: u64,
+    /// Replica entry budget: selected filters' total estimated size must
+    /// stay within it.
+    pub entry_budget: usize,
+    /// Upper bound on candidates tracked (cheapest-benefit candidates are
+    /// dropped beyond it).
+    pub max_candidates: usize,
+}
+
+impl Default for SelectorConfig {
+    fn default() -> Self {
+        SelectorConfig { revolution_interval: 6000, entry_budget: 5000, max_candidates: 4096 }
+    }
+}
+
+#[derive(Debug)]
+struct Candidate {
+    request: SearchRequest,
+    hits: u64,
+    /// Lazily computed entry count at the master.
+    size: Option<usize>,
+}
+
+/// Outcome of one revolution.
+#[derive(Debug, Clone, Default)]
+pub struct RevolutionReport {
+    /// Filters newly installed into the replica.
+    pub installed: Vec<SearchRequest>,
+    /// Filters evicted from the replica.
+    pub removed: Vec<SearchRequest>,
+    /// Traffic spent loading the new filters' content — component (ii) of
+    /// the filter replica's update traffic (§7.3).
+    pub traffic: SyncTraffic,
+}
+
+/// The paper's filter selection scheme: maintain hit statistics for
+/// candidate (generalized) filters and periodically update the replica's
+/// stored set, choosing candidates by benefit-to-size ratio.
+///
+/// *Benefit* is the number of hits for a candidate since the last update;
+/// *size* is the estimated number of entries matching the filter. This is
+/// the paper's "simple means of approximating the expensive revolutions
+/// of \[12\]".
+#[derive(Debug)]
+pub struct FilterSelector {
+    config: SelectorConfig,
+    generalizers: Vec<Box<dyn Generalizer + Send>>,
+    candidates: HashMap<String, Candidate>,
+    /// Keys of filters this selector installed; revolutions only ever
+    /// evict managed filters, never statically configured ones.
+    managed: HashSet<String>,
+    queries_seen: u64,
+    revolutions: u64,
+}
+
+impl FilterSelector {
+    /// Creates a selector with the given generalization rules.
+    pub fn new(config: SelectorConfig, generalizers: Vec<Box<dyn Generalizer + Send>>) -> Self {
+        FilterSelector {
+            config,
+            generalizers,
+            candidates: HashMap::new(),
+            managed: HashSet::new(),
+            queries_seen: 0,
+            revolutions: 0,
+        }
+    }
+
+    /// Queries observed so far.
+    pub fn queries_seen(&self) -> u64 {
+        self.queries_seen
+    }
+
+    /// Revolutions performed so far.
+    pub fn revolutions(&self) -> u64 {
+        self.revolutions
+    }
+
+    /// Number of candidates currently tracked.
+    pub fn candidate_count(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Observes one user query: generalizes it and credits a hit to every
+    /// candidate that would have answered it.
+    pub fn observe(&mut self, query: &SearchRequest) {
+        self.queries_seen += 1;
+        for g in &self.generalizers {
+            for cand in g.generalize(query) {
+                let key = candidate_key(&cand);
+                let entry = self
+                    .candidates
+                    .entry(key)
+                    .or_insert(Candidate { request: cand, hits: 0, size: None });
+                entry.hits += 1;
+            }
+        }
+        if self.candidates.len() > self.config.max_candidates {
+            self.prune();
+        }
+    }
+
+    /// True when a revolution is due (every `revolution_interval` queries).
+    pub fn revolution_due(&self) -> bool {
+        self.queries_seen > 0 && self.queries_seen.is_multiple_of(self.config.revolution_interval)
+    }
+
+    /// Performs a revolution if one is due: selects the best
+    /// benefit-to-size candidates within the entry budget and swaps the
+    /// replica's stored filter set accordingly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SyncError`] from installing filters at the master.
+    pub fn maybe_revolve(
+        &mut self,
+        master: &mut SyncMaster,
+        replica: &mut FilterReplica,
+    ) -> Result<Option<RevolutionReport>, SyncError> {
+        if !self.revolution_due() {
+            return Ok(None);
+        }
+        self.revolve(master, replica).map(Some)
+    }
+
+    /// Unconditionally performs a revolution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SyncError`] from installing filters at the master.
+    pub fn revolve(
+        &mut self,
+        master: &mut SyncMaster,
+        replica: &mut FilterReplica,
+    ) -> Result<RevolutionReport, SyncError> {
+        self.revolutions += 1;
+        let selected = self.select(master.dit());
+        let selected_keys: Vec<String> = selected.iter().map(candidate_key).collect();
+
+        let mut report = RevolutionReport::default();
+        // Evict *managed* filters that fell out of the selection; filters
+        // installed statically by the operator are never touched.
+        let current: Vec<SearchRequest> = replica.filters().map(|(r, _)| r.clone()).collect();
+        for r in &current {
+            let key = candidate_key(r);
+            if self.managed.contains(&key) && !selected_keys.contains(&key) {
+                replica.remove_filter(master, r);
+                self.managed.remove(&key);
+                report.removed.push(r.clone());
+            }
+        }
+        // Install newly selected filters.
+        let current_keys: Vec<String> = current.iter().map(candidate_key).collect();
+        for r in selected {
+            let key = candidate_key(&r);
+            if !current_keys.contains(&key) {
+                let t = replica.install_filter(master, r.clone())?;
+                report.traffic.absorb(&t);
+                report.installed.push(r);
+            }
+            self.managed.insert(key);
+        }
+        // Benefit is "hits since the last update": reset counters.
+        for c in self.candidates.values_mut() {
+            c.hits = 0;
+            c.size = None; // re-estimate next time; the directory changes
+        }
+        Ok(report)
+    }
+
+    /// Greedy benefit/size selection within the entry budget (also usable
+    /// standalone for static, train-then-freeze configurations — Figure 4).
+    ///
+    /// Improves on the paper's scheme in one respect: a candidate that is
+    /// *semantically contained* in an already-selected filter is skipped —
+    /// its entries (and hits) are already covered, so picking it would
+    /// double-count budget for zero extra coverage. (The paper notes its
+    /// size estimates ignore overlap; full overlap is the cheap,
+    /// detectable case.)
+    pub fn select(&mut self, master: &fbdr_dit::DitStore) -> Vec<SearchRequest> {
+        let budget = self.config.entry_budget;
+        let mut scored: Vec<(&mut Candidate, f64, usize, String)> = Vec::new();
+        for c in self.candidates.values_mut() {
+            if c.hits == 0 {
+                continue;
+            }
+            let size = *c.size.get_or_insert_with(|| master.count_matching(c.request.filter()));
+            if size == 0 || size > budget {
+                continue;
+            }
+            let ratio = c.hits as f64 / size as f64;
+            let key = c.request.to_string();
+            scored.push((c, ratio, size, key));
+        }
+        // Best ratio first; on ties prefer the *larger* (coarser) filter —
+        // so contained duplicates of equal value are the ones skipped —
+        // and finally the shorter spelling, making selection fully
+        // deterministic.
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| b.2.cmp(&a.2))
+                .then_with(|| a.3.len().cmp(&b.3.len()))
+                .then_with(|| a.3.cmp(&b.3))
+        });
+        let mut engine = fbdr_containment::ContainmentEngine::new();
+        let mut picked: Vec<fbdr_containment::PreparedQuery> = Vec::new();
+        let mut used = 0usize;
+        let mut out = Vec::new();
+        for (c, _ratio, size, _key) in scored {
+            if used + size > budget {
+                continue;
+            }
+            let prepared = fbdr_containment::PreparedQuery::new(c.request.clone());
+            if picked.iter().any(|p| engine.query_contained(&prepared, p)) {
+                continue; // fully covered by an already-selected filter
+            }
+            used += size;
+            out.push(c.request.clone());
+            picked.push(prepared);
+        }
+        out
+    }
+
+    /// All candidates with at least one hit, ranked by benefit/size ratio
+    /// (best first), with their hit counts and size estimates. Used by the
+    /// "hit ratio vs number of stored filters" sweeps (Figures 8–9), which
+    /// take the top *k* regardless of an entry budget.
+    pub fn ranked_candidates(&mut self, master: &fbdr_dit::DitStore) -> Vec<(SearchRequest, u64, usize)> {
+        let mut out: Vec<(SearchRequest, u64, usize)> = Vec::new();
+        for c in self.candidates.values_mut() {
+            if c.hits == 0 {
+                continue;
+            }
+            let size = *c.size.get_or_insert_with(|| master.count_matching(c.request.filter()));
+            if size == 0 {
+                continue;
+            }
+            out.push((c.request.clone(), c.hits, size));
+        }
+        out.sort_by(|a, b| {
+            let ra = a.1 as f64 / a.2 as f64;
+            let rb = b.1 as f64 / b.2 as f64;
+            rb.partial_cmp(&ra)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.to_string().cmp(&b.0.to_string()))
+        });
+        out
+    }
+
+    fn prune(&mut self) {
+        let mut hits: Vec<u64> = self.candidates.values().map(|c| c.hits).collect();
+        hits.sort_unstable();
+        let cutoff = hits[hits.len() / 4];
+        self.candidates.retain(|_, c| c.hits > cutoff);
+    }
+}
+
+/// Canonical identity of a candidate query.
+fn candidate_key(r: &SearchRequest) -> String {
+    format!("{r}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generalize::ValuePrefix;
+    use fbdr_ldap::{Entry, Filter};
+
+    fn master() -> SyncMaster {
+        let mut m = SyncMaster::new();
+        m.dit_mut().add_suffix("o=xyz".parse().unwrap());
+        m.dit_mut().add(Entry::new("o=xyz".parse().unwrap())).unwrap();
+        // Serial numbers: cluster 0456xx (popular, 10 entries) and
+        // 12xxxx (unpopular, 10 entries).
+        for i in 0..10 {
+            m.dit_mut()
+                .add(
+                    Entry::new(format!("cn=a{i},o=xyz").parse().unwrap())
+                        .with("objectclass", "person")
+                        .with("serialNumber", &format!("04560{i}")),
+                )
+                .unwrap();
+            m.dit_mut()
+                .add(
+                    Entry::new(format!("cn=b{i},o=xyz").parse().unwrap())
+                        .with("objectclass", "person")
+                        .with("serialNumber", &format!("12000{i}")),
+                )
+                .unwrap();
+        }
+        m
+    }
+
+    fn query(sn: &str) -> SearchRequest {
+        SearchRequest::from_root(Filter::parse(&format!("(serialNumber={sn})")).unwrap())
+    }
+
+    fn selector(interval: u64, budget: usize) -> FilterSelector {
+        FilterSelector::new(
+            SelectorConfig {
+                revolution_interval: interval,
+                entry_budget: budget,
+                max_candidates: 100,
+            },
+            vec![Box::new(ValuePrefix::new("serialNumber", vec![4]))],
+        )
+    }
+
+    #[test]
+    fn observe_accumulates_candidate_hits() {
+        let mut s = selector(100, 100);
+        for i in 0..5 {
+            s.observe(&query(&format!("04560{i}")));
+        }
+        s.observe(&query("120001"));
+        assert_eq!(s.candidate_count(), 2);
+        assert_eq!(s.queries_seen(), 6);
+    }
+
+    #[test]
+    fn select_prefers_benefit_per_size() {
+        let m = master();
+        let mut s = selector(100, 10);
+        // 0456* gets 5 hits, 1200* gets 1: both size 10, budget 10 → only
+        // the popular one fits.
+        for i in 0..5 {
+            s.observe(&query(&format!("04560{i}")));
+        }
+        s.observe(&query("120001"));
+        let picked = s.select(m.dit());
+        assert_eq!(picked.len(), 1);
+        assert_eq!(picked[0].filter().to_string(), "(serialNumber=0456*)");
+    }
+
+    #[test]
+    fn select_respects_budget() {
+        let m = master();
+        let mut s = selector(100, 20);
+        for i in 0..5 {
+            s.observe(&query(&format!("04560{i}")));
+        }
+        s.observe(&query("120001"));
+        // Budget 20 fits both clusters.
+        assert_eq!(s.select(m.dit()).len(), 2);
+        // Budget 5 fits neither (each cluster has 10 entries).
+        let mut small = selector(100, 5);
+        small.observe(&query("045601"));
+        assert!(small.select(m.dit()).is_empty());
+    }
+
+    #[test]
+    fn revolution_installs_and_evicts() {
+        let mut m = master();
+        let mut replica = FilterReplica::new(0);
+        let mut s = selector(3, 10);
+
+        for i in 0..3 {
+            s.observe(&query(&format!("04560{i}")));
+        }
+        assert!(s.revolution_due());
+        let report = s.maybe_revolve(&mut m, &mut replica).unwrap().expect("due");
+        assert_eq!(report.installed.len(), 1);
+        assert_eq!(report.traffic.full_entries, 10);
+        assert_eq!(replica.filter_count(), 1);
+        assert!(replica.try_answer(&query("045607")).is_some());
+
+        // Access pattern shifts to the 1200xx cluster: next revolution
+        // swaps the stored filter.
+        for i in 0..3 {
+            s.observe(&query(&format!("12000{i}")));
+        }
+        let report = s.maybe_revolve(&mut m, &mut replica).unwrap().expect("due");
+        assert_eq!(report.installed.len(), 1);
+        assert_eq!(report.removed.len(), 1);
+        assert!(replica.try_answer(&query("120005")).is_some());
+        assert!(replica.try_answer(&query("045607")).is_none());
+        assert_eq!(s.revolutions(), 2);
+    }
+
+    #[test]
+    fn no_revolution_between_intervals() {
+        let mut m = master();
+        let mut replica = FilterReplica::new(0);
+        let mut s = selector(10, 10);
+        s.observe(&query("045601"));
+        assert!(!s.revolution_due());
+        assert!(s.maybe_revolve(&mut m, &mut replica).unwrap().is_none());
+    }
+
+    #[test]
+    fn select_skips_contained_candidates() {
+        let m = master();
+        let mut s = FilterSelector::new(
+            SelectorConfig { revolution_interval: 1000, entry_budget: 50, max_candidates: 100 },
+            vec![Box::new(ValuePrefix::new("serialNumber", vec![4, 5]))],
+        );
+        // Queries generate both a coarse 4-digit prefix (0456*, size 10)
+        // and fine 5-digit prefixes (04560*, size 10 here as well since
+        // all serials share 04560x). The fine one is contained in the
+        // coarse one; only one of them should be selected.
+        for i in 0..6 {
+            s.observe(&query(&format!("04560{i}")));
+        }
+        let picked = s.select(m.dit());
+        assert_eq!(picked.len(), 1, "contained duplicate selected: {picked:?}");
+    }
+
+    #[test]
+    fn pruning_caps_candidates() {
+        let mut s = FilterSelector::new(
+            SelectorConfig { revolution_interval: 1000, entry_budget: 10, max_candidates: 8 },
+            vec![Box::new(ValuePrefix::new("serialNumber", vec![4]))],
+        );
+        for i in 0..40 {
+            s.observe(&query(&format!("{:06}", i * 137)));
+        }
+        assert!(s.candidate_count() <= 9, "got {}", s.candidate_count());
+    }
+}

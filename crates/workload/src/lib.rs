@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+//! Synthetic enterprise directory and workloads (§7.1 of the paper).
+//!
+//! The paper evaluates against the IBM enterprise directory (~0.5M
+//! entries) with a real two-day workload. This crate reproduces the
+//! *shape* of that setting, scaled and fully deterministic:
+//!
+//! * [`EnterpriseDirectory`] — employees as children of their country
+//!   entry (a flat namespace, §3.3), with a structured `serialNumber`
+//!   whose prefixes correlate with countries, an *unstructured* `mail`
+//!   user part (why mail queries generalize poorly, §7.2(c)), departments
+//!   under divisions with division-correlated department numbers, and a
+//!   small hot location subtree.
+//! * [`TraceGenerator`] — queries in exactly the Table 1 mix
+//!   (serialNumber 58%, mail 24%, dept+div 16%, location 2%), Zipf-skewed
+//!   target popularity aligned with serial-number regions, and
+//!   re-reference temporal locality for the query-cache experiments.
+//! * [`UpdateGenerator`] — a low-rate update stream (modifies, adds,
+//!   deletes, moves) for the update-traffic experiments (Figures 6–7).
+//!
+//! Everything is seeded: the same configuration always produces the same
+//! directory and trace.
+
+mod directory;
+mod trace;
+mod updates;
+mod zipf;
+
+pub use directory::{DirectoryConfig, EmployeeRecord, EnterpriseDirectory};
+pub use trace::{distribution, QueryKind, TraceConfig, TraceGenerator, TracedQuery};
+pub use updates::{UpdateConfig, UpdateGenerator};
+pub use zipf::Zipf;

@@ -1,0 +1,471 @@
+//! Query trace generation in the Table 1 mix.
+
+use crate::directory::EnterpriseDirectory;
+use crate::zipf::Zipf;
+use fbdr_ldap::{Filter, SearchRequest};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// The four query types of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QueryKind {
+    /// `(serialNumber=_)` — 58% of the workload.
+    SerialNumber,
+    /// `(mail=_)` — 24%.
+    Mail,
+    /// `(&(dept=_)(div=_))` — 16%.
+    DeptDiv,
+    /// `(location=_)` — 2%.
+    Location,
+}
+
+impl QueryKind {
+    /// All kinds with their Table 1 shares.
+    pub const TABLE1: [(QueryKind, f64); 4] = [
+        (QueryKind::SerialNumber, 0.58),
+        (QueryKind::Mail, 0.24),
+        (QueryKind::DeptDiv, 0.16),
+        (QueryKind::Location, 0.02),
+    ];
+
+    /// The template string reported in Table 1.
+    pub fn template(&self) -> &'static str {
+        match self {
+            QueryKind::SerialNumber => "(serialNumber=_)",
+            QueryKind::Mail => "(mail=_)",
+            QueryKind::DeptDiv => "(&(dept=_)(div=_))",
+            QueryKind::Location => "(location=_)",
+        }
+    }
+}
+
+impl fmt::Display for QueryKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.template())
+    }
+}
+
+/// One query of the trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TracedQuery {
+    /// Which Table 1 type the query belongs to.
+    pub kind: QueryKind,
+    /// The concrete search request (base = DIT root, as issued by
+    /// minimally directory-enabled applications, §3.1.1).
+    pub request: SearchRequest,
+}
+
+/// Trace generation parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of queries to generate.
+    pub queries: usize,
+    /// Query-type mix (fractions for serial, mail, dept, location).
+    pub mix: [f64; 4],
+    /// Zipf exponent for person popularity.
+    pub person_zipf: f64,
+    /// Zipf exponent for department popularity.
+    pub dept_zipf: f64,
+    /// Zipf exponent for location popularity.
+    pub location_zipf: f64,
+    /// Probability a person query targets the geography of interest (the
+    /// replica serves that geography's users).
+    pub geography_bias: f64,
+    /// Probability of re-issuing one of the last `temporal_window`
+    /// queries (temporal locality, behind the §7.4 query-cache curves).
+    pub temporal_locality: f64,
+    /// Re-reference window length.
+    pub temporal_window: usize,
+    /// Fraction of person queries whose target is drawn from a
+    /// *scattered* popularity order (hot individuals spread uniformly over
+    /// the serial space). Scattered targets cannot be captured by compact
+    /// generalized filters — only the recent-query cache catches their
+    /// re-references — which is what keeps the "generalized only" curve of
+    /// Figures 8–9 below 1.0 and makes "both" win.
+    pub scattered_popularity: f64,
+    /// Queries between department-popularity drift steps (0 disables
+    /// drift). Drift is what makes shorter revolution intervals pay off
+    /// (Figures 5 and 7).
+    pub dept_drift_period: usize,
+    /// How many rank positions the department popularity rotates per
+    /// drift step.
+    pub dept_drift_step: usize,
+    /// Department ranks that never drift — the stable hot head real
+    /// workloads exhibit. Static selections capture the head; dynamic
+    /// selection is needed for the drifting tail.
+    pub dept_stable_head: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            seed: 0x7ACE,
+            queries: 50_000,
+            mix: [0.58, 0.24, 0.16, 0.02],
+            person_zipf: 0.8,
+            dept_zipf: 0.95,
+            location_zipf: 0.7,
+            geography_bias: 0.75,
+            temporal_locality: 0.2,
+            temporal_window: 100,
+            scattered_popularity: 0.25,
+            dept_drift_period: 2000,
+            dept_drift_step: 9,
+            dept_stable_head: 4,
+        }
+    }
+}
+
+/// Generates query traces against a generated directory.
+///
+/// Person popularity is Zipf over employees **in serial order within their
+/// group**, so hot employees cluster into serial-number regions — the
+/// organization of the `serialNumber` attribute that filter generalization
+/// exploits (§7.2(a)). The same popular employees are targeted by mail
+/// queries, but the mail user part carries no structure, so no compact
+/// filter describes the hot set (§7.2(c)).
+#[derive(Debug)]
+pub struct TraceGenerator {
+    geo_ids: Vec<usize>,
+    rest_ids: Vec<usize>,
+    geo_zipf: Zipf,
+    rest_zipf: Zipf,
+    scattered_ids: Vec<usize>,
+    scattered_zipf: Zipf,
+    dept_order: Vec<usize>,
+    dept_zipf: Zipf,
+    loc_zipf: Zipf,
+}
+
+impl TraceGenerator {
+    /// Prepares popularity structures for a directory.
+    pub fn new(dir: &EnterpriseDirectory, config: &TraceConfig) -> Self {
+        // Position of each employee within its country (employees are
+        // generated country-contiguously in serial order).
+        let mut within = vec![0usize; dir.employees().len()];
+        {
+            let mut count: std::collections::HashMap<&str, usize> = Default::default();
+            for (i, e) in dir.employees().iter().enumerate() {
+                let c = count.entry(e.country.as_str()).or_default();
+                within[i] = *c;
+                *c += 1;
+            }
+        }
+        // Popularity rank = within-country position, interleaved across
+        // countries: the hot head consists of the leading serial block of
+        // every country in the group, which value-prefix filters capture.
+        let mut geo_ids: Vec<usize> = (0..dir.employees().len())
+            .filter(|&i| dir.employees()[i].in_geography)
+            .collect();
+        geo_ids.sort_by_key(|&i| (within[i], dir.employees()[i].country.clone()));
+        let mut rest_ids: Vec<usize> = (0..dir.employees().len())
+            .filter(|&i| !dir.employees()[i].in_geography)
+            .collect();
+        rest_ids.sort_by_key(|&i| (within[i], dir.employees()[i].country.clone()));
+        // A fixed shuffle decouples department popularity from numbering,
+        // while serial popularity stays aligned with serial order.
+        let mut dept_order: Vec<usize> = (0..dir.departments().len()).collect();
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xDEAF);
+        for i in (1..dept_order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            dept_order.swap(i, j);
+        }
+        // Scattered popularity: a fixed shuffle of everyone, so the hot
+        // head is uniformly spread over countries and serial blocks.
+        let mut scattered_ids: Vec<usize> = (0..dir.employees().len()).collect();
+        for i in (1..scattered_ids.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            scattered_ids.swap(i, j);
+        }
+        TraceGenerator {
+            geo_zipf: Zipf::new(geo_ids.len().max(1), config.person_zipf),
+            rest_zipf: Zipf::new(rest_ids.len().max(1), config.person_zipf),
+            geo_ids,
+            rest_ids,
+            scattered_zipf: Zipf::new(scattered_ids.len().max(1), config.person_zipf),
+            scattered_ids,
+            dept_zipf: Zipf::new(dept_order.len().max(1), config.dept_zipf),
+            dept_order,
+            loc_zipf: Zipf::new(dir.locations().len().max(1), config.location_zipf),
+        }
+    }
+
+    /// Generates a trace.
+    pub fn generate(&self, dir: &EnterpriseDirectory, config: &TraceConfig) -> Vec<TracedQuery> {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut out = Vec::with_capacity(config.queries);
+        let mut recent: VecDeque<TracedQuery> = VecDeque::with_capacity(config.temporal_window);
+        let mut dept_offset = 0usize;
+        for i in 0..config.queries {
+            if config.dept_drift_period > 0 && i > 0 && i % config.dept_drift_period == 0 {
+                dept_offset += config.dept_drift_step;
+            }
+            let q = if !recent.is_empty() && rng.gen::<f64>() < config.temporal_locality {
+                recent[rng.gen_range(0..recent.len())].clone()
+            } else {
+                self.fresh_query(dir, config, &mut rng, dept_offset)
+            };
+            if recent.len() == config.temporal_window {
+                recent.pop_front();
+            }
+            recent.push_back(q.clone());
+            out.push(q);
+        }
+        out
+    }
+
+    fn fresh_query(
+        &self,
+        dir: &EnterpriseDirectory,
+        config: &TraceConfig,
+        rng: &mut StdRng,
+        dept_offset: usize,
+    ) -> TracedQuery {
+        let kind = self.pick_kind(config, rng);
+        let request = match kind {
+            QueryKind::SerialNumber => {
+                let e = &dir.employees()[self.pick_person(config, rng)];
+                SearchRequest::from_root(
+                    Filter::parse(&format!("(serialNumber={})", e.serial)).expect("valid filter"),
+                )
+            }
+            QueryKind::Mail => {
+                let e = &dir.employees()[self.pick_person(config, rng)];
+                SearchRequest::from_root(
+                    Filter::parse(&format!("(mail={})", e.mail)).expect("valid filter"),
+                )
+            }
+            QueryKind::DeptDiv => {
+                let n = self.dept_order.len();
+                let head = config.dept_stable_head.min(n);
+                let zr = self.dept_zipf.sample(rng);
+                // The hot head is stable; ranks beyond it rotate slowly.
+                let rank = if zr < head || n == head {
+                    zr
+                } else {
+                    head + (zr - head + dept_offset) % (n - head)
+                };
+                let (dept, div) = &dir.departments()[self.dept_order[rank]];
+                SearchRequest::from_root(
+                    Filter::parse(&format!("(&(dept={dept})(div={div}))")).expect("valid filter"),
+                )
+            }
+            QueryKind::Location => {
+                let name = &dir.locations()[self.loc_zipf.sample(rng)];
+                SearchRequest::from_root(
+                    Filter::parse(&format!("(location={name})")).expect("valid filter"),
+                )
+            }
+        };
+        TracedQuery { kind, request }
+    }
+
+    fn pick_kind(&self, config: &TraceConfig, rng: &mut StdRng) -> QueryKind {
+        let u: f64 = rng.gen();
+        let kinds = [
+            QueryKind::SerialNumber,
+            QueryKind::Mail,
+            QueryKind::DeptDiv,
+            QueryKind::Location,
+        ];
+        let mut acc = 0.0;
+        for (i, share) in config.mix.iter().enumerate() {
+            acc += share;
+            if u < acc {
+                return kinds[i];
+            }
+        }
+        QueryKind::Location
+    }
+
+    fn pick_person(&self, config: &TraceConfig, rng: &mut StdRng) -> usize {
+        if rng.gen::<f64>() < config.scattered_popularity {
+            return self.scattered_ids[self.scattered_zipf.sample(rng)];
+        }
+        if !self.geo_ids.is_empty() && (self.rest_ids.is_empty() || rng.gen::<f64>() < config.geography_bias)
+        {
+            self.geo_ids[self.geo_zipf.sample(rng)]
+        } else {
+            self.rest_ids[self.rest_zipf.sample(rng)]
+        }
+    }
+}
+
+/// Measured distribution of query kinds in a trace (for regenerating
+/// Table 1).
+pub fn distribution(trace: &[TracedQuery]) -> Vec<(QueryKind, f64)> {
+    let kinds = [
+        QueryKind::SerialNumber,
+        QueryKind::Mail,
+        QueryKind::DeptDiv,
+        QueryKind::Location,
+    ];
+    kinds
+        .iter()
+        .map(|k| {
+            let n = trace.iter().filter(|q| q.kind == *k).count();
+            (*k, n as f64 / trace.len().max(1) as f64)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::directory::DirectoryConfig;
+
+    fn setup() -> (EnterpriseDirectory, TraceConfig) {
+        let dir = EnterpriseDirectory::generate(DirectoryConfig::small());
+        let cfg = TraceConfig { queries: 5000, ..TraceConfig::default() };
+        (dir, cfg)
+    }
+
+    #[test]
+    fn mix_matches_table1() {
+        let (dir, cfg) = setup();
+        let trace = TraceGenerator::new(&dir, &cfg).generate(&dir, &cfg);
+        let dist = distribution(&trace);
+        for ((_, measured), (_, expected)) in dist.iter().zip(QueryKind::TABLE1) {
+            assert!(
+                (measured - expected).abs() < 0.04,
+                "kind share {measured} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn serial_queries_hit_exactly_one_entry() {
+        let (dir, cfg) = setup();
+        let trace = TraceGenerator::new(&dir, &cfg).generate(&dir, &cfg);
+        let q = trace
+            .iter()
+            .find(|q| q.kind == QueryKind::SerialNumber)
+            .expect("mix has serial queries");
+        assert_eq!(dir.dit().search(&q.request).len(), 1);
+    }
+
+    #[test]
+    fn dept_queries_return_department_entries() {
+        let (dir, cfg) = setup();
+        let trace = TraceGenerator::new(&dir, &cfg).generate(&dir, &cfg);
+        let q = trace
+            .iter()
+            .find(|q| q.kind == QueryKind::DeptDiv)
+            .expect("mix has dept queries");
+        assert!(!dir.dit().search(&q.request).is_empty());
+    }
+
+    #[test]
+    fn temporal_locality_produces_repeats() {
+        let (dir, cfg) = setup();
+        let trace = TraceGenerator::new(&dir, &cfg).generate(&dir, &cfg);
+        let mut repeats = 0;
+        for w in trace.windows(100) {
+            let last = w.last().expect("window of 100");
+            if w[..99].iter().any(|q| q.request == last.request) {
+                repeats += 1;
+            }
+        }
+        let frac = repeats as f64 / (trace.len() - 100) as f64;
+        assert!(frac > 0.15, "re-reference fraction {frac} too low");
+    }
+
+    #[test]
+    fn geography_bias_targets_geography() {
+        let (dir, cfg) = setup();
+        let trace = TraceGenerator::new(&dir, &cfg).generate(&dir, &cfg);
+        let geo_serials: std::collections::HashSet<&str> = dir
+            .employees()
+            .iter()
+            .filter(|e| e.in_geography)
+            .map(|e| e.serial.as_str())
+            .collect();
+        let serial_queries: Vec<&TracedQuery> = trace
+            .iter()
+            .filter(|q| q.kind == QueryKind::SerialNumber)
+            .collect();
+        let geo_hits = serial_queries
+            .iter()
+            .filter(|q| {
+                let f = q.request.filter().to_string();
+                let sn = f.trim_start_matches("(serialNumber=").trim_end_matches(')');
+                geo_serials.contains(sn)
+            })
+            .count();
+        let frac = geo_hits as f64 / serial_queries.len() as f64;
+        assert!(frac > 0.5, "geography fraction {frac}");
+    }
+
+    #[test]
+    fn dept_popularity_drifts_but_head_is_stable() {
+        let dir = EnterpriseDirectory::generate(DirectoryConfig::small());
+        let cfg = TraceConfig { queries: 20_000, ..TraceConfig::default() };
+        let trace = TraceGenerator::new(&dir, &cfg).generate(&dir, &cfg);
+        let dept_of = |q: &TracedQuery| {
+            let f = q.request.filter().to_string();
+            f.split("(dept=").nth(1).map(|s| s.split(')').next().unwrap_or("").to_owned())
+        };
+        let quarter = trace.len() / 4;
+        let count = |range: &[TracedQuery]| {
+            let mut m: std::collections::HashMap<String, usize> = Default::default();
+            for q in range.iter().filter(|q| q.kind == QueryKind::DeptDiv) {
+                if let Some(d) = dept_of(q) {
+                    *m.entry(d).or_default() += 1;
+                }
+            }
+            m
+        };
+        let first = count(&trace[..quarter]);
+        let last = count(&trace[3 * quarter..]);
+        let top = |m: &std::collections::HashMap<String, usize>, k: usize| {
+            let mut v: Vec<(&String, &usize)> = m.iter().collect();
+            v.sort_by(|a, b| b.1.cmp(a.1));
+            v.into_iter().take(k).map(|(d, _)| d.clone()).collect::<Vec<_>>()
+        };
+        let top_first = top(&first, 8);
+        let top_last = top(&last, 8);
+        // The stable head keeps some departments hot across the whole
+        // trace…
+        let common = top_first.iter().filter(|d| top_last.contains(d)).count();
+        assert!(common >= 2, "no stable head: {top_first:?} vs {top_last:?}");
+        // …while the drifting tail changes the rest of the hot set.
+        assert!(common < 8, "no drift at all: {top_first:?}");
+    }
+
+    #[test]
+    fn deterministic_trace() {
+        let (dir, cfg) = setup();
+        let a = TraceGenerator::new(&dir, &cfg).generate(&dir, &cfg);
+        let b = TraceGenerator::new(&dir, &cfg).generate(&dir, &cfg);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.request, y.request);
+        }
+    }
+
+    #[test]
+    fn popularity_concentrates_in_serial_regions() {
+        // The top serial prefixes should cover a large share of serial
+        // queries — the property prefix filters exploit.
+        let (dir, cfg) = setup();
+        let trace = TraceGenerator::new(&dir, &cfg).generate(&dir, &cfg);
+        let mut prefix_counts: std::collections::HashMap<String, usize> = Default::default();
+        let mut total = 0usize;
+        for q in trace.iter().filter(|q| q.kind == QueryKind::SerialNumber) {
+            let f = q.request.filter().to_string();
+            let sn = f.trim_start_matches("(serialNumber=").trim_end_matches(')');
+            *prefix_counts.entry(sn[..4].to_owned()).or_default() += 1;
+            total += 1;
+        }
+        let mut counts: Vec<usize> = prefix_counts.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top5: usize = counts.iter().take(5).sum();
+        let frac = top5 as f64 / total as f64;
+        assert!(frac > 0.35, "top-5 serial prefixes cover only {frac}");
+    }
+}

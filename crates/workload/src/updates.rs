@@ -1,0 +1,188 @@
+//! Update stream generation for the update-traffic experiments (§7.3).
+
+use crate::directory::EnterpriseDirectory;
+use fbdr_dit::{Modification, UpdateOp};
+use fbdr_ldap::Entry;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Update stream parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UpdateConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of update operations.
+    pub ops: usize,
+    /// Probability of a modify (phone/mail/department change).
+    pub p_modify: f64,
+    /// Probability of an employee add (remainder after modify is split
+    /// between add and delete).
+    pub p_add: f64,
+    /// Probability a modify changes `departmentNumber` (moves the entry
+    /// between department filters); others touch phone/mail.
+    pub p_dept_change: f64,
+}
+
+impl Default for UpdateConfig {
+    fn default() -> Self {
+        UpdateConfig { seed: 0x0BDA7E, ops: 2000, p_modify: 0.8, p_add: 0.1, p_dept_change: 0.15 }
+    }
+}
+
+/// Generates a valid-when-applied-in-order update stream against a
+/// generated directory.
+#[derive(Debug)]
+pub struct UpdateGenerator {
+    alive: Vec<String>,
+    serials: Vec<String>,
+    next_serial: usize,
+    next_id: usize,
+    departments: Vec<(String, String)>,
+    countries: Vec<String>,
+}
+
+impl UpdateGenerator {
+    /// Prepares the generator from the initial directory state.
+    pub fn new(dir: &EnterpriseDirectory) -> Self {
+        let alive: Vec<String> = dir.employees().iter().map(|e| e.dn_string.clone()).collect();
+        let serials: Vec<String> = dir.employees().iter().map(|e| e.serial.clone()).collect();
+        let max_serial = dir
+            .employees()
+            .iter()
+            .map(|e| e.serial.parse::<usize>().expect("numeric serial"))
+            .max()
+            .unwrap_or(100_000);
+        UpdateGenerator {
+            next_id: alive.len(),
+            alive,
+            serials,
+            next_serial: max_serial + 1,
+            departments: dir.departments().to_vec(),
+            countries: dir.countries().iter().map(|(c, _)| c.clone()).collect(),
+        }
+    }
+
+    /// Generates the stream. Operations are valid when applied in order to
+    /// the directory the generator was created from.
+    pub fn generate(&mut self, config: &UpdateConfig) -> Vec<UpdateOp> {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut out = Vec::with_capacity(config.ops);
+        for _ in 0..config.ops {
+            let u: f64 = rng.gen();
+            let op = if u < config.p_modify || self.alive.is_empty() {
+                self.modify(&mut rng, config)
+            } else if u < config.p_modify + config.p_add {
+                self.add(&mut rng)
+            } else {
+                self.delete(&mut rng)
+            };
+            out.push(op);
+        }
+        out
+    }
+
+    fn modify(&mut self, rng: &mut StdRng, config: &UpdateConfig) -> UpdateOp {
+        let idx = rng.gen_range(0..self.alive.len());
+        let dn = self.alive[idx].parse().expect("tracked dn valid");
+        let mods = if rng.gen::<f64>() < config.p_dept_change {
+            let (dept, div) = &self.departments[rng.gen_range(0..self.departments.len())];
+            vec![
+                Modification::Replace("departmentNumber".into(), vec![dept.as_str().into()]),
+                Modification::Replace("division".into(), vec![div.as_str().into()]),
+            ]
+        } else if rng.gen::<bool>() {
+            vec![Modification::Replace(
+                "telephoneNumber".into(),
+                vec![format!("261-{:07}", rng.gen_range(0..9_999_999)).into()],
+            )]
+        } else {
+            vec![Modification::Replace(
+                "roomNumber".into(),
+                vec![format!("r{}", rng.gen_range(0..5000)).into()],
+            )]
+        };
+        UpdateOp::Modify { dn, mods }
+    }
+
+    fn add(&mut self, rng: &mut StdRng) -> UpdateOp {
+        let cc = &self.countries[rng.gen_range(0..self.countries.len())];
+        let id = self.next_id;
+        self.next_id += 1;
+        let serial = format!("{:06}", self.next_serial);
+        self.next_serial += 1;
+        let user: String = (0..8)
+            .map(|_| char::from_digit(rng.gen_range(0..36), 36).expect("base36 digit"))
+            .collect();
+        let (dept, div) = self.departments[rng.gen_range(0..self.departments.len())].clone();
+        let dn_string = format!("cn=emp{id:06},c={cc},o=xyz");
+        let entry = Entry::new(dn_string.parse().expect("valid dn"))
+            .with("objectclass", "inetOrgPerson")
+            .with("cn", &format!("emp{id:06}"))
+            .with("serialNumber", &serial)
+            .with("mail", &format!("{user}@{cc}.xyz.com"))
+            .with("departmentNumber", &dept)
+            .with("division", &div);
+        self.alive.push(dn_string);
+        self.serials.push(serial);
+        UpdateOp::Add(entry)
+    }
+
+    fn delete(&mut self, rng: &mut StdRng) -> UpdateOp {
+        let idx = rng.gen_range(0..self.alive.len());
+        let dn_string = self.alive.swap_remove(idx);
+        self.serials.swap_remove(idx);
+        UpdateOp::Delete(dn_string.parse().expect("tracked dn valid"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::directory::DirectoryConfig;
+    use fbdr_dit::DitStore;
+
+    fn apply_all(dit: &mut DitStore, ops: &[UpdateOp]) -> usize {
+        let mut failures = 0;
+        for op in ops {
+            if dit.apply(op.clone()).is_err() {
+                failures += 1;
+            }
+        }
+        failures
+    }
+
+    #[test]
+    fn stream_is_valid_in_order() {
+        let dir = EnterpriseDirectory::generate(DirectoryConfig::small());
+        let mut gen = UpdateGenerator::new(&dir);
+        let ops = gen.generate(&UpdateConfig { ops: 500, ..UpdateConfig::default() });
+        assert_eq!(ops.len(), 500);
+        let (mut dit, _) = dir.into_parts();
+        let failures = apply_all(&mut dit, &ops);
+        assert_eq!(failures, 0, "{failures} invalid ops in stream");
+    }
+
+    #[test]
+    fn stream_mixes_kinds() {
+        let dir = EnterpriseDirectory::generate(DirectoryConfig::small());
+        let mut gen = UpdateGenerator::new(&dir);
+        let ops = gen.generate(&UpdateConfig { ops: 800, ..UpdateConfig::default() });
+        let mods = ops.iter().filter(|o| matches!(o, UpdateOp::Modify { .. })).count();
+        let adds = ops.iter().filter(|o| matches!(o, UpdateOp::Add(_))).count();
+        let dels = ops.iter().filter(|o| matches!(o, UpdateOp::Delete(_))).count();
+        assert!(mods > adds && mods > dels);
+        assert!(adds > 0 && dels > 0);
+    }
+
+    #[test]
+    fn deterministic_stream() {
+        let dir = EnterpriseDirectory::generate(DirectoryConfig::small());
+        let a = UpdateGenerator::new(&dir).generate(&UpdateConfig::default());
+        let b = UpdateGenerator::new(&dir).generate(&UpdateConfig::default());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(format!("{x}"), format!("{y}"));
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! The Figure 2 walkthrough: why referral-based distributed operation
+//! completion is slow — and why partial replicas want high hit ratios.
+//!
+//! Three servers jointly serve `o=xyz`: hostA masters the top, hostB the
+//! research subtree, hostC the India subtree. A client sends one subtree
+//! search to hostB and the library chases every referral.
+//!
+//! Run with: `cargo run --example distributed_referrals`
+
+use fbdr::dit::{DitStore, NamingContext};
+use fbdr::net::{Network, Server};
+use fbdr::prelude::{Dn, Entry, Filter, Scope, SearchRequest};
+
+fn dn(s: &str) -> Dn {
+    s.parse().expect("valid dn")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut net = Network::new();
+
+    // hostA: naming context (o=xyz, R1: ldap://hostB, R2: ldap://hostC).
+    let mut dit_a = DitStore::new();
+    dit_a.add_suffix(dn("o=xyz"));
+    dit_a.add(Entry::new(dn("o=xyz")).with("objectclass", "organization"))?;
+    dit_a.add(Entry::new(dn("c=us,o=xyz")).with("objectclass", "country"))?;
+    dit_a.add(
+        Entry::new(dn("cn=Fred Jones,c=us,o=xyz"))
+            .with("objectclass", "person")
+            .with("cn", "Fred Jones"),
+    )?;
+    let ctx_a = NamingContext::new(dn("o=xyz"))
+        .with_referral(dn("ou=research,c=us,o=xyz"), "ldap://hostB")
+        .with_referral(dn("c=in,o=xyz"), "ldap://hostC");
+    println!("hostA holds {ctx_a}");
+    net.add_server(Server::new("ldap://hostA", dit_a, vec![ctx_a], None));
+
+    // hostB: the research subtree, default referral to hostA.
+    let mut dit_b = DitStore::new();
+    dit_b.add_suffix(dn("ou=research,c=us,o=xyz"));
+    dit_b.add(Entry::new(dn("ou=research,c=us,o=xyz")).with("objectclass", "organizationalUnit"))?;
+    for name in ["John Doe", "Carl Miller", "John Smith"] {
+        dit_b.add(
+            Entry::new(dn(&format!("cn={name},ou=research,c=us,o=xyz")))
+                .with("objectclass", "person")
+                .with("cn", name),
+        )?;
+    }
+    let ctx_b = NamingContext::new(dn("ou=research,c=us,o=xyz"));
+    println!("hostB holds {ctx_b}");
+    net.add_server(Server::new("ldap://hostB", dit_b, vec![ctx_b], Some("ldap://hostA".into())));
+
+    // hostC: the India subtree.
+    let mut dit_c = DitStore::new();
+    dit_c.add_suffix(dn("c=in,o=xyz"));
+    dit_c.add(Entry::new(dn("c=in,o=xyz")).with("objectclass", "country"))?;
+    dit_c.add(
+        Entry::new(dn("cn=Asha Rao,c=in,o=xyz"))
+            .with("objectclass", "person")
+            .with("cn", "Asha Rao"),
+    )?;
+    let ctx_c = NamingContext::new(dn("c=in,o=xyz"));
+    println!("hostC holds {ctx_c}");
+    net.add_server(Server::new("ldap://hostC", dit_c, vec![ctx_c], Some("ldap://hostA".into())));
+
+    // The client asks hostB for the whole o=xyz subtree, as in Figure 2:
+    //   1. hostB -> default referral to hostA (name resolution)
+    //   2. hostA -> 3 entries + continuation references for hostB, hostC
+    //   3. hostB -> research entries      4. hostC -> India entries
+    let req = SearchRequest::new(dn("o=xyz"), Scope::Subtree, Filter::match_all());
+    let mut client = net.client();
+    let result = client.search("ldap://hostB", &req)?;
+
+    println!("\nsubtree search base=\"o=xyz\" sent to hostB:");
+    println!("  round trips : {}", result.stats.round_trips);
+    println!("  referrals   : {}", result.stats.referrals_received);
+    println!("  entries     : {}", result.entries.len());
+    println!(
+        "  elapsed     : {:.0} ms at {} ms RTT",
+        net.cost_model().elapsed_ms(result.stats.round_trips),
+        net.cost_model().rtt_ms,
+    );
+    println!(
+        "  bytes       : {} sent, {} received",
+        result.stats.bytes_sent, result.stats.bytes_received
+    );
+
+    println!("\nentries collected:");
+    for e in &result.entries {
+        println!("  {}", e.dn());
+    }
+
+    // Contrast: a search a single server can answer takes one round trip.
+    let local = SearchRequest::new(dn("ou=research,c=us,o=xyz"), Scope::Subtree, Filter::match_all());
+    let mut client = net.client();
+    let result = client.search("ldap://hostB", &local)?;
+    println!(
+        "\nsame-server search base=\"ou=research,c=us,o=xyz\": {} round trip(s), {} entries",
+        result.stats.round_trips,
+        result.entries.len()
+    );
+    Ok(())
+}

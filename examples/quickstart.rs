@@ -1,0 +1,70 @@
+//! Quickstart: a master directory, a filter-based replica, query
+//! answering by containment, and synchronization via ReSync.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use fbdr::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- A master directory with a handful of people ---
+    let mut master = SyncMaster::new();
+    master.dit_mut().add_suffix("o=xyz".parse()?);
+    master.dit_mut().add(Entry::new("o=xyz".parse()?).with("objectclass", "organization"))?;
+    master.dit_mut().add(Entry::new("c=us,o=xyz".parse()?).with("objectclass", "country"))?;
+    master.dit_mut().add(Entry::new("c=in,o=xyz".parse()?).with("objectclass", "country"))?;
+    for (cn, c, serial, dept) in [
+        ("John Doe", "us", "045612", "2406"),
+        ("Jane Roe", "us", "045671", "2406"),
+        ("Ravi Rao", "in", "045699", "2407"),
+        ("Ken Low", "us", "120001", "9900"),
+    ] {
+        master.dit_mut().add(
+            Entry::new(format!("cn={cn},c={c},o=xyz").parse()?)
+                .with("objectclass", "inetOrgPerson")
+                .with("cn", cn)
+                .with("serialNumber", serial)
+                .with("departmentNumber", dept),
+        )?;
+    }
+
+    // --- A remote replica storing one generalized filter ---
+    // The unit of replication is an LDAP *query*: here, everyone whose
+    // serial number starts 0456 — a region spanning both country subtrees.
+    let mut replicator = Replicator::new(master, 50);
+    let loaded = replicator
+        .install_filter(SearchRequest::from_root(Filter::parse("(serialNumber=0456*)")?))?;
+    println!("installed (serialNumber=0456*): {} entries loaded", loaded.full_entries);
+
+    // --- Contained queries are answered locally ---
+    for serial in ["045612", "045699", "120001"] {
+        let q = SearchRequest::from_root(Filter::parse(&format!("(serialNumber={serial})"))?);
+        let (entries, served) = replicator.search(&q);
+        println!(
+            "(serialNumber={serial}) -> {:?}, {} entr{}",
+            served,
+            entries.len(),
+            if entries.len() == 1 { "y" } else { "ies" }
+        );
+    }
+
+    // --- Updates at the master flow to the replica on the next poll ---
+    replicator.apply_update(UpdateOp::Add(
+        Entry::new("cn=New Hire,c=in,o=xyz".parse()?)
+            .with("objectclass", "inetOrgPerson")
+            .with("serialNumber", "045680"),
+    ))?;
+    let t = replicator.sync()?;
+    println!("sync: {} full entries, {} DN-only PDUs", t.full_entries, t.dn_only);
+
+    let q = SearchRequest::from_root(Filter::parse("(serialNumber=045680)")?);
+    let (entries, served) = replicator.search(&q);
+    println!("(serialNumber=045680) after sync -> {served:?}, {} entry", entries.len());
+
+    println!(
+        "hit ratio so far: {:.2} ({} of {} queries answered locally)",
+        replicator.stats().hit_ratio(),
+        replicator.stats().hits,
+        replicator.stats().queries,
+    );
+    Ok(())
+}

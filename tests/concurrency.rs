@@ -1,0 +1,84 @@
+//! Thread-safety: one network (master + replica node) serving concurrent
+//! clients, and Send/Sync guarantees on the core types (C-SEND-SYNC).
+
+use fbdr::core::deploy::ReplicaNode;
+use fbdr::dit::{DitStore, NamingContext};
+use fbdr::net::Network;
+use fbdr::prelude::*;
+use std::sync::Arc;
+
+#[test]
+fn send_sync_markers() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<DitStore>();
+    assert_send_sync::<SyncMaster>();
+    assert_send_sync::<Network>();
+    assert_send_sync::<Entry>();
+    assert_send_sync::<Filter>();
+    assert_send_sync::<SearchRequest>();
+    assert_send_sync::<SubtreeReplica>();
+    assert_send_sync::<fbdr::containment::ContainmentEngine>();
+}
+
+#[test]
+fn concurrent_clients_share_one_network() {
+    // Master with 500 people; replica holding one serial block.
+    let mut dit = DitStore::new();
+    dit.add_suffix("o=xyz".parse().expect("dn"));
+    dit.add(Entry::new("o=xyz".parse().expect("dn")).with("objectclass", "organization"))
+        .expect("add");
+    for i in 0..500 {
+        dit.add(
+            Entry::new(format!("cn=e{i},o=xyz").parse().expect("dn"))
+                .with("objectclass", "person")
+                .with("serialNumber", &format!("{:06}", 100_000 + i)),
+        )
+        .expect("add");
+    }
+    let mut master = SyncMaster::with_dit(dit.clone());
+    let mut replica = FilterReplica::new(0);
+    replica
+        .install_filter(
+            &mut master,
+            SearchRequest::from_root(Filter::parse("(serialNumber=1000*)").expect("ok")),
+        )
+        .expect("install");
+
+    let mut net = Network::new();
+    net.add_server(fbdr::net::Server::new(
+        "ldap://master",
+        dit,
+        vec![NamingContext::new("o=xyz".parse().expect("dn"))],
+        None,
+    ));
+    net.add_service(Box::new(ReplicaNode::new("ldap://replica", replica, "ldap://master")));
+    let net = Arc::new(net);
+
+    let mut handles = Vec::new();
+    for t in 0..8 {
+        let net = Arc::clone(&net);
+        handles.push(std::thread::spawn(move || {
+            let mut client = net.client();
+            let mut hits = 0u64;
+            for i in 0..200 {
+                let serial = 100_000 + (t * 37 + i * 13) % 500;
+                let q = SearchRequest::from_root(
+                    Filter::parse(&format!("(serialNumber={serial:06})")).expect("ok"),
+                );
+                let res = client.search("ldap://replica", &q).expect("resolves");
+                assert_eq!(res.entries.len(), 1, "serial {serial} must resolve");
+                if res.stats.round_trips == 1 {
+                    hits += 1;
+                }
+            }
+            hits
+        }));
+    }
+    let total_hits: u64 = handles.into_iter().map(|h| h.join().expect("no panics")).sum();
+    // The 1000xx block is 100 of 500 serials: roughly 20% one-round-trip
+    // hits across all threads.
+    assert!(total_hits > 0, "replica should serve some queries");
+    let total = 8 * 200;
+    let ratio = total_hits as f64 / total as f64;
+    assert!((0.1..0.4).contains(&ratio), "hit ratio {ratio} out of expected band");
+}
