@@ -173,7 +173,7 @@ pub fn sync_ablation(params: &Params) -> Vec<SyncAblationRow> {
 
     // ReSync session.
     let resp = master.resync(&request, ReSyncControl::poll(None)).expect("initial resync");
-    let cookie = resp.cookie.expect("cookie issued");
+    let mut cookie = resp.cookie.expect("cookie issued");
     let mut resync_content = ReplicaContent::new();
     resync_content.apply_all(&resp.actions);
     let mut resync_traffic = SyncTraffic::default(); // steady-state only
@@ -201,6 +201,7 @@ pub fn sync_ablation(params: &Params) -> Vec<SyncAblationRow> {
             let _ = master.apply(op.clone());
         }
         let resp = master.resync(&request, ReSyncControl::poll(Some(cookie))).expect("poll");
+        cookie = resp.cookie.expect("cookie issued");
         resync_traffic.absorb(&resp.traffic());
         resync_content.apply_all(&resp.actions);
         for (s, content, traffic) in &mut baselines {

@@ -54,6 +54,7 @@
 
 use fbdr_net::{DirectoryService, ServerOutcome};
 use fbdr_replica::FilterReplica;
+use fbdr_resync::{Clock, SyncDriver, SyncError, SyncTraffic, SyncTransport};
 use parking_lot::Mutex;
 
 /// A filter-based replica addressable as a directory node: local answers
@@ -79,6 +80,22 @@ impl ReplicaNode {
     /// Hit statistics accumulated while serving.
     pub fn stats(&self) -> fbdr_replica::ReplicaStats {
         self.replica.lock().stats()
+    }
+
+    /// Resynchronizes the deployed replica in place, through a retrying
+    /// driver (see [`FilterReplica::sync_with`]): the node keeps serving
+    /// — possibly stale — content while the cycle runs, and transport
+    /// outages degrade to staleness instead of failing the node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates non-transient [`SyncError`]s.
+    pub fn sync_with<C: Clock>(
+        &self,
+        transport: &mut dyn SyncTransport,
+        driver: &mut SyncDriver<C>,
+    ) -> Result<SyncTraffic, SyncError> {
+        self.replica.lock().sync_with(transport, driver)
     }
 
     /// Consumes the node, returning the replica (e.g. to resynchronize it).
@@ -154,6 +171,47 @@ mod tests {
         assert_eq!(res.stats.round_trips, 2);
         assert_eq!(res.entries.len(), 1);
         assert_eq!(res.stats.referrals_received, 1);
+    }
+
+    #[test]
+    fn deployed_node_resyncs_in_place() {
+        let mut dit = DitStore::new();
+        dit.add_suffix("o=xyz".parse().unwrap());
+        dit.add(Entry::new("o=xyz".parse().unwrap()).with("objectclass", "organization"))
+            .unwrap();
+        dit.add(
+            Entry::new("cn=a,o=xyz".parse().unwrap())
+                .with("objectclass", "person")
+                .with("serialNumber", "040001"),
+        )
+        .unwrap();
+        let mut master = SyncMaster::with_dit(dit);
+        let mut replica = FilterReplica::new(0);
+        replica
+            .install_filter(
+                &mut master,
+                SearchRequest::from_root(Filter::parse("(serialNumber=0400*)").unwrap()),
+            )
+            .unwrap();
+        let node = ReplicaNode::new("ldap://replica", replica, "ldap://master");
+
+        master
+            .apply(fbdr_dit::UpdateOp::Add(
+                Entry::new("cn=b,o=xyz".parse().unwrap())
+                    .with("objectclass", "person")
+                    .with("serialNumber", "040002"),
+            ))
+            .unwrap();
+        let mut driver = SyncDriver::default();
+        let t = node.sync_with(&mut master, &mut driver).unwrap();
+        assert_eq!(t.full_entries, 1);
+        assert_eq!(driver.stats().attempts, 1);
+
+        let q = SearchRequest::from_root(Filter::parse("(serialNumber=040002)").unwrap());
+        match node.handle_search(&q) {
+            ServerOutcome::Results { entries, .. } => assert_eq!(entries.len(), 1),
+            other => panic!("expected local answer, got {other:?}"),
+        }
     }
 
     #[test]

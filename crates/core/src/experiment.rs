@@ -134,17 +134,23 @@ pub fn replay_filter(
         hits: stats_after.hits - stats_before.hits,
         generalized_hits: stats_after.generalized_hits - stats_before.generalized_hits,
         cache_hits: stats_after.cache_hits - stats_before.cache_hits,
+        stale_serves: stats_after.stale_serves - stats_before.stale_serves,
+        poll_fallbacks: stats_after.poll_fallbacks - stats_before.poll_fallbacks,
     };
     out.resync_traffic = SyncTraffic {
         full_entries: report_after.resync_traffic.full_entries - report_before.resync_traffic.full_entries,
         dn_only: report_after.resync_traffic.dn_only - report_before.resync_traffic.dn_only,
         bytes: report_after.resync_traffic.bytes - report_before.resync_traffic.bytes,
+        redelivered_pdus: report_after.resync_traffic.redelivered_pdus
+            - report_before.resync_traffic.redelivered_pdus,
     };
     out.revolution_traffic = SyncTraffic {
         full_entries: report_after.revolution_traffic.full_entries
             - report_before.revolution_traffic.full_entries,
         dn_only: report_after.revolution_traffic.dn_only - report_before.revolution_traffic.dn_only,
         bytes: report_after.revolution_traffic.bytes - report_before.revolution_traffic.bytes,
+        redelivered_pdus: report_after.revolution_traffic.redelivered_pdus
+            - report_before.revolution_traffic.redelivered_pdus,
     };
     out.revolutions = report_after.revolutions - report_before.revolutions;
     out.replica_entries = replicator.replica().entry_count();

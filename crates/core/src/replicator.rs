@@ -4,7 +4,9 @@
 use fbdr_dit::{ChangeRecord, DitError, UpdateOp};
 use fbdr_ldap::{Entry, SearchRequest};
 use fbdr_replica::{FilterReplica, ReplicaStats};
-use fbdr_resync::{SyncError, SyncMaster, SyncTraffic};
+use fbdr_resync::{
+    DriverStats, RetryConfig, SyncDriver, SyncError, SyncMaster, SyncTraffic, SystemClock,
+};
 use fbdr_selection::FilterSelector;
 use serde::{Deserialize, Serialize};
 
@@ -31,6 +33,10 @@ pub struct ReplicatorReport {
     pub wan_entries: u64,
     /// Revolutions performed.
     pub revolutions: u64,
+    /// What the sync driver had to do to keep the replica converged:
+    /// retries, recoveries, reinstalls (the robustness cost of §5.2-style
+    /// failures, alongside the bandwidth cost above).
+    pub driver: DriverStats,
 }
 
 /// A remote filter-based replica bound to its master directory.
@@ -42,6 +48,7 @@ pub struct ReplicatorReport {
 pub struct Replicator {
     master: SyncMaster,
     replica: FilterReplica,
+    driver: SyncDriver<SystemClock>,
     selector: Option<FilterSelector>,
     cache_misses: bool,
     report: ReplicatorReport,
@@ -54,6 +61,7 @@ impl Replicator {
         Replicator {
             master,
             replica: FilterReplica::new(cache_window),
+            driver: SyncDriver::default(),
             selector: None,
             cache_misses: cache_window > 0,
             report: ReplicatorReport::default(),
@@ -63,6 +71,12 @@ impl Replicator {
     /// Attaches a dynamic filter selector.
     pub fn with_selector(mut self, selector: FilterSelector) -> Self {
         self.selector = Some(selector);
+        self
+    }
+
+    /// Overrides the sync driver's retry policy.
+    pub fn with_retry_config(mut self, config: RetryConfig) -> Self {
+        self.driver = SyncDriver::new(config);
         self
     }
 
@@ -126,14 +140,19 @@ impl Replicator {
         self.master.apply(op)
     }
 
-    /// Polls the master for all replicated filters.
+    /// Polls the master for all replicated filters, through the retrying
+    /// sync driver: transient failures are retried with backoff, sessions
+    /// past recovery are reinstalled, and a filter whose budget runs out
+    /// is served stale until the next cycle (see
+    /// [`FilterReplica::sync_with`]).
     ///
     /// # Errors
     ///
-    /// Propagates [`SyncError`].
+    /// Propagates non-transient [`SyncError`]s.
     pub fn sync(&mut self) -> Result<SyncTraffic, SyncError> {
-        let t = self.replica.sync(&mut self.master)?;
+        let t = self.replica.sync_with(&mut self.master, &mut self.driver)?;
         self.report.resync_traffic.absorb(&t);
+        self.report.driver = self.driver.stats();
         Ok(t)
     }
 
@@ -234,5 +253,10 @@ mod tests {
         let (es, served) = r.search(&q("040099"));
         assert_eq!(served, ServedBy::Replica);
         assert_eq!(es.len(), 1);
+        // The cycle ran through the driver: one clean attempt, no drama.
+        let d = r.report().driver;
+        assert_eq!(d.attempts, 1);
+        assert_eq!(d.retries, 0);
+        assert_eq!(d.exhausted, 0);
     }
 }

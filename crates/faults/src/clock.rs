@@ -1,0 +1,55 @@
+//! A simulated clock so retry/backoff logic is testable without wall time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared simulated clock counting milliseconds. Clones observe the same
+/// time line; "sleeping" advances it instantly.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    now_ms: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// Current simulated time in milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms.load(Ordering::SeqCst)
+    }
+
+    /// Moves time forward.
+    pub fn advance_ms(&self, ms: u64) {
+        self.now_ms.fetch_add(ms, Ordering::SeqCst);
+    }
+}
+
+/// A [`SimClock`] plugs directly into the resync driver: sleeping costs
+/// no wall time, it just advances the shared timeline — so retry/backoff
+/// schedules run instantly yet remain observable.
+impl fbdr_resync::Clock for SimClock {
+    fn now_ms(&self) -> u64 {
+        SimClock::now_ms(self)
+    }
+
+    fn sleep_ms(&self, ms: u64) {
+        self.advance_ms(ms);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_timeline() {
+        let clock = SimClock::new();
+        let observer = clock.clone();
+        clock.advance_ms(250);
+        assert_eq!(observer.now_ms(), 250);
+        observer.advance_ms(50);
+        assert_eq!(clock.now_ms(), 300);
+    }
+}

@@ -1,0 +1,9 @@
+//! Deterministic, seed-driven fault injection for the sync path.
+
+pub mod clock;
+pub mod link;
+pub mod plan;
+
+pub use clock::SimClock;
+pub use link::{FaultyLink, FaultyService};
+pub use plan::{FaultDecision, FaultKind, FaultPlan, FaultPlanBuilder};

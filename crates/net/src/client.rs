@@ -18,6 +18,17 @@ pub enum NetError {
     /// Referral chasing revisited a `(server, base)` pair — broken
     /// referral topology.
     ReferralLoop(String),
+    /// The initial target is temporarily unreachable. Transient: retrying
+    /// later may succeed. (An unreachable *continuation* target does not
+    /// error — the search returns partial results instead.)
+    Unavailable(String),
+}
+
+impl NetError {
+    /// True for errors worth retrying (the server may come back).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, NetError::Unavailable(_))
+    }
 }
 
 impl fmt::Display for NetError {
@@ -26,6 +37,7 @@ impl fmt::Display for NetError {
             NetError::UnknownServer(u) => write!(f, "unknown server: {u}"),
             NetError::NoSuchObject(dn) => write!(f, "no such object: {dn}"),
             NetError::ReferralLoop(u) => write!(f, "referral loop via {u}"),
+            NetError::Unavailable(u) => write!(f, "server unavailable: {u}"),
         }
     }
 }
@@ -39,6 +51,16 @@ pub struct SearchResult {
     pub entries: Vec<Entry>,
     /// Cost accounting for the whole operation.
     pub stats: OpStats,
+    /// Referred servers that could not be reached; when non-empty the
+    /// result is partial (entries held by those servers are missing).
+    pub unreachable: Vec<String>,
+}
+
+impl SearchResult {
+    /// True when every referred server answered (no partial coverage).
+    pub fn is_complete(&self) -> bool {
+        self.unreachable.is_empty()
+    }
 }
 
 /// A client that performs distributed operations against a [`Network`],
@@ -62,39 +84,57 @@ impl<'a> Client<'a> {
     /// Performs a search starting at `server_url`, chasing referrals until
     /// the result is complete.
     ///
+    /// Availability errors are handled asymmetrically: if the *initial*
+    /// target is unknown or unavailable the search fails (the client got
+    /// nothing), but if a *referred* server fails mid-chase the partial
+    /// result is returned with the failed server recorded in
+    /// [`SearchResult::unreachable`] — some answer beats no answer.
+    ///
     /// # Errors
     ///
-    /// * [`NetError::UnknownServer`] if a referral names an unknown server.
+    /// * [`NetError::UnknownServer`] if the initial target is unknown.
+    /// * [`NetError::Unavailable`] if the initial target is down.
     /// * [`NetError::NoSuchObject`] if no server holds the base.
     /// * [`NetError::ReferralLoop`] on cyclic referrals.
     pub fn search(&mut self, server_url: &str, req: &SearchRequest) -> Result<SearchResult, NetError> {
         let mut stats = OpStats::default();
         let mut entries: Vec<Entry> = Vec::new();
+        let mut unreachable: Vec<String> = Vec::new();
         let mut seen_dns: HashSet<String> = HashSet::new();
         let mut visited: HashSet<(String, String)> = HashSet::new();
-        let mut queue: VecDeque<(String, SearchRequest)> = VecDeque::new();
-        queue.push_back((server_url.to_owned(), req.clone()));
+        let mut queue: VecDeque<(String, SearchRequest, bool)> = VecDeque::new();
+        queue.push_back((server_url.to_owned(), req.clone(), true));
         let overhead = self.net.cost_model().pdu_overhead as u64;
 
-        while let Some((url, request)) = queue.pop_front() {
+        while let Some((url, request, initial)) = queue.pop_front() {
             let key = (url.clone(), request.base().to_string());
             if !visited.insert(key) {
                 return Err(NetError::ReferralLoop(url));
             }
-            let server = self
-                .net
-                .server(&url)
-                .ok_or_else(|| NetError::UnknownServer(url.clone()))?;
+            let server = match self.net.server(&url) {
+                Some(s) => s,
+                None if initial => return Err(NetError::UnknownServer(url)),
+                None => {
+                    unreachable.push(url);
+                    continue;
+                }
+            };
             stats.round_trips += 1;
             stats.bytes_sent += request.estimated_size() as u64 + overhead;
             match server.handle_search(&request) {
                 ServerOutcome::DefaultReferral(next) => {
                     stats.referrals_received += 1;
                     stats.bytes_received += next.len() as u64 + overhead;
-                    queue.push_back((next, request));
+                    queue.push_back((next, request, false));
                 }
                 ServerOutcome::NoSuchObject => {
                     return Err(NetError::NoSuchObject(request.base().clone()));
+                }
+                ServerOutcome::Unavailable => {
+                    if initial {
+                        return Err(NetError::Unavailable(url));
+                    }
+                    unreachable.push(url);
                 }
                 ServerOutcome::Results { entries: found, continuations } => {
                     for e in found {
@@ -108,13 +148,13 @@ impl<'a> Client<'a> {
                         stats.referrals_received += 1;
                         stats.bytes_received += (base.to_string().len() + next_url.len()) as u64 + overhead;
                         let next_req = continuation_request(&request, base);
-                        queue.push_back((next_url, next_req));
+                        queue.push_back((next_url, next_req, false));
                     }
                 }
             }
         }
         self.total.absorb(&stats);
-        Ok(SearchResult { entries, stats })
+        Ok(SearchResult { entries, stats, unreachable })
     }
 }
 
@@ -273,6 +313,58 @@ mod tests {
         client.search("ldap://hostC", &req).unwrap();
         assert_eq!(client.lifetime_stats().round_trips, 2);
         assert_eq!(client.lifetime_stats().entries_returned, 4);
+    }
+
+    /// A node that is down: every request times out.
+    #[derive(Debug)]
+    struct Down(String);
+
+    impl crate::DirectoryService for Down {
+        fn url(&self) -> &str {
+            &self.0
+        }
+
+        fn handle_search(&self, _req: &SearchRequest) -> ServerOutcome {
+            ServerOutcome::Unavailable
+        }
+    }
+
+    #[test]
+    fn downed_continuation_target_yields_partial_results() {
+        let mut net = figure2_network();
+        net.remove_server("ldap://hostC");
+        net.add_service(Box::new(Down("ldap://hostC".into())));
+        let mut client = net.client();
+        let req = SearchRequest::new(dn("o=xyz"), Scope::Subtree, Filter::match_all());
+        let res = client.search("ldap://hostA", &req).unwrap();
+        // hostA and hostB answered; hostC's two entries are missing.
+        assert_eq!(res.entries.len(), 3 + 4);
+        assert!(!res.is_complete());
+        assert_eq!(res.unreachable, ["ldap://hostC"]);
+    }
+
+    #[test]
+    fn downed_initial_target_errors() {
+        let mut net = figure2_network();
+        net.remove_server("ldap://hostA");
+        net.add_service(Box::new(Down("ldap://hostA".into())));
+        let mut client = net.client();
+        let req = SearchRequest::new(dn("o=xyz"), Scope::Subtree, Filter::match_all());
+        let err = client.search("ldap://hostA", &req).unwrap_err();
+        assert!(matches!(err, NetError::Unavailable(_)));
+        assert!(err.is_transient());
+        assert!(!NetError::UnknownServer("x".into()).is_transient());
+    }
+
+    #[test]
+    fn unknown_continuation_server_yields_partial_results() {
+        let mut net = figure2_network();
+        net.remove_server("ldap://hostB");
+        let mut client = net.client();
+        let req = SearchRequest::new(dn("o=xyz"), Scope::Subtree, Filter::match_all());
+        let res = client.search("ldap://hostA", &req).unwrap();
+        assert_eq!(res.entries.len(), 3 + 2);
+        assert_eq!(res.unreachable, ["ldap://hostB"]);
     }
 
     #[test]

@@ -82,6 +82,12 @@ impl Network {
         self.servers.insert(service.url().to_owned(), service);
     }
 
+    /// Removes a node by URL (e.g. to swap in a fault-injecting wrapper).
+    /// Returns the removed service, if any.
+    pub fn remove_server(&mut self, url: &str) -> Option<Box<dyn DirectoryService>> {
+        self.servers.remove(url)
+    }
+
     /// Looks up a node by URL.
     pub fn server(&self, url: &str) -> Option<&dyn DirectoryService> {
         self.servers.get(url).map(Box::as_ref)

@@ -12,6 +12,10 @@ pub enum ServerOutcome {
     DefaultReferral(String),
     /// The server does not hold the target base and has nowhere to point.
     NoSuchObject,
+    /// The server is temporarily unreachable (crash, partition, overload).
+    /// Unlike [`ServerOutcome::NoSuchObject`] this says nothing about the
+    /// name space — retrying later may succeed.
+    Unavailable,
     /// Entries from the locally held part of the region, plus continuation
     /// references `(new base, server url)` for subordinate naming contexts
     /// that intersect the search region.

@@ -1,10 +1,13 @@
 //! The filter-based replication model (the paper's contribution).
 
 use crate::stats::ReplicaStats;
-use crossbeam::channel::Receiver;
+use crossbeam::channel::{Receiver, TryRecvError};
 use fbdr_containment::{ContainmentEngine, EngineStats, PreparedQuery};
 use fbdr_ldap::{Entry, SearchRequest};
-use fbdr_resync::{Cookie, ReSyncControl, SyncAction, SyncError, SyncMaster, SyncTraffic};
+use fbdr_resync::{
+    Clock, Cookie, ReSyncControl, SyncAction, SyncDriver, SyncError, SyncMaster, SyncTransport,
+    SyncTraffic,
+};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Why a query's content is stored in the replica.
@@ -26,6 +29,10 @@ struct StoredQuery {
     hits: u64,
     /// Live notification channel for persist-mode filters.
     notifications: Option<Receiver<SyncAction>>,
+    /// True when the last sync cycle could not reach the master: the
+    /// content is served anyway (availability over freshness) but hits
+    /// are accounted as stale until a cycle succeeds.
+    stale: bool,
 }
 
 /// A filter-based replica: entries satisfying one or more stored LDAP
@@ -83,6 +90,12 @@ impl FilterReplica {
         self.cache.len()
     }
 
+    /// Number of generalized filters currently marked stale (their last
+    /// sync cycle could not reach the master).
+    pub fn stale_filter_count(&self) -> usize {
+        self.filters.iter().filter(|s| s.stale).count()
+    }
+
     /// Hit statistics.
     pub fn stats(&self) -> ReplicaStats {
         self.stats
@@ -126,6 +139,7 @@ impl FilterReplica {
             dns: HashSet::new(),
             hits: 0,
             notifications: None,
+            stale: false,
         };
         self.apply_actions(&mut sq, &resp.actions);
         self.filters.push(sq);
@@ -154,6 +168,7 @@ impl FilterReplica {
             dns: HashSet::new(),
             hits: 0,
             notifications: Some(rx),
+            stale: false,
         };
         self.apply_actions(&mut sq, &resp.actions);
         self.filters.push(sq);
@@ -163,16 +178,33 @@ impl FilterReplica {
     /// Applies every pending persist-mode notification across all
     /// persistent filters. Returns the traffic the notifications
     /// represent.
+    ///
+    /// A filter whose notification channel has disconnected (master
+    /// restart, dropped connection) degrades to cookie-based polling: the
+    /// channel is discarded, `poll_fallbacks` is incremented, and the
+    /// next [`FilterReplica::sync`] picks the filter up incrementally via
+    /// its cookie.
     pub fn drain_notifications(&mut self) -> SyncTraffic {
         let mut traffic = SyncTraffic::default();
         let mut filters = std::mem::take(&mut self.filters);
         for sq in &mut filters {
             if let Some(rx) = &sq.notifications {
-                let pending: Vec<SyncAction> = rx.try_iter().collect();
+                let mut pending: Vec<SyncAction> = Vec::new();
+                let disconnected = loop {
+                    match rx.try_recv() {
+                        Ok(a) => pending.push(a),
+                        Err(TryRecvError::Empty) => break false,
+                        Err(TryRecvError::Disconnected) => break true,
+                    }
+                };
                 for a in &pending {
                     traffic.count(a);
                 }
                 self.apply_actions(sq, &pending);
+                if disconnected {
+                    sq.notifications = None;
+                    self.stats.poll_fallbacks += 1;
+                }
             }
         }
         self.filters = filters;
@@ -218,16 +250,22 @@ impl FilterReplica {
         for sq in &mut filters {
             let resp = match master.resync(sq.prepared.request(), ReSyncControl::poll(sq.cookie)) {
                 Ok(resp) => resp,
-                Err(SyncError::UnknownCookie(_)) => {
-                    // Session expired at the master: start over with a
-                    // full reload of this filter's content.
+                Err(e) if e.needs_reinstall() => {
+                    // Session expired at the master (its §5.2 admin time
+                    // limit) or a lost batch is past replay: start over
+                    // with a full reload of this filter's content.
+                    if matches!(e, SyncError::ReplayExpired(_)) {
+                        // The session still exists at the master.
+                        if let Some(c) = sq.cookie {
+                            master.abandon(c);
+                        }
+                    }
                     match master.resync(sq.prepared.request(), ReSyncControl::poll(None)) {
                         Ok(resp) => {
                             let old: Vec<String> = sq.dns.drain().collect();
                             for dn in old {
                                 self.unref(&dn);
                             }
-                            sq.cookie = resp.cookie;
                             resp
                         }
                         Err(e) => {
@@ -241,6 +279,85 @@ impl FilterReplica {
                     return Err(e);
                 }
             };
+            sq.cookie = resp.cookie;
+            sq.stale = false;
+            total.absorb(&resp.traffic());
+            let actions = resp.actions;
+            self.apply_actions(sq, &actions);
+        }
+        self.filters = filters;
+        Ok(total)
+    }
+
+    /// Polls the master through a retrying [`SyncDriver`], degrading
+    /// gracefully where the plain [`FilterReplica::sync`] would give up:
+    ///
+    /// - a transient failure that exhausts the driver's retry/time budget
+    ///   marks the filter **stale** and moves on — the content keeps being
+    ///   served (availability over freshness; hits are counted in
+    ///   [`ReplicaStats::stale_serves`]) and the next cycle retries;
+    /// - an unrecoverable session error (expired cookie, replay past its
+    ///   window) triggers a full reinstall through the driver, so even the
+    ///   reload is retried on transient failures;
+    /// - everything else propagates as in [`FilterReplica::sync`].
+    ///
+    /// Returns the total resync traffic of the cycle.
+    ///
+    /// # Errors
+    ///
+    /// Non-transient, non-session [`SyncError`]s only; transport outages
+    /// never fail the cycle.
+    pub fn sync_with<C: Clock>(
+        &mut self,
+        transport: &mut dyn SyncTransport,
+        driver: &mut SyncDriver<C>,
+    ) -> Result<SyncTraffic, SyncError> {
+        let mut total = SyncTraffic::default();
+        let mut filters = std::mem::take(&mut self.filters);
+        for sq in &mut filters {
+            let request = sq.prepared.request().clone();
+            let resp = match driver.resync(transport, &request, ReSyncControl::poll(sq.cookie)) {
+                Ok(resp) => resp,
+                Err(e) if e.is_transient() => {
+                    // Budget exhausted: serve what we have until the next
+                    // cycle rather than failing the whole replica.
+                    sq.stale = true;
+                    continue;
+                }
+                Err(e) if e.needs_reinstall() => {
+                    if matches!(e, SyncError::ReplayExpired(_)) {
+                        if let Some(c) = sq.cookie {
+                            transport.abandon(c);
+                        }
+                    }
+                    driver.note_reinstall();
+                    match driver.resync(transport, &request, ReSyncControl::poll(None)) {
+                        Ok(resp) => {
+                            let old: Vec<String> = sq.dns.drain().collect();
+                            for dn in old {
+                                self.unref(&dn);
+                            }
+                            resp
+                        }
+                        Err(e) if e.is_transient() => {
+                            // Even the reinstall could not get through;
+                            // the old content is still the best answer.
+                            sq.stale = true;
+                            continue;
+                        }
+                        Err(e) => {
+                            self.filters = filters;
+                            return Err(e);
+                        }
+                    }
+                }
+                Err(e) => {
+                    self.filters = filters;
+                    return Err(e);
+                }
+            };
+            sq.cookie = resp.cookie;
+            sq.stale = false;
             total.absorb(&resp.traffic());
             let actions = resp.actions;
             self.apply_actions(sq, &actions);
@@ -276,6 +393,8 @@ impl FilterReplica {
         let resp = master.resync(sq.prepared.request(), ReSyncControl::poll(sq.cookie));
         match resp {
             Ok(resp) => {
+                sq.cookie = resp.cookie;
+                sq.stale = false;
                 let traffic = resp.traffic();
                 self.apply_actions(&mut sq, &resp.actions);
                 self.filters.insert(pos, sq);
@@ -301,6 +420,7 @@ impl FilterReplica {
             dns: HashSet::new(),
             hits: 0,
             notifications: None,
+            stale: false,
         };
         for e in result {
             let k = key(e);
@@ -343,6 +463,9 @@ impl FilterReplica {
                 self.filters[i].hits += 1;
                 self.stats.hits += 1;
                 self.stats.generalized_hits += 1;
+                if self.filters[i].stale {
+                    self.stats.stale_serves += 1;
+                }
                 let dns = self.filters[i].dns.clone();
                 return Some(self.evaluate(query, &dns));
             }
@@ -793,5 +916,151 @@ mod tests {
         r.install_filter(&mut m, root_query("(serialNumber=0456*)")).unwrap();
         r.try_answer(&root_query("(serialNumber=045611)"));
         assert!(r.engine_stats().total() > 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Robustness: degradation ladder
+    // ------------------------------------------------------------------
+
+    /// Simulated clock: sleeping advances time instantly.
+    #[derive(Debug, Clone, Default)]
+    struct TestClock {
+        now: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    }
+
+    impl Clock for TestClock {
+        fn now_ms(&self) -> u64 {
+            self.now.load(std::sync::atomic::Ordering::SeqCst)
+        }
+
+        fn sleep_ms(&self, ms: u64) {
+            self.now.fetch_add(ms, std::sync::atomic::Ordering::SeqCst);
+        }
+    }
+
+    /// A transport over a real master that fails the next `outage` calls.
+    struct FlakyMaster {
+        master: SyncMaster,
+        outage: u32,
+    }
+
+    impl SyncTransport for FlakyMaster {
+        fn resync(
+            &mut self,
+            request: &SearchRequest,
+            ctl: ReSyncControl,
+        ) -> Result<fbdr_resync::SyncResponse, SyncError> {
+            if self.outage > 0 {
+                self.outage -= 1;
+                return Err(SyncError::Unavailable("outage".into()));
+            }
+            self.master.resync(request, ctl)
+        }
+
+        fn take_receiver(&mut self, cookie: Cookie) -> Option<Receiver<SyncAction>> {
+            self.master.take_receiver(cookie)
+        }
+
+        fn abandon(&mut self, cookie: Cookie) {
+            self.master.abandon(cookie);
+        }
+    }
+
+    fn driver() -> SyncDriver<TestClock> {
+        SyncDriver::with_clock(
+            fbdr_resync::RetryConfig { max_retries: 2, ..Default::default() },
+            TestClock::default(),
+        )
+    }
+
+    #[test]
+    fn sync_with_retries_through_transient_outage() {
+        let mut m = master();
+        let mut r = FilterReplica::new(0);
+        r.install_filter(&mut m, root_query("(departmentNumber=2406)")).unwrap();
+        m.apply(UpdateOp::Add(person("e", "us", "045650", "2406"))).unwrap();
+
+        let mut link = FlakyMaster { master: m, outage: 2 };
+        let mut d = driver();
+        let t = r.sync_with(&mut link, &mut d).unwrap();
+        assert_eq!(t.full_entries, 1);
+        assert_eq!(r.stale_filter_count(), 0);
+        assert_eq!(d.stats().retries, 2);
+        assert_eq!(d.stats().recovered, 1);
+    }
+
+    #[test]
+    fn exhausted_retries_serve_stale_until_recovery() {
+        let mut m = master();
+        let mut r = FilterReplica::new(0);
+        r.install_filter(&mut m, root_query("(departmentNumber=2406)")).unwrap();
+        m.apply(UpdateOp::Add(person("e", "us", "045650", "2406"))).unwrap();
+
+        // Outage longer than the retry budget (1 try + 2 retries).
+        let mut link = FlakyMaster { master: m, outage: 10 };
+        let mut d = driver();
+        let t = r.sync_with(&mut link, &mut d).expect("cycle must not fail");
+        assert_eq!(t.pdus(), 0);
+        assert_eq!(r.stale_filter_count(), 1);
+        assert_eq!(d.stats().exhausted, 1);
+
+        // Stale content is still served — and accounted as stale.
+        let q = root_query("(departmentNumber=2406)");
+        assert_eq!(r.try_answer(&q).expect("stale hit").len(), 2);
+        assert_eq!(r.stats().stale_serves, 1);
+
+        // The outage ends; the next cycle catches up and clears the mark.
+        link.outage = 0;
+        let t = r.sync_with(&mut link, &mut d).unwrap();
+        assert_eq!(t.full_entries, 1);
+        assert_eq!(r.stale_filter_count(), 0);
+        r.try_answer(&q).expect("fresh hit");
+        assert_eq!(r.stats().stale_serves, 1, "fresh hits are not stale serves");
+    }
+
+    #[test]
+    fn sync_with_reinstalls_after_session_expiry() {
+        let mut m = master();
+        let mut r = FilterReplica::new(0);
+        r.install_filter(&mut m, root_query("(serialNumber=0456*)")).unwrap();
+        m.apply(UpdateOp::Add(person("e", "us", "045650", "2406"))).unwrap();
+        assert_eq!(m.expire_idle(0), 1);
+
+        let mut link = FlakyMaster { master: m, outage: 0 };
+        let mut d = driver();
+        let t = r.sync_with(&mut link, &mut d).unwrap();
+        assert_eq!(t.full_entries, 4, "full reload");
+        assert_eq!(d.stats().reinstalls, 1);
+        assert_eq!(r.stale_filter_count(), 0);
+    }
+
+    #[test]
+    fn disconnected_persist_channel_degrades_to_polling() {
+        let mut m = master();
+        let mut r = FilterReplica::new(0);
+        r.install_filter_persistent(&mut m, root_query("(departmentNumber=2406)")).unwrap();
+        assert_eq!(r.entry_count(), 2);
+
+        // A notification is queued, then the master drops every persist
+        // channel (restart / connection loss).
+        m.apply(UpdateOp::Add(person("e", "us", "045650", "2406"))).unwrap();
+        assert_eq!(m.drop_persist_channels(), 1);
+
+        // The queued update still lands; the filter falls back to polling.
+        let t = r.drain_notifications();
+        assert_eq!(t.full_entries, 1);
+        assert_eq!(r.entry_count(), 3);
+        assert_eq!(r.stats().poll_fallbacks, 1);
+        // Draining again is a clean no-op (no double-counted fallback).
+        assert_eq!(r.drain_notifications().pdus(), 0);
+        assert_eq!(r.stats().poll_fallbacks, 1);
+
+        // The session is still pollable via its cookie, and the poll
+        // ledger knows what the stream already delivered: the fallback
+        // poll sends only "f", not a redelivery of "e".
+        m.apply(UpdateOp::Add(person("f", "in", "045660", "2406"))).unwrap();
+        let t = r.sync(&mut m).unwrap();
+        assert_eq!(t.full_entries, 1);
+        assert_eq!(r.entry_count(), 4);
     }
 }

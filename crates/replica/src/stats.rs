@@ -16,6 +16,12 @@ pub struct ReplicaStats {
     pub generalized_hits: u64,
     /// Hits answered by a cached recent user query.
     pub cache_hits: u64,
+    /// Hits served from a filter known to be stale — its last sync cycle
+    /// exhausted the retry budget, so the content may lag the master.
+    pub stale_serves: u64,
+    /// Persist subscriptions that degraded to cookie-based polling after
+    /// their notification channel disconnected.
+    pub poll_fallbacks: u64,
 }
 
 impl ReplicaStats {
@@ -45,7 +51,13 @@ mod tests {
 
     #[test]
     fn ratio_and_misses() {
-        let s = ReplicaStats { queries: 10, hits: 5, generalized_hits: 3, cache_hits: 2 };
+        let s = ReplicaStats {
+            queries: 10,
+            hits: 5,
+            generalized_hits: 3,
+            cache_hits: 2,
+            ..ReplicaStats::default()
+        };
         assert!((s.hit_ratio() - 0.5).abs() < 1e-12);
         assert_eq!(s.misses(), 5);
     }

@@ -1,0 +1,409 @@
+//! The replica-side sync driver: bounded retries with exponential backoff
+//! and deterministic jitter over any [`SyncTransport`].
+//!
+//! The master-side replay buffer (see `SyncMaster`) makes retrying safe;
+//! this module makes it *automatic*. A [`SyncDriver`] wraps one logical
+//! resync exchange in a retry loop governed by a [`RetryConfig`]: a
+//! transient [`SyncError::Unavailable`] is retried after a backoff sleep,
+//! anything else is surfaced immediately. Time comes from a [`Clock`], so
+//! tests (and the fault-injection harness) can run on simulated time.
+
+use crate::protocol::{ReSyncControl, SyncAction, SyncError, SyncResponse};
+use crate::Cookie;
+use crate::SyncMaster;
+use crossbeam::channel::Receiver;
+use fbdr_ldap::SearchRequest;
+use serde::{Deserialize, Serialize};
+
+/// A source of (possibly simulated) milliseconds and sleeps.
+pub trait Clock {
+    /// Current time in milliseconds since an arbitrary epoch.
+    fn now_ms(&self) -> u64;
+    /// Blocks (or advances simulated time) for `ms` milliseconds.
+    fn sleep_ms(&self, ms: u64);
+}
+
+/// Wall-clock time via `std::time` — the deployment clock.
+#[derive(Debug, Clone, Default)]
+pub struct SystemClock {
+    epoch: std::sync::Arc<std::sync::OnceLock<std::time::Instant>>,
+}
+
+impl Clock for SystemClock {
+    fn now_ms(&self) -> u64 {
+        let epoch = *self.epoch.get_or_init(std::time::Instant::now);
+        epoch.elapsed().as_millis() as u64
+    }
+
+    fn sleep_ms(&self, ms: u64) {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+}
+
+/// Anything that can carry the ReSync protocol between a replica and its
+/// master: the master itself (in-process), or a wrapper injecting
+/// failures/latency in between.
+pub trait SyncTransport {
+    /// Performs one ReSync exchange.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError`] as for `SyncMaster::resync`, plus
+    /// [`SyncError::Unavailable`] for transport-level failures.
+    fn resync(
+        &mut self,
+        request: &SearchRequest,
+        ctl: ReSyncControl,
+    ) -> Result<SyncResponse, SyncError>;
+
+    /// Takes the parked persist-mode notification receiver for a session.
+    fn take_receiver(&mut self, cookie: Cookie) -> Option<Receiver<SyncAction>>;
+
+    /// Abandons a session.
+    fn abandon(&mut self, cookie: Cookie);
+}
+
+impl SyncTransport for SyncMaster {
+    fn resync(
+        &mut self,
+        request: &SearchRequest,
+        ctl: ReSyncControl,
+    ) -> Result<SyncResponse, SyncError> {
+        SyncMaster::resync(self, request, ctl)
+    }
+
+    fn take_receiver(&mut self, cookie: Cookie) -> Option<Receiver<SyncAction>> {
+        SyncMaster::take_receiver(self, cookie)
+    }
+
+    fn abandon(&mut self, cookie: Cookie) {
+        SyncMaster::abandon(self, cookie)
+    }
+}
+
+/// Retry policy for one resync exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryConfig {
+    /// Retries after the first attempt (so `max_retries + 1` attempts
+    /// total per exchange).
+    pub max_retries: u32,
+    /// First backoff sleep; doubles per retry.
+    pub base_backoff_ms: u64,
+    /// Backoff ceiling.
+    pub max_backoff_ms: u64,
+    /// Total time budget per exchange, sleeps included. When the next
+    /// backoff would exceed it the driver gives up (the caller then
+    /// serves stale content until the next cycle).
+    pub timeout_budget_ms: u64,
+    /// Seed for the deterministic jitter added to each backoff.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            max_retries: 4,
+            base_backoff_ms: 50,
+            max_backoff_ms: 2_000,
+            timeout_budget_ms: 10_000,
+            jitter_seed: 0,
+        }
+    }
+}
+
+/// Counters describing what the driver had to do to keep a replica in
+/// sync — the robustness cost, analogous to [`crate::SyncTraffic`] for
+/// the bandwidth cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DriverStats {
+    /// Resync attempts made (first tries and retries).
+    pub attempts: u64,
+    /// Retries after a transient failure.
+    pub retries: u64,
+    /// Exchanges that succeeded only after at least one retry — each one
+    /// is a response the master served from its replay buffer or a
+    /// request that finally got through.
+    pub recovered: u64,
+    /// Exchanges abandoned after exhausting the retry/timeout budget.
+    pub exhausted: u64,
+    /// Full content reinstalls after an unrecoverable session error.
+    pub reinstalls: u64,
+    /// Persist subscriptions that degraded to polling after their
+    /// notification channel disconnected.
+    pub poll_fallbacks: u64,
+}
+
+impl DriverStats {
+    /// Merges another driver's counters into this one.
+    pub fn absorb(&mut self, other: &DriverStats) {
+        self.attempts += other.attempts;
+        self.retries += other.retries;
+        self.recovered += other.recovered;
+        self.exhausted += other.exhausted;
+        self.reinstalls += other.reinstalls;
+        self.poll_fallbacks += other.poll_fallbacks;
+    }
+}
+
+/// Retrying wrapper around a [`SyncTransport`].
+#[derive(Debug)]
+pub struct SyncDriver<C: Clock = SystemClock> {
+    clock: C,
+    config: RetryConfig,
+    jitter_state: u64,
+    stats: DriverStats,
+}
+
+impl SyncDriver<SystemClock> {
+    /// A driver on wall-clock time.
+    pub fn new(config: RetryConfig) -> Self {
+        SyncDriver::with_clock(config, SystemClock::default())
+    }
+}
+
+impl Default for SyncDriver<SystemClock> {
+    fn default() -> Self {
+        SyncDriver::new(RetryConfig::default())
+    }
+}
+
+impl<C: Clock> SyncDriver<C> {
+    /// A driver on an explicit clock (e.g. simulated time in tests).
+    pub fn with_clock(config: RetryConfig, clock: C) -> Self {
+        let jitter_state = config.jitter_seed ^ 0x9E37_79B9_7F4A_7C15;
+        SyncDriver { clock, config, jitter_state, stats: DriverStats::default() }
+    }
+
+    /// The retry policy in force.
+    pub fn config(&self) -> &RetryConfig {
+        &self.config
+    }
+
+    /// Accumulated robustness counters.
+    pub fn stats(&self) -> DriverStats {
+        self.stats
+    }
+
+    /// Counts a persist→poll degradation (recorded by the replica when it
+    /// observes a disconnected notification channel).
+    pub fn note_poll_fallback(&mut self) {
+        self.stats.poll_fallbacks += 1;
+    }
+
+    /// Counts a full reinstall (recorded by the replica when a session
+    /// proves unrecoverable and the content is reloaded from scratch).
+    pub fn note_reinstall(&mut self) {
+        self.stats.reinstalls += 1;
+    }
+
+    /// Performs one resync exchange, retrying transient failures with
+    /// exponential backoff and deterministic jitter until the retry count
+    /// or time budget runs out.
+    ///
+    /// # Errors
+    ///
+    /// The final [`SyncError::Unavailable`] when the budget is exhausted;
+    /// any non-transient [`SyncError`] immediately.
+    pub fn resync(
+        &mut self,
+        transport: &mut dyn SyncTransport,
+        request: &SearchRequest,
+        ctl: ReSyncControl,
+    ) -> Result<SyncResponse, SyncError> {
+        let start = self.clock.now_ms();
+        let mut attempt: u32 = 0;
+        loop {
+            self.stats.attempts += 1;
+            match transport.resync(request, ctl) {
+                Ok(resp) => {
+                    if attempt > 0 {
+                        self.stats.recovered += 1;
+                    }
+                    return Ok(resp);
+                }
+                Err(e) if e.is_transient() => {
+                    let sleep = self.backoff_ms(attempt);
+                    let elapsed = self.clock.now_ms().saturating_sub(start);
+                    if attempt >= self.config.max_retries
+                        || elapsed + sleep > self.config.timeout_budget_ms
+                    {
+                        self.stats.exhausted += 1;
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    self.stats.retries += 1;
+                    self.clock.sleep_ms(sleep);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The backoff before retry number `attempt + 1`: an exponentially
+    /// growing base capped at the maximum, plus up to 50% jitter drawn
+    /// from the seeded generator (so concurrent replicas desynchronize
+    /// their retries, yet every run is reproducible).
+    fn backoff_ms(&mut self, attempt: u32) -> u64 {
+        let base = self
+            .config
+            .base_backoff_ms
+            .saturating_mul(1u64 << attempt.min(20))
+            .min(self.config.max_backoff_ms);
+        let jitter_range = base / 2 + 1;
+        base + self.next_jitter() % jitter_range
+    }
+
+    /// SplitMix64 step over the jitter state.
+    fn next_jitter(&mut self) -> u64 {
+        self.jitter_state = self.jitter_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.jitter_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+    use std::rc::Rc;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    /// Simulated clock: sleeping advances time instantly.
+    #[derive(Debug, Clone, Default)]
+    struct TestClock {
+        now: Arc<AtomicU64>,
+    }
+
+    impl Clock for TestClock {
+        fn now_ms(&self) -> u64 {
+            self.now.load(Ordering::SeqCst)
+        }
+
+        fn sleep_ms(&self, ms: u64) {
+            self.now.fetch_add(ms, Ordering::SeqCst);
+        }
+    }
+
+    /// A transport that fails a scripted number of times, then succeeds.
+    struct Flaky {
+        failures_left: u32,
+        calls: Rc<Cell<u32>>,
+    }
+
+    impl SyncTransport for Flaky {
+        fn resync(
+            &mut self,
+            _request: &SearchRequest,
+            _ctl: ReSyncControl,
+        ) -> Result<SyncResponse, SyncError> {
+            self.calls.set(self.calls.get() + 1);
+            if self.failures_left > 0 {
+                self.failures_left -= 1;
+                return Err(SyncError::Unavailable("scripted".into()));
+            }
+            Ok(SyncResponse { actions: Vec::new(), cookie: Some(Cookie::new(1, 1)), redelivered: false })
+        }
+
+        fn take_receiver(&mut self, _cookie: Cookie) -> Option<Receiver<SyncAction>> {
+            None
+        }
+
+        fn abandon(&mut self, _cookie: Cookie) {}
+    }
+
+    fn req() -> SearchRequest {
+        SearchRequest::from_root(fbdr_ldap::Filter::parse("(dept=7)").expect("valid"))
+    }
+
+    #[test]
+    fn retries_until_success() {
+        let calls = Rc::new(Cell::new(0));
+        let mut t = Flaky { failures_left: 2, calls: calls.clone() };
+        let mut d = SyncDriver::with_clock(RetryConfig::default(), TestClock::default());
+        let resp = d.resync(&mut t, &req(), ReSyncControl::poll(None)).expect("recovers");
+        assert!(resp.cookie.is_some());
+        assert_eq!(calls.get(), 3);
+        let s = d.stats();
+        assert_eq!(s.attempts, 3);
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.recovered, 1);
+        assert_eq!(s.exhausted, 0);
+    }
+
+    #[test]
+    fn gives_up_after_max_retries() {
+        let calls = Rc::new(Cell::new(0));
+        let mut t = Flaky { failures_left: 100, calls: calls.clone() };
+        let cfg = RetryConfig { max_retries: 3, ..RetryConfig::default() };
+        let mut d = SyncDriver::with_clock(cfg, TestClock::default());
+        let err = d.resync(&mut t, &req(), ReSyncControl::poll(None)).unwrap_err();
+        assert!(err.is_transient());
+        assert_eq!(calls.get(), 4); // 1 try + 3 retries
+        assert_eq!(d.stats().exhausted, 1);
+    }
+
+    #[test]
+    fn time_budget_caps_retries() {
+        let calls = Rc::new(Cell::new(0));
+        let mut t = Flaky { failures_left: 100, calls: calls.clone() };
+        let cfg = RetryConfig {
+            max_retries: 50,
+            base_backoff_ms: 100,
+            max_backoff_ms: 100,
+            timeout_budget_ms: 250,
+            jitter_seed: 7,
+        };
+        let clock = TestClock::default();
+        let mut d = SyncDriver::with_clock(cfg, clock.clone());
+        let err = d.resync(&mut t, &req(), ReSyncControl::poll(None)).unwrap_err();
+        assert!(err.is_transient());
+        // Backoffs are 100..=150ms; at most two fit into the 250ms budget.
+        assert!(calls.get() <= 3, "budget must cap attempts, saw {}", calls.get());
+        assert!(clock.now_ms() <= 250);
+    }
+
+    #[test]
+    fn non_transient_errors_surface_immediately() {
+        struct Dead;
+        impl SyncTransport for Dead {
+            fn resync(
+                &mut self,
+                _request: &SearchRequest,
+                _ctl: ReSyncControl,
+            ) -> Result<SyncResponse, SyncError> {
+                Err(SyncError::UnknownCookie(Cookie::new(9, 1)))
+            }
+            fn take_receiver(&mut self, _cookie: Cookie) -> Option<Receiver<SyncAction>> {
+                None
+            }
+            fn abandon(&mut self, _cookie: Cookie) {}
+        }
+        let mut d = SyncDriver::with_clock(RetryConfig::default(), TestClock::default());
+        let err = d.resync(&mut Dead, &req(), ReSyncControl::poll(None)).unwrap_err();
+        assert!(err.needs_reinstall());
+        assert_eq!(d.stats().attempts, 1);
+        assert_eq!(d.stats().retries, 0);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let mk = |seed| {
+            let mut d = SyncDriver::with_clock(
+                RetryConfig { jitter_seed: seed, ..RetryConfig::default() },
+                TestClock::default(),
+            );
+            (0..6).map(|a| d.backoff_ms(a)).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(3), mk(3));
+        assert_ne!(mk(3), mk(4));
+        // Backoff grows and respects the cap plus 50% jitter.
+        let seq = mk(3);
+        for (a, b) in seq.iter().enumerate() {
+            let base = (50u64 << a).min(2_000);
+            assert!(*b >= base && *b <= base + base / 2 + 1, "attempt {a}: {b}");
+        }
+    }
+}

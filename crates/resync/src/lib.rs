@@ -60,9 +60,11 @@
 
 pub mod baseline;
 mod content;
+pub mod driver;
 mod master;
 mod protocol;
 
 pub use content::ReplicaContent;
+pub use driver::{Clock, DriverStats, RetryConfig, SyncDriver, SyncTransport, SystemClock};
 pub use master::SyncMaster;
 pub use protocol::{Cookie, ReSyncControl, SyncAction, SyncError, SyncMode, SyncResponse, SyncTraffic};

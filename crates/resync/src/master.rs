@@ -35,6 +35,17 @@ struct Session {
     parked_receiver: Option<Receiver<SyncAction>>,
     /// Master op-count at last activity, for idle expiry.
     last_active: u64,
+    /// Sequence number of the last response issued on this session (the
+    /// low 32 bits of the cookie the replica holds).
+    seq: u32,
+    /// The last response's actions, kept until the next request
+    /// acknowledges them by echoing the issued cookie. A request carrying
+    /// the *previous* cookie means the response was lost in transit; the
+    /// batch is re-delivered verbatim. Persisted, so at-least-once
+    /// delivery survives a master crash/restart.
+    pending: Option<Vec<SyncAction>>,
+    /// Master op-count when `pending` was built, for replay expiry.
+    pending_at: u64,
 }
 
 /// A master directory server that owns a [`DitStore`] and maintains ReSync
@@ -47,8 +58,18 @@ struct Session {
 pub struct SyncMaster {
     dit: DitStore,
     sessions: HashMap<u64, Session>,
-    next_cookie: u64,
+    next_session: u64,
     ops_applied: u64,
+    /// Disables unacknowledged-batch replay, restoring the pre-fix
+    /// fire-and-forget semantics. Only useful to demonstrate the
+    /// divergence the replay buffer prevents.
+    replay_disabled: bool,
+    /// `Some(n)`: a pending batch is replayable for at most `n` applied
+    /// updates; after that a retry gets [`SyncError::ReplayExpired`] and
+    /// must reinstall. `None`: batches are held until acknowledged.
+    replay_expiry_ops: Option<u64>,
+    /// How many responses were re-delivered from the replay buffer.
+    redeliveries: u64,
 }
 
 impl SyncMaster {
@@ -82,6 +103,28 @@ impl SyncMaster {
     /// Total updates applied through this master.
     pub fn ops_applied(&self) -> u64 {
         self.ops_applied
+    }
+
+    /// How many responses were served from the replay buffer (a lost or
+    /// duplicated delivery was recovered).
+    pub fn redeliveries(&self) -> u64 {
+        self.redeliveries
+    }
+
+    /// Bounds the replay buffer: a pending batch older than `ops` applied
+    /// updates is dropped, and a retry for it fails with
+    /// [`SyncError::ReplayExpired`] (→ full reinstall at the replica).
+    pub fn set_replay_expiry_ops(&mut self, ops: u64) {
+        self.replay_expiry_ops = Some(ops);
+    }
+
+    /// Disables response replay, restoring the pre-fix fire-and-forget
+    /// behavior in which a lost response silently loses its batch (the
+    /// session history is cleared when the response is *built*, not when
+    /// it is acknowledged). Exists so tests can demonstrate the resulting
+    /// divergence; never use in a deployment.
+    pub fn disable_replay(&mut self) {
+        self.replay_disabled = true;
     }
 
     // ------------------------------------------------------------------
@@ -133,43 +176,87 @@ impl SyncMaster {
     ///   it with [`SyncMaster::take_receiver`].
     /// * mode `SyncEnd` — terminates the session.
     ///
+    /// # At-least-once delivery
+    ///
+    /// Each response carries a cookie whose sequence number acknowledges
+    /// delivery when echoed in the next request. Until then the batch is
+    /// kept in a per-session replay buffer: a request carrying the
+    /// *previous* cookie (the response was lost, or the request was
+    /// delivered twice) gets the same batch again, verbatim, under the
+    /// same cookie. The buffer is bounded by
+    /// [`SyncMaster::set_replay_expiry_ops`].
+    ///
     /// # Errors
     ///
     /// [`SyncError::UnknownCookie`] for dead sessions,
-    /// [`SyncError::MissingCookie`] for `sync_end` without a cookie, and
+    /// [`SyncError::MissingCookie`] for `sync_end` without a cookie,
     /// [`SyncError::RequestMismatch`] when a resumed session was created
-    /// for a different search request.
+    /// for a different search request, and [`SyncError::ReplayExpired`]
+    /// when a lost batch can no longer be replayed.
     pub fn resync(&mut self, request: &SearchRequest, ctl: ReSyncControl) -> Result<SyncResponse, SyncError> {
         match ctl.mode {
             SyncMode::SyncEnd => {
                 let cookie = ctl.cookie.ok_or(SyncError::MissingCookie)?;
                 self.sessions
-                    .remove(&cookie.0)
+                    .remove(&u64::from(cookie.session()))
                     .ok_or(SyncError::UnknownCookie(cookie))?;
-                return Ok(SyncResponse { actions: Vec::new(), cookie: None });
+                return Ok(SyncResponse { actions: Vec::new(), cookie: None, redelivered: false });
             }
             SyncMode::Poll | SyncMode::Persist => {}
         }
-        let cookie = match ctl.cookie {
+        let resumed = ctl.cookie;
+        let sid = match resumed {
             None => self.start_session(request),
-            Some(c) => c,
+            Some(c) => u64::from(c.session()),
         };
         let ops_applied = self.ops_applied;
+        let replay_disabled = self.replay_disabled;
+        let expiry = self.replay_expiry_ops;
         let session = self
             .sessions
-            .get_mut(&cookie.0)
-            .ok_or(SyncError::UnknownCookie(cookie))?;
+            .get_mut(&sid)
+            .ok_or_else(|| SyncError::UnknownCookie(resumed.expect("fresh sessions exist")))?;
         if session.request != *request {
-            return Err(SyncError::RequestMismatch(cookie));
+            return Err(SyncError::RequestMismatch(Cookie::new(sid as u32, session.seq)));
         }
         session.last_active = ops_applied;
-        let actions = session.drain_actions(&self.dit);
         if ctl.mode == SyncMode::Persist && session.notify.is_none() {
             let (tx, rx) = unbounded();
             session.notify = Some(tx);
             session.parked_receiver = Some(rx);
         }
-        Ok(SyncResponse { actions, cookie: Some(cookie) })
+        let mut redelivery = None;
+        if let (Some(c), false) = (resumed, replay_disabled) {
+            if c.seq() == session.seq {
+                // The last issued batch is acknowledged as delivered.
+                session.pending = None;
+            } else if session.seq > 0 && c.seq() == session.seq - 1 {
+                // Retried request: the previous response never arrived
+                // (or this request was delivered twice).
+                let expired = expiry
+                    .is_some_and(|limit| ops_applied.saturating_sub(session.pending_at) > limit);
+                match (&session.pending, expired) {
+                    (Some(batch), false) => redelivery = Some(batch.clone()),
+                    _ => return Err(SyncError::ReplayExpired(c)),
+                }
+            } else {
+                // A cookie from an older exchange: the replica's view is
+                // more than one batch behind and cannot be repaired
+                // incrementally.
+                return Err(SyncError::ReplayExpired(c));
+            }
+        }
+        if let Some(actions) = redelivery {
+            let cookie = Cookie::new(sid as u32, session.seq);
+            self.redeliveries += 1;
+            return Ok(SyncResponse { actions, cookie: Some(cookie), redelivered: true });
+        }
+        let actions = session.drain_actions(&self.dit);
+        session.seq = session.seq.wrapping_add(1);
+        session.pending = Some(actions.clone());
+        session.pending_at = ops_applied;
+        let cookie = Cookie::new(sid as u32, session.seq);
+        Ok(SyncResponse { actions, cookie: Some(cookie), redelivered: false })
     }
 
     /// Convenience for persist mode: performs the request and hands back
@@ -193,39 +280,65 @@ impl SyncMaster {
     /// Returns `None` if the session is unknown or the receiver was
     /// already taken.
     pub fn take_receiver(&mut self, cookie: Cookie) -> Option<Receiver<SyncAction>> {
-        self.sessions.get_mut(&cookie.0)?.parked_receiver.take()
+        self.sessions.get_mut(&u64::from(cookie.session()))?.parked_receiver.take()
     }
 
     /// Abandons a session (e.g. the client dropped a persistent search).
     pub fn abandon(&mut self, cookie: Cookie) {
-        self.sessions.remove(&cookie.0);
+        self.sessions.remove(&u64::from(cookie.session()));
+    }
+
+    /// Tears down every persist notification channel, as a network
+    /// partition or connection reset would. Sessions stay alive and
+    /// pollable with their cookies; replicas observe the disconnect and
+    /// fall back to polling. Returns how many channels were dropped.
+    pub fn drop_persist_channels(&mut self) -> usize {
+        let mut dropped = 0;
+        for s in self.sessions.values_mut() {
+            if s.notify.take().is_some() {
+                dropped += 1;
+            }
+            s.parked_receiver = None;
+        }
+        dropped
     }
 
     /// Expires sessions idle for more than `max_idle_ops` applied updates
     /// — the admin time limit of §5.2. Returns how many were dropped.
+    ///
+    /// Persist sessions are exempt only while their notification channel
+    /// has a live receiver; once the client drops its end, the session is
+    /// an ordinary idle candidate (otherwise abandoned persistent searches
+    /// would pin their history forever).
     pub fn expire_idle(&mut self, max_idle_ops: u64) -> usize {
         let cutoff = self.ops_applied.saturating_sub(max_idle_ops);
         let before = self.sessions.len();
-        self.sessions.retain(|_, s| s.last_active >= cutoff || s.notify.is_some());
+        self.sessions.retain(|_, s| {
+            let live_persist = s.notify.as_ref().is_some_and(|tx| !tx.is_disconnected());
+            s.last_active >= cutoff || live_persist
+        });
         before - self.sessions.len()
     }
 
     /// The DNs a session's replica currently holds, sorted — test and
     /// debugging aid.
     pub fn session_sent_dns(&self, cookie: Cookie) -> Option<Vec<String>> {
-        self.sessions.get(&cookie.0).map(|s| {
+        self.sessions.get(&u64::from(cookie.session())).map(|s| {
             let mut v: Vec<String> = s.sent.iter().map(|d| d.to_string()).collect();
             v.sort();
             v
         })
     }
 
-    fn start_session(&mut self, request: &SearchRequest) -> Cookie {
-        self.next_cookie += 1;
-        let cookie = Cookie(self.next_cookie);
+    /// Allocates a session and returns its id (the high half of every
+    /// cookie issued on it; responses fill in the sequence number).
+    fn start_session(&mut self, request: &SearchRequest) -> u64 {
+        self.next_session += 1;
+        assert!(self.next_session <= u64::from(u32::MAX), "session ids exhausted");
+        let sid = self.next_session;
         let current: HashSet<Dn> = self.dit.search_dns(request).into_iter().collect();
         self.sessions.insert(
-            cookie.0,
+            sid,
             Session {
                 request: request.clone(),
                 sent: HashSet::new(), // nothing sent yet → everything is an add
@@ -235,9 +348,12 @@ impl SyncMaster {
                 notify: None,
                 parked_receiver: None,
                 last_active: self.ops_applied,
+                seq: 0,
+                pending: None,
+                pending_at: self.ops_applied,
             },
         );
-        cookie
+        sid
     }
 }
 
@@ -282,10 +398,29 @@ impl Session {
     }
 
     fn push(&mut self, action: SyncAction) {
-        if let Some(tx) = &self.notify {
+        let Some(tx) = &self.notify else { return };
+        if tx.send(action.clone()).is_err() {
             // A dropped receiver means the client abandoned the persistent
-            // search; the session stays pollable.
-            let _ = tx.send(action);
+            // search; stop streaming — the session stays pollable and the
+            // untouched poll ledger takes over from here.
+            self.notify = None;
+            return;
+        }
+        // The notification is in the replica's channel (delivery is the
+        // channel's job now), so advance the poll ledger to match: a later
+        // poll on this session must not re-send what the stream carried —
+        // and, more importantly, must not *skip* the departure of an entry
+        // the replica only learned about through the stream.
+        match &action {
+            SyncAction::Add(e) | SyncAction::Modify(e) => {
+                self.sent.insert(e.dn().clone());
+                self.changed.remove(e.dn());
+            }
+            SyncAction::Delete(dn) => {
+                self.sent.remove(dn);
+                self.departed.remove(dn);
+            }
+            SyncAction::Retain(_) => {}
         }
     }
 
@@ -391,8 +526,9 @@ mod tests {
         kinds.sort();
         assert_eq!(kinds, ["cn=a,o=xyz, mod", "cn=b,o=xyz, add"]);
 
-        // Next poll is empty.
-        let resp2 = m.resync(&req, ReSyncControl::poll(Some(c))).unwrap();
+        // Next poll (with the newly issued cookie) is empty.
+        let c1 = resp.cookie.unwrap();
+        let resp2 = m.resync(&req, ReSyncControl::poll(Some(c1))).unwrap();
         assert!(resp2.actions.is_empty());
     }
 
@@ -564,6 +700,126 @@ mod tests {
     }
 
     #[test]
+    fn retried_poll_redelivers_lost_batch() {
+        let mut m = master_with(vec![person("a", "7")]);
+        let req = dept7();
+        let c0 = m.resync(&req, ReSyncControl::poll(None)).unwrap().cookie.unwrap();
+        m.apply(UpdateOp::Delete(dn("cn=a,o=xyz"))).unwrap();
+
+        // First poll builds the batch; pretend the response is lost.
+        let lost = m.resync(&req, ReSyncControl::poll(Some(c0))).unwrap();
+        assert_eq!(lost.actions, vec![SyncAction::Delete(dn("cn=a,o=xyz"))]);
+
+        // The replica retries with the cookie it still holds — same
+        // batch, same cookie, nothing dropped.
+        let replay = m.resync(&req, ReSyncControl::poll(Some(c0))).unwrap();
+        assert_eq!(replay.actions, lost.actions);
+        assert_eq!(replay.cookie, lost.cookie);
+        assert_eq!(m.redeliveries(), 1);
+
+        // Acknowledging with the replayed cookie resumes incrementally.
+        m.apply(UpdateOp::Add(person("b", "7"))).unwrap();
+        let next = m.resync(&req, ReSyncControl::poll(replay.cookie)).unwrap();
+        assert_eq!(next.actions.len(), 1);
+        assert!(matches!(&next.actions[0], SyncAction::Add(e) if e.dn() == &dn("cn=b,o=xyz")));
+    }
+
+    #[test]
+    fn duplicate_delivery_is_idempotent() {
+        let mut m = master_with(vec![person("a", "7")]);
+        let req = dept7();
+        let c0 = m.resync(&req, ReSyncControl::poll(None)).unwrap().cookie.unwrap();
+        m.apply(UpdateOp::Add(person("b", "7"))).unwrap();
+        // The same request is delivered twice (a retransmitting network).
+        let first = m.resync(&req, ReSyncControl::poll(Some(c0))).unwrap();
+        let second = m.resync(&req, ReSyncControl::poll(Some(c0))).unwrap();
+        // Byte-for-byte the same batch — only the redelivery marker differs.
+        assert_eq!(first.actions, second.actions);
+        assert_eq!(first.cookie, second.cookie);
+        assert!(!first.redelivered);
+        assert!(second.redelivered);
+        assert_eq!(m.redeliveries(), 1);
+    }
+
+    #[test]
+    fn replay_expires_after_configured_ops() {
+        let mut m = master_with(vec![person("a", "7")]);
+        m.set_replay_expiry_ops(0);
+        let req = dept7();
+        let c0 = m.resync(&req, ReSyncControl::poll(None)).unwrap().cookie.unwrap();
+        m.apply(UpdateOp::Delete(dn("cn=a,o=xyz"))).unwrap();
+        let lost = m.resync(&req, ReSyncControl::poll(Some(c0))).unwrap();
+        assert_eq!(lost.actions.len(), 1);
+        // More updates land before the retry; the buffer has expired.
+        m.apply(UpdateOp::Add(person("b", "7"))).unwrap();
+        assert_eq!(
+            m.resync(&req, ReSyncControl::poll(Some(c0))),
+            Err(SyncError::ReplayExpired(c0))
+        );
+        // The session itself stays alive: the *current* cookie still works.
+        let resp = m.resync(&req, ReSyncControl::poll(lost.cookie)).unwrap();
+        assert_eq!(resp.actions.len(), 1);
+    }
+
+    #[test]
+    fn stale_cookie_is_rejected() {
+        let mut m = master_with(vec![person("a", "7")]);
+        let req = dept7();
+        let c0 = m.resync(&req, ReSyncControl::poll(None)).unwrap().cookie.unwrap();
+        let c1 = m.resync(&req, ReSyncControl::poll(Some(c0))).unwrap().cookie.unwrap();
+        let _c2 = m.resync(&req, ReSyncControl::poll(Some(c1))).unwrap().cookie.unwrap();
+        // c0 is now two exchanges behind — not replayable.
+        assert_eq!(
+            m.resync(&req, ReSyncControl::poll(Some(c0))),
+            Err(SyncError::ReplayExpired(c0))
+        );
+    }
+
+    #[test]
+    fn crash_restart_preserves_pending_batch() {
+        // A response is built, the master crashes before the replica gets
+        // it, and the restarted master can still replay it.
+        let mut m = master_with(vec![person("a", "7")]);
+        let req = dept7();
+        let c0 = m.resync(&req, ReSyncControl::poll(None)).unwrap().cookie.unwrap();
+        m.apply(UpdateOp::Delete(dn("cn=a,o=xyz"))).unwrap();
+        let lost = m.resync(&req, ReSyncControl::poll(Some(c0))).unwrap();
+
+        let snapshot = serde_json::to_string(&m).expect("serializes");
+        let mut restored: SyncMaster = serde_json::from_str(&snapshot).expect("deserializes");
+        let replay = restored.resync(&req, ReSyncControl::poll(Some(c0))).unwrap();
+        assert_eq!(replay.actions, lost.actions);
+        assert_eq!(replay.cookie, lost.cookie);
+        assert_eq!(restored.redeliveries(), 1);
+    }
+
+    #[test]
+    fn legacy_mode_loses_unacked_batch() {
+        // The pre-fix behavior this PR guards against: with replay
+        // disabled, a lost response silently discards its batch — the
+        // replica never learns about the deletion and diverges forever.
+        let mut m = master_with(vec![person("a", "7")]);
+        m.disable_replay();
+        let req = dept7();
+        let mut replica = ReplicaContent::new();
+        let resp = m.resync(&req, ReSyncControl::poll(None)).unwrap();
+        let c0 = resp.cookie.unwrap();
+        replica.apply_all(&resp.actions);
+
+        m.apply(UpdateOp::Delete(dn("cn=a,o=xyz"))).unwrap();
+        // The delete batch is built but the response never arrives.
+        let lost = m.resync(&req, ReSyncControl::poll(Some(c0))).unwrap();
+        assert_eq!(lost.actions.len(), 1);
+        // The retry comes back empty: the session history was already
+        // cleared, so the deletion is gone for good.
+        let retry = m.resync(&req, ReSyncControl::poll(Some(c0))).unwrap();
+        assert!(retry.actions.is_empty());
+        replica.apply_all(&retry.actions);
+        assert_eq!(replica.len(), 1, "replica still holds the deleted entry");
+        assert!(m.dit().search_dns(&req).is_empty(), "master content is empty");
+    }
+
+    #[test]
     fn idle_sessions_expire() {
         let mut m = master_with(vec![person("a", "7")]);
         let req = dept7();
@@ -574,5 +830,50 @@ mod tests {
         assert_eq!(m.expire_idle(10), 0);
         assert_eq!(m.expire_idle(3), 1);
         assert_eq!(m.session_count(), 0);
+    }
+
+    #[test]
+    fn abandoned_persist_sessions_expire_too() {
+        // Regression: a persist session whose client dropped the receiver
+        // used to be exempt from idle expiry forever, pinning its history.
+        let mut m = master_with(vec![person("a", "7")]);
+        let req = dept7();
+        let (_resp, rx) = m.resync_persist(&req, None).unwrap();
+        let live = SearchRequest::new(
+            dn("o=xyz"),
+            Scope::Subtree,
+            Filter::parse("(dept=9)").unwrap(),
+        );
+        let (_resp2, live_rx) = m.resync_persist(&live, None).unwrap();
+        for i in 0..5 {
+            m.apply(UpdateOp::Add(person(&format!("p{i}"), "8"))).unwrap();
+        }
+        // Both receivers alive: neither session expires.
+        assert_eq!(m.expire_idle(3), 0);
+        // The first client goes away; only its session is collectable.
+        drop(rx);
+        assert_eq!(m.expire_idle(3), 1);
+        assert_eq!(m.session_count(), 1);
+        drop(live_rx);
+        assert_eq!(m.expire_idle(3), 1);
+        assert_eq!(m.session_count(), 0);
+    }
+
+    #[test]
+    fn drop_persist_channels_keeps_sessions_pollable() {
+        let mut m = master_with(vec![person("a", "7")]);
+        let req = dept7();
+        let (resp, rx) = m.resync_persist(&req, None).unwrap();
+        let c = resp.cookie.unwrap();
+        assert_eq!(m.drop_persist_channels(), 1);
+        // The receiver observes the disconnect...
+        assert!(matches!(
+            rx.try_recv(),
+            Err(crossbeam::channel::TryRecvError::Disconnected)
+        ));
+        // ...but the cookie still resumes the session incrementally.
+        m.apply(UpdateOp::Add(person("b", "7"))).unwrap();
+        let resp = m.resync(&req, ReSyncControl::poll(Some(c))).unwrap();
+        assert_eq!(resp.actions.len(), 1);
     }
 }

@@ -6,12 +6,37 @@ use std::error::Error;
 use std::fmt;
 
 /// Opaque resumption token identifying an update session at the master.
+///
+/// Internally the token packs two values: the session identifier in the
+/// high 32 bits and a per-session **sequence number** in the low 32 bits.
+/// The sequence number makes the protocol at-least-once safe: every
+/// response carries a fresh sequence, and the next request echoing it
+/// acknowledges delivery. A request echoing the *previous* sequence tells
+/// the master the last response was lost, and the master re-delivers it
+/// verbatim (see `SyncMaster`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct Cookie(pub u64);
 
+impl Cookie {
+    /// Packs a session id and sequence number into a cookie.
+    pub fn new(session: u32, seq: u32) -> Cookie {
+        Cookie((u64::from(session) << 32) | u64::from(seq))
+    }
+
+    /// The session identifier (high 32 bits).
+    pub fn session(&self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    /// The response sequence number within the session (low 32 bits).
+    pub fn seq(&self) -> u32 {
+        self.0 as u32
+    }
+}
+
 impl fmt::Display for Cookie {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "cookie:{}", self.0)
+        write!(f, "cookie:{}.{}", self.session(), self.seq())
     }
 }
 
@@ -110,6 +135,9 @@ pub struct SyncResponse {
     pub actions: Vec<SyncAction>,
     /// Resumption cookie (`None` after `sync_end`).
     pub cookie: Option<Cookie>,
+    /// True when this response is a verbatim replay of an earlier one
+    /// whose delivery was never acknowledged.
+    pub redelivered: bool,
 }
 
 impl SyncResponse {
@@ -118,6 +146,9 @@ impl SyncResponse {
         let mut t = SyncTraffic::default();
         for a in &self.actions {
             t.count(a);
+        }
+        if self.redelivered {
+            t.redelivered_pdus = t.pdus();
         }
         t
     }
@@ -133,6 +164,9 @@ pub struct SyncTraffic {
     pub dn_only: u64,
     /// Estimated bytes across all PDUs.
     pub bytes: u64,
+    /// PDUs that were retransmissions of a lost response (already counted
+    /// in the totals above) — the at-least-once overhead.
+    pub redelivered_pdus: u64,
 }
 
 impl SyncTraffic {
@@ -151,6 +185,7 @@ impl SyncTraffic {
         self.full_entries += other.full_entries;
         self.dn_only += other.dn_only;
         self.bytes += other.bytes;
+        self.redelivered_pdus += other.redelivered_pdus;
     }
 
     /// Total PDU count.
@@ -168,6 +203,28 @@ pub enum SyncError {
     MissingCookie,
     /// The resumed session was established for a different search request.
     RequestMismatch(Cookie),
+    /// The master can no longer replay the batch the cookie refers to
+    /// (the replay buffer expired or the cookie is from an older exchange).
+    /// The replica must re-establish the session with a full reload.
+    ReplayExpired(Cookie),
+    /// The master, or the link to it, is temporarily unavailable. Issued
+    /// by transports (fault injection, real networks) rather than the
+    /// master itself; retrying later may succeed.
+    Unavailable(String),
+}
+
+impl SyncError {
+    /// True when retrying the same request later may succeed without any
+    /// session re-establishment.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SyncError::Unavailable(_))
+    }
+
+    /// True when the session is unrecoverable and the replica must start
+    /// over with a full content reload.
+    pub fn needs_reinstall(&self) -> bool {
+        matches!(self, SyncError::UnknownCookie(_) | SyncError::ReplayExpired(_))
+    }
 }
 
 impl fmt::Display for SyncError {
@@ -178,6 +235,10 @@ impl fmt::Display for SyncError {
             SyncError::RequestMismatch(c) => {
                 write!(f, "search request does not match session {c}")
             }
+            SyncError::ReplayExpired(c) => {
+                write!(f, "unacknowledged batch for {c} is no longer replayable")
+            }
+            SyncError::Unavailable(why) => write!(f, "master unavailable: {why}"),
         }
     }
 }
@@ -210,12 +271,39 @@ mod tests {
                 SyncAction::Retain(e.dn().clone()),
             ],
             cookie: Some(Cookie(1)),
+            redelivered: false,
         };
         let t = resp.traffic();
         assert_eq!(t.full_entries, 2);
         assert_eq!(t.dn_only, 2);
         assert_eq!(t.pdus(), 4);
         assert!(t.bytes > 0);
+        assert_eq!(t.redelivered_pdus, 0);
+
+        let replayed = SyncResponse { redelivered: true, ..resp };
+        assert_eq!(replayed.traffic().redelivered_pdus, 4);
+    }
+
+    #[test]
+    fn cookie_packs_session_and_seq() {
+        let c = Cookie::new(7, 42);
+        assert_eq!(c.session(), 7);
+        assert_eq!(c.seq(), 42);
+        assert_eq!(c.to_string(), "cookie:7.42");
+        // Round trip through the raw representation.
+        assert_eq!(Cookie(c.0), c);
+        let max = Cookie::new(u32::MAX, u32::MAX);
+        assert_eq!(max.session(), u32::MAX);
+        assert_eq!(max.seq(), u32::MAX);
+    }
+
+    #[test]
+    fn error_classification() {
+        assert!(SyncError::Unavailable("drop".into()).is_transient());
+        assert!(!SyncError::UnknownCookie(Cookie(1)).is_transient());
+        assert!(SyncError::UnknownCookie(Cookie(1)).needs_reinstall());
+        assert!(SyncError::ReplayExpired(Cookie(1)).needs_reinstall());
+        assert!(!SyncError::MissingCookie.needs_reinstall());
     }
 
     #[test]

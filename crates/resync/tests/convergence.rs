@@ -101,7 +101,7 @@ proptest! {
         let req = request();
         let mut replica = ReplicaContent::new();
         let resp = m.resync(&req, ReSyncControl::poll(None)).expect("initial resync");
-        let cookie = resp.cookie.expect("cookie issued");
+        let mut cookie = resp.cookie.expect("cookie issued");
         replica.apply_all(&resp.actions);
         assert_converged(&m, &req, &replica);
 
@@ -109,6 +109,7 @@ proptest! {
             apply(&mut m, o);
             if (i + 1) % poll_every == 0 {
                 let resp = m.resync(&req, ReSyncControl::poll(Some(cookie))).expect("poll");
+                cookie = resp.cookie.expect("cookie issued");
                 replica.apply_all(&resp.actions);
                 assert_converged(&m, &req, &replica);
             }
@@ -134,6 +135,54 @@ proptest! {
             replica.apply(&action);
         }
         assert_converged(&m, &req, &replica);
+    }
+
+    /// Cookie-resume equivalence (the fault-free anchor for the chaos
+    /// suite): a replica that polls after every few updates and a replica
+    /// that polls once at the very end reach the *same* final content.
+    /// Intermediate cookies are pure resumption points — where the poll
+    /// boundaries fall changes traffic, never the fixpoint.
+    #[test]
+    fn many_small_polls_equal_one_big_poll(
+        ops in prop::collection::vec(op(), 1..60),
+        poll_every in 1usize..7,
+    ) {
+        let mut m = fresh_master();
+        let req = request();
+
+        // Both replicas start from the same initial load.
+        let resp = m.resync(&req, ReSyncControl::poll(None)).expect("initial resync");
+        let mut stepper = ReplicaContent::new();
+        stepper.apply_all(&resp.actions);
+        let mut stepper_cookie = resp.cookie.expect("cookie issued");
+
+        let resp = m.resync(&req, ReSyncControl::poll(None)).expect("initial resync");
+        let mut batcher = ReplicaContent::new();
+        batcher.apply_all(&resp.actions);
+        let batcher_cookie = resp.cookie.expect("cookie issued");
+
+        for (i, o) in ops.iter().enumerate() {
+            apply(&mut m, o);
+            if (i + 1) % poll_every == 0 {
+                let resp =
+                    m.resync(&req, ReSyncControl::poll(Some(stepper_cookie))).expect("small poll");
+                stepper_cookie = resp.cookie.expect("cookie issued");
+                stepper.apply_all(&resp.actions);
+            }
+        }
+        let resp =
+            m.resync(&req, ReSyncControl::poll(Some(stepper_cookie))).expect("final small poll");
+        stepper.apply_all(&resp.actions);
+
+        let resp = m.resync(&req, ReSyncControl::poll(Some(batcher_cookie))).expect("big poll");
+        batcher.apply_all(&resp.actions);
+
+        let mut stepped: Vec<&Entry> = stepper.iter().collect();
+        let mut batched: Vec<&Entry> = batcher.iter().collect();
+        stepped.sort_by(|a, b| a.dn().cmp(b.dn()));
+        batched.sort_by(|a, b| a.dn().cmp(b.dn()));
+        prop_assert_eq!(stepped, batched, "poll granularity changed the fixpoint");
+        assert_converged(&m, &req, &stepper);
     }
 
     /// Poll traffic never exceeds full reload (entry-PDU-wise the replica

@@ -1,0 +1,1039 @@
+//! Offline shim for `proptest`: deterministic random testing behind the
+//! proptest API surface this workspace uses. No shrinking — a failing case
+//! reports its generated inputs and reproduction seed instead.
+//!
+//! Supported: `proptest!` (with `#![proptest_config]`), `prop_assert*!`,
+//! `prop_assume!`, `prop_oneof!`, `Just`, `any::<T>()`, integer-range
+//! strategies, regex-subset string strategies, `prop::collection::vec`,
+//! tuple strategies, `prop_map`/`prop_flat_map`/`prop_filter`,
+//! `boxed`/`BoxedStrategy`, and `prop_recursive`.
+
+use rand::{Rng, RngCore, SeedableRng};
+use std::fmt;
+use std::rc::Rc;
+
+/// Deterministic RNG handed to strategies.
+pub struct TestRng {
+    inner: rand::rngs::StdRng,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { inner: rand::rngs::StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Assertion failure: the property is violated.
+    Fail(String),
+    /// Input rejected by `prop_assume!`; the case is re-drawn.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Runner configuration; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+}
+
+pub use test_runner::Config as ProptestConfig;
+
+fn fnv1a(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Drives one property over `config.cases` deterministic cases. The
+/// callback returns `Err(Reject)` to re-draw and `Err(Fail)` to stop.
+pub fn run_proptest(
+    config: &test_runner::Config,
+    name: &str,
+    mut case_fn: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let base = fnv1a(name);
+    let mut passed = 0u32;
+    let mut draws = 0u64;
+    let max_draws = config.cases as u64 * 16 + 1024;
+    while passed < config.cases {
+        let seed = base ^ draws.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        draws += 1;
+        if draws > max_draws {
+            panic!("proptest {name}: too many rejected cases ({passed}/{} passed)", config.cases);
+        }
+        let mut rng = TestRng::from_seed(seed);
+        match case_fn(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest {name} failed after {passed} passing cases (seed {seed:#x}):\n{msg}"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy core
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    type Value: fmt::Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, reason, pred }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+
+    /// Depth-bounded recursion: each level is an even split between the
+    /// leaf strategy and one application of `recurse` to the level below.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut level = leaf.clone();
+        for _ in 0..depth {
+            level = Union::new_weighted(vec![
+                (1, leaf.clone()),
+                (2, recurse(level).boxed()),
+            ])
+            .boxed();
+        }
+        level
+    }
+}
+
+/// Clone-able type-erased strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter `{}` rejected 1000 consecutive values", self.reason);
+    }
+}
+
+/// Weighted choice between strategies of one value type.
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T: fmt::Debug> Union<T> {
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        Union { arms: arms.into_iter().map(|s| (1, s)).collect() }
+    }
+
+    pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T: fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let total: u32 = self.arms.iter().map(|(w, _)| *w).sum();
+        let mut pick = rng.gen_range(0..total);
+        for (weight, strat) in &self.arms {
+            if pick < *weight {
+                return strat.generate(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weighted pick within total")
+    }
+}
+
+// Integer ranges are strategies.
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// Tuples of strategies are strategies over tuples.
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+// String literals are regex-subset strategies.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        string::generate_from_regex(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        string::generate_from_regex(self, rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// any::<T>() / Arbitrary
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized + fmt::Debug {
+    type Strategy: Strategy<Value = Self>;
+
+    fn arbitrary() -> Self::Strategy;
+}
+
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Full-range strategy used by [`any`].
+pub struct ArbitraryStrategy<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for ArbitraryStrategy<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = ArbitraryStrategy<$t>;
+            fn arbitrary() -> Self::Strategy {
+                ArbitraryStrategy(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for ArbitraryStrategy<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = ArbitraryStrategy<bool>;
+
+    fn arbitrary() -> Self::Strategy {
+        ArbitraryStrategy(std::marker::PhantomData)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    use super::{fmt, Strategy, TestRng};
+    use rand::Rng;
+
+    /// Inclusive element-count bounds, built from `usize`, `a..b`, `a..=b`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: fmt::Debug,
+    {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-subset string generation
+// ---------------------------------------------------------------------------
+
+pub mod string {
+    use super::TestRng;
+    use rand::Rng;
+
+    /// Sorted, disjoint inclusive codepoint ranges.
+    #[derive(Debug, Clone, PartialEq)]
+    struct ClassSet(Vec<(u32, u32)>);
+
+    impl ClassSet {
+        fn single(c: char) -> Self {
+            ClassSet(vec![(c as u32, c as u32)])
+        }
+
+        fn range(lo: char, hi: char) -> Self {
+            assert!(lo <= hi, "inverted class range {lo:?}-{hi:?}");
+            ClassSet(vec![(lo as u32, hi as u32)])
+        }
+
+        fn normalize(mut self) -> Self {
+            self.0.sort_unstable();
+            let mut merged: Vec<(u32, u32)> = Vec::new();
+            for (lo, hi) in self.0 {
+                match merged.last_mut() {
+                    Some((_, prev_hi)) if lo <= *prev_hi + 1 => *prev_hi = (*prev_hi).max(hi),
+                    _ => merged.push((lo, hi)),
+                }
+            }
+            ClassSet(merged)
+        }
+
+        fn union(mut self, other: ClassSet) -> Self {
+            self.0.extend(other.0);
+            self.normalize()
+        }
+
+        fn complement(&self) -> Self {
+            // Unicode scalar values minus the surrogate gap.
+            let mut out = Vec::new();
+            let mut next = 0u32;
+            for &(lo, hi) in &self.0 {
+                if lo > next {
+                    out.push((next, lo - 1));
+                }
+                next = hi.saturating_add(1);
+            }
+            if next <= 0x10FFFF {
+                out.push((next, 0x10FFFF));
+            }
+            let set = ClassSet(out);
+            set.intersect(&ClassSet(vec![(0, 0xD7FF), (0xE000, 0x10FFFF)]))
+        }
+
+        fn intersect(&self, other: &ClassSet) -> Self {
+            let mut out = Vec::new();
+            let (mut i, mut j) = (0, 0);
+            while i < self.0.len() && j < other.0.len() {
+                let (alo, ahi) = self.0[i];
+                let (blo, bhi) = other.0[j];
+                let lo = alo.max(blo);
+                let hi = ahi.min(bhi);
+                if lo <= hi {
+                    out.push((lo, hi));
+                }
+                if ahi < bhi {
+                    i += 1;
+                } else {
+                    j += 1;
+                }
+            }
+            ClassSet(out)
+        }
+
+        fn len(&self) -> u64 {
+            self.0.iter().map(|(lo, hi)| (*hi - *lo + 1) as u64).sum()
+        }
+
+        fn sample(&self, rng: &mut TestRng) -> char {
+            let total = self.len();
+            assert!(total > 0, "empty character class in regex strategy");
+            let mut k = rng.gen_range(0..total);
+            for &(lo, hi) in &self.0 {
+                let size = (hi - lo + 1) as u64;
+                if k < size {
+                    return char::from_u32(lo + k as u32).expect("surrogates excluded");
+                }
+                k -= size;
+            }
+            unreachable!("index within total")
+        }
+    }
+
+    #[derive(Debug)]
+    enum Atom {
+        Class(ClassSet),
+    }
+
+    #[derive(Debug)]
+    struct Piece {
+        atom: Atom,
+        min: u32,
+        max: u32,
+    }
+
+    struct Parser<'a> {
+        chars: std::iter::Peekable<std::str::Chars<'a>>,
+        pattern: &'a str,
+    }
+
+    impl Parser<'_> {
+        fn fail(&self, msg: &str) -> ! {
+            panic!("proptest shim: unsupported regex `{}`: {msg}", self.pattern)
+        }
+
+        fn parse_escape(&mut self) -> ClassSet {
+            match self.chars.next() {
+                Some('x') => {
+                    let h1 = self.chars.next().and_then(|c| c.to_digit(16));
+                    let h2 = self.chars.next().and_then(|c| c.to_digit(16));
+                    match (h1, h2) {
+                        (Some(a), Some(b)) => {
+                            let code = a * 16 + b;
+                            ClassSet::single(char::from_u32(code).expect("two hex digits"))
+                        }
+                        _ => self.fail("bad \\x escape"),
+                    }
+                }
+                Some('d') => ClassSet::range('0', '9'),
+                Some('w') => ClassSet::range('a', 'z')
+                    .union(ClassSet::range('A', 'Z'))
+                    .union(ClassSet::range('0', '9'))
+                    .union(ClassSet::single('_')),
+                Some('s') => ClassSet::single(' ')
+                    .union(ClassSet::single('\t'))
+                    .union(ClassSet::single('\n'))
+                    .union(ClassSet::single('\r')),
+                Some('n') => ClassSet::single('\n'),
+                Some('r') => ClassSet::single('\r'),
+                Some('t') => ClassSet::single('\t'),
+                Some(c) if !c.is_alphanumeric() => ClassSet::single(c),
+                other => self.fail(&format!("unsupported escape \\{other:?}")),
+            }
+        }
+
+        /// Parses the interior of `[...]` after any leading `^`, up to the
+        /// closing bracket or a `&&` intersection operator.
+        fn parse_class_items(&mut self) -> ClassSet {
+            let mut set = ClassSet(Vec::new());
+            loop {
+                match self.chars.peek() {
+                    None => self.fail("unterminated character class"),
+                    Some(']') | Some('&') => return set.normalize(),
+                    _ => {}
+                }
+                let c = self.chars.next().expect("peeked");
+                let lo = if c == '\\' {
+                    let esc = self.parse_escape();
+                    if esc.0.len() != 1 || esc.0[0].0 != esc.0[0].1 {
+                        // Class escape like \d: union it in, no range allowed.
+                        set = set.union(esc);
+                        continue;
+                    }
+                    char::from_u32(esc.0[0].0).expect("single char escape")
+                } else {
+                    c
+                };
+                // Range `a-z`? A `-` right before `]` is a literal dash.
+                if self.chars.peek() == Some(&'-') {
+                    let mut lookahead = self.chars.clone();
+                    lookahead.next();
+                    if lookahead.peek().is_some_and(|c| *c != ']') {
+                        self.chars.next(); // consume '-'
+                        let hc = self.chars.next().expect("peeked");
+                        let hi = if hc == '\\' {
+                            let esc = self.parse_escape();
+                            if esc.0.len() != 1 || esc.0[0].0 != esc.0[0].1 {
+                                self.fail("class escape cannot end a range");
+                            }
+                            char::from_u32(esc.0[0].0).expect("single char escape")
+                        } else {
+                            hc
+                        };
+                        set = set.union(ClassSet::range(lo, hi));
+                        continue;
+                    }
+                }
+                set = set.union(ClassSet::single(lo));
+            }
+        }
+
+        /// Parses a full `[...]` class (cursor after the opening bracket),
+        /// handling leading `^` negation and `&&` intersections.
+        fn parse_class(&mut self) -> ClassSet {
+            let negated = if self.chars.peek() == Some(&'^') {
+                self.chars.next();
+                true
+            } else {
+                false
+            };
+            let mut set = self.parse_class_items();
+            if negated {
+                set = set.complement();
+            }
+            loop {
+                match self.chars.next() {
+                    Some(']') => return set,
+                    Some('&') => {
+                        if self.chars.next() != Some('&') {
+                            self.fail("single & in class");
+                        }
+                        // Operand: either a nested class or more items.
+                        let rhs = if self.chars.peek() == Some(&'[') {
+                            self.chars.next();
+                            self.parse_class()
+                        } else {
+                            let negated = if self.chars.peek() == Some(&'^') {
+                                self.chars.next();
+                                true
+                            } else {
+                                false
+                            };
+                            let items = self.parse_class_items();
+                            if negated {
+                                items.complement()
+                            } else {
+                                items
+                            }
+                        };
+                        set = set.intersect(&rhs);
+                    }
+                    other => self.fail(&format!("unexpected {other:?} in class")),
+                }
+            }
+        }
+
+        fn parse_quantifier(&mut self) -> (u32, u32) {
+            match self.chars.peek() {
+                Some('{') => {
+                    self.chars.next();
+                    let mut min = String::new();
+                    while self.chars.peek().is_some_and(|c| c.is_ascii_digit()) {
+                        min.push(self.chars.next().expect("peeked"));
+                    }
+                    let min: u32 = min.parse().unwrap_or_else(|_| self.fail("bad {m,n}"));
+                    let max = match self.chars.next() {
+                        Some('}') => min,
+                        Some(',') => {
+                            let mut max = String::new();
+                            while self.chars.peek().is_some_and(|c| c.is_ascii_digit()) {
+                                max.push(self.chars.next().expect("peeked"));
+                            }
+                            if self.chars.next() != Some('}') {
+                                self.fail("unterminated {m,n}");
+                            }
+                            max.parse().unwrap_or_else(|_| self.fail("bad {m,n}"))
+                        }
+                        _ => self.fail("unterminated {m,n}"),
+                    };
+                    (min, max)
+                }
+                Some('?') => {
+                    self.chars.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    self.chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    self.chars.next();
+                    (1, 8)
+                }
+                _ => (1, 1),
+            }
+        }
+
+        fn parse(mut self) -> Vec<Piece> {
+            let mut pieces = Vec::new();
+            while let Some(c) = self.chars.next() {
+                let class = match c {
+                    '[' => self.parse_class(),
+                    '\\' => self.parse_escape(),
+                    '.' => ClassSet::range(' ', '~'),
+                    '(' | ')' | '|' | '^' | '$' => {
+                        self.fail("groups/alternation/anchors not supported")
+                    }
+                    c => ClassSet::single(c),
+                };
+                let (min, max) = self.parse_quantifier();
+                pieces.push(Piece { atom: Atom::Class(class), min, max });
+            }
+            pieces
+        }
+    }
+
+    /// Generates one string matching the regex subset.
+    pub fn generate_from_regex(pattern: &str, rng: &mut TestRng) -> String {
+        let pieces = Parser { chars: pattern.chars().peekable(), pattern }.parse();
+        let mut out = String::new();
+        for piece in &pieces {
+            let n = rng.gen_range(piece.min..=piece.max);
+            let Atom::Class(class) = &piece.atom;
+            for _ in 0..n {
+                out.push(class.sample(rng));
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (config = ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            #[allow(unused_variables, unused_mut)]
+            $crate::run_proptest(&__config, stringify!($name), |__rng| {
+                let mut __inputs: Vec<String> = Vec::new();
+                $(
+                    let $arg = $crate::Strategy::generate(&($strat), __rng);
+                    __inputs.push(format!(
+                        concat!(stringify!($arg), " = {:?}"), &$arg
+                    ));
+                )*
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(
+                        || -> ::std::result::Result<(), $crate::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        },
+                    ),
+                );
+                match __outcome {
+                    ::std::result::Result::Err(__payload) => {
+                        eprintln!(
+                            "proptest {} panicked with inputs:\n  {}",
+                            stringify!($name),
+                            __inputs.join("\n  ")
+                        );
+                        ::std::panic::resume_unwind(__payload);
+                    }
+                    ::std::result::Result::Ok(::std::result::Result::Ok(())) => {
+                        ::std::result::Result::Ok(())
+                    }
+                    ::std::result::Result::Ok(::std::result::Result::Err(
+                        $crate::TestCaseError::Fail(__msg),
+                    )) => ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                        "{}\ninputs:\n  {}",
+                        __msg,
+                        __inputs.join("\n  ")
+                    ))),
+                    ::std::result::Result::Ok(__reject) => __reject,
+                }
+            });
+        }
+    )*};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+), __l, __r
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), __l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "{}\n  both: {:?}",
+            format!($($fmt)+), __l
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(42)
+    }
+
+    #[test]
+    fn regex_class_range_and_quantifier() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-c]{1,3}", &mut r);
+            assert!((1..=3).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn regex_intersection_and_negation() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[ -~&&[^\\\\]]{1,10}", &mut r);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c) && c != '\\'), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn regex_literals_escapes_optional() {
+        let mut r = rng();
+        let mut saw_minus = false;
+        for _ in 0..100 {
+            let s = Strategy::generate(&"-?[0-9]{1,9}", &mut r);
+            let rest = s.strip_prefix('-').inspect(|_| saw_minus = true).unwrap_or(&s);
+            assert!(!rest.is_empty() && rest.chars().all(|c| c.is_ascii_digit()), "{s:?}");
+        }
+        assert!(saw_minus);
+        let s = Strategy::generate(&"[\\x00-\\x7f]{0,40}", &mut r);
+        assert!(s.chars().all(|c| (c as u32) <= 0x7f));
+        let s = Strategy::generate(&"[α-ω]{1,4}", &mut r);
+        assert!(s.chars().all(|c| ('α'..='ω').contains(&c)));
+        let s = Strategy::generate(&"[a-zA-Z][a-zA-Z0-9-]{0,8}", &mut r);
+        assert!(s.chars().next().expect("nonempty").is_ascii_alphabetic());
+    }
+
+    #[test]
+    fn vec_and_tuple_strategies() {
+        let mut r = rng();
+        let strat = prop::collection::vec(("[a-b]", 0usize..5), 2..4);
+        for _ in 0..50 {
+            let v = Strategy::generate(&strat, &mut r);
+            assert!((2..=3).contains(&v.len()));
+            for (s, n) in v {
+                assert!(s == "a" || s == "b");
+                assert!(n < 5);
+            }
+        }
+        let fixed = prop::collection::vec(any::<bool>(), 6);
+        assert_eq!(Strategy::generate(&fixed, &mut r).len(), 6);
+    }
+
+    #[test]
+    fn recursive_strategy_terminates_and_varies() {
+        let leaf = (0u8..10).prop_map(|n| n.to_string());
+        let strat = leaf.prop_recursive(3, 16, 3, |inner| {
+            prop::collection::vec(inner, 1..3).prop_map(|xs| format!("({})", xs.join("+")))
+        });
+        let mut r = rng();
+        let mut saw_nested = false;
+        let mut saw_leaf = false;
+        for _ in 0..100 {
+            let s = Strategy::generate(&strat, &mut r);
+            if s.starts_with('(') {
+                saw_nested = true;
+            } else {
+                saw_leaf = true;
+            }
+        }
+        assert!(saw_nested && saw_leaf);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn runner_draws_in_range(x in 3u32..7, flag in any::<bool>()) {
+            prop_assert!((3..7).contains(&x), "x out of range: {}", x);
+            let _ = flag;
+        }
+
+        #[test]
+        fn assume_rejects_and_redraws(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+}

@@ -1,0 +1,536 @@
+//! Offline shim for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` without syn/quote. The input item is parsed
+//! directly from its token tree (only the shapes this workspace uses:
+//! non-generic structs and enums, `#[serde(skip)]`, `#[serde(default)]`,
+//! `#[serde(with = "path")]`), and the generated code targets the shimmed
+//! `serde` crate's `Value` model.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default, Clone)]
+struct FieldAttrs {
+    skip: bool,
+    default: bool,
+    with: Option<String>,
+}
+
+#[derive(Debug)]
+struct Field {
+    /// `None` for tuple fields.
+    name: Option<String>,
+    attrs: FieldAttrs,
+}
+
+#[derive(Debug)]
+enum Payload {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    payload: Payload,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, payload: Payload },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+// ---------------------------------------------------------------------------
+// Token-tree parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor { tokens: stream.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn at_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde shim derive: expected {what}, got {other:?}"),
+        }
+    }
+
+    /// Consumes leading `#[...]` attributes, folding any `#[serde(...)]`
+    /// metas into the returned `FieldAttrs`.
+    fn take_attrs(&mut self) -> FieldAttrs {
+        let mut attrs = FieldAttrs::default();
+        while self.at_punct('#') {
+            self.next();
+            let group = match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                other => panic!("serde shim derive: malformed attribute, got {other:?}"),
+            };
+            let mut inner = Cursor::new(group.stream());
+            if inner.at_ident("serde") {
+                inner.next();
+                let args = match inner.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+                    other => panic!("serde shim derive: malformed #[serde], got {other:?}"),
+                };
+                parse_serde_metas(Cursor::new(args.stream()), &mut attrs);
+            }
+        }
+        attrs
+    }
+
+    /// Consumes `pub` / `pub(crate)`-style visibility if present.
+    fn skip_visibility(&mut self) {
+        if self.at_ident("pub") {
+            self.next();
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.next();
+                }
+            }
+        }
+    }
+
+    /// Skips a type (or any token run) up to a top-level comma, tracking
+    /// angle-bracket depth so commas inside generics don't split fields.
+    fn skip_to_comma(&mut self) {
+        let mut depth = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn parse_serde_metas(mut cursor: Cursor, attrs: &mut FieldAttrs) {
+    while let Some(token) = cursor.next() {
+        let word = match token {
+            TokenTree::Ident(i) => i.to_string(),
+            TokenTree::Punct(p) if p.as_char() == ',' => continue,
+            other => panic!("serde shim derive: unexpected token in #[serde(..)]: {other:?}"),
+        };
+        match word.as_str() {
+            "skip" => attrs.skip = true,
+            "default" => attrs.default = true,
+            "with" => {
+                match cursor.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '=' => {}
+                    other => panic!("serde shim derive: expected `=` after with, got {other:?}"),
+                }
+                match cursor.next() {
+                    Some(TokenTree::Literal(l)) => {
+                        let raw = l.to_string();
+                        attrs.with = Some(raw.trim_matches('"').to_string());
+                    }
+                    other => panic!("serde shim derive: expected path literal, got {other:?}"),
+                }
+            }
+            other => panic!(
+                "serde shim derive: unsupported #[serde({other})] — the shim knows \
+                 skip/default/with only"
+            ),
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cursor = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while cursor.peek().is_some() {
+        let attrs = cursor.take_attrs();
+        cursor.skip_visibility();
+        let name = cursor.expect_ident("field name");
+        match cursor.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected `:` after field name, got {other:?}"),
+        }
+        cursor.skip_to_comma();
+        cursor.next(); // consume the comma, if any
+        fields.push(Field { name: Some(name), attrs });
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cursor = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while cursor.peek().is_some() {
+        let attrs = cursor.take_attrs();
+        cursor.skip_visibility();
+        cursor.skip_to_comma();
+        cursor.next();
+        fields.push(Field { name: None, attrs });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut cursor = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while cursor.peek().is_some() {
+        let _attrs = cursor.take_attrs();
+        let name = cursor.expect_ident("variant name");
+        let payload = match cursor.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields = parse_tuple_fields(g.stream());
+                cursor.next();
+                Payload::Tuple(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                cursor.next();
+                Payload::Named(fields)
+            }
+            _ => Payload::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`).
+        if cursor.at_punct('=') {
+            cursor.skip_to_comma();
+        }
+        if cursor.at_punct(',') {
+            cursor.next();
+        }
+        variants.push(Variant { name, payload });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cursor = Cursor::new(input);
+    cursor.take_attrs();
+    cursor.skip_visibility();
+    let kind = cursor.expect_ident("struct/enum keyword");
+    let name = cursor.expect_ident("type name");
+    if cursor.at_punct('<') {
+        panic!("serde shim derive: generic types are not supported (deriving on `{name}`)");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let payload = match cursor.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Payload::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Payload::Tuple(parse_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Payload::Unit,
+                other => panic!("serde shim derive: unexpected struct body {other:?}"),
+            };
+            Item::Struct { name, payload }
+        }
+        "enum" => {
+            let body = match cursor.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => panic!("serde shim derive: expected enum body, got {other:?}"),
+            };
+            Item::Enum { name, variants: parse_variants(body.stream()) }
+        }
+        other => panic!("serde shim derive: cannot derive on `{other}` items"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// Serialization expression for one field value reachable as `{access}`.
+fn ser_field_expr(access: &str, attrs: &FieldAttrs) -> String {
+    match &attrs.with {
+        Some(path) => format!(
+            "::serde::__private::ok({path}::serialize({access}, \
+             ::serde::__private::ValueSerializer))"
+        ),
+        None => format!("::serde::__private::to_value({access})"),
+    }
+}
+
+/// Deserialization expression producing a field from a `::serde::Value`
+/// expression `{value}` (errors convert into the outer `__D::Error`).
+fn de_field_expr(value: &str, attrs: &FieldAttrs) -> String {
+    match &attrs.with {
+        Some(path) => format!("{path}::deserialize({value})?"),
+        None => format!("::serde::Deserialize::deserialize({value})?"),
+    }
+}
+
+fn gen_struct_serialize(name: &str, payload: &Payload) -> String {
+    let body = match payload {
+        Payload::Unit => "ser.serialize_value(::serde::Value::Null)".to_string(),
+        Payload::Tuple(fields) if fields.len() == 1 => {
+            // Newtype structs are transparent, as in serde_json.
+            "::serde::Serialize::serialize(&self.0, ser)".to_string()
+        }
+        Payload::Tuple(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| !f.attrs.skip)
+                .map(|(i, f)| ser_field_expr(&format!("&self.{i}"), &f.attrs))
+                .collect();
+            format!(
+                "ser.serialize_value(::serde::Value::Seq(::std::vec![{}]))",
+                items.join(", ")
+            )
+        }
+        Payload::Named(fields) => {
+            let pushes: Vec<String> = fields
+                .iter()
+                .filter(|f| !f.attrs.skip)
+                .map(|f| {
+                    let fname = f.name.as_deref().expect("named field");
+                    let expr = ser_field_expr(&format!("&self.{fname}"), &f.attrs);
+                    format!("__fields.push((\"{fname}\".to_string(), {expr}));")
+                })
+                .collect();
+            format!(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{}\n\
+                 ser.serialize_value(::serde::Value::Map(__fields))",
+                pushes.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, ser: __S) \
+         -> ::core::result::Result<__S::Ok, __S::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_named_field_inits(fields: &[Field], map_var: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let fname = f.name.as_deref().expect("named field");
+            if f.attrs.skip {
+                return format!("{fname}: ::core::default::Default::default(),");
+            }
+            if f.attrs.default {
+                let inner = de_field_expr("__v", &f.attrs);
+                return format!(
+                    "{fname}: match ::serde::__private::take_field_opt(&mut {map_var}, \
+                     \"{fname}\") {{ Some(__v) => {inner}, None => \
+                     ::core::default::Default::default() }},"
+                );
+            }
+            let value = format!(
+                "::serde::__private::take_field::<__D::Error>(&mut {map_var}, \"{fname}\")?"
+            );
+            format!("{fname}: {},", de_field_expr(&value, &f.attrs))
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn gen_struct_deserialize(name: &str, payload: &Payload) -> String {
+    let body = match payload {
+        Payload::Unit => format!(
+            "let _ = ::serde::Deserializer::take_value(de)?;\n\
+             ::core::result::Result::Ok({name})"
+        ),
+        Payload::Tuple(fields) if fields.len() == 1 => format!(
+            "::core::result::Result::Ok({name}(::serde::Deserialize::deserialize(de)?))"
+        ),
+        Payload::Tuple(fields) => {
+            let n = fields.len();
+            let elems: Vec<String> = (0..n)
+                .map(|_| {
+                    "::serde::Deserialize::deserialize(__items.next().expect(\"len checked\"))?"
+                        .to_string()
+                })
+                .collect();
+            format!(
+                "let mut __items = ::serde::__private::take_seq::<__D::Error>(\
+                 ::serde::Deserializer::take_value(de)?, {n})?.into_iter();\n\
+                 ::core::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Payload::Named(fields) => {
+            let inits = gen_named_field_inits(fields, "__fields");
+            format!(
+                "let mut __fields = ::serde::__private::take_map(de)?;\n\
+                 let _ = &mut __fields;\n\
+                 ::core::result::Result::Ok({name} {{\n{inits}\n}})"
+            )
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(de: __D) \
+         -> ::core::result::Result<Self, __D::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.payload {
+                Payload::Unit => format!(
+                    "{name}::{vname} => ser.serialize_value(\
+                     ::serde::Value::Str(\"{vname}\".to_string())),"
+                ),
+                Payload::Tuple(fields) if fields.len() == 1 => format!(
+                    "{name}::{vname}(__f0) => ser.serialize_value(::serde::Value::Map(\
+                     ::std::vec![(\"{vname}\".to_string(), \
+                     ::serde::__private::to_value(__f0))])),"
+                ),
+                Payload::Tuple(fields) => {
+                    let binders: Vec<String> =
+                        (0..fields.len()).map(|i| format!("__f{i}")).collect();
+                    let items: Vec<String> = binders
+                        .iter()
+                        .map(|b| format!("::serde::__private::to_value({b})"))
+                        .collect();
+                    format!(
+                        "{name}::{vname}({}) => ser.serialize_value(::serde::Value::Map(\
+                         ::std::vec![(\"{vname}\".to_string(), \
+                         ::serde::Value::Seq(::std::vec![{}]))])),",
+                        binders.join(", "),
+                        items.join(", ")
+                    )
+                }
+                Payload::Named(fields) => {
+                    let fnames: Vec<&str> =
+                        fields.iter().map(|f| f.name.as_deref().expect("named")).collect();
+                    let pairs: Vec<String> = fnames
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(\"{f}\".to_string(), ::serde::__private::to_value({f}))"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{vname} {{ {} }} => ser.serialize_value(::serde::Value::Map(\
+                         ::std::vec![(\"{vname}\".to_string(), \
+                         ::serde::Value::Map(::std::vec![{}]))])),",
+                        fnames.join(", "),
+                        pairs.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, ser: __S) \
+         -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+         match self {{\n{}\n}}\n}}\n}}\n",
+        arms.join("\n")
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let need_payload = format!(
+        "__payload.ok_or_else(|| <__D::Error as ::serde::de::Error>::custom(\
+         \"missing enum payload\"))?"
+    );
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.payload {
+                Payload::Unit => {
+                    format!("\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),")
+                }
+                Payload::Tuple(fields) if fields.len() == 1 => format!(
+                    "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}(\
+                     ::serde::Deserialize::deserialize({need_payload})?)),"
+                ),
+                Payload::Tuple(fields) => {
+                    let n = fields.len();
+                    let elems: Vec<String> = (0..n)
+                        .map(|_| {
+                            "::serde::Deserialize::deserialize(\
+                             __items.next().expect(\"len checked\"))?"
+                                .to_string()
+                        })
+                        .collect();
+                    format!(
+                        "\"{vname}\" => {{\n\
+                         let mut __items = ::serde::__private::take_seq::<__D::Error>(\
+                         {need_payload}, {n})?.into_iter();\n\
+                         ::core::result::Result::Ok({name}::{vname}({}))\n}},",
+                        elems.join(", ")
+                    )
+                }
+                Payload::Named(fields) => {
+                    let inits = gen_named_field_inits(fields, "__vfields");
+                    format!(
+                        "\"{vname}\" => {{\n\
+                         let mut __vfields = ::serde::__private::take_map({need_payload})?;\n\
+                         let _ = &mut __vfields;\n\
+                         ::core::result::Result::Ok({name}::{vname} {{\n{inits}\n}})\n}},"
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(de: __D) \
+         -> ::core::result::Result<Self, __D::Error> {{\n\
+         let (__variant, __payload) = ::serde::__private::take_variant(de)?;\n\
+         let _ = &__payload;\n\
+         match __variant.as_str() {{\n{}\n\
+         __other => ::core::result::Result::Err(\
+         <__D::Error as ::serde::de::Error>::custom(\
+         format!(\"unknown variant `{{__other}}`\"))),\n}}\n}}\n}}\n",
+        arms.join("\n")
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let generated = match parse_item(input) {
+        Item::Struct { name, payload } => gen_struct_serialize(&name, &payload),
+        Item::Enum { name, variants } => gen_enum_serialize(&name, &variants),
+    };
+    generated.parse().expect("serde shim derive: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let generated = match parse_item(input) {
+        Item::Struct { name, payload } => gen_struct_deserialize(&name, &payload),
+        Item::Enum { name, variants } => gen_enum_deserialize(&name, &variants),
+    };
+    generated.parse().expect("serde shim derive: generated Deserialize impl parses")
+}

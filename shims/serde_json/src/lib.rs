@@ -1,0 +1,413 @@
+//! Offline shim for `serde_json`: renders and parses the serde shim's
+//! [`Value`] tree as JSON text. Covers `to_string`, `to_string_pretty`,
+//! `from_str`, `to_value`, the [`json!`] macro, and the [`Value`] alias.
+
+use serde::{DeError, Deserialize, Serialize};
+use std::fmt;
+
+pub use serde::Value;
+
+/// Error from JSON parsing or value reshaping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Renders any serializable value into its [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    serde::__private::to_value(value)
+}
+
+/// Serializes to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&to_value(value), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serializes to two-space-indented JSON text.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&to_value(value), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into any deserializable type.
+pub fn from_str<'a, T: Deserialize<'a>>(text: &'a str) -> Result<T, Error> {
+    let value = Parser { bytes: text.as_bytes(), pos: 0 }.parse_document()?;
+    T::deserialize(value).map_err(Into::into)
+}
+
+/// Builds a [`Value`] from an object/array literal whose values are
+/// arbitrary serializable expressions (the subset of serde_json's `json!`
+/// this workspace uses).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($element:expr),* $(,)? ]) => {
+        $crate::Value::Seq(vec![ $( $crate::to_value(&$element) ),* ])
+    };
+    ({ $($key:tt : $value:expr),* $(,)? }) => {
+        $crate::Value::Map(vec![ $( ($key.to_string(), $crate::to_value(&$value)) ),* ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+fn write_value(value: &Value, out: &mut String, indent: Option<usize>, level: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) if x.is_finite() => out.push_str(&format!("{x:?}")),
+        Value::F64(_) => out.push_str("null"),
+        Value::Str(s) => write_escaped(s, out),
+        Value::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_break(out, indent, level + 1);
+                write_value(item, out, indent, level + 1);
+            }
+            write_break(out, indent, level);
+            out.push(']');
+        }
+        Value::Map(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_break(out, indent, level + 1);
+                write_escaped(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(item, out, indent, level + 1);
+            }
+            write_break(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn write_break(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat(' ').take(width * level));
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn parse_document(mut self) -> Result<Value, Error> {
+        let value = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing characters"));
+        }
+        Ok(value)
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_word(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'n') if self.eat_word("null") => Ok(Value::Null),
+            Some(b't') if self.eat_word("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_word("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            if self.eat(b']') {
+                return Ok(Value::Seq(items));
+            }
+            self.expect(b',')?;
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(Value::Map(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            if self.eat(b'}') {
+                return Ok(Value::Map(fields));
+            }
+            self.expect(b',')?;
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            // Copy the longest run without escapes or terminators.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            s.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid utf-8"))?,
+            );
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.bytes.get(self.pos).copied();
+                    self.pos += 1;
+                    match esc {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs: uncommon in this workspace's
+                            // data; combine when a low surrogate follows.
+                            let code = if (0xD800..0xDC00).contains(&hex)
+                                && self.bytes.get(self.pos) == Some(&b'\\')
+                                && self.bytes.get(self.pos + 1) == Some(&b'u')
+                            {
+                                let low = self
+                                    .bytes
+                                    .get(self.pos + 2..self.pos + 6)
+                                    .and_then(|h| std::str::from_utf8(h).ok())
+                                    .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                    .ok_or_else(|| self.err("bad \\u escape"))?;
+                                self.pos += 6;
+                                0x10000 + ((hex - 0xD800) << 10) + (low - 0xDC00)
+                            } else {
+                                hex
+                            };
+                            s.push(
+                                char::from_u32(code).ok_or_else(|| self.err("bad codepoint"))?,
+                            );
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.eat(b'-') {}
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.eat(b'.') {
+            is_float = true;
+            while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.bytes.get(self.pos), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.bytes.get(self.pos), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid utf-8"))?;
+        if is_float {
+            text.parse::<f64>().map(Value::F64).map_err(|_| self.err("bad number"))
+        } else if text.starts_with('-') {
+            text.parse::<i64>().map(Value::I64).map_err(|_| self.err("bad number"))
+        } else {
+            match text.parse::<u64>() {
+                Ok(n) => Ok(Value::U64(n)),
+                Err(_) => text.parse::<f64>().map(Value::F64).map_err(|_| self.err("bad number")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn compact_round_trip() {
+        let orig: BTreeMap<String, Vec<i64>> =
+            [("a\nb".to_string(), vec![-1, 2, 3])].into_iter().collect();
+        let text = to_string(&orig).unwrap();
+        assert_eq!(text, "{\"a\\nb\":[-1,2,3]}");
+        let back: BTreeMap<String, Vec<i64>> = from_str(&text).unwrap();
+        assert_eq!(back, orig);
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v = json!({"k": [1], "s": "x"});
+        let text = to_string_pretty(&v).unwrap();
+        assert_eq!(text, "{\n  \"k\": [\n    1\n  ],\n  \"s\": \"x\"\n}");
+    }
+
+    #[test]
+    fn parses_numbers_strings_and_nesting() {
+        let v: Value = from_str(r#"{"a": 1.5, "b": [true, null, "A"], "c": -7}"#).unwrap();
+        assert_eq!(
+            v,
+            Value::Map(vec![
+                ("a".into(), Value::F64(1.5)),
+                (
+                    "b".into(),
+                    Value::Seq(vec![Value::Bool(true), Value::Null, Value::Str("A".into())])
+                ),
+                ("c".into(), Value::I64(-7)),
+            ])
+        );
+    }
+
+    #[test]
+    fn json_macro_accepts_exprs() {
+        let rows = vec![vec!["x".to_string()]];
+        let v = json!({"title": format!("t{}", 1), "rows": rows});
+        assert_eq!(to_string(&v).unwrap(), "{\"title\":\"t1\",\"rows\":[[\"x\"]]}");
+    }
+
+    #[test]
+    fn floats_round_trip() {
+        let text = to_string(&vec![0.3f64, 2.0]).unwrap();
+        assert_eq!(text, "[0.3,2.0]");
+        let back: Vec<f64> = from_str(&text).unwrap();
+        assert_eq!(back, vec![0.3, 2.0]);
+    }
+}

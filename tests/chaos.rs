@@ -1,0 +1,277 @@
+//! Chaos suite: seeded fault schedules against the full sync stack.
+//!
+//! Each run wires a [`FilterReplica`] to a [`SyncMaster`] through a
+//! [`FaultyLink`] (dropped requests/responses, duplicates, crashes,
+//! persist disconnects, latency) and a retrying [`SyncDriver`] on
+//! simulated time, applies a seed-derived update workload, then lets the
+//! faults quiesce and checks the replica **converged**: its content
+//! equals the master's evaluation of the stored filter, and no deletion
+//! was lost. The same seed always produces the same schedule, so any
+//! failure here is replayable with `chaos_run(seed)`.
+
+use fbdr_faults::{FaultKind, FaultPlan, FaultyLink, SimClock};
+use fbdr_ldap::{Entry, Filter, SearchRequest};
+use fbdr_replica::FilterReplica;
+use fbdr_resync::{RetryConfig, SyncDriver, SyncMaster};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+const ENTRIES: usize = 24;
+const UPDATES: usize = 40;
+
+fn dn(i: usize) -> fbdr_ldap::Dn {
+    format!("cn=e{i},o=xyz").parse().unwrap()
+}
+
+fn entry(i: usize, serial: &str) -> Entry {
+    Entry::new(dn(i)).with("objectclass", "person").with("serialNumber", serial)
+}
+
+/// Serial inside the replicated filter region (`04*`) or outside it.
+fn serial(in_filter: bool, i: usize) -> String {
+    if in_filter {
+        format!("04{i:04}")
+    } else {
+        format!("99{i:04}")
+    }
+}
+
+fn filter_request() -> SearchRequest {
+    SearchRequest::from_root(Filter::parse("(serialNumber=04*)").unwrap())
+}
+
+fn build_master() -> SyncMaster {
+    let mut m = SyncMaster::new();
+    m.dit_mut().add_suffix("o=xyz".parse().unwrap());
+    m.dit_mut()
+        .add(Entry::new("o=xyz".parse().unwrap()).with("objectclass", "organization"))
+        .unwrap();
+    for i in 0..ENTRIES {
+        m.dit_mut().add(entry(i, &serial(i % 2 == 0, i))).unwrap();
+    }
+    m
+}
+
+/// What one chaos run did, for aggregate assertions over the suite.
+#[derive(Debug, Default)]
+struct RunReport {
+    faults_injected: u64,
+    redeliveries: u64,
+    recovered: u64,
+    reinstalls: u64,
+    exhausted: u64,
+    poll_fallbacks: u64,
+}
+
+/// Drives one full fault schedule; panics if the replica fails to
+/// converge after the faults cease.
+fn chaos_run(seed: u64) -> RunReport {
+    let mut plan = FaultPlan::builder(seed)
+        .drop_request(0.12)
+        .drop_response(0.12)
+        .duplicate(0.08)
+        .crash_restart(0.04)
+        .disconnect_persist(0.05)
+        .latency_ms(1, 10);
+    if seed % 5 == 0 {
+        // A scripted outage long enough to exhaust one exchange's whole
+        // retry budget (1 try + 2 retries), forcing a stale cycle.
+        for op in 6..9 {
+            plan = plan.at(op, FaultKind::DropRequest);
+        }
+    }
+    let clock = SimClock::new();
+    let mut master = build_master();
+    if seed % 3 == 0 {
+        // Aggressive replay expiry: a batch missed across a cycle
+        // boundary is gone and the filter must reinstall.
+        master.set_replay_expiry_ops(0);
+    }
+
+    let mut replica = FilterReplica::new(0);
+    let persist = seed % 4 == 0;
+    if persist {
+        replica.install_filter_persistent(&mut master, filter_request()).unwrap();
+    } else {
+        replica.install_filter(&mut master, filter_request()).unwrap();
+    }
+
+    let mut link = FaultyLink::new(master, plan.build(), clock.clone());
+    let mut driver = SyncDriver::with_clock(
+        RetryConfig {
+            max_retries: 2,
+            base_backoff_ms: 10,
+            max_backoff_ms: 40,
+            timeout_budget_ms: 10_000,
+            jitter_seed: seed,
+        },
+        clock,
+    );
+
+    // Seed-derived workload: toggle entries across the filter boundary,
+    // delete and re-add them, syncing every `cadence` updates.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD_EF01);
+    let mut present: Vec<bool> = vec![true; ENTRIES];
+    let mut in_filter: Vec<bool> = (0..ENTRIES).map(|i| i % 2 == 0).collect();
+    let mut deleted: BTreeSet<usize> = BTreeSet::new();
+    let cadence = 1 + (seed as usize % 3);
+    for step in 0..UPDATES {
+        let i = rng.gen_range(0..ENTRIES);
+        let roll: f64 = rng.gen();
+        let op = if !present[i] {
+            in_filter[i] = roll < 0.5;
+            fbdr_dit::UpdateOp::Add(entry(i, &serial(in_filter[i], i)))
+        } else if roll < 0.25 {
+            fbdr_dit::UpdateOp::Delete(dn(i))
+        } else {
+            in_filter[i] = !in_filter[i];
+            fbdr_dit::UpdateOp::Modify {
+                dn: dn(i),
+                mods: vec![fbdr_dit::Modification::Replace(
+                    "serialNumber".into(),
+                    vec![serial(in_filter[i], i).into()],
+                )],
+            }
+        };
+        match &op {
+            fbdr_dit::UpdateOp::Delete(_) => {
+                present[i] = false;
+                deleted.insert(i);
+            }
+            fbdr_dit::UpdateOp::Add(_) => {
+                present[i] = true;
+                deleted.remove(&i);
+            }
+            _ => {}
+        }
+        link.master_mut().apply(op).unwrap();
+        if step % cadence == 0 {
+            replica.drain_notifications();
+            replica
+                .sync_with(&mut link, &mut driver)
+                .expect("only non-transient errors may surface");
+        }
+    }
+
+    // Faults cease; a few clean cycles must fully converge the replica.
+    link.quiesce();
+    for _ in 0..3 {
+        replica.drain_notifications();
+        replica.sync_with(&mut link, &mut driver).expect("clean cycle");
+    }
+    assert_eq!(replica.stale_filter_count(), 0, "seed {seed}: still stale after quiesce");
+
+    // Convergence: the replica's answer equals the master's evaluation.
+    let request = filter_request();
+    let mut want = link.master().dit().search(&request);
+    want.sort_by(|a, b| a.dn().cmp(b.dn()));
+    let mut got = replica.try_answer(&request).expect("stored filter answers its own query");
+    got.sort_by(|a, b| a.dn().cmp(b.dn()));
+    assert_eq!(got, want, "seed {seed}: replica diverged from master");
+
+    // Zero lost deletions: nothing deleted at the master survives in the
+    // replica's content.
+    for &i in &deleted {
+        assert!(
+            !got.iter().any(|e| e.dn() == &dn(i)),
+            "seed {seed}: deleted entry e{i} still served by the replica"
+        );
+    }
+
+    let d = driver.stats();
+    RunReport {
+        faults_injected: link.faults_injected(),
+        redeliveries: link.master().redeliveries(),
+        recovered: d.recovered,
+        reinstalls: d.reinstalls,
+        exhausted: d.exhausted,
+        poll_fallbacks: replica.stats().poll_fallbacks,
+    }
+}
+
+#[test]
+fn hundred_seeded_fault_schedules_converge() {
+    let mut total = RunReport::default();
+    for seed in 0..100 {
+        let r = chaos_run(seed);
+        total.faults_injected += r.faults_injected;
+        total.redeliveries += r.redeliveries;
+        total.recovered += r.recovered;
+        total.reinstalls += r.reinstalls;
+        total.exhausted += r.exhausted;
+        total.poll_fallbacks += r.poll_fallbacks;
+    }
+    // The suite must actually exercise the machinery it verifies —
+    // every recovery path fires somewhere across the hundred schedules.
+    assert!(total.faults_injected > 100, "faults were injected: {total:?}");
+    assert!(total.redeliveries > 0, "replay buffer was used: {total:?}");
+    assert!(total.recovered > 0, "driver retries recovered exchanges: {total:?}");
+    assert!(total.exhausted > 0, "some exchanges exhausted their budget: {total:?}");
+    assert!(total.reinstalls > 0, "expired sessions were reinstalled: {total:?}");
+    assert!(total.poll_fallbacks > 0, "persist filters fell back to polling: {total:?}");
+}
+
+/// The divergence the replay buffer exists to prevent: with replay
+/// disabled (the pre-fix fire-and-forget semantics) the same fault
+/// schedules lose unacknowledged batches for good, and some replica ends
+/// up serving entries the master has deleted or moved out of the filter.
+#[test]
+fn legacy_fire_and_forget_diverges_where_fixed_mode_converges() {
+    let mut divergent = 0;
+    for seed in 0..20 {
+        let plan = FaultPlan::builder(seed).drop_response(0.35).build();
+        let clock = SimClock::new();
+        let mut master = build_master();
+        master.disable_replay();
+        let mut replica = FilterReplica::new(0);
+        replica.install_filter(&mut master, filter_request()).unwrap();
+        let mut link = FaultyLink::new(master, plan, clock.clone());
+        let mut driver = SyncDriver::with_clock(
+            RetryConfig { max_retries: 2, base_backoff_ms: 10, jitter_seed: seed, ..RetryConfig::default() },
+            clock,
+        );
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD_EF01);
+        for step in 0..UPDATES {
+            let i = rng.gen_range(0..ENTRIES);
+            let roll: f64 = rng.gen();
+            // Deletions and boundary moves only — the updates a lost
+            // batch can never make up for without replay.
+            let op = if roll < 0.5 {
+                fbdr_dit::UpdateOp::Delete(dn(i))
+            } else {
+                fbdr_dit::UpdateOp::Modify {
+                    dn: dn(i),
+                    mods: vec![fbdr_dit::Modification::Replace(
+                        "serialNumber".into(),
+                        vec![serial(false, i).into()],
+                    )],
+                }
+            };
+            // Entries may already be gone; ignore no-op failures.
+            let _ = link.master_mut().apply(op);
+            if step % 2 == 0 {
+                let _ = replica.sync_with(&mut link, &mut driver);
+            }
+        }
+        link.quiesce();
+        for _ in 0..3 {
+            replica.sync_with(&mut link, &mut driver).expect("clean cycle");
+        }
+
+        let request = filter_request();
+        let mut want = link.master().dit().search(&request);
+        want.sort_by(|a, b| a.dn().cmp(b.dn()));
+        let mut got = replica.try_answer(&request).unwrap_or_default();
+        got.sort_by(|a, b| a.dn().cmp(b.dn()));
+        if got != want {
+            divergent += 1;
+        }
+    }
+    assert!(
+        divergent > 0,
+        "fire-and-forget must lose batches under a 35% response-loss schedule"
+    );
+}
+
