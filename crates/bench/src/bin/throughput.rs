@@ -1,0 +1,104 @@
+//! `throughput` — multi-threaded read-throughput benchmark.
+//!
+//! ```text
+//! throughput [--scale small|paper|large] [--queries N] [--threads a,b,…]
+//!            [--service-us N] [--no-writer] [--out PATH]
+//! ```
+//!
+//! Runs N reader threads over the evaluation-day trace against one shared
+//! `FilterReplica` (no external lock) while a writer applies updates and
+//! sync cycles, then writes `BENCH_throughput.json` and prints a summary.
+//! Exits non-zero if the max-thread concurrent throughput is below 2.5×
+//! the single-thread throughput (the read path has re-serialized).
+
+use fbdr_bench::throughput::{run, ThroughputConfig};
+use fbdr_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ThroughputConfig::new(Scale::Small);
+    let mut out = String::from("BENCH_throughput.json");
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = it.next().unwrap_or_default();
+                let scale = Scale::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown scale {v:?}; use small|paper|large");
+                    std::process::exit(2);
+                });
+                let defaults = ThroughputConfig::new(scale);
+                cfg.scale = scale;
+                cfg.total_queries = defaults.total_queries;
+            }
+            "--queries" => {
+                cfg.total_queries = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--queries takes a number"));
+            }
+            "--threads" => {
+                let v = it.next().unwrap_or_default();
+                cfg.thread_counts = v
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage("--threads takes a,b,…")))
+                    .collect();
+            }
+            "--service-us" => {
+                cfg.service_us = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--service-us takes a number"));
+            }
+            "--no-writer" => cfg.writer = false,
+            "--out" => out = it.next().unwrap_or_else(|| usage("--out takes a path")),
+            "--help" | "-h" => {
+                println!(
+                    "usage: throughput [--scale small|paper|large] [--queries N]\n\
+                     \x20                 [--threads a,b,…] [--service-us N] [--no-writer]\n\
+                     \x20                 [--out PATH]"
+                );
+                return;
+            }
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let report = run(&cfg);
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+
+    println!(
+        "# throughput — scale {}, {} queries/run, {} µs service latency, {} filters / {} entries",
+        report.scale, report.total_queries, report.service_us, report.filters,
+        report.replica_entries
+    );
+    for r in report.runs.iter().chain(&report.cpu_bound_runs) {
+        let kind = if r.service_us == 0 { "cpu-bound " } else { "" };
+        println!(
+            "  {kind}{:<11} {} thread(s): {:>9.0} q/s  ({} hits/{} queries, {} writer cycles)",
+            r.mode, r.threads, r.qps, r.hits, r.queries, r.writer_cycles
+        );
+    }
+    println!(
+        "  speedup (concurrent): {:.2}x   speedup (serialized baseline): {:.2}x",
+        report.speedup, report.serialized_speedup
+    );
+    println!("  wrote {out}");
+
+    if !(report.speedup >= 2.5) {
+        eprintln!(
+            "FAIL: concurrent speedup {:.2}x is below the 2.5x floor — the read path serialized",
+            report.speedup
+        );
+        std::process::exit(1);
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("{msg}; see --help");
+    std::process::exit(2);
+}

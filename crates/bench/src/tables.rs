@@ -383,8 +383,8 @@ pub fn composition(params: &Params) -> Vec<CompositionRow> {
 
     let mut rows = Vec::new();
     for &k in &params.filter_counts {
-        let mut single_replica = FilterReplica::new(0);
-        let mut composed_replica = FilterReplica::new(0);
+        let single_replica = FilterReplica::new(0);
+        let composed_replica = FilterReplica::new(0);
         let mut m1 = SyncMaster::with_dit(dir.dit().clone());
         let mut m2 = SyncMaster::with_dit(dir.dit().clone());
         for f in ranked.iter().take(k) {

@@ -1,0 +1,363 @@
+//! Multi-threaded read-throughput benchmark for the read/write-split
+//! replica: N reader threads issue trace queries against one shared
+//! [`FilterReplica`] (no external lock) while a writer thread applies
+//! updates at the master and runs sync cycles. Emits
+//! `BENCH_throughput.json`.
+//!
+//! # What the numbers mean
+//!
+//! The benchmark is **closed-loop with a per-query service latency**:
+//! each reader sleeps `service_us` per query (network + client-side work a
+//! real deployment pays) in addition to the in-process answering cost,
+//! then issues the next query. Under the old architecture every reader
+//! serialized behind one replica-wide mutex *including that latency*, so
+//! aggregate throughput stayed flat as threads were added — the
+//! `serialized` baseline below reproduces exactly that by wrapping
+//! sleep + answer in one lock. The snapshot-based replica overlaps
+//! readers' service time, so aggregate throughput scales with the thread
+//! count until cores or the answering CPU cost saturate.
+//!
+//! With `service_us = 0` the benchmark degenerates to pure CPU, where
+//! scaling is bounded by the machine's core count (a single-core runner
+//! shows ~1× regardless of architecture); the report records the pure-CPU
+//! numbers too, flagged as such.
+
+use crate::setup::{Params, Scale};
+use fbdr_core::experiment::select_static_filters;
+use fbdr_ldap::SearchRequest;
+use fbdr_replica::FilterReplica;
+use fbdr_resync::{SyncDriver, SyncMaster};
+use fbdr_selection::generalize::{Generalizer, ValuePrefix};
+use fbdr_workload::EnterpriseDirectory;
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Benchmark configuration.
+#[derive(Debug, Clone)]
+pub struct ThroughputConfig {
+    /// Experiment scale (directory + trace size).
+    pub scale: Scale,
+    /// Total queries per run (split across the reader threads, so every
+    /// run answers the same workload).
+    pub total_queries: usize,
+    /// Reader thread counts to measure (must include 1 for the speedup).
+    pub thread_counts: Vec<usize>,
+    /// Simulated per-query service latency in microseconds (0 = pure CPU).
+    pub service_us: u64,
+    /// Filter-selection entry budget as a fraction of person entries.
+    pub budget_frac: f64,
+    /// Run a concurrent writer (updates + sync cycles) during each run.
+    pub writer: bool,
+}
+
+impl ThroughputConfig {
+    /// The default measurement: 1 vs 4 readers, 200 µs service latency,
+    /// concurrent writer on.
+    pub fn new(scale: Scale) -> Self {
+        let total_queries = match scale {
+            Scale::Small => 4_000,
+            Scale::Paper => 20_000,
+            Scale::Large => 50_000,
+        };
+        ThroughputConfig {
+            scale,
+            total_queries,
+            thread_counts: vec![1, 4],
+            service_us: 200,
+            budget_frac: 0.2,
+            writer: true,
+        }
+    }
+}
+
+/// One measured run.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunResult {
+    /// Architecture measured: `concurrent` (snapshot reads, no external
+    /// lock) or `serialized` (one mutex around sleep + answer — the old
+    /// design).
+    pub mode: String,
+    /// Reader thread count.
+    pub threads: usize,
+    /// Simulated per-query service latency (µs); 0 = pure CPU.
+    pub service_us: u64,
+    /// Queries answered (hits + misses).
+    pub queries: u64,
+    /// Queries answered locally.
+    pub hits: u64,
+    /// Wall-clock duration of the run in milliseconds.
+    pub elapsed_ms: f64,
+    /// Aggregate throughput in queries/second.
+    pub qps: f64,
+    /// Sync cycles the concurrent writer completed during the run.
+    pub writer_cycles: u64,
+    /// Update operations the writer applied at the master.
+    pub writer_updates: u64,
+}
+
+/// The emitted `BENCH_throughput.json` document.
+#[derive(Debug, Clone, Serialize)]
+pub struct ThroughputReport {
+    /// Scale name the benchmark ran at.
+    pub scale: String,
+    /// Queries per run.
+    pub total_queries: usize,
+    /// Per-query service latency of the headline runs (µs).
+    pub service_us: u64,
+    /// Stored generalized filters installed.
+    pub filters: usize,
+    /// Replica entries after install.
+    pub replica_entries: usize,
+    /// Headline runs (latency-bound, concurrent + serialized baseline).
+    pub runs: Vec<RunResult>,
+    /// Pure-CPU runs (`service_us = 0`) for reference; scaling here is
+    /// bounded by available cores, not by the replica architecture.
+    pub cpu_bound_runs: Vec<RunResult>,
+    /// Single-thread throughput of the headline concurrent runs (qps).
+    pub single_thread_qps: f64,
+    /// Max-thread throughput of the headline concurrent runs (qps).
+    pub multi_thread_qps: f64,
+    /// `multi_thread_qps / single_thread_qps`.
+    pub speedup: f64,
+    /// Same ratio for the serialized baseline (≈1.0: the old architecture
+    /// cannot overlap service latency across readers).
+    pub serialized_speedup: f64,
+}
+
+fn serial_generalizers() -> Vec<Box<dyn Generalizer + Send>> {
+    vec![Box::new(ValuePrefix::new("serialNumber", vec![5, 4, 3]))]
+}
+
+/// Shared fixture: the directory, the evaluation trace and the frozen
+/// filter selection (built once; each run re-installs into a fresh
+/// replica so every run starts from identical content).
+struct Fixture {
+    dir: EnterpriseDirectory,
+    trace: Vec<SearchRequest>,
+    filters: Vec<SearchRequest>,
+    updates: Vec<fbdr_dit::UpdateOp>,
+}
+
+impl Fixture {
+    fn build(cfg: &ThroughputConfig) -> Fixture {
+        let params = Params::new(cfg.scale);
+        let dir = params.directory();
+        let (day1, day2) = params.two_days(&dir);
+        let budget = (cfg.budget_frac * dir.employee_count() as f64) as usize;
+        let filters = select_static_filters(dir.dit(), &day1, serial_generalizers(), budget);
+        let trace: Vec<SearchRequest> = day2
+            .iter()
+            .map(|q| q.request.clone())
+            .cycle()
+            .take(cfg.total_queries)
+            .collect();
+        let updates = params.updates(&dir);
+        Fixture { dir, trace, filters, updates }
+    }
+
+    fn fresh_replica(&self) -> (SyncMaster, FilterReplica) {
+        let mut master = SyncMaster::with_dit(self.dir.dit().clone());
+        let replica = FilterReplica::new(32);
+        for f in &self.filters {
+            replica
+                .install_filter(&mut master, f.clone())
+                .expect("fresh master accepts filters");
+        }
+        (master, replica)
+    }
+}
+
+/// Runs the readers (and optionally the writer) against one replica.
+///
+/// `serialized` reproduces the pre-redesign architecture: one mutex is
+/// held across the service sleep *and* the answer, exactly like the old
+/// `Mutex<FilterReplica>` node; the writer contends on the same lock.
+fn run_once(fixture: &Fixture, cfg: &ThroughputConfig, threads: usize, serialized: bool) -> RunResult {
+    let (master, replica) = fixture.fresh_replica();
+    let big_lock = Mutex::new(());
+    let stop = AtomicBool::new(false);
+    let hits = AtomicU64::new(0);
+    let writer_cycles = AtomicU64::new(0);
+    let writer_updates = AtomicU64::new(0);
+    let service = Duration::from_micros(cfg.service_us);
+
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        let mut readers = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let replica = &replica;
+            let big_lock = &big_lock;
+            let hits = &hits;
+            let trace = &fixture.trace;
+            readers.push(s.spawn(move || {
+                let mut local_hits = 0u64;
+                // Striped partition: thread t answers queries t, t+N, …
+                // so every run covers the same total workload.
+                for q in trace.iter().skip(t).step_by(threads) {
+                    let answered = if serialized {
+                        let _g = big_lock.lock();
+                        if !service.is_zero() {
+                            std::thread::sleep(service);
+                        }
+                        replica.try_answer(q).is_some()
+                    } else {
+                        if !service.is_zero() {
+                            std::thread::sleep(service);
+                        }
+                        replica.try_answer(q).is_some()
+                    };
+                    if answered {
+                        local_hits += 1;
+                    }
+                }
+                hits.fetch_add(local_hits, Ordering::Relaxed);
+            }));
+        }
+        if cfg.writer {
+            let replica = &replica;
+            let big_lock = &big_lock;
+            let stop = &stop;
+            let writer_cycles = &writer_cycles;
+            let writer_updates = &writer_updates;
+            let updates = &fixture.updates;
+            let mut master = master;
+            s.spawn(move || {
+                let mut driver = SyncDriver::default();
+                let mut next = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    // One small update batch, then a sync cycle — the
+                    // write path the readers must not serialize behind.
+                    for _ in 0..8 {
+                        if let Some(op) = updates.get(next) {
+                            let _ = master.apply(op.clone());
+                            writer_updates.fetch_add(1, Ordering::Relaxed);
+                            next += 1;
+                        } else {
+                            next = 0;
+                        }
+                    }
+                    let guard = serialized.then(|| big_lock.lock());
+                    let _ = replica.sync_with(&mut master, &mut driver);
+                    drop(guard);
+                    writer_cycles.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            });
+        }
+        for r in readers {
+            r.join().expect("reader thread panicked");
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    let elapsed = start.elapsed();
+
+    let queries = replica.stats().queries;
+    let elapsed_ms = elapsed.as_secs_f64() * 1e3;
+    RunResult {
+        mode: if serialized { "serialized" } else { "concurrent" }.into(),
+        threads,
+        service_us: cfg.service_us,
+        queries,
+        hits: hits.load(Ordering::Relaxed),
+        elapsed_ms,
+        qps: queries as f64 / elapsed.as_secs_f64(),
+        writer_cycles: writer_cycles.load(Ordering::Relaxed),
+        writer_updates: writer_updates.load(Ordering::Relaxed),
+    }
+}
+
+/// Runs the full benchmark: headline latency-bound runs (concurrent and
+/// serialized baseline at every thread count) plus pure-CPU reference
+/// runs, and computes the speedups.
+pub fn run(cfg: &ThroughputConfig) -> ThroughputReport {
+    let fixture = Fixture::build(cfg);
+    let (_, probe) = fixture.fresh_replica();
+    let filters = probe.filter_count();
+    let replica_entries = probe.entry_count();
+
+    let mut runs = Vec::new();
+    for &threads in &cfg.thread_counts {
+        runs.push(run_once(&fixture, cfg, threads, false));
+    }
+    for &threads in &cfg.thread_counts {
+        runs.push(run_once(&fixture, cfg, threads, true));
+    }
+
+    // Pure-CPU reference (no simulated latency, writer off so the runs
+    // measure raw answering cost only).
+    let cpu_cfg = ThroughputConfig { service_us: 0, writer: false, ..cfg.clone() };
+    let cpu_bound_runs: Vec<RunResult> = cfg
+        .thread_counts
+        .iter()
+        .map(|&threads| run_once(&fixture, &cpu_cfg, threads, false))
+        .collect();
+
+    let single = runs
+        .iter()
+        .find(|r| r.mode == "concurrent" && r.threads == 1)
+        .map(|r| r.qps)
+        .unwrap_or(f64::NAN);
+    let multi = runs
+        .iter()
+        .filter(|r| r.mode == "concurrent")
+        .map(|r| r.qps)
+        .fold(f64::NAN, f64::max);
+    let ser_single = runs
+        .iter()
+        .find(|r| r.mode == "serialized" && r.threads == 1)
+        .map(|r| r.qps)
+        .unwrap_or(f64::NAN);
+    let ser_multi = runs
+        .iter()
+        .filter(|r| r.mode == "serialized")
+        .map(|r| r.qps)
+        .fold(f64::NAN, f64::max);
+
+    ThroughputReport {
+        scale: format!("{:?}", cfg.scale).to_lowercase(),
+        total_queries: cfg.total_queries,
+        service_us: cfg.service_us,
+        filters,
+        replica_entries,
+        runs,
+        cpu_bound_runs,
+        single_thread_qps: single,
+        multi_thread_qps: multi,
+        speedup: multi / single,
+        serialized_speedup: ser_multi / ser_single,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Shape-only check at a tiny scale: the report carries every run,
+    /// queries are conserved, and the JSON serializes. (The ≥2.5×
+    /// speedup itself is asserted by the `throughput` binary / CI smoke
+    /// job, not here, to keep unit tests timing-independent.)
+    #[test]
+    fn report_shape_and_conservation() {
+        let cfg = ThroughputConfig {
+            total_queries: 200,
+            thread_counts: vec![1, 2],
+            service_us: 50,
+            ..ThroughputConfig::new(Scale::Small)
+        };
+        let report = run(&cfg);
+        assert_eq!(report.runs.len(), 4); // 2 concurrent + 2 serialized
+        assert_eq!(report.cpu_bound_runs.len(), 2);
+        for r in report.runs.iter().chain(&report.cpu_bound_runs) {
+            assert_eq!(r.queries, 200, "every run answers the whole trace");
+            assert!(r.hits <= r.queries);
+            assert!(r.qps > 0.0);
+        }
+        // The writer made progress during the headline runs.
+        assert!(report.runs.iter().any(|r| r.writer_cycles > 0));
+        assert!(report.speedup.is_finite());
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        assert!(json.contains("\"single_thread_qps\""));
+    }
+}

@@ -13,6 +13,7 @@
 use crate::same_template::{range_implies_ge, range_implies_le};
 use fbdr_ldap::{AttrValue, Comparison, Filter, Predicate, Template, TemplateId};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// An atomic comparison between an `F1` value slot and an `F2` value slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -195,7 +196,7 @@ pub(crate) fn compile(t1: &Template, t2: &Template) -> Option<CompiledCondition>
 /// ```
 #[derive(Debug, Default)]
 pub struct CrossTemplateMatrix {
-    compiled: HashMap<(TemplateId, TemplateId), Option<CompiledCondition>>,
+    compiled: HashMap<(TemplateId, TemplateId), Option<Arc<CompiledCondition>>>,
 }
 
 impl CrossTemplateMatrix {
@@ -209,8 +210,33 @@ impl CrossTemplateMatrix {
     pub fn condition(&mut self, t1: &Template, t2: &Template) -> Option<&CompiledCondition> {
         self.compiled
             .entry((t1.id().clone(), t2.id().clone()))
-            .or_insert_with(|| compile(t1, t2))
-            .as_ref()
+            .or_insert_with(|| compile(t1, t2).map(Arc::new))
+            .as_deref()
+    }
+
+    /// Looks up the cached compile result for `t1 ⊆ t2` without compiling.
+    ///
+    /// Outer `None` means the pair has never been compiled; `Some(None)`
+    /// means it was compiled and found outside the compilable class. The
+    /// condition is shared (`Arc`), so callers can evaluate it after
+    /// releasing any lock guarding the matrix.
+    pub fn lookup(&self, t1: &Template, t2: &Template) -> Option<Option<Arc<CompiledCondition>>> {
+        self.compiled.get(&(t1.id().clone(), t2.id().clone())).cloned()
+    }
+
+    /// Records a compile result for `t1 ⊆ t2` (see
+    /// [`CrossTemplateMatrix::compile_pair`]). Compilation is a pure
+    /// function of the templates, so concurrent duplicate inserts are
+    /// benign: last writer wins with an identical value.
+    pub fn insert(&mut self, t1: &Template, t2: &Template, cond: Option<Arc<CompiledCondition>>) {
+        self.compiled.insert((t1.id().clone(), t2.id().clone()), cond);
+    }
+
+    /// Compiles the Proposition 2 condition for a template pair without
+    /// touching any cache — the building block for callers that keep the
+    /// matrix behind a lock and want to compile outside it.
+    pub fn compile_pair(t1: &Template, t2: &Template) -> Option<Arc<CompiledCondition>> {
+        compile(t1, t2).map(Arc::new)
     }
 
     /// Number of cached template pairs.

@@ -1,12 +1,15 @@
 //! The containment engine: template-aware dispatch between the three
 //! containment algorithms, with the statistics behind §7.4.
 
-use crate::cross_template::CrossTemplateMatrix;
+use crate::cross_template::{CompiledCondition, CrossTemplateMatrix};
 use crate::qc::region_contained;
 use crate::same_template::same_template_contained;
 use crate::{filter_contained, Containment};
 use fbdr_ldap::{AttrValue, Filter, SearchRequest, Template};
+use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Counters for the work performed by a [`ContainmentEngine`] — the query
 /// processing overhead the paper studies in §7.4.
@@ -26,6 +29,35 @@ impl EngineStats {
     /// Total containment checks dispatched.
     pub fn total(&self) -> u64 {
         self.same_template + self.compiled + self.skipped_never + self.general
+    }
+}
+
+/// Interior-mutable work counters, so counting does not force `&mut self`
+/// onto the read path. All updates use relaxed ordering: the counters are
+/// monotonic tallies with no ordering relationship to any other data.
+#[derive(Debug, Default)]
+struct EngineCounters {
+    same_template: AtomicU64,
+    compiled: AtomicU64,
+    skipped_never: AtomicU64,
+    general: AtomicU64,
+}
+
+impl EngineCounters {
+    fn snapshot(&self) -> EngineStats {
+        EngineStats {
+            same_template: self.same_template.load(Ordering::Relaxed),
+            compiled: self.compiled.load(Ordering::Relaxed),
+            skipped_never: self.skipped_never.load(Ordering::Relaxed),
+            general: self.general.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.same_template.store(0, Ordering::Relaxed);
+        self.compiled.store(0, Ordering::Relaxed);
+        self.skipped_never.store(0, Ordering::Relaxed);
+        self.general.store(0, Ordering::Relaxed);
     }
 }
 
@@ -70,12 +102,19 @@ impl PreparedQuery {
 ///    immediate *never*),
 /// 3. otherwise → the general Proposition 1 procedure.
 ///
+/// Every check takes `&self`, so one engine can serve concurrent readers:
+/// the compiled-condition cache sits behind a [`RwLock`] that is held only
+/// to look up or record an `Arc`'d condition — compilation itself and CNF
+/// evaluation run outside the lock. Compilation is deterministic, so a
+/// race between two threads compiling the same pair wastes a little work
+/// but cannot produce divergent cache contents.
+///
 /// ```
 /// use fbdr_containment::{ContainmentEngine, PreparedQuery};
 /// use fbdr_ldap::{Filter, Scope, SearchRequest};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// let mut engine = ContainmentEngine::new();
+/// let engine = ContainmentEngine::new();
 /// let stored = PreparedQuery::new(SearchRequest::new(
 ///     "o=xyz".parse()?, Scope::Subtree, Filter::parse("(serialNumber=0456*)")?,
 /// ));
@@ -87,10 +126,19 @@ impl PreparedQuery {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ContainmentEngine {
-    matrix: CrossTemplateMatrix,
-    stats: EngineStats,
+    matrix: RwLock<CrossTemplateMatrix>,
+    counters: EngineCounters,
+}
+
+impl Default for ContainmentEngine {
+    fn default() -> Self {
+        ContainmentEngine {
+            matrix: RwLock::new(CrossTemplateMatrix::new()),
+            counters: EngineCounters::default(),
+        }
+    }
 }
 
 impl ContainmentEngine {
@@ -99,43 +147,45 @@ impl ContainmentEngine {
         ContainmentEngine::default()
     }
 
-    /// Work counters accumulated so far.
+    /// Work counters accumulated so far. Relaxed-ordering tallies: exact
+    /// once all concurrent checks have finished, monotonic while they run.
     pub fn stats(&self) -> EngineStats {
-        self.stats
+        self.counters.snapshot()
     }
 
     /// Resets the work counters (the compiled cache is kept).
-    pub fn reset_stats(&mut self) {
-        self.stats = EngineStats::default();
+    pub fn reset_stats(&self) {
+        self.counters.reset();
     }
 
     /// Number of compiled template pairs cached.
     pub fn compiled_pairs(&self) -> usize {
-        self.matrix.len()
+        self.matrix.read().len()
     }
 
     /// Template-aware filter containment: is `q`'s filter contained in
     /// `s`'s filter?
-    pub fn filter_contained(&mut self, q: &PreparedQuery, s: &PreparedQuery) -> bool {
+    pub fn filter_contained(&self, q: &PreparedQuery, s: &PreparedQuery) -> bool {
         if q.template.id() == s.template.id() {
-            self.stats.same_template += 1;
+            self.counters.same_template.fetch_add(1, Ordering::Relaxed);
             return same_template_contained(q.request.filter(), s.request.filter());
         }
-        if let Some(cond) = self.matrix.condition(&q.template, &s.template) {
+        let cond = self.condition_for(&q.template, &s.template);
+        if let Some(cond) = cond {
             if cond.is_never() {
-                self.stats.skipped_never += 1;
+                self.counters.skipped_never.fetch_add(1, Ordering::Relaxed);
                 return false;
             }
-            self.stats.compiled += 1;
+            self.counters.compiled.fetch_add(1, Ordering::Relaxed);
             return cond.eval(&q.values, &s.values);
         }
-        self.stats.general += 1;
+        self.counters.general.fetch_add(1, Ordering::Relaxed);
         filter_contained(q.request.filter(), s.request.filter()) == Containment::Yes
     }
 
     /// Full `QC(Q, Qs)` with template-aware filter dispatch: region,
     /// attribute-subset and filter containment.
-    pub fn query_contained(&mut self, q: &PreparedQuery, s: &PreparedQuery) -> bool {
+    pub fn query_contained(&self, q: &PreparedQuery, s: &PreparedQuery) -> bool {
         region_contained(
             q.request.base(),
             q.request.scope(),
@@ -147,10 +197,21 @@ impl ContainmentEngine {
 
     /// Convenience: checks an unprepared filter pair through the dispatch
     /// (templates are extracted on the fly).
-    pub fn filters_contained(&mut self, f1: &Filter, f2: &Filter) -> bool {
+    pub fn filters_contained(&self, f1: &Filter, f2: &Filter) -> bool {
         let q = PreparedQuery::new(SearchRequest::from_root(f1.clone()));
         let s = PreparedQuery::new(SearchRequest::from_root(f2.clone()));
         self.filter_contained(&q, &s)
+    }
+
+    /// The compiled condition for the pair, from the cache when present;
+    /// otherwise compiled *outside* the lock and recorded afterwards.
+    fn condition_for(&self, t1: &Template, t2: &Template) -> Option<Arc<CompiledCondition>> {
+        if let Some(cached) = self.matrix.read().lookup(t1, t2) {
+            return cached;
+        }
+        let compiled = CrossTemplateMatrix::compile_pair(t1, t2);
+        self.matrix.write().insert(t1, t2, compiled.clone());
+        compiled
     }
 }
 
@@ -169,7 +230,7 @@ mod tests {
 
     #[test]
     fn same_template_dispatch() {
-        let mut e = ContainmentEngine::new();
+        let e = ContainmentEngine::new();
         let q = prep("o=xyz", "(serialNumber=0456*)");
         let s = prep("o=xyz", "(serialNumber=045*)");
         assert!(e.filter_contained(&q, &s));
@@ -181,7 +242,7 @@ mod tests {
 
     #[test]
     fn compiled_dispatch() {
-        let mut e = ContainmentEngine::new();
+        let e = ContainmentEngine::new();
         let q = prep("o=xyz", "(serialNumber=045612)");
         let s = prep("o=xyz", "(serialNumber=0456*)");
         assert!(e.filter_contained(&q, &s));
@@ -194,7 +255,7 @@ mod tests {
 
     #[test]
     fn never_pairs_are_skipped() {
-        let mut e = ContainmentEngine::new();
+        let e = ContainmentEngine::new();
         // (sn=_) can never be answered by (&(sn=_)(ou=_)) — the paper's
         // own example of template elimination.
         let q = prep("o=xyz", "(sn=doe)");
@@ -205,7 +266,7 @@ mod tests {
 
     #[test]
     fn general_fallback() {
-        let mut e = ContainmentEngine::new();
+        let e = ContainmentEngine::new();
         let q = prep("o=xyz", "(|(sn=a)(sn=b))");
         let s = prep("o=xyz", "(|(sn=a)(sn=b)(sn=c))");
         assert!(e.filter_contained(&q, &s));
@@ -214,7 +275,7 @@ mod tests {
 
     #[test]
     fn query_contained_checks_region() {
-        let mut e = ContainmentEngine::new();
+        let e = ContainmentEngine::new();
         let s = prep("c=us,o=xyz", "(serialNumber=0456*)");
         assert!(e.query_contained(&prep("c=us,o=xyz", "(serialNumber=045612)"), &s));
         assert!(!e.query_contained(&prep("o=xyz", "(serialNumber=045612)"), &s));
@@ -222,7 +283,7 @@ mod tests {
 
     #[test]
     fn stats_total_and_reset() {
-        let mut e = ContainmentEngine::new();
+        let e = ContainmentEngine::new();
         let q = prep("o=xyz", "(a=1)");
         let s = prep("o=xyz", "(a=1)");
         e.filter_contained(&q, &s);
@@ -230,5 +291,25 @@ mod tests {
         e.reset_stats();
         assert_eq!(e.stats().total(), 0);
         assert_eq!(e.compiled_pairs(), 0); // nothing was compiled
+    }
+
+    #[test]
+    fn shared_engine_checks_concurrently() {
+        let e = ContainmentEngine::new();
+        let s = prep("o=xyz", "(serialNumber=0456*)");
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let e = &e;
+                let s = &s;
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        let q = prep("o=xyz", &format!("(serialNumber=0456{:02})", (t * 50 + i) % 100));
+                        assert!(e.filter_contained(&q, s));
+                    }
+                });
+            }
+        });
+        assert_eq!(e.stats().compiled, 200);
+        assert_eq!(e.compiled_pairs(), 1);
     }
 }

@@ -9,14 +9,33 @@ use std::error::Error;
 use std::fmt;
 
 /// Error from a distributed operation.
+///
+/// Every variant is a root cause ([`Error::source`] returns `None`):
+/// network-level failures are terminal here, while replica-side sync
+/// failures chain through `SyncError` in `fbdr-resync`. Only the *initial*
+/// search target can produce these errors — failures at referred servers
+/// degrade to partial results (see `SearchResult::unreachable`), never to
+/// an `Err`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NetError {
     /// The named server is not part of the network.
+    ///
+    /// Invariant: carries the URL exactly as the caller supplied it, and
+    /// is only produced for the initial target — an unknown *continuation*
+    /// target is recorded in `SearchResult::unreachable` instead.
     UnknownServer(String),
     /// No server holds the target base.
+    ///
+    /// Invariant: the carried DN is the request base (or a continuation
+    /// base derived from it); the network was consulted and genuinely has
+    /// no naming context covering it.
     NoSuchObject(Dn),
     /// Referral chasing revisited a `(server, base)` pair — broken
     /// referral topology.
+    ///
+    /// Invariant: carries the URL at which the cycle closed; the same
+    /// request was already dispatched to that server for the same base,
+    /// so continuing would loop forever.
     ReferralLoop(String),
     /// The initial target is temporarily unreachable. Transient: retrying
     /// later may succeed. (An unreachable *continuation* target does not
@@ -42,7 +61,12 @@ impl fmt::Display for NetError {
     }
 }
 
-impl Error for NetError {}
+impl Error for NetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        // All variants are root causes; nothing to chain to.
+        None
+    }
+}
 
 /// Result of a fully-chased distributed search.
 #[derive(Debug, Clone)]

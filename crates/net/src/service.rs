@@ -9,12 +9,18 @@ use fbdr_ldap::SearchRequest;
 /// A directory node addressable by URL in a [`Network`](crate::Network).
 ///
 /// Implementations must be `Send + Sync` so one network can serve
-/// concurrent clients from multiple threads.
+/// concurrent clients from multiple threads: `handle_search` takes `&self`
+/// and may be invoked from any number of threads simultaneously, so a node
+/// wanting high read throughput should answer without an exclusive lock
+/// (the `FilterReplica`-backed nodes in `fbdr-core` answer from immutable
+/// content snapshots for exactly this reason).
 pub trait DirectoryService: std::fmt::Debug + Send + Sync {
     /// The node's URL (its identity in the network).
     fn url(&self) -> &str;
 
     /// Handles one search request; referral chasing is the client's job.
+    /// Must be safe to call concurrently with itself and with any
+    /// node-specific mutation path the implementation offers.
     fn handle_search(&self, req: &SearchRequest) -> ServerOutcome;
 }
 

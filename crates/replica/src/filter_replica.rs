@@ -1,6 +1,8 @@
-//! The filter-based replication model (the paper's contribution).
+//! The filter-based replication model (the paper's contribution), with a
+//! read/write-split concurrency design: query answering is `&self` and
+//! lock-minimal, mutation publishes immutable per-epoch content snapshots.
 
-use crate::stats::ReplicaStats;
+use crate::stats::{AtomicReplicaStats, ReplicaStats};
 use crossbeam::channel::{Receiver, TryRecvError};
 use fbdr_containment::{ContainmentEngine, EngineStats, PreparedQuery};
 use fbdr_ldap::{Entry, SearchRequest};
@@ -8,7 +10,10 @@ use fbdr_resync::{
     Clock, Cookie, ReSyncControl, SyncAction, SyncDriver, SyncError, SyncMaster, SyncTransport,
     SyncTraffic,
 };
+use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Why a query's content is stored in the replica.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,18 +26,87 @@ pub enum StoredQueryKind {
     Cached,
 }
 
-#[derive(Debug)]
-struct StoredQuery {
+/// One synchronized generalized filter inside a content snapshot.
+///
+/// Immutable once published, except for the hit counter: that is an
+/// `Arc<AtomicU64>` shared across snapshot generations, so hits recorded
+/// against an old epoch survive the next publish.
+#[derive(Debug, Clone)]
+struct StoredFilter {
     prepared: PreparedQuery,
-    cookie: Option<Cookie>,
     dns: HashSet<String>,
-    hits: u64,
-    /// Live notification channel for persist-mode filters.
-    notifications: Option<Receiver<SyncAction>>,
     /// True when the last sync cycle could not reach the master: the
     /// content is served anyway (availability over freshness) but hits
     /// are accounted as stale until a cycle succeeds.
     stale: bool,
+    hits: Arc<AtomicU64>,
+}
+
+/// The immutable-per-epoch read view: what `try_answer` consults.
+///
+/// Readers clone the `Arc` (the content lock is held only for that
+/// pointer copy) and then work entirely on their private snapshot, so a
+/// concurrent writer publishing epoch `n+1` never disturbs a reader still
+/// answering from epoch `n`.
+#[derive(Debug)]
+struct ContentSnapshot {
+    /// Monotonic generation number; bumped by every published mutation.
+    epoch: u64,
+    filters: Vec<Arc<StoredFilter>>,
+    /// Entries referenced by at least one filter, keyed by normalized DN.
+    entries: HashMap<String, Entry>,
+}
+
+impl ContentSnapshot {
+    fn empty() -> Self {
+        ContentSnapshot { epoch: 0, filters: Vec::new(), entries: HashMap::new() }
+    }
+}
+
+/// Writer-side per-filter state that readers never touch: the ReSync
+/// session cookie and the optional persist-mode notification channel.
+///
+/// Invariant: `WriterState::sessions` is index-aligned with the current
+/// snapshot's `filters` — every mutator that adds/removes a filter updates
+/// both under the writer lock before publishing.
+#[derive(Debug)]
+struct FilterSession {
+    cookie: Option<Cookie>,
+    /// Live notification channel for persist-mode filters.
+    notifications: Option<Receiver<SyncAction>>,
+}
+
+/// All mutable bookkeeping, serialized behind one writer mutex.
+#[derive(Debug, Default)]
+struct WriterState {
+    sessions: Vec<FilterSession>,
+    /// How many filters reference each entry key (cache entries are owned
+    /// by their cached query and not counted here).
+    refcount: HashMap<String, usize>,
+}
+
+/// A cached recent user query with its frozen result set (cached queries
+/// are not synchronized, §7.4, so the result is a snapshot at cache time).
+#[derive(Debug)]
+struct CachedQuery {
+    prepared: PreparedQuery,
+    entries: Vec<Entry>,
+    keys: HashSet<String>,
+    hits: AtomicU64,
+}
+
+/// FIFO window of cached queries behind a short-critical-section mutex:
+/// the lock is held only to push/evict/copy the `Arc` list — containment
+/// checks and result evaluation run outside it.
+#[derive(Debug, Default)]
+struct QueryCache {
+    queries: Mutex<VecDeque<Arc<CachedQuery>>>,
+}
+
+impl QueryCache {
+    fn view(&self) -> Vec<Arc<CachedQuery>> {
+        self.queries.lock().iter().cloned().collect()
+    }
 }
 
 /// A filter-based replica: entries satisfying one or more stored LDAP
@@ -43,15 +117,30 @@ struct StoredQuery {
 /// [`FilterReplica::entry_count`] is the replica-size metric of Figures
 /// 4–7, and [`FilterReplica::stored_query_count`] the x-axis of Figures
 /// 8–9.
+///
+/// # Concurrency
+///
+/// The replica is split read/write:
+///
+/// * **Readers** ([`try_answer`](FilterReplica::try_answer),
+///   [`try_answer_composed`](FilterReplica::try_answer_composed)) take
+///   `&self`, clone the current content-snapshot `Arc` (the `RwLock` is
+///   held only for that pointer copy) and answer from their private
+///   epoch. Statistics are relaxed atomics. Any number of threads may
+///   query one replica concurrently without external locking.
+/// * **Writers** (install/remove/sync/cache management) also take `&self`
+///   but serialize on an internal mutex; they build a new snapshot off to
+///   the side and publish it with a single pointer swap, so each sync
+///   cycle's updates become visible atomically and readers never observe
+///   a half-applied batch.
 #[derive(Debug)]
 pub struct FilterReplica {
-    filters: Vec<StoredQuery>,
-    cache: VecDeque<StoredQuery>,
+    content: RwLock<Arc<ContentSnapshot>>,
+    cache: QueryCache,
     cache_window: usize,
-    entries: HashMap<String, Entry>,
-    refcount: HashMap<String, usize>,
     engine: ContainmentEngine,
-    stats: ReplicaStats,
+    stats: AtomicReplicaStats,
+    writer: Mutex<WriterState>,
 }
 
 impl FilterReplica {
@@ -59,51 +148,78 @@ impl FilterReplica {
     /// queries (0 disables query caching).
     pub fn new(cache_window: usize) -> Self {
         FilterReplica {
-            filters: Vec::new(),
-            cache: VecDeque::new(),
+            content: RwLock::new(Arc::new(ContentSnapshot::empty())),
+            cache: QueryCache::default(),
             cache_window,
-            entries: HashMap::new(),
-            refcount: HashMap::new(),
             engine: ContainmentEngine::new(),
-            stats: ReplicaStats::default(),
+            stats: AtomicReplicaStats::new(),
+            writer: Mutex::new(WriterState::default()),
         }
     }
 
-    /// Number of distinct entries stored (replica size).
+    /// The current content snapshot (lock held only for the `Arc` clone).
+    fn snapshot(&self) -> Arc<ContentSnapshot> {
+        self.content.read().clone()
+    }
+
+    /// Publishes a new snapshot; the write lock is held only for the swap.
+    fn publish(&self, snap: ContentSnapshot) {
+        *self.content.write() = Arc::new(snap);
+    }
+
+    /// Number of distinct entries stored (replica size): filter-referenced
+    /// entries plus cached-query entries not already covered by a filter.
     pub fn entry_count(&self) -> usize {
-        self.entries.len()
+        let snap = self.snapshot();
+        let mut extra: HashSet<&str> = HashSet::new();
+        let cached = self.cache.view();
+        for cq in &cached {
+            for k in &cq.keys {
+                if !snap.entries.contains_key(k) {
+                    extra.insert(k);
+                }
+            }
+        }
+        snap.entries.len() + extra.len()
     }
 
     /// Number of stored queries (generalized + cached) — the §7.4
     /// processing-overhead driver.
     pub fn stored_query_count(&self) -> usize {
-        self.filters.len() + self.cache.len()
+        self.snapshot().filters.len() + self.cached_query_count()
     }
 
     /// Number of synchronized generalized filters.
     pub fn filter_count(&self) -> usize {
-        self.filters.len()
+        self.snapshot().filters.len()
     }
 
     /// Number of cached user queries currently held.
     pub fn cached_query_count(&self) -> usize {
-        self.cache.len()
+        self.cache.queries.lock().len()
     }
 
     /// Number of generalized filters currently marked stale (their last
     /// sync cycle could not reach the master).
     pub fn stale_filter_count(&self) -> usize {
-        self.filters.iter().filter(|s| s.stale).count()
+        self.snapshot().filters.iter().filter(|s| s.stale).count()
     }
 
-    /// Hit statistics.
+    /// The current content epoch: a monotonic generation number bumped by
+    /// every published mutation (install, remove, sync cycle). All entries
+    /// returned by one `try_answer` call come from a single epoch.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot().epoch
+    }
+
+    /// Hit statistics (a point-in-time snapshot of the atomic counters).
     pub fn stats(&self) -> ReplicaStats {
-        self.stats
+        self.stats.snapshot()
     }
 
     /// Resets hit statistics (e.g. after the training day).
-    pub fn reset_stats(&mut self) {
-        self.stats = ReplicaStats::default();
+    pub fn reset_stats(&self) {
+        self.stats.reset();
     }
 
     /// Containment-engine work counters (for §7.4).
@@ -112,8 +228,13 @@ impl FilterReplica {
     }
 
     /// The stored generalized filters with their accumulated hit counts.
-    pub fn filters(&self) -> impl Iterator<Item = (&SearchRequest, u64)> {
-        self.filters.iter().map(|s| (s.prepared.request(), s.hits))
+    pub fn filters(&self) -> impl Iterator<Item = (SearchRequest, u64)> {
+        self.snapshot()
+            .filters
+            .iter()
+            .map(|s| (s.prepared.request().clone(), s.hits.load(Ordering::Relaxed)))
+            .collect::<Vec<_>>()
+            .into_iter()
     }
 
     // ------------------------------------------------------------------
@@ -127,22 +248,14 @@ impl FilterReplica {
     ///
     /// Propagates [`SyncError`] from the master.
     pub fn install_filter(
-        &mut self,
+        &self,
         master: &mut SyncMaster,
         request: SearchRequest,
     ) -> Result<SyncTraffic, SyncError> {
+        let mut w = self.writer.lock();
         let resp = master.resync(&request, ReSyncControl::poll(None))?;
         let traffic = resp.traffic();
-        let mut sq = StoredQuery {
-            prepared: PreparedQuery::new(request),
-            cookie: resp.cookie,
-            dns: HashSet::new(),
-            hits: 0,
-            notifications: None,
-            stale: false,
-        };
-        self.apply_actions(&mut sq, &resp.actions);
-        self.filters.push(sq);
+        self.install_loaded(&mut w, request, resp.cookie, None, &resp.actions);
         Ok(traffic)
     }
 
@@ -156,23 +269,40 @@ impl FilterReplica {
     ///
     /// Propagates [`SyncError`] from the master.
     pub fn install_filter_persistent(
-        &mut self,
+        &self,
         master: &mut SyncMaster,
         request: SearchRequest,
     ) -> Result<SyncTraffic, SyncError> {
+        let mut w = self.writer.lock();
         let (resp, rx) = master.resync_persist(&request, None)?;
         let traffic = resp.traffic();
-        let mut sq = StoredQuery {
-            prepared: PreparedQuery::new(request),
-            cookie: resp.cookie,
-            dns: HashSet::new(),
-            hits: 0,
-            notifications: Some(rx),
-            stale: false,
-        };
-        self.apply_actions(&mut sq, &resp.actions);
-        self.filters.push(sq);
+        self.install_loaded(&mut w, request, resp.cookie, Some(rx), &resp.actions);
         Ok(traffic)
+    }
+
+    /// Shared install tail: builds the filter, applies the initial load
+    /// and publishes the next epoch. Caller holds the writer lock.
+    fn install_loaded(
+        &self,
+        w: &mut WriterState,
+        request: SearchRequest,
+        cookie: Option<Cookie>,
+        notifications: Option<Receiver<SyncAction>>,
+        actions: &[SyncAction],
+    ) {
+        let snap = self.snapshot();
+        let mut filters = snap.filters.clone();
+        let mut entries = snap.entries.clone();
+        let mut sf = StoredFilter {
+            prepared: PreparedQuery::new(request),
+            dns: HashSet::new(),
+            stale: false,
+            hits: Arc::new(AtomicU64::new(0)),
+        };
+        apply_actions(&mut entries, &mut w.refcount, &mut sf, actions);
+        filters.push(Arc::new(sf));
+        w.sessions.push(FilterSession { cookie, notifications });
+        self.publish(ContentSnapshot { epoch: snap.epoch + 1, filters, entries });
     }
 
     /// Applies every pending persist-mode notification across all
@@ -184,51 +314,63 @@ impl FilterReplica {
     /// channel is discarded, `poll_fallbacks` is incremented, and the
     /// next [`FilterReplica::sync`] picks the filter up incrementally via
     /// its cookie.
-    pub fn drain_notifications(&mut self) -> SyncTraffic {
+    pub fn drain_notifications(&self) -> SyncTraffic {
+        let mut w = self.writer.lock();
+        let WriterState { sessions, refcount } = &mut *w;
+        let snap = self.snapshot();
+        let mut filters = snap.filters.clone();
+        let mut entries = snap.entries.clone();
         let mut traffic = SyncTraffic::default();
-        let mut filters = std::mem::take(&mut self.filters);
-        for sq in &mut filters {
-            if let Some(rx) = &sq.notifications {
-                let mut pending: Vec<SyncAction> = Vec::new();
-                let disconnected = loop {
-                    match rx.try_recv() {
-                        Ok(a) => pending.push(a),
-                        Err(TryRecvError::Empty) => break false,
-                        Err(TryRecvError::Disconnected) => break true,
-                    }
-                };
+        let mut changed = false;
+        for (i, session) in sessions.iter_mut().enumerate() {
+            let Some(rx) = &session.notifications else { continue };
+            let mut pending: Vec<SyncAction> = Vec::new();
+            let disconnected = loop {
+                match rx.try_recv() {
+                    Ok(a) => pending.push(a),
+                    Err(TryRecvError::Empty) => break false,
+                    Err(TryRecvError::Disconnected) => break true,
+                }
+            };
+            if !pending.is_empty() {
                 for a in &pending {
                     traffic.count(a);
                 }
-                self.apply_actions(sq, &pending);
-                if disconnected {
-                    sq.notifications = None;
-                    self.stats.poll_fallbacks += 1;
-                }
+                let sf = Arc::make_mut(&mut filters[i]);
+                apply_actions(&mut entries, refcount, sf, &pending);
+                changed = true;
+            }
+            if disconnected {
+                session.notifications = None;
+                self.stats.record_poll_fallback();
             }
         }
-        self.filters = filters;
+        if changed {
+            self.publish(ContentSnapshot { epoch: snap.epoch + 1, filters, entries });
+        }
         traffic
     }
 
     /// Removes a generalized filter (revolution eviction), ending its sync
     /// session and garbage-collecting entries no other stored query needs.
     /// Returns true if the filter was present.
-    pub fn remove_filter(&mut self, master: &mut SyncMaster, request: &SearchRequest) -> bool {
-        let Some(pos) = self
-            .filters
-            .iter()
-            .position(|s| s.prepared.request() == request)
-        else {
+    pub fn remove_filter(&self, master: &mut SyncMaster, request: &SearchRequest) -> bool {
+        let mut w = self.writer.lock();
+        let snap = self.snapshot();
+        let Some(pos) = snap.filters.iter().position(|s| s.prepared.request() == request) else {
             return false;
         };
-        let sq = self.filters.remove(pos);
-        if let Some(c) = sq.cookie {
+        let mut filters = snap.filters.clone();
+        let mut entries = snap.entries.clone();
+        let removed = filters.remove(pos);
+        let session = w.sessions.remove(pos);
+        if let Some(c) = session.cookie {
             master.abandon(c);
         }
-        for dn in &sq.dns {
-            self.unref(dn);
+        for dn in &removed.dns {
+            unref(&mut entries, &mut w.refcount, dn);
         }
+        self.publish(ContentSnapshot { epoch: snap.epoch + 1, filters, entries });
         true
     }
 
@@ -240,15 +382,27 @@ impl FilterReplica {
     /// the filter recovers automatically: a fresh session is established
     /// and the content reloaded from scratch (stale entries are dropped).
     ///
+    /// The whole cycle publishes as **one** new epoch, so concurrent
+    /// readers see either the pre-cycle or the post-cycle content, never
+    /// a half-applied batch.
+    ///
     /// # Errors
     ///
     /// Propagates other [`SyncError`]s; filters synced before the failure
-    /// keep their updates.
-    pub fn sync(&mut self, master: &mut SyncMaster) -> Result<SyncTraffic, SyncError> {
+    /// keep their updates (the partial cycle is published before the error
+    /// returns).
+    pub fn sync(&self, master: &mut SyncMaster) -> Result<SyncTraffic, SyncError> {
+        let mut w = self.writer.lock();
+        let WriterState { sessions, refcount } = &mut *w;
+        let snap = self.snapshot();
+        let mut filters = snap.filters.clone();
+        let mut entries = snap.entries.clone();
         let mut total = SyncTraffic::default();
-        let mut filters = std::mem::take(&mut self.filters);
-        for sq in &mut filters {
-            let resp = match master.resync(sq.prepared.request(), ReSyncControl::poll(sq.cookie)) {
+        let mut failed: Option<SyncError> = None;
+        for i in 0..filters.len() {
+            let request = filters[i].prepared.request().clone();
+            let session = &mut sessions[i];
+            let resp = match master.resync(&request, ReSyncControl::poll(session.cookie)) {
                 Ok(resp) => resp,
                 Err(e) if e.needs_reinstall() => {
                     // Session expired at the master (its §5.2 admin time
@@ -256,37 +410,41 @@ impl FilterReplica {
                     // with a full reload of this filter's content.
                     if matches!(e, SyncError::ReplayExpired(_)) {
                         // The session still exists at the master.
-                        if let Some(c) = sq.cookie {
+                        if let Some(c) = session.cookie {
                             master.abandon(c);
                         }
                     }
-                    match master.resync(sq.prepared.request(), ReSyncControl::poll(None)) {
+                    match master.resync(&request, ReSyncControl::poll(None)) {
                         Ok(resp) => {
-                            let old: Vec<String> = sq.dns.drain().collect();
+                            let sf = Arc::make_mut(&mut filters[i]);
+                            let old: Vec<String> = sf.dns.drain().collect();
                             for dn in old {
-                                self.unref(&dn);
+                                unref(&mut entries, refcount, &dn);
                             }
                             resp
                         }
                         Err(e) => {
-                            self.filters = filters;
-                            return Err(e);
+                            failed = Some(e);
+                            break;
                         }
                     }
                 }
                 Err(e) => {
-                    self.filters = filters;
-                    return Err(e);
+                    failed = Some(e);
+                    break;
                 }
             };
-            sq.cookie = resp.cookie;
-            sq.stale = false;
+            session.cookie = resp.cookie;
             total.absorb(&resp.traffic());
-            let actions = resp.actions;
-            self.apply_actions(sq, &actions);
+            let sf = Arc::make_mut(&mut filters[i]);
+            sf.stale = false;
+            apply_actions(&mut entries, refcount, sf, &resp.actions);
         }
-        self.filters = filters;
-        Ok(total)
+        self.publish(ContentSnapshot { epoch: snap.epoch + 1, filters, entries });
+        match failed {
+            Some(e) => Err(e),
+            None => Ok(total),
+        }
     }
 
     /// Polls the master through a retrying [`SyncDriver`], degrading
@@ -301,69 +459,82 @@ impl FilterReplica {
     ///   reload is retried on transient failures;
     /// - everything else propagates as in [`FilterReplica::sync`].
     ///
-    /// Returns the total resync traffic of the cycle.
+    /// Returns the total resync traffic of the cycle. Like `sync`, the
+    /// cycle publishes one new epoch; readers keep answering from the
+    /// previous epoch while it runs.
     ///
     /// # Errors
     ///
     /// Non-transient, non-session [`SyncError`]s only; transport outages
     /// never fail the cycle.
     pub fn sync_with<C: Clock>(
-        &mut self,
+        &self,
         transport: &mut dyn SyncTransport,
         driver: &mut SyncDriver<C>,
     ) -> Result<SyncTraffic, SyncError> {
+        let mut w = self.writer.lock();
+        let WriterState { sessions, refcount } = &mut *w;
+        let snap = self.snapshot();
+        let mut filters = snap.filters.clone();
+        let mut entries = snap.entries.clone();
         let mut total = SyncTraffic::default();
-        let mut filters = std::mem::take(&mut self.filters);
-        for sq in &mut filters {
-            let request = sq.prepared.request().clone();
-            let resp = match driver.resync(transport, &request, ReSyncControl::poll(sq.cookie)) {
+        let mut failed: Option<SyncError> = None;
+        for i in 0..filters.len() {
+            let request = filters[i].prepared.request().clone();
+            let session = &mut sessions[i];
+            let resp = match driver.resync(transport, &request, ReSyncControl::poll(session.cookie))
+            {
                 Ok(resp) => resp,
                 Err(e) if e.is_transient() => {
                     // Budget exhausted: serve what we have until the next
                     // cycle rather than failing the whole replica.
-                    sq.stale = true;
+                    Arc::make_mut(&mut filters[i]).stale = true;
                     continue;
                 }
                 Err(e) if e.needs_reinstall() => {
                     if matches!(e, SyncError::ReplayExpired(_)) {
-                        if let Some(c) = sq.cookie {
+                        if let Some(c) = session.cookie {
                             transport.abandon(c);
                         }
                     }
                     driver.note_reinstall();
                     match driver.resync(transport, &request, ReSyncControl::poll(None)) {
                         Ok(resp) => {
-                            let old: Vec<String> = sq.dns.drain().collect();
+                            let sf = Arc::make_mut(&mut filters[i]);
+                            let old: Vec<String> = sf.dns.drain().collect();
                             for dn in old {
-                                self.unref(&dn);
+                                unref(&mut entries, refcount, &dn);
                             }
                             resp
                         }
                         Err(e) if e.is_transient() => {
                             // Even the reinstall could not get through;
                             // the old content is still the best answer.
-                            sq.stale = true;
+                            Arc::make_mut(&mut filters[i]).stale = true;
                             continue;
                         }
                         Err(e) => {
-                            self.filters = filters;
-                            return Err(e);
+                            failed = Some(e);
+                            break;
                         }
                     }
                 }
                 Err(e) => {
-                    self.filters = filters;
-                    return Err(e);
+                    failed = Some(e);
+                    break;
                 }
             };
-            sq.cookie = resp.cookie;
-            sq.stale = false;
+            session.cookie = resp.cookie;
             total.absorb(&resp.traffic());
-            let actions = resp.actions;
-            self.apply_actions(sq, &actions);
+            let sf = Arc::make_mut(&mut filters[i]);
+            sf.stale = false;
+            apply_actions(&mut entries, refcount, sf, &resp.actions);
         }
-        self.filters = filters;
-        Ok(total)
+        self.publish(ContentSnapshot { epoch: snap.epoch + 1, filters, entries });
+        match failed {
+            Some(e) => Err(e),
+            None => Ok(total),
+        }
     }
 
     /// Polls the master for a *single* stored filter, leaving the others
@@ -376,75 +547,54 @@ impl FilterReplica {
     ///
     /// # Errors
     ///
-    /// Propagates [`SyncError`] from the master.
+    /// Propagates [`SyncError`] from the master; on error nothing is
+    /// published (the previous epoch stays current).
     pub fn sync_filter(
-        &mut self,
+        &self,
         master: &mut SyncMaster,
         request: &SearchRequest,
     ) -> Result<Option<SyncTraffic>, SyncError> {
-        let Some(pos) = self
-            .filters
-            .iter()
-            .position(|s| s.prepared.request() == request)
-        else {
+        let mut w = self.writer.lock();
+        let snap = self.snapshot();
+        let Some(pos) = snap.filters.iter().position(|s| s.prepared.request() == request) else {
             return Ok(None);
         };
-        let mut sq = self.filters.remove(pos);
-        let resp = master.resync(sq.prepared.request(), ReSyncControl::poll(sq.cookie));
-        match resp {
-            Ok(resp) => {
-                sq.cookie = resp.cookie;
-                sq.stale = false;
-                let traffic = resp.traffic();
-                self.apply_actions(&mut sq, &resp.actions);
-                self.filters.insert(pos, sq);
-                Ok(Some(traffic))
-            }
-            Err(e) => {
-                self.filters.insert(pos, sq);
-                Err(e)
-            }
-        }
+        let resp = master.resync(request, ReSyncControl::poll(w.sessions[pos].cookie))?;
+        w.sessions[pos].cookie = resp.cookie;
+        let traffic = resp.traffic();
+        let mut filters = snap.filters.clone();
+        let mut entries = snap.entries.clone();
+        let sf = Arc::make_mut(&mut filters[pos]);
+        sf.stale = false;
+        apply_actions(&mut entries, &mut w.refcount, sf, &resp.actions);
+        self.publish(ContentSnapshot { epoch: snap.epoch + 1, filters, entries });
+        Ok(Some(traffic))
     }
 
     /// Caches a recently performed user query and its result (fetched from
     /// the master after a miss). Evicts the oldest cached query beyond the
-    /// window. Cached queries are not synchronized.
-    pub fn cache_query(&mut self, request: SearchRequest, result: &[Entry]) {
+    /// window. Cached queries are not synchronized: the result set is
+    /// frozen at cache time (§7.4).
+    pub fn cache_query(&self, request: SearchRequest, result: &[Entry]) {
         if self.cache_window == 0 {
             return;
         }
-        let mut sq = StoredQuery {
+        let cq = Arc::new(CachedQuery {
             prepared: PreparedQuery::new(request),
-            cookie: None,
-            dns: HashSet::new(),
-            hits: 0,
-            notifications: None,
-            stale: false,
-        };
-        for e in result {
-            let k = key(e);
-            if sq.dns.insert(k.clone()) {
-                *self.refcount.entry(k.clone()).or_insert(0) += 1;
-                self.entries.insert(k, e.clone());
-            }
-        }
-        self.cache.push_back(sq);
-        while self.cache.len() > self.cache_window {
-            let old = self.cache.pop_front().expect("len checked");
-            for dn in &old.dns {
-                self.unref(dn);
-            }
+            keys: result.iter().map(key).collect(),
+            entries: result.to_vec(),
+            hits: AtomicU64::new(0),
+        });
+        let mut q = self.cache.queries.lock();
+        q.push_back(cq);
+        while q.len() > self.cache_window {
+            q.pop_front();
         }
     }
 
     /// Drops all cached user queries.
-    pub fn clear_query_cache(&mut self) {
-        while let Some(old) = self.cache.pop_front() {
-            for dn in &old.dns {
-                self.unref(dn);
-            }
-        }
+    pub fn clear_query_cache(&self) {
+        self.cache.queries.lock().clear();
     }
 
     // ------------------------------------------------------------------
@@ -454,29 +604,27 @@ impl FilterReplica {
     /// Tries to answer a query locally: the query must be semantically
     /// contained (`QC`) in some stored query. Returns the locally
     /// evaluated entries on a hit, `None` (→ referral) on a miss.
-    pub fn try_answer(&mut self, query: &SearchRequest) -> Option<Vec<Entry>> {
-        self.stats.queries += 1;
+    ///
+    /// Takes `&self` and is safe to call from any number of threads
+    /// concurrently with each other and with a writer running a sync
+    /// cycle: the answer is computed against one consistent content epoch.
+    pub fn try_answer(&self, query: &SearchRequest) -> Option<Vec<Entry>> {
+        self.stats.record_query();
         let prepared = PreparedQuery::new(query.clone());
+        let snap = self.snapshot();
         // Generalized filters first (they are authoritative and synced).
-        for i in 0..self.filters.len() {
-            if self.engine.query_contained(&prepared, &self.filters[i].prepared) {
-                self.filters[i].hits += 1;
-                self.stats.hits += 1;
-                self.stats.generalized_hits += 1;
-                if self.filters[i].stale {
-                    self.stats.stale_serves += 1;
-                }
-                let dns = self.filters[i].dns.clone();
-                return Some(self.evaluate(query, &dns));
+        for sf in &snap.filters {
+            if self.engine.query_contained(&prepared, &sf.prepared) {
+                sf.hits.fetch_add(1, Ordering::Relaxed);
+                self.stats.record_generalized_hit(sf.stale);
+                return Some(evaluate(&snap.entries, query, &sf.dns));
             }
         }
-        for i in 0..self.cache.len() {
-            if self.engine.query_contained(&prepared, &self.cache[i].prepared) {
-                self.cache[i].hits += 1;
-                self.stats.hits += 1;
-                self.stats.cache_hits += 1;
-                let dns = self.cache[i].dns.clone();
-                return Some(self.evaluate(query, &dns));
+        for cq in self.cache.view() {
+            if self.engine.query_contained(&prepared, &cq.prepared) {
+                cq.hits.fetch_add(1, Ordering::Relaxed);
+                self.stats.record_cache_hit();
+                return Some(evaluate_cached(query, &cq.entries));
             }
         }
         None
@@ -493,15 +641,21 @@ impl FilterReplica {
     /// contained (general Prop 1 procedure) in the disjunction of the
     /// contributing filters. Returns `None` on a miss; does not consult
     /// the query cache. Statistics count this as a generalized hit.
-    pub fn try_answer_composed(&mut self, query: &SearchRequest) -> Option<Vec<Entry>> {
+    ///
+    /// Like [`try_answer`](FilterReplica::try_answer) this takes `&self`;
+    /// the composed answer is evaluated against a single content epoch.
+    pub fn try_answer_composed(&self, query: &SearchRequest) -> Option<Vec<Entry>> {
         if let Some(hit) = self.try_answer(query) {
             return Some(hit);
         }
+        let snap = self.snapshot();
         // Candidates: stored filters whose region and attribute selection
         // cover the query's (the filter part is checked on the union).
-        let candidates: Vec<usize> = (0..self.filters.len())
-            .filter(|&i| {
-                let s = self.filters[i].prepared.request();
+        let candidates: Vec<&Arc<StoredFilter>> = snap
+            .filters
+            .iter()
+            .filter(|sf| {
+                let s = sf.prepared.request();
                 fbdr_containment::region_contained(
                     query.base(),
                     query.scope(),
@@ -514,10 +668,7 @@ impl FilterReplica {
             return None; // single-filter containment already failed above
         }
         let union = fbdr_ldap::Filter::or(
-            candidates
-                .iter()
-                .map(|&i| self.filters[i].prepared.request().filter().clone())
-                .collect(),
+            candidates.iter().map(|sf| sf.prepared.request().filter().clone()).collect(),
         );
         if fbdr_containment::filter_contained(query.filter(), &union)
             != fbdr_containment::Containment::Yes
@@ -526,56 +677,76 @@ impl FilterReplica {
         }
         // The try_answer call above already counted this query (as a
         // miss); composition converts it into a hit.
-        self.stats.hits += 1;
-        self.stats.generalized_hits += 1;
+        self.stats.record_generalized_hit(false);
         let mut dns: HashSet<String> = HashSet::new();
-        for &i in &candidates {
-            self.filters[i].hits += 1;
-            dns.extend(self.filters[i].dns.iter().cloned());
+        for sf in &candidates {
+            sf.hits.fetch_add(1, Ordering::Relaxed);
+            dns.extend(sf.dns.iter().cloned());
         }
-        Some(self.evaluate(query, &dns))
+        Some(evaluate(&snap.entries, query, &dns))
     }
+}
 
-    /// Evaluates a query over one stored query's content.
-    fn evaluate(&self, query: &SearchRequest, dns: &HashSet<String>) -> Vec<Entry> {
-        let mut out: Vec<Entry> = dns
-            .iter()
-            .filter_map(|k| self.entries.get(k))
-            .filter(|e| query.matches(e))
-            .map(|e| query.attrs().project(e))
-            .collect();
-        out.sort_by(|a, b| a.dn().cmp(b.dn()));
-        out
-    }
+/// Evaluates a query over a snapshot's entry store restricted to one
+/// stored query's DN set.
+fn evaluate(entries: &HashMap<String, Entry>, query: &SearchRequest, dns: &HashSet<String>) -> Vec<Entry> {
+    let mut out: Vec<Entry> = dns
+        .iter()
+        .filter_map(|k| entries.get(k))
+        .filter(|e| query.matches(e))
+        .map(|e| query.attrs().project(e))
+        .collect();
+    out.sort_by(|a, b| a.dn().cmp(b.dn()));
+    out
+}
 
-    fn apply_actions(&mut self, sq: &mut StoredQuery, actions: &[SyncAction]) {
-        for a in actions {
-            match a {
-                SyncAction::Add(e) | SyncAction::Modify(e) => {
-                    let k = key(e);
-                    if sq.dns.insert(k.clone()) {
-                        *self.refcount.entry(k.clone()).or_insert(0) += 1;
-                    }
-                    self.entries.insert(k, e.clone());
+/// Evaluates a query over a cached query's frozen result set.
+fn evaluate_cached(query: &SearchRequest, entries: &[Entry]) -> Vec<Entry> {
+    let mut out: Vec<Entry> = entries
+        .iter()
+        .filter(|e| query.matches(e))
+        .map(|e| query.attrs().project(e))
+        .collect();
+    out.sort_by(|a, b| a.dn().cmp(b.dn()));
+    out
+}
+
+/// Applies one batch of sync actions to a working copy of the content:
+/// the filter's DN set, the shared entry store and the refcounts.
+fn apply_actions(
+    entries: &mut HashMap<String, Entry>,
+    refcount: &mut HashMap<String, usize>,
+    sf: &mut StoredFilter,
+    actions: &[SyncAction],
+) {
+    for a in actions {
+        match a {
+            SyncAction::Add(e) | SyncAction::Modify(e) => {
+                let k = key(e);
+                if sf.dns.insert(k.clone()) {
+                    *refcount.entry(k.clone()).or_insert(0) += 1;
                 }
-                SyncAction::Delete(dn) => {
-                    let k = dn_key(dn);
-                    if sq.dns.remove(&k) {
-                        self.unref(&k);
-                    }
-                }
-                SyncAction::Retain(_) => {}
+                entries.insert(k, e.clone());
             }
+            SyncAction::Delete(dn) => {
+                let k = dn_key(dn);
+                if sf.dns.remove(&k) {
+                    unref(entries, refcount, &k);
+                }
+            }
+            SyncAction::Retain(_) => {}
         }
     }
+}
 
-    fn unref(&mut self, k: &str) {
-        if let Some(rc) = self.refcount.get_mut(k) {
-            *rc -= 1;
-            if *rc == 0 {
-                self.refcount.remove(k);
-                self.entries.remove(k);
-            }
+/// Drops one filter reference to an entry key, garbage-collecting the
+/// entry when no filter references remain.
+fn unref(entries: &mut HashMap<String, Entry>, refcount: &mut HashMap<String, usize>, k: &str) {
+    if let Some(rc) = refcount.get_mut(k) {
+        *rc -= 1;
+        if *rc == 0 {
+            refcount.remove(k);
+            entries.remove(k);
         }
     }
 }
@@ -639,13 +810,14 @@ mod tests {
     #[test]
     fn install_filter_loads_content() {
         let mut m = master();
-        let mut r = FilterReplica::new(0);
+        let r = FilterReplica::new(0);
         let t = r
             .install_filter(&mut m, root_query("(serialNumber=0456*)"))
             .unwrap();
         assert_eq!(t.full_entries, 3);
         assert_eq!(r.entry_count(), 3);
         assert_eq!(r.filter_count(), 1);
+        assert_eq!(r.epoch(), 1);
     }
 
     #[test]
@@ -653,7 +825,7 @@ mod tests {
         // §3.1.2: semantic locality is not spatial — the 0456* filter
         // answers queries for entries in different country subtrees.
         let mut m = master();
-        let mut r = FilterReplica::new(0);
+        let r = FilterReplica::new(0);
         r.install_filter(&mut m, root_query("(serialNumber=0456*)")).unwrap();
 
         let q_us = root_query("(serialNumber=045611)");
@@ -675,7 +847,7 @@ mod tests {
     fn null_based_queries_answerable() {
         // §3.1.1: filter replicas can replicate null-based queries.
         let mut m = master();
-        let mut r = FilterReplica::new(0);
+        let r = FilterReplica::new(0);
         r.install_filter(&mut m, root_query("(departmentNumber=240*)")).unwrap();
         assert!(r.try_answer(&root_query("(departmentNumber=2406)")).is_some());
         // Narrower base still contained.
@@ -687,7 +859,7 @@ mod tests {
     #[test]
     fn narrower_base_filters_results_by_scope() {
         let mut m = master();
-        let mut r = FilterReplica::new(0);
+        let r = FilterReplica::new(0);
         r.install_filter(&mut m, root_query("(serialNumber=0456*)")).unwrap();
         let q = sub_query("c=in,o=xyz", "(serialNumber=0456*)");
         let hit = r.try_answer(&q).expect("hit");
@@ -698,7 +870,7 @@ mod tests {
     #[test]
     fn sync_propagates_updates() {
         let mut m = master();
-        let mut r = FilterReplica::new(0);
+        let r = FilterReplica::new(0);
         r.install_filter(&mut m, root_query("(departmentNumber=2406)")).unwrap();
         assert_eq!(r.entry_count(), 2);
 
@@ -713,10 +885,12 @@ mod tests {
             mods: vec![Modification::Replace("departmentNumber".into(), vec!["2409".into()])],
         })
         .unwrap();
+        let epoch_before = r.epoch();
         let t = r.sync(&mut m).unwrap();
         assert_eq!(t.full_entries, 1);
         assert_eq!(t.dn_only, 1);
         assert_eq!(r.entry_count(), 2);
+        assert_eq!(r.epoch(), epoch_before + 1, "one cycle = one epoch");
         let hit = r.try_answer(&root_query("(departmentNumber=2406)")).unwrap();
         let dns: Vec<String> = hit.iter().map(|e| e.dn().to_string()).collect();
         assert_eq!(dns, ["cn=b,c=us,o=xyz", "cn=d,c=in,o=xyz"]);
@@ -725,7 +899,7 @@ mod tests {
     #[test]
     fn overlapping_filters_share_entries() {
         let mut m = master();
-        let mut r = FilterReplica::new(0);
+        let r = FilterReplica::new(0);
         r.install_filter(&mut m, root_query("(serialNumber=0456*)")).unwrap();
         r.install_filter(&mut m, root_query("(departmentNumber=2406)")).unwrap();
         // a and b are in both contents; c only in the serial filter.
@@ -742,7 +916,7 @@ mod tests {
     #[test]
     fn query_cache_window_and_eviction() {
         let m = master();
-        let mut r = FilterReplica::new(2);
+        let r = FilterReplica::new(2);
         // Miss path: caller fetches from master and caches.
         let q1 = root_query("(serialNumber=045611)");
         assert!(r.try_answer(&q1).is_none());
@@ -766,7 +940,7 @@ mod tests {
     #[test]
     fn clear_query_cache_drops_entries() {
         let m = master();
-        let mut r = FilterReplica::new(4);
+        let r = FilterReplica::new(4);
         let q = root_query("(serialNumber=045611)");
         let res = m.dit().search(&q);
         r.cache_query(q, &res);
@@ -779,7 +953,7 @@ mod tests {
     #[test]
     fn composed_answering_covers_unions() {
         let mut m = master();
-        let mut r = FilterReplica::new(0);
+        let r = FilterReplica::new(0);
         r.install_filter(&mut m, root_query("(serialNumber=0456*)")).unwrap();
         r.install_filter(&mut m, root_query("(serialNumber=12*)")).unwrap();
 
@@ -804,7 +978,7 @@ mod tests {
     #[test]
     fn attribute_projection_on_answers() {
         let mut m = master();
-        let mut r = FilterReplica::new(0);
+        let r = FilterReplica::new(0);
         r.install_filter(&mut m, root_query("(serialNumber=0456*)")).unwrap();
         let q = SearchRequest::with_attrs(
             Dn::root(),
@@ -820,7 +994,7 @@ mod tests {
     #[test]
     fn sync_recovers_from_expired_session() {
         let mut m = master();
-        let mut r = FilterReplica::new(0);
+        let r = FilterReplica::new(0);
         r.install_filter(&mut m, root_query("(serialNumber=0456*)")).unwrap();
         assert_eq!(r.entry_count(), 3);
 
@@ -852,7 +1026,7 @@ mod tests {
     #[test]
     fn persistent_filter_streams_updates() {
         let mut m = master();
-        let mut r = FilterReplica::new(0);
+        let r = FilterReplica::new(0);
         r.install_filter_persistent(&mut m, root_query("(departmentNumber=2406)")).unwrap();
         assert_eq!(r.entry_count(), 2);
 
@@ -875,7 +1049,7 @@ mod tests {
     #[test]
     fn per_filter_sync_supports_consistency_levels() {
         let mut m = master();
-        let mut r = FilterReplica::new(0);
+        let r = FilterReplica::new(0);
         let hot = root_query("(departmentNumber=2406)");
         let cold = root_query("(serialNumber=12*)");
         r.install_filter(&mut m, hot.clone()).unwrap();
@@ -912,10 +1086,32 @@ mod tests {
     #[test]
     fn engine_stats_exposed() {
         let mut m = master();
-        let mut r = FilterReplica::new(0);
+        let r = FilterReplica::new(0);
         r.install_filter(&mut m, root_query("(serialNumber=0456*)")).unwrap();
         r.try_answer(&root_query("(serialNumber=045611)"));
         assert!(r.engine_stats().total() > 0);
+    }
+
+    #[test]
+    fn concurrent_readers_share_the_replica() {
+        // The acceptance shape of the read/write split: plain `&r` shared
+        // across threads, no external Mutex, exact atomic accounting.
+        let mut m = master();
+        let r = FilterReplica::new(0);
+        r.install_filter(&mut m, root_query("(serialNumber=0456*)")).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let r = &r;
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        let hit = r.try_answer(&root_query("(serialNumber=045611)"));
+                        assert_eq!(hit.expect("hit").len(), 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.stats().queries, 400);
+        assert_eq!(r.stats().hits, 400);
     }
 
     // ------------------------------------------------------------------
@@ -976,7 +1172,7 @@ mod tests {
     #[test]
     fn sync_with_retries_through_transient_outage() {
         let mut m = master();
-        let mut r = FilterReplica::new(0);
+        let r = FilterReplica::new(0);
         r.install_filter(&mut m, root_query("(departmentNumber=2406)")).unwrap();
         m.apply(UpdateOp::Add(person("e", "us", "045650", "2406"))).unwrap();
 
@@ -992,7 +1188,7 @@ mod tests {
     #[test]
     fn exhausted_retries_serve_stale_until_recovery() {
         let mut m = master();
-        let mut r = FilterReplica::new(0);
+        let r = FilterReplica::new(0);
         r.install_filter(&mut m, root_query("(departmentNumber=2406)")).unwrap();
         m.apply(UpdateOp::Add(person("e", "us", "045650", "2406"))).unwrap();
 
@@ -1021,7 +1217,7 @@ mod tests {
     #[test]
     fn sync_with_reinstalls_after_session_expiry() {
         let mut m = master();
-        let mut r = FilterReplica::new(0);
+        let r = FilterReplica::new(0);
         r.install_filter(&mut m, root_query("(serialNumber=0456*)")).unwrap();
         m.apply(UpdateOp::Add(person("e", "us", "045650", "2406"))).unwrap();
         assert_eq!(m.expire_idle(0), 1);
@@ -1037,7 +1233,7 @@ mod tests {
     #[test]
     fn disconnected_persist_channel_degrades_to_polling() {
         let mut m = master();
-        let mut r = FilterReplica::new(0);
+        let r = FilterReplica::new(0);
         r.install_filter_persistent(&mut m, root_query("(departmentNumber=2406)")).unwrap();
         assert_eq!(r.entry_count(), 2);
 

@@ -16,13 +16,21 @@
 //! Both replicas expose [`try_answer`](FilterReplica::try_answer) returning
 //! the locally computed result on a hit and `None` (→ referral to the
 //! master) on a miss, plus hit-ratio accounting ([`ReplicaStats`]).
+//!
+//! # Concurrency
+//!
+//! Query answering is `&self` on both models. [`FilterReplica`] goes
+//! further: its content lives in immutable per-epoch snapshots behind an
+//! `Arc` swap, so readers run concurrently with sync cycles and never see
+//! a half-applied update batch. Statistics are relaxed atomics
+//! ([`AtomicReplicaStats`]) snapshotted into plain [`ReplicaStats`].
 
 mod filter_replica;
 mod stats;
 mod subtree;
 
 pub use filter_replica::{FilterReplica, StoredQueryKind};
-pub use stats::ReplicaStats;
+pub use stats::{AtomicReplicaStats, ReplicaStats};
 pub use subtree::SubtreeReplica;
 
 pub use fbdr_resync::SyncTraffic;

@@ -1,6 +1,7 @@
 //! Hit-ratio accounting shared by both replica models.
 
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Query-answering statistics for a replica.
 ///
@@ -40,6 +41,87 @@ impl ReplicaStats {
     }
 }
 
+/// Interior-mutable [`ReplicaStats`]: each counter is an [`AtomicU64`]
+/// bumped with `fetch_add(1, Relaxed)`, so the query path needs only
+/// `&self` and concurrent readers never contend on a lock just to count.
+///
+/// Ordering guarantees: relaxed operations make each counter individually
+/// exact (no lost increments) but establish **no ordering between
+/// counters** — a [`snapshot`](AtomicReplicaStats::snapshot) taken while
+/// queries are in flight may observe `queries` updated before `hits` for
+/// the same query (so `hits <= queries` can transiently be violated by at
+/// most the number of in-flight queries). Once all readers quiesce, a
+/// snapshot is exact.
+#[derive(Debug, Default)]
+pub struct AtomicReplicaStats {
+    queries: AtomicU64,
+    hits: AtomicU64,
+    generalized_hits: AtomicU64,
+    cache_hits: AtomicU64,
+    stale_serves: AtomicU64,
+    poll_fallbacks: AtomicU64,
+}
+
+impl AtomicReplicaStats {
+    /// A fresh zeroed counter set.
+    pub fn new() -> Self {
+        AtomicReplicaStats::default()
+    }
+
+    /// Counts a received query.
+    pub fn record_query(&self) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a hit answered by a generalized (synchronized) filter;
+    /// `stale` additionally counts a stale serve.
+    pub fn record_generalized_hit(&self, stale: bool) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.generalized_hits.fetch_add(1, Ordering::Relaxed);
+        if stale {
+            self.stale_serves.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts a hit answered by a cached recent user query.
+    pub fn record_cache_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a plain hit (subtree model: no generalized/cached split).
+    pub fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a persist→poll degradation.
+    pub fn record_poll_fallback(&self) {
+        self.poll_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters as a plain [`ReplicaStats`].
+    pub fn snapshot(&self) -> ReplicaStats {
+        ReplicaStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            generalized_hits: self.generalized_hits.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            stale_serves: self.stale_serves.load(Ordering::Relaxed),
+            poll_fallbacks: self.poll_fallbacks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes all counters (e.g. after the training day).
+    pub fn reset(&self) {
+        self.queries.store(0, Ordering::Relaxed);
+        self.hits.store(0, Ordering::Relaxed);
+        self.generalized_hits.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.stale_serves.store(0, Ordering::Relaxed);
+        self.poll_fallbacks.store(0, Ordering::Relaxed);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -60,5 +142,44 @@ mod tests {
         };
         assert!((s.hit_ratio() - 0.5).abs() < 1e-12);
         assert_eq!(s.misses(), 5);
+    }
+
+    #[test]
+    fn atomic_counters_snapshot_and_reset() {
+        let a = AtomicReplicaStats::new();
+        a.record_query();
+        a.record_query();
+        a.record_generalized_hit(true);
+        a.record_cache_hit();
+        a.record_poll_fallback();
+        let s = a.snapshot();
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.generalized_hits, 1);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.stale_serves, 1);
+        assert_eq!(s.poll_fallbacks, 1);
+        a.reset();
+        assert_eq!(a.snapshot(), ReplicaStats::default());
+    }
+
+    #[test]
+    fn concurrent_increments_are_exact() {
+        let a = AtomicReplicaStats::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let a = &a;
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        a.record_query();
+                        a.record_generalized_hit(false);
+                    }
+                });
+            }
+        });
+        let s = a.snapshot();
+        assert_eq!(s.queries, 4000);
+        assert_eq!(s.hits, 4000);
+        assert_eq!(s.generalized_hits, 4000);
     }
 }

@@ -1,6 +1,6 @@
 //! The subtree-based replication model (§3.4.1).
 
-use crate::stats::ReplicaStats;
+use crate::stats::{AtomicReplicaStats, ReplicaStats};
 use fbdr_dit::{ChangeKind, Csn, DitStore, NamingContext};
 use fbdr_ldap::{Dn, Entry, Scope, SearchRequest};
 use fbdr_resync::SyncTraffic;
@@ -12,11 +12,17 @@ use fbdr_resync::SyncTraffic;
 /// each context and answers queries whose base falls inside a held context
 /// (the paper's `isContained` algorithm); a query additionally counts as a
 /// *hit* only when no referral intersects its region (§3.1.3).
+///
+/// Like [`FilterReplica`](crate::FilterReplica), query answering takes
+/// `&self` (statistics are relaxed atomics), so concurrent readers need no
+/// external lock; [`sync_from`](SubtreeReplica::sync_from) and
+/// [`replicate_context`](SubtreeReplica::replicate_context) mutate the
+/// entry store and keep `&mut self`.
 #[derive(Debug, Default)]
 pub struct SubtreeReplica {
     contexts: Vec<NamingContext>,
     store: DitStore,
-    stats: ReplicaStats,
+    stats: AtomicReplicaStats,
     last_csn: Csn,
 }
 
@@ -37,14 +43,14 @@ impl SubtreeReplica {
         self.store.len()
     }
 
-    /// Accumulated hit statistics.
+    /// Accumulated hit statistics (a snapshot of the atomic counters).
     pub fn stats(&self) -> ReplicaStats {
-        self.stats
+        self.stats.snapshot()
     }
 
     /// Resets hit statistics (e.g. between training and evaluation days).
-    pub fn reset_stats(&mut self) {
-        self.stats = ReplicaStats::default();
+    pub fn reset_stats(&self) {
+        self.stats.reset();
     }
 
     /// Adds a replication context and loads its entries from the master.
@@ -114,10 +120,16 @@ impl SubtreeReplica {
 
     /// Tries to answer a query locally. Returns the entries on a hit,
     /// `None` (→ referral) on a miss. Statistics are updated either way.
-    pub fn try_answer(&mut self, query: &SearchRequest) -> Option<Vec<Entry>> {
-        self.stats.queries += 1;
+    ///
+    /// Takes `&self`: any number of threads may query concurrently. Note
+    /// that unlike [`FilterReplica`](crate::FilterReplica), the subtree
+    /// store itself is not snapshot-isolated — readers must not run
+    /// concurrently with `sync_from` (wrap in a `RwLock` for that, as
+    /// `SubtreeReplicaNode` in `fbdr-core` does).
+    pub fn try_answer(&self, query: &SearchRequest) -> Option<Vec<Entry>> {
+        self.stats.record_query();
         if self.is_fully_answerable(query) {
-            self.stats.hits += 1;
+            self.stats.record_hit();
             Some(self.store.search(query))
         } else {
             None
@@ -271,7 +283,7 @@ mod tests {
         // §3.1.1: minimally directory enabled applications search from the
         // DIT root; a subtree replica can never answer those.
         let m = master();
-        let mut r = us_replica(&m);
+        let r = us_replica(&m);
         let q = SearchRequest::from_root(Filter::parse("(serialNumber=045611)").unwrap());
         assert!(r.try_answer(&q).is_none());
         assert_eq!(r.stats().hit_ratio(), 0.0);
@@ -280,7 +292,7 @@ mod tests {
     #[test]
     fn subtree_query_hit() {
         let m = master();
-        let mut r = us_replica(&m);
+        let r = us_replica(&m);
         let q = SearchRequest::new(
             dn("c=us,o=xyz"),
             Scope::Subtree,

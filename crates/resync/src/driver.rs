@@ -202,8 +202,10 @@ impl<C: Clock> SyncDriver<C> {
     ///
     /// # Errors
     ///
-    /// The final [`SyncError::Unavailable`] when the budget is exhausted;
-    /// any non-transient [`SyncError`] immediately.
+    /// [`SyncError::RetriesExhausted`] wrapping the final transient error
+    /// when the budget runs out (classification delegates to the wrapped
+    /// error, so `is_transient()` still holds); any non-transient
+    /// [`SyncError`] immediately and unwrapped.
     pub fn resync(
         &mut self,
         transport: &mut dyn SyncTransport,
@@ -228,7 +230,10 @@ impl<C: Clock> SyncDriver<C> {
                         || elapsed + sleep > self.config.timeout_budget_ms
                     {
                         self.stats.exhausted += 1;
-                        return Err(e);
+                        return Err(SyncError::RetriesExhausted {
+                            attempts: u64::from(attempt) + 1,
+                            last: Box::new(e),
+                        });
                     }
                     attempt += 1;
                     self.stats.retries += 1;
@@ -341,6 +346,10 @@ mod tests {
         let mut d = SyncDriver::with_clock(cfg, TestClock::default());
         let err = d.resync(&mut t, &req(), ReSyncControl::poll(None)).unwrap_err();
         assert!(err.is_transient());
+        assert!(
+            matches!(err, SyncError::RetriesExhausted { attempts: 4, .. }),
+            "exhaustion is reported with the attempt count: {err}"
+        );
         assert_eq!(calls.get(), 4); // 1 try + 3 retries
         assert_eq!(d.stats().exhausted, 1);
     }

@@ -195,35 +195,83 @@ impl SyncTraffic {
 }
 
 /// Errors from ReSync request handling.
+///
+/// The variants partition into three classes the recovery logic keys on:
+/// *transient* ([`is_transient`](SyncError::is_transient)) — retry the
+/// same request later; *session-fatal*
+/// ([`needs_reinstall`](SyncError::needs_reinstall)) — abandon the session
+/// and reload the content from scratch; everything else is a caller bug
+/// (malformed request) and should propagate.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SyncError {
     /// The cookie does not name a live session (expired or never issued).
+    ///
+    /// Invariant: the carried cookie is exactly the one the caller sent;
+    /// the master holds no state for it, so `abandon` is unnecessary (and
+    /// a no-op) before re-establishing.
     UnknownCookie(Cookie),
     /// A `sync_end` or resume was sent without a cookie.
+    ///
+    /// Invariant: only requests whose mode requires a session (persist
+    /// resume, `sync_end`) produce this; a cookie-less poll is a legal
+    /// session start and never fails this way.
     MissingCookie,
     /// The resumed session was established for a different search request.
+    ///
+    /// Invariant: the session named by the cookie is still live and
+    /// untouched — the caller may continue using it with the original
+    /// request, or `abandon` it.
     RequestMismatch(Cookie),
     /// The master can no longer replay the batch the cookie refers to
     /// (the replay buffer expired or the cookie is from an older exchange).
     /// The replica must re-establish the session with a full reload.
+    ///
+    /// Invariant: the session still exists at the master (unlike
+    /// [`UnknownCookie`](SyncError::UnknownCookie)); the caller should
+    /// `abandon` it before reloading to avoid leaking session state.
     ReplayExpired(Cookie),
     /// The master, or the link to it, is temporarily unavailable. Issued
     /// by transports (fault injection, real networks) rather than the
     /// master itself; retrying later may succeed.
+    ///
+    /// Invariant: no session state changed — the request either never
+    /// reached the master or its response was lost, and the at-least-once
+    /// cookie protocol makes the eventual retry safe.
     Unavailable(String),
+    /// A retrying driver gave up: `attempts` tries all failed, `last`
+    /// being the final error. Produced only by `SyncDriver`, never by the
+    /// master or a transport.
+    ///
+    /// Invariant: `last` is never itself `RetriesExhausted` (the driver
+    /// wraps exactly once), and classification delegates to `last`, so
+    /// recovery logic can treat this wrapper transparently.
+    RetriesExhausted {
+        /// Total attempts made (initial try + retries).
+        attempts: u64,
+        /// The error the final attempt failed with.
+        last: Box<SyncError>,
+    },
 }
 
 impl SyncError {
     /// True when retrying the same request later may succeed without any
     /// session re-establishment.
     pub fn is_transient(&self) -> bool {
-        matches!(self, SyncError::Unavailable(_))
+        match self {
+            SyncError::Unavailable(_) => true,
+            SyncError::RetriesExhausted { last, .. } => last.is_transient(),
+            _ => false,
+        }
     }
 
     /// True when the session is unrecoverable and the replica must start
     /// over with a full content reload.
     pub fn needs_reinstall(&self) -> bool {
-        matches!(self, SyncError::UnknownCookie(_) | SyncError::ReplayExpired(_))
+        match self {
+            SyncError::UnknownCookie(_) | SyncError::ReplayExpired(_) => true,
+            SyncError::RetriesExhausted { last, .. } => last.needs_reinstall(),
+            _ => false,
+        }
     }
 }
 
@@ -239,11 +287,23 @@ impl fmt::Display for SyncError {
                 write!(f, "unacknowledged batch for {c} is no longer replayable")
             }
             SyncError::Unavailable(why) => write!(f, "master unavailable: {why}"),
+            SyncError::RetriesExhausted { attempts, last } => {
+                write!(f, "sync gave up after {attempts} attempts: {last}")
+            }
         }
     }
 }
 
-impl Error for SyncError {}
+impl Error for SyncError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SyncError::RetriesExhausted { last, .. } => Some(last.as_ref()),
+            // The remaining variants are protocol-level root causes with
+            // no underlying error to chain to.
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -304,6 +364,28 @@ mod tests {
         assert!(SyncError::UnknownCookie(Cookie(1)).needs_reinstall());
         assert!(SyncError::ReplayExpired(Cookie(1)).needs_reinstall());
         assert!(!SyncError::MissingCookie.needs_reinstall());
+    }
+
+    #[test]
+    fn exhausted_wrapper_delegates_and_chains() {
+        let e = SyncError::RetriesExhausted {
+            attempts: 3,
+            last: Box::new(SyncError::Unavailable("drop".into())),
+        };
+        // Classification is transparent through the wrapper.
+        assert!(e.is_transient());
+        assert!(!e.needs_reinstall());
+        let e2 = SyncError::RetriesExhausted {
+            attempts: 1,
+            last: Box::new(SyncError::ReplayExpired(Cookie(9))),
+        };
+        assert!(e2.needs_reinstall());
+        // Display names the attempt count and the root cause; source()
+        // chains to it for `anyhow`-style walkers.
+        assert_eq!(e.to_string(), "sync gave up after 3 attempts: master unavailable: drop");
+        let src = e.source().expect("chained source");
+        assert_eq!(src.to_string(), "master unavailable: drop");
+        assert!(src.source().is_none());
     }
 
     #[test]

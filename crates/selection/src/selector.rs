@@ -216,7 +216,7 @@ impl FilterSelector {
                 .then_with(|| a.3.len().cmp(&b.3.len()))
                 .then_with(|| a.3.cmp(&b.3))
         });
-        let mut engine = fbdr_containment::ContainmentEngine::new();
+        let engine = fbdr_containment::ContainmentEngine::new();
         let mut picked: Vec<fbdr_containment::PreparedQuery> = Vec::new();
         let mut used = 0usize;
         let mut out = Vec::new();

@@ -22,7 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .with("objectclass", "person")
             .with("serialNumber", "045612"),
     )?;
-    let mut replica = FilterReplica::new(0);
+    let replica = FilterReplica::new(0);
     replica.install_filter(
         &mut master,
         SearchRequest::from_root(Filter::parse("(serialNumber=0456*)")?),

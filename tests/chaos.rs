@@ -89,7 +89,7 @@ fn chaos_run(seed: u64) -> RunReport {
         master.set_replay_expiry_ops(0);
     }
 
-    let mut replica = FilterReplica::new(0);
+    let replica = FilterReplica::new(0);
     let persist = seed % 4 == 0;
     if persist {
         replica.install_filter_persistent(&mut master, filter_request()).unwrap();
@@ -224,7 +224,7 @@ fn legacy_fire_and_forget_diverges_where_fixed_mode_converges() {
         let clock = SimClock::new();
         let mut master = build_master();
         master.disable_replay();
-        let mut replica = FilterReplica::new(0);
+        let replica = FilterReplica::new(0);
         replica.install_filter(&mut master, filter_request()).unwrap();
         let mut link = FaultyLink::new(master, plan, clock.clone());
         let mut driver = SyncDriver::with_clock(

@@ -45,8 +45,8 @@ fn independent_replicas_converge_independently() {
     let mut m = master();
 
     // Replica A: a serial region. Replica B: one department.
-    let mut a = FilterReplica::new(0);
-    let mut b = FilterReplica::new(0);
+    let a = FilterReplica::new(0);
+    let b = FilterReplica::new(0);
     a.install_filter(&mut m, root_q("(serialNumber=10000*)")).expect("install");
     b.install_filter(&mut m, root_q("(departmentNumber=2401)")).expect("install");
     assert_eq!(m.session_count(), 2);
@@ -87,8 +87,8 @@ fn independent_replicas_converge_independently() {
 #[test]
 fn removing_one_replica_leaves_others_untouched() {
     let mut m = master();
-    let mut a = FilterReplica::new(0);
-    let mut b = FilterReplica::new(0);
+    let a = FilterReplica::new(0);
+    let b = FilterReplica::new(0);
     let qa = root_q("(serialNumber=10000*)");
     a.install_filter(&mut m, qa.clone()).expect("install");
     b.install_filter(&mut m, root_q("(departmentNumber=2400)")).expect("install");
@@ -106,8 +106,8 @@ fn removing_one_replica_leaves_others_untouched() {
 #[test]
 fn mixed_poll_and_persist_replicas() {
     let mut m = master();
-    let mut polling = FilterReplica::new(0);
-    let mut persistent = FilterReplica::new(0);
+    let polling = FilterReplica::new(0);
+    let persistent = FilterReplica::new(0);
     polling.install_filter(&mut m, root_q("(departmentNumber=2402)")).expect("install");
     persistent
         .install_filter_persistent(&mut m, root_q("(departmentNumber=2402)"))
