@@ -6,6 +6,7 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use fbdr_containment::{filter_contained, ContainmentEngine, PreparedQuery};
 use fbdr_dit::{DitStore, Modification, UpdateOp};
 use fbdr_ldap::{Entry, Filter, SearchRequest, Template};
+use fbdr_obs::Obs;
 use fbdr_replica::FilterReplica;
 use fbdr_resync::{ReSyncControl, SyncMaster};
 
@@ -136,6 +137,26 @@ fn bench_replica_answer(c: &mut Criterion) {
     g.finish();
 }
 
+/// The observability acceptance check: `try_answer` with no `Obs`
+/// attached (the branch-cheap disabled path) must run within a few
+/// percent of the pre-instrumentation cost, and even the fully active
+/// metrics path (histograms on, no subscriber) should stay cheap
+/// relative to the answering work itself.
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_overhead_try_answer");
+    let hit = SearchRequest::from_root(Filter::parse("(serialNumber=100150)").expect("ok"));
+    for (name, obs) in [("disabled", Obs::off()), ("metrics_active", Obs::new())] {
+        let mut m = small_master(5_000);
+        let r = FilterReplica::with_obs(0, obs);
+        for i in 0..50 {
+            let f = Filter::parse(&format!("(serialNumber={:05}*)", 10_000 + i)).expect("ok");
+            r.install_filter(&mut m, SearchRequest::from_root(f)).expect("install");
+        }
+        g.bench_function(name, |b| b.iter(|| r.try_answer(black_box(&hit))));
+    }
+    g.finish();
+}
+
 fn bench_store_updates(c: &mut Criterion) {
     c.bench_function("dit_add_100_entries", |b| {
         b.iter(|| {
@@ -188,6 +209,7 @@ criterion_group!(
     bench_dit_search,
     bench_resync_poll,
     bench_replica_answer,
+    bench_obs_overhead,
     bench_store_updates,
     bench_ldif,
     bench_sort,

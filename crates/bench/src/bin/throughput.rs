@@ -87,6 +87,12 @@ fn main() {
         "  speedup (concurrent): {:.2}x   speedup (serialized baseline): {:.2}x",
         report.speedup, report.serialized_speedup
     );
+    for (name, h) in &report.histograms {
+        println!(
+            "  {name}: n={} p50={}ns p90={}ns p99={}ns max={}ns",
+            h.count, h.p50, h.p90, h.p99, h.max
+        );
+    }
     println!("  wrote {out}");
 
     if !(report.speedup >= 2.5) {

@@ -25,12 +25,14 @@
 use crate::setup::{Params, Scale};
 use fbdr_core::experiment::select_static_filters;
 use fbdr_ldap::SearchRequest;
+use fbdr_obs::{HistogramSnapshot, Obs};
 use fbdr_replica::FilterReplica;
 use fbdr_resync::{SyncDriver, SyncMaster};
 use fbdr_selection::generalize::{Generalizer, ValuePrefix};
 use fbdr_workload::EnterpriseDirectory;
 use parking_lot::Mutex;
 use serde::Serialize;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -124,6 +126,11 @@ pub struct ThroughputReport {
     /// Same ratio for the serialized baseline (≈1.0: the old architecture
     /// cannot overlap service latency across readers).
     pub serialized_speedup: f64,
+    /// Per-stage latency histograms accumulated across every run
+    /// (`fbdr_replica_try_answer_ns`, `fbdr_containment_check_ns`,
+    /// `fbdr_resync_exchange_ns`), as p50/p90/p99/max nanosecond
+    /// summaries.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
 
 fn serial_generalizers() -> Vec<Box<dyn Generalizer + Send>> {
@@ -157,9 +164,12 @@ impl Fixture {
         Fixture { dir, trace, filters, updates }
     }
 
-    fn fresh_replica(&self) -> (SyncMaster, FilterReplica) {
+    /// Builds a fresh master/replica pair recording into `obs` (pass
+    /// [`Obs::off`] for an uninstrumented pair).
+    fn fresh_replica(&self, obs: Obs) -> (SyncMaster, FilterReplica) {
         let mut master = SyncMaster::with_dit(self.dir.dit().clone());
-        let replica = FilterReplica::new(32);
+        master.set_obs(obs.clone());
+        let replica = FilterReplica::with_obs(32, obs);
         for f in &self.filters {
             replica
                 .install_filter(&mut master, f.clone())
@@ -174,8 +184,17 @@ impl Fixture {
 /// `serialized` reproduces the pre-redesign architecture: one mutex is
 /// held across the service sleep *and* the answer, exactly like the old
 /// `Mutex<FilterReplica>` node; the writer contends on the same lock.
-fn run_once(fixture: &Fixture, cfg: &ThroughputConfig, threads: usize, serialized: bool) -> RunResult {
-    let (master, replica) = fixture.fresh_replica();
+fn run_once(
+    fixture: &Fixture,
+    cfg: &ThroughputConfig,
+    threads: usize,
+    serialized: bool,
+    obs: &Obs,
+) -> RunResult {
+    let (master, replica) = fixture.fresh_replica(obs.clone());
+    // Stats bound to a shared registry accumulate across runs; measure
+    // this run as a delta.
+    let queries_before = replica.stats().queries;
     let big_lock = Mutex::new(());
     let stop = AtomicBool::new(false);
     let hits = AtomicU64::new(0);
@@ -223,8 +242,9 @@ fn run_once(fixture: &Fixture, cfg: &ThroughputConfig, threads: usize, serialize
             let writer_updates = &writer_updates;
             let updates = &fixture.updates;
             let mut master = master;
+            let obs = obs.clone();
             s.spawn(move || {
-                let mut driver = SyncDriver::default();
+                let mut driver = SyncDriver::default().with_obs(obs);
                 let mut next = 0usize;
                 while !stop.load(Ordering::Relaxed) {
                     // One small update batch, then a sync cycle — the
@@ -253,7 +273,7 @@ fn run_once(fixture: &Fixture, cfg: &ThroughputConfig, threads: usize, serialize
     });
     let elapsed = start.elapsed();
 
-    let queries = replica.stats().queries;
+    let queries = replica.stats().queries - queries_before;
     let elapsed_ms = elapsed.as_secs_f64() * 1e3;
     RunResult {
         mode: if serialized { "serialized" } else { "concurrent" }.into(),
@@ -273,16 +293,19 @@ fn run_once(fixture: &Fixture, cfg: &ThroughputConfig, threads: usize, serialize
 /// runs, and computes the speedups.
 pub fn run(cfg: &ThroughputConfig) -> ThroughputReport {
     let fixture = Fixture::build(cfg);
-    let (_, probe) = fixture.fresh_replica();
+    // One registry accumulates per-stage latency histograms across every
+    // run; the report carries their snapshots.
+    let obs = Obs::new();
+    let (_, probe) = fixture.fresh_replica(Obs::off());
     let filters = probe.filter_count();
     let replica_entries = probe.entry_count();
 
     let mut runs = Vec::new();
     for &threads in &cfg.thread_counts {
-        runs.push(run_once(&fixture, cfg, threads, false));
+        runs.push(run_once(&fixture, cfg, threads, false, &obs));
     }
     for &threads in &cfg.thread_counts {
-        runs.push(run_once(&fixture, cfg, threads, true));
+        runs.push(run_once(&fixture, cfg, threads, true, &obs));
     }
 
     // Pure-CPU reference (no simulated latency, writer off so the runs
@@ -291,7 +314,7 @@ pub fn run(cfg: &ThroughputConfig) -> ThroughputReport {
     let cpu_bound_runs: Vec<RunResult> = cfg
         .thread_counts
         .iter()
-        .map(|&threads| run_once(&fixture, &cpu_cfg, threads, false))
+        .map(|&threads| run_once(&fixture, &cpu_cfg, threads, false, &obs))
         .collect();
 
     let single = runs
@@ -327,6 +350,7 @@ pub fn run(cfg: &ThroughputConfig) -> ThroughputReport {
         multi_thread_qps: multi,
         speedup: multi / single,
         serialized_speedup: ser_multi / ser_single,
+        histograms: obs.registry().snapshot().histograms,
     }
 }
 
@@ -357,7 +381,15 @@ mod tests {
         // The writer made progress during the headline runs.
         assert!(report.runs.iter().any(|r| r.writer_cycles > 0));
         assert!(report.speedup.is_finite());
+        // Per-stage latency histograms are populated: every query passed
+        // through try_answer, and the writer's sync cycles drove resync
+        // exchanges.
+        let answer = &report.histograms["fbdr_replica_try_answer_ns"];
+        assert!(answer.count >= 200 * 6, "all runs recorded: {}", answer.count);
+        assert!(answer.p99 >= answer.p50);
+        assert!(report.histograms.contains_key("fbdr_resync_exchange_ns"));
         let json = serde_json::to_string_pretty(&report).unwrap();
         assert!(json.contains("\"single_thread_qps\""));
+        assert!(json.contains("\"fbdr_replica_try_answer_ns\""));
     }
 }

@@ -6,10 +6,11 @@ use crate::qc::region_contained;
 use crate::same_template::same_template_contained;
 use crate::{filter_contained, Containment};
 use fbdr_ldap::{AttrValue, Filter, SearchRequest, Template};
+use fbdr_obs::{event, Counter, Histogram, MetricsRegistry, Obs};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Counters for the work performed by a [`ContainmentEngine`] — the query
 /// processing overhead the paper studies in §7.4.
@@ -35,29 +36,54 @@ impl EngineStats {
 /// Interior-mutable work counters, so counting does not force `&mut self`
 /// onto the read path. All updates use relaxed ordering: the counters are
 /// monotonic tallies with no ordering relationship to any other data.
-#[derive(Debug, Default)]
+///
+/// When the engine is built with [`ContainmentEngine::with_obs`] these
+/// counters are the registry's `fbdr_containment_*_total` metrics — one
+/// source, so [`ContainmentEngine::stats`] and the metrics export cannot
+/// disagree.
+#[derive(Debug)]
 struct EngineCounters {
-    same_template: AtomicU64,
-    compiled: AtomicU64,
-    skipped_never: AtomicU64,
-    general: AtomicU64,
+    same_template: Arc<Counter>,
+    compiled: Arc<Counter>,
+    skipped_never: Arc<Counter>,
+    general: Arc<Counter>,
+}
+
+impl Default for EngineCounters {
+    fn default() -> Self {
+        EngineCounters {
+            same_template: Arc::new(Counter::new()),
+            compiled: Arc::new(Counter::new()),
+            skipped_never: Arc::new(Counter::new()),
+            general: Arc::new(Counter::new()),
+        }
+    }
 }
 
 impl EngineCounters {
+    fn bound(registry: &MetricsRegistry) -> Self {
+        EngineCounters {
+            same_template: registry.counter("fbdr_containment_same_template_total"),
+            compiled: registry.counter("fbdr_containment_compiled_total"),
+            skipped_never: registry.counter("fbdr_containment_skipped_never_total"),
+            general: registry.counter("fbdr_containment_general_total"),
+        }
+    }
+
     fn snapshot(&self) -> EngineStats {
         EngineStats {
-            same_template: self.same_template.load(Ordering::Relaxed),
-            compiled: self.compiled.load(Ordering::Relaxed),
-            skipped_never: self.skipped_never.load(Ordering::Relaxed),
-            general: self.general.load(Ordering::Relaxed),
+            same_template: self.same_template.get(),
+            compiled: self.compiled.get(),
+            skipped_never: self.skipped_never.get(),
+            general: self.general.get(),
         }
     }
 
     fn reset(&self) {
-        self.same_template.store(0, Ordering::Relaxed);
-        self.compiled.store(0, Ordering::Relaxed);
-        self.skipped_never.store(0, Ordering::Relaxed);
-        self.general.store(0, Ordering::Relaxed);
+        self.same_template.reset();
+        self.compiled.reset();
+        self.skipped_never.reset();
+        self.general.reset();
     }
 }
 
@@ -130,6 +156,10 @@ impl PreparedQuery {
 pub struct ContainmentEngine {
     matrix: RwLock<CrossTemplateMatrix>,
     counters: EngineCounters,
+    obs: Obs,
+    /// Pre-resolved `fbdr_containment_check_ns` histogram; `None` on an
+    /// unobserved engine, so the uninstrumented check costs one branch.
+    check_hist: Option<Arc<Histogram>>,
 }
 
 impl Default for ContainmentEngine {
@@ -137,6 +167,8 @@ impl Default for ContainmentEngine {
         ContainmentEngine {
             matrix: RwLock::new(CrossTemplateMatrix::new()),
             counters: EngineCounters::default(),
+            obs: Obs::off(),
+            check_hist: None,
         }
     }
 }
@@ -145,6 +177,29 @@ impl ContainmentEngine {
     /// Creates an engine with an empty compiled-condition cache.
     pub fn new() -> Self {
         ContainmentEngine::default()
+    }
+
+    /// Creates an observed engine: work counters live in the registry as
+    /// `fbdr_containment_*_total`, every dispatched check is timed into
+    /// the `fbdr_containment_check_ns` histogram, and each decision emits
+    /// a `containment.decision` trace event when a subscriber is
+    /// installed. With [`Obs::off`] this is identical to
+    /// [`ContainmentEngine::new`].
+    pub fn with_obs(obs: Obs) -> Self {
+        if !obs.is_active() {
+            return ContainmentEngine::default();
+        }
+        ContainmentEngine {
+            matrix: RwLock::new(CrossTemplateMatrix::new()),
+            counters: EngineCounters::bound(obs.registry()),
+            check_hist: Some(obs.registry().histogram("fbdr_containment_check_ns")),
+            obs,
+        }
+    }
+
+    /// The observability handle this engine records through.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Work counters accumulated so far. Relaxed-ordering tallies: exact
@@ -166,21 +221,41 @@ impl ContainmentEngine {
     /// Template-aware filter containment: is `q`'s filter contained in
     /// `s`'s filter?
     pub fn filter_contained(&self, q: &PreparedQuery, s: &PreparedQuery) -> bool {
-        if q.template.id() == s.template.id() {
-            self.counters.same_template.fetch_add(1, Ordering::Relaxed);
-            return same_template_contained(q.request.filter(), s.request.filter());
-        }
-        let cond = self.condition_for(&q.template, &s.template);
-        if let Some(cond) = cond {
+        let start = self.check_hist.as_ref().map(|_| Instant::now());
+        let (path, contained) = if q.template.id() == s.template.id() {
+            self.counters.same_template.inc();
+            (
+                "same_template",
+                same_template_contained(q.request.filter(), s.request.filter()),
+            )
+        } else if let Some(cond) = self.condition_for(&q.template, &s.template) {
             if cond.is_never() {
-                self.counters.skipped_never.fetch_add(1, Ordering::Relaxed);
-                return false;
+                self.counters.skipped_never.inc();
+                ("skipped_never", false)
+            } else {
+                self.counters.compiled.inc();
+                ("compiled", cond.eval(&q.values, &s.values))
             }
-            self.counters.compiled.fetch_add(1, Ordering::Relaxed);
-            return cond.eval(&q.values, &s.values);
+        } else {
+            self.counters.general.inc();
+            (
+                "general",
+                filter_contained(q.request.filter(), s.request.filter()) == Containment::Yes,
+            )
+        };
+        if let (Some(h), Some(t)) = (&self.check_hist, start) {
+            h.record_since(t);
         }
-        self.counters.general.fetch_add(1, Ordering::Relaxed);
-        filter_contained(q.request.filter(), s.request.filter()) == Containment::Yes
+        event!(
+            self.obs,
+            "containment",
+            "decision",
+            contained = contained,
+            path = path,
+            cross_template = q.template.id() != s.template.id(),
+            stored_template = s.template.id().to_string(),
+        );
+        contained
     }
 
     /// Full `QC(Q, Qs)` with template-aware filter dispatch: region,

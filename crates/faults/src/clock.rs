@@ -11,6 +11,7 @@ pub struct SimClock {
 }
 
 impl SimClock {
+    /// Creates a clock starting at time zero.
     pub fn new() -> Self {
         SimClock::default()
     }

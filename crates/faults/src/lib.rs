@@ -1,4 +1,16 @@
+#![warn(missing_docs)]
 //! Deterministic, seed-driven fault injection for the sync path.
+//!
+//! The paper's ReSync protocol (§5) is designed around an unreliable
+//! transport: responses carry cookies precisely so that lost or
+//! duplicated messages can be recovered. This crate supplies the
+//! adversary. A [`FaultPlan`] is a seeded schedule of per-operation
+//! fault decisions (drop the request, drop the response, duplicate it,
+//! crash-restart the master, disconnect persist channels, add latency);
+//! [`FaultyLink`] applies it between a replica and its `SyncMaster`, and
+//! [`FaultyService`] in front of any directory node. A [`SimClock`] ties
+//! driver backoff to the plan's simulated latency so whole chaos runs are
+//! replayable bit for bit from one seed.
 
 pub mod clock;
 pub mod link;

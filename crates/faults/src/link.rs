@@ -74,8 +74,12 @@ impl FaultyLink {
     fn crash_restart(&mut self) {
         let snapshot =
             serde_json::to_string(&self.master).expect("master state must serialize");
+        // The observability handle does not survive persistence; carry it
+        // across the restart so metric streams span crashes seamlessly.
+        let obs = self.master.obs().clone();
         self.master =
             serde_json::from_str(&snapshot).expect("master state must deserialize");
+        self.master.set_obs(obs);
     }
 }
 

@@ -26,10 +26,15 @@ pub enum FaultKind {
 /// Everything the link should do to the operation about to run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultDecision {
+    /// Swallow the request before it reaches the master.
     pub drop_request: bool,
+    /// Let the master process the request, then lose the response.
     pub drop_response: bool,
+    /// Deliver the request twice (at-least-once networks re-send).
     pub duplicate: bool,
+    /// Tear down the persist notification channels.
     pub disconnect_persist: bool,
+    /// Crash the master and restart it from its serialized snapshot.
     pub crash_restart: bool,
     /// Simulated network latency for this operation, in milliseconds.
     pub latency_ms: u64,
@@ -71,26 +76,31 @@ pub struct FaultPlanBuilder {
 }
 
 impl FaultPlanBuilder {
+    /// Per-operation probability of [`FaultKind::DropRequest`].
     pub fn drop_request(mut self, p: f64) -> Self {
         self.p_drop_request = p;
         self
     }
 
+    /// Per-operation probability of [`FaultKind::DropResponse`].
     pub fn drop_response(mut self, p: f64) -> Self {
         self.p_drop_response = p;
         self
     }
 
+    /// Per-operation probability of [`FaultKind::Duplicate`].
     pub fn duplicate(mut self, p: f64) -> Self {
         self.p_duplicate = p;
         self
     }
 
+    /// Per-operation probability of [`FaultKind::DisconnectPersist`].
     pub fn disconnect_persist(mut self, p: f64) -> Self {
         self.p_disconnect_persist = p;
         self
     }
 
+    /// Per-operation probability of [`FaultKind::CrashRestart`].
     pub fn crash_restart(mut self, p: f64) -> Self {
         self.p_crash_restart = p;
         self
@@ -117,6 +127,7 @@ impl FaultPlanBuilder {
         self
     }
 
+    /// Seals the configuration into a replayable [`FaultPlan`].
     pub fn build(self) -> FaultPlan {
         FaultPlan { rng: StdRng::seed_from_u64(self.seed), op: 0, config: self }
     }

@@ -4,6 +4,7 @@ use crate::cost::OpStats;
 use crate::server::ServerOutcome;
 use crate::Network;
 use fbdr_ldap::{Dn, Entry, Scope, SearchRequest};
+use fbdr_obs::event;
 use std::collections::{HashSet, VecDeque};
 use std::error::Error;
 use std::fmt;
@@ -149,6 +150,14 @@ impl<'a> Client<'a> {
                 ServerOutcome::DefaultReferral(next) => {
                     stats.referrals_received += 1;
                     stats.bytes_received += next.len() as u64 + overhead;
+                    event!(
+                        self.net.obs(),
+                        "net",
+                        "referral",
+                        kind = "default",
+                        from = url.as_str(),
+                        to = next.as_str(),
+                    );
                     queue.push_back((next, request, false));
                 }
                 ServerOutcome::NoSuchObject => {
@@ -171,6 +180,15 @@ impl<'a> Client<'a> {
                     for (base, next_url) in continuations {
                         stats.referrals_received += 1;
                         stats.bytes_received += (base.to_string().len() + next_url.len()) as u64 + overhead;
+                        event!(
+                            self.net.obs(),
+                            "net",
+                            "referral",
+                            kind = "continuation",
+                            from = url.as_str(),
+                            to = next_url.as_str(),
+                            base = base.to_string(),
+                        );
                         let next_req = continuation_request(&request, base);
                         queue.push_back((next_url, next_req, false));
                     }
@@ -178,6 +196,16 @@ impl<'a> Client<'a> {
             }
         }
         self.total.absorb(&stats);
+        let obs = self.net.obs();
+        if obs.is_active() {
+            let reg = obs.registry();
+            reg.counter("fbdr_net_searches_total").inc();
+            reg.counter("fbdr_net_round_trips_total").add(stats.round_trips);
+            reg.counter("fbdr_net_referrals_total").add(stats.referrals_received);
+            if !unreachable.is_empty() {
+                reg.counter("fbdr_net_partial_results_total").inc();
+            }
+        }
         Ok(SearchResult { entries, stats, unreachable })
     }
 }

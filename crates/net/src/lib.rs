@@ -50,6 +50,7 @@ pub use cost::{CostModel, OpStats};
 pub use server::{Server, ServerOutcome};
 pub use service::DirectoryService;
 
+use fbdr_obs::Obs;
 use std::collections::HashMap;
 
 /// A set of directory nodes jointly serving a namespace: master servers
@@ -59,6 +60,9 @@ use std::collections::HashMap;
 pub struct Network {
     servers: HashMap<String, Box<dyn DirectoryService>>,
     cost: CostModel,
+    /// Observability handle shared with clients created via
+    /// [`Network::client`]; [`Obs::off`] unless attached.
+    obs: Obs,
 }
 
 impl Network {
@@ -69,7 +73,19 @@ impl Network {
 
     /// Creates an empty network with an explicit cost model.
     pub fn with_cost(cost: CostModel) -> Self {
-        Network { servers: HashMap::new(), cost }
+        Network { cost, ..Network::default() }
+    }
+
+    /// Attaches observability: clients created via [`Network::client`]
+    /// count searches, round trips and referrals into the registry and
+    /// emit `net.referral` trace events while chasing.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// The observability handle clients of this network record through.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Adds (or replaces) a master server, keyed by its URL.

@@ -1,0 +1,234 @@
+//! The tracing half of the crate: structured [`Event`]s, the pluggable
+//! [`Subscriber`] trait, and a bounded [`RingBuffer`] recorder used by
+//! tests and examples to assert on emitted events.
+//!
+//! Events are flat: a `target` (the subsystem, e.g. `"resync"`), a `name`
+//! (the moment, e.g. `"redelivery"`) and a small list of typed fields.
+//! There is no global dispatcher — an [`Obs`](crate::Obs) handle owns at
+//! most one subscriber, and instrumented components check a plain bool
+//! before building any event, so the disabled path costs one branch.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Mutex;
+
+/// A typed field value attached to an [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer (counts, sequence numbers, nanoseconds).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (ratios, scores).
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Text (variant names, filter strings).
+    Str(String),
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+macro_rules! impl_from_field {
+    ($($ty:ty => $variant:ident as $cast:ty),* $(,)?) => {
+        $(impl From<$ty> for FieldValue {
+            fn from(v: $ty) -> Self {
+                FieldValue::$variant(v as $cast)
+            }
+        })*
+    };
+}
+
+impl_from_field! {
+    u64 => U64 as u64,
+    u32 => U64 as u64,
+    u16 => U64 as u64,
+    usize => U64 as u64,
+    i64 => I64 as i64,
+    i32 => I64 as i64,
+    f64 => F64 as f64,
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_owned())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// One structured trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// The emitting subsystem (`"containment"`, `"resync"`, ...).
+    pub target: &'static str,
+    /// The moment within the subsystem (`"decision"`, `"redelivery"`, ...).
+    pub name: &'static str,
+    /// Typed key/value payload, in emission order.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl Event {
+    /// The value of field `key`, if present.
+    pub fn field(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// The value of field `key` as a `u64` (also accepts non-negative
+    /// `I64` values).
+    pub fn u64_field(&self, key: &str) -> Option<u64> {
+        match self.field(key)? {
+            FieldValue::U64(v) => Some(*v),
+            FieldValue::I64(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.target, self.name)?;
+        for (k, v) in &self.fields {
+            write!(f, " {k}={v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Receives every event emitted through an [`Obs`](crate::Obs) handle
+/// whose tracing is enabled. Implementations must be cheap and must not
+/// call back into the instrumented component.
+pub trait Subscriber: Send + Sync {
+    /// Called once per emitted event, on the emitting thread.
+    fn on_event(&self, event: &Event);
+}
+
+/// A bounded in-memory event recorder: keeps the most recent `capacity`
+/// events, dropping the oldest. The subscriber of choice for tests and
+/// examples — assertions read back exactly what the instrumented code
+/// emitted.
+#[derive(Debug)]
+pub struct RingBuffer {
+    capacity: usize,
+    events: Mutex<VecDeque<Event>>,
+}
+
+impl RingBuffer {
+    /// A recorder keeping at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        RingBuffer {
+            capacity: capacity.max(1),
+            events: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// A copy of the recorded events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Recorded events matching `target` and `name`.
+    pub fn named(&self, target: &str, name: &str) -> Vec<Event> {
+        self.events
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|e| e.target == target && e.name == name)
+            .cloned()
+            .collect()
+    }
+
+    /// Number of recorded events matching `target` and `name`.
+    pub fn count(&self, target: &str, name: &str) -> usize {
+        self.events
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|e| e.target == target && e.name == name)
+            .count()
+    }
+
+    /// Total events currently held (after any eviction).
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    /// True when nothing has been recorded (or everything was cleared).
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().unwrap().is_empty()
+    }
+
+    /// Discards all recorded events.
+    pub fn clear(&self) {
+        self.events.lock().unwrap().clear();
+    }
+}
+
+impl Subscriber for RingBuffer {
+    fn on_event(&self, event: &Event) {
+        let mut q = self.events.lock().unwrap();
+        if q.len() == self.capacity {
+            q.pop_front();
+        }
+        q.push_back(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &'static str, seq: u64) -> Event {
+        Event {
+            target: "test",
+            name,
+            fields: vec![("seq", FieldValue::U64(seq))],
+        }
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let rb = RingBuffer::new(2);
+        rb.on_event(&ev("a", 1));
+        rb.on_event(&ev("a", 2));
+        rb.on_event(&ev("b", 3));
+        assert_eq!(rb.len(), 2);
+        assert_eq!(rb.count("test", "a"), 1);
+        assert_eq!(rb.named("test", "b")[0].u64_field("seq"), Some(3));
+    }
+
+    #[test]
+    fn field_lookup_and_display() {
+        let e = Event {
+            target: "resync",
+            name: "redelivery",
+            fields: vec![
+                ("seq", FieldValue::U64(7)),
+                ("mode", FieldValue::Str("poll".into())),
+            ],
+        };
+        assert_eq!(e.u64_field("seq"), Some(7));
+        assert_eq!(e.field("mode"), Some(&FieldValue::Str("poll".into())));
+        assert_eq!(e.to_string(), "resync.redelivery seq=7 mode=\"poll\"");
+    }
+}

@@ -6,6 +6,7 @@ use crate::stats::{AtomicReplicaStats, ReplicaStats};
 use crossbeam::channel::{Receiver, TryRecvError};
 use fbdr_containment::{ContainmentEngine, EngineStats, PreparedQuery};
 use fbdr_ldap::{Entry, SearchRequest};
+use fbdr_obs::{event, Histogram, Obs};
 use fbdr_resync::{
     Clock, Cookie, ReSyncControl, SyncAction, SyncDriver, SyncError, SyncMaster, SyncTransport,
     SyncTraffic,
@@ -14,6 +15,7 @@ use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Why a query's content is stored in the replica.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -141,20 +143,51 @@ pub struct FilterReplica {
     engine: ContainmentEngine,
     stats: AtomicReplicaStats,
     writer: Mutex<WriterState>,
+    obs: Obs,
+    /// Pre-resolved `fbdr_replica_try_answer_ns` histogram; `None` on an
+    /// unobserved replica, so the fast path pays one branch, no clock.
+    answer_hist: Option<Arc<Histogram>>,
 }
 
 impl FilterReplica {
     /// Creates a replica that caches up to `cache_window` recent user
     /// queries (0 disables query caching).
     pub fn new(cache_window: usize) -> Self {
+        FilterReplica::with_obs(cache_window, Obs::off())
+    }
+
+    /// Creates an observed replica: hit counters become the registry's
+    /// `fbdr_replica_*_total` metrics (one counter source — see
+    /// [`AtomicReplicaStats::bound`]), every
+    /// [`try_answer`](FilterReplica::try_answer) is timed into
+    /// `fbdr_replica_try_answer_ns`, the embedded [`ContainmentEngine`]
+    /// records through the same handle, and QC hits/misses plus epoch
+    /// publishes emit trace events when a subscriber is installed. With
+    /// [`Obs::off`] this is identical to [`FilterReplica::new`].
+    pub fn with_obs(cache_window: usize, obs: Obs) -> Self {
+        let (stats, answer_hist) = if obs.is_active() {
+            (
+                AtomicReplicaStats::bound(obs.registry()),
+                Some(obs.registry().histogram("fbdr_replica_try_answer_ns")),
+            )
+        } else {
+            (AtomicReplicaStats::new(), None)
+        };
         FilterReplica {
             content: RwLock::new(Arc::new(ContentSnapshot::empty())),
             cache: QueryCache::default(),
             cache_window,
-            engine: ContainmentEngine::new(),
-            stats: AtomicReplicaStats::new(),
+            engine: ContainmentEngine::with_obs(obs.clone()),
+            stats,
             writer: Mutex::new(WriterState::default()),
+            obs,
+            answer_hist,
         }
+    }
+
+    /// The observability handle this replica records through.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The current content snapshot (lock held only for the `Arc` clone).
@@ -164,6 +197,14 @@ impl FilterReplica {
 
     /// Publishes a new snapshot; the write lock is held only for the swap.
     fn publish(&self, snap: ContentSnapshot) {
+        event!(
+            self.obs,
+            "replica",
+            "epoch_publish",
+            epoch = snap.epoch,
+            filters = snap.filters.len(),
+            entries = snap.entries.len(),
+        );
         *self.content.write() = Arc::new(snap);
     }
 
@@ -343,6 +384,7 @@ impl FilterReplica {
             if disconnected {
                 session.notifications = None;
                 self.stats.record_poll_fallback();
+                event!(self.obs, "replica", "poll_fallback", filter_index = i);
             }
         }
         if changed {
@@ -489,6 +531,7 @@ impl FilterReplica {
                     // Budget exhausted: serve what we have until the next
                     // cycle rather than failing the whole replica.
                     Arc::make_mut(&mut filters[i]).stale = true;
+                    event!(self.obs, "replica", "filter_stale", filter_index = i, reason = "sync");
                     continue;
                 }
                 Err(e) if e.needs_reinstall() => {
@@ -511,6 +554,13 @@ impl FilterReplica {
                             // Even the reinstall could not get through;
                             // the old content is still the best answer.
                             Arc::make_mut(&mut filters[i]).stale = true;
+                            event!(
+                                self.obs,
+                                "replica",
+                                "filter_stale",
+                                filter_index = i,
+                                reason = "reinstall",
+                            );
                             continue;
                         }
                         Err(e) => {
@@ -608,7 +658,48 @@ impl FilterReplica {
     /// Takes `&self` and is safe to call from any number of threads
     /// concurrently with each other and with a writer running a sync
     /// cycle: the answer is computed against one consistent content epoch.
+    ///
+    /// ```
+    /// use fbdr_ldap::{Entry, Filter, SearchRequest};
+    /// use fbdr_replica::FilterReplica;
+    /// use fbdr_resync::SyncMaster;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut master = SyncMaster::new();
+    /// master.dit_mut().add_suffix("o=xyz".parse()?);
+    /// master.dit_mut().add(Entry::new("o=xyz".parse()?))?;
+    /// master.dit_mut().add(
+    ///     Entry::new("cn=a,o=xyz".parse()?).with("serialNumber", "045612"),
+    /// )?;
+    ///
+    /// let replica = FilterReplica::new(0);
+    /// replica.install_filter(
+    ///     &mut master,
+    ///     SearchRequest::from_root(Filter::parse("(serialNumber=0456*)")?),
+    /// )?;
+    ///
+    /// // Contained in the stored filter → answered locally.
+    /// let hit = SearchRequest::from_root(Filter::parse("(serialNumber=045612)")?);
+    /// assert_eq!(replica.try_answer(&hit).unwrap().len(), 1);
+    /// // Not contained → miss (the caller would chase a referral).
+    /// let miss = SearchRequest::from_root(Filter::parse("(serialNumber=9*)")?);
+    /// assert!(replica.try_answer(&miss).is_none());
+    /// assert_eq!(replica.stats().hits, 1);
+    /// # Ok(())
+    /// # }
+    /// ```
     pub fn try_answer(&self, query: &SearchRequest) -> Option<Vec<Entry>> {
+        let start = self.answer_hist.as_ref().map(|_| Instant::now());
+        let out = self.answer_inner(query);
+        if let (Some(h), Some(t)) = (&self.answer_hist, start) {
+            h.record_since(t);
+        }
+        out
+    }
+
+    /// The answer path proper; [`FilterReplica::try_answer`] wraps it
+    /// with the latency measurement.
+    fn answer_inner(&self, query: &SearchRequest) -> Option<Vec<Entry>> {
         self.stats.record_query();
         let prepared = PreparedQuery::new(query.clone());
         let snap = self.snapshot();
@@ -617,6 +708,14 @@ impl FilterReplica {
             if self.engine.query_contained(&prepared, &sf.prepared) {
                 sf.hits.fetch_add(1, Ordering::Relaxed);
                 self.stats.record_generalized_hit(sf.stale);
+                event!(
+                    self.obs,
+                    "replica",
+                    "qc_hit",
+                    kind = "generalized",
+                    stale = sf.stale,
+                    epoch = snap.epoch,
+                );
                 return Some(evaluate(&snap.entries, query, &sf.dns));
             }
         }
@@ -624,9 +723,17 @@ impl FilterReplica {
             if self.engine.query_contained(&prepared, &cq.prepared) {
                 cq.hits.fetch_add(1, Ordering::Relaxed);
                 self.stats.record_cache_hit();
+                event!(self.obs, "replica", "qc_hit", kind = "cached", epoch = snap.epoch);
                 return Some(evaluate_cached(query, &cq.entries));
             }
         }
+        event!(
+            self.obs,
+            "replica",
+            "qc_miss",
+            epoch = snap.epoch,
+            filters = snap.filters.len(),
+        );
         None
     }
 

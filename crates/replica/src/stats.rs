@@ -1,7 +1,8 @@
 //! Hit-ratio accounting shared by both replica models.
 
+use fbdr_obs::{Counter, MetricsRegistry};
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Query-answering statistics for a replica.
 ///
@@ -41,9 +42,10 @@ impl ReplicaStats {
     }
 }
 
-/// Interior-mutable [`ReplicaStats`]: each counter is an [`AtomicU64`]
-/// bumped with `fetch_add(1, Relaxed)`, so the query path needs only
-/// `&self` and concurrent readers never contend on a lock just to count.
+/// Interior-mutable [`ReplicaStats`]: each counter is an atomic
+/// [`Counter`] bumped with `fetch_add(1, Relaxed)`, so the query path
+/// needs only `&self` and concurrent readers never contend on a lock just
+/// to count.
 ///
 /// Ordering guarantees: relaxed operations make each counter individually
 /// exact (no lost increments) but establish **no ordering between
@@ -52,73 +54,107 @@ impl ReplicaStats {
 /// the same query (so `hits <= queries` can transiently be violated by at
 /// most the number of in-flight queries). Once all readers quiesce, a
 /// snapshot is exact.
-#[derive(Debug, Default)]
+///
+/// When built with [`AtomicReplicaStats::bound`], the counters **are**
+/// the `fbdr_replica_*` counters of a [`MetricsRegistry`]: the registry
+/// export and [`snapshot`](AtomicReplicaStats::snapshot) read the same
+/// atomics and cannot disagree. [`AtomicReplicaStats::new`] creates
+/// free-standing counters for unobserved replicas.
+#[derive(Debug)]
 pub struct AtomicReplicaStats {
-    queries: AtomicU64,
-    hits: AtomicU64,
-    generalized_hits: AtomicU64,
-    cache_hits: AtomicU64,
-    stale_serves: AtomicU64,
-    poll_fallbacks: AtomicU64,
+    queries: Arc<Counter>,
+    hits: Arc<Counter>,
+    generalized_hits: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    stale_serves: Arc<Counter>,
+    poll_fallbacks: Arc<Counter>,
+}
+
+impl Default for AtomicReplicaStats {
+    fn default() -> Self {
+        AtomicReplicaStats::new()
+    }
 }
 
 impl AtomicReplicaStats {
-    /// A fresh zeroed counter set.
+    /// A fresh zeroed counter set, not attached to any registry.
     pub fn new() -> Self {
-        AtomicReplicaStats::default()
+        AtomicReplicaStats {
+            queries: Arc::new(Counter::new()),
+            hits: Arc::new(Counter::new()),
+            generalized_hits: Arc::new(Counter::new()),
+            cache_hits: Arc::new(Counter::new()),
+            stale_serves: Arc::new(Counter::new()),
+            poll_fallbacks: Arc::new(Counter::new()),
+        }
+    }
+
+    /// A counter set whose atomics live in `registry` under the
+    /// `fbdr_replica_*` metric names — the single source both for
+    /// [`snapshot`](AtomicReplicaStats::snapshot) and the registry's
+    /// Prometheus/JSON export.
+    pub fn bound(registry: &MetricsRegistry) -> Self {
+        AtomicReplicaStats {
+            queries: registry.counter("fbdr_replica_queries_total"),
+            hits: registry.counter("fbdr_replica_hits_total"),
+            generalized_hits: registry.counter("fbdr_replica_generalized_hits_total"),
+            cache_hits: registry.counter("fbdr_replica_cache_hits_total"),
+            stale_serves: registry.counter("fbdr_replica_stale_serves_total"),
+            poll_fallbacks: registry.counter("fbdr_replica_poll_fallbacks_total"),
+        }
     }
 
     /// Counts a received query.
     pub fn record_query(&self) {
-        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.queries.inc();
     }
 
     /// Counts a hit answered by a generalized (synchronized) filter;
     /// `stale` additionally counts a stale serve.
     pub fn record_generalized_hit(&self, stale: bool) {
-        self.hits.fetch_add(1, Ordering::Relaxed);
-        self.generalized_hits.fetch_add(1, Ordering::Relaxed);
+        self.hits.inc();
+        self.generalized_hits.inc();
         if stale {
-            self.stale_serves.fetch_add(1, Ordering::Relaxed);
+            self.stale_serves.inc();
         }
     }
 
     /// Counts a hit answered by a cached recent user query.
     pub fn record_cache_hit(&self) {
-        self.hits.fetch_add(1, Ordering::Relaxed);
-        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.hits.inc();
+        self.cache_hits.inc();
     }
 
     /// Counts a plain hit (subtree model: no generalized/cached split).
     pub fn record_hit(&self) {
-        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.hits.inc();
     }
 
     /// Counts a persist→poll degradation.
     pub fn record_poll_fallback(&self) {
-        self.poll_fallbacks.fetch_add(1, Ordering::Relaxed);
+        self.poll_fallbacks.inc();
     }
 
     /// A point-in-time copy of the counters as a plain [`ReplicaStats`].
     pub fn snapshot(&self) -> ReplicaStats {
         ReplicaStats {
-            queries: self.queries.load(Ordering::Relaxed),
-            hits: self.hits.load(Ordering::Relaxed),
-            generalized_hits: self.generalized_hits.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            stale_serves: self.stale_serves.load(Ordering::Relaxed),
-            poll_fallbacks: self.poll_fallbacks.load(Ordering::Relaxed),
+            queries: self.queries.get(),
+            hits: self.hits.get(),
+            generalized_hits: self.generalized_hits.get(),
+            cache_hits: self.cache_hits.get(),
+            stale_serves: self.stale_serves.get(),
+            poll_fallbacks: self.poll_fallbacks.get(),
         }
     }
 
     /// Zeroes all counters (e.g. after the training day).
     pub fn reset(&self) {
-        self.queries.store(0, Ordering::Relaxed);
-        self.hits.store(0, Ordering::Relaxed);
-        self.generalized_hits.store(0, Ordering::Relaxed);
-        self.cache_hits.store(0, Ordering::Relaxed);
-        self.stale_serves.store(0, Ordering::Relaxed);
-        self.poll_fallbacks.store(0, Ordering::Relaxed);
+        self.queries.reset();
+        self.hits.reset();
+        self.generalized_hits.reset();
+        self.cache_hits.reset();
+        self.stale_serves.reset();
+        self.poll_fallbacks.reset();
     }
 }
 
@@ -161,6 +197,22 @@ mod tests {
         assert_eq!(s.poll_fallbacks, 1);
         a.reset();
         assert_eq!(a.snapshot(), ReplicaStats::default());
+    }
+
+    #[test]
+    fn bound_stats_share_registry_atomics() {
+        let registry = MetricsRegistry::new();
+        let stats = AtomicReplicaStats::bound(&registry);
+        stats.record_query();
+        stats.record_generalized_hit(true);
+        // One counter source: the registry export reads the same atomics.
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["fbdr_replica_queries_total"], 1);
+        assert_eq!(snap.counters["fbdr_replica_hits_total"], 1);
+        assert_eq!(snap.counters["fbdr_replica_stale_serves_total"], 1);
+        // And increments through the registry are visible in snapshot().
+        registry.counter("fbdr_replica_queries_total").inc();
+        assert_eq!(stats.snapshot().queries, 2);
     }
 
     #[test]

@@ -13,7 +13,10 @@ use crate::Cookie;
 use crate::SyncMaster;
 use crossbeam::channel::Receiver;
 use fbdr_ldap::SearchRequest;
+use fbdr_obs::{event, Histogram, Obs};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// A source of (possibly simulated) milliseconds and sleeps.
 pub trait Clock {
@@ -146,12 +149,38 @@ impl DriverStats {
 }
 
 /// Retrying wrapper around a [`SyncTransport`].
+///
+/// ```
+/// use fbdr_ldap::{Entry, Filter, SearchRequest};
+/// use fbdr_resync::{ReSyncControl, SyncDriver, SyncMaster, SyncTransport};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut master = SyncMaster::new();
+/// master.dit_mut().add_suffix("o=xyz".parse()?);
+/// master.dit_mut().add(Entry::new("o=xyz".parse()?))?;
+/// master.dit_mut().add(Entry::new("cn=a,o=xyz".parse()?).with("dept", "7"))?;
+///
+/// // The master itself is a (perfectly reliable) transport; a driver
+/// // retries whatever transport it is given.
+/// let mut driver = SyncDriver::default();
+/// let request = SearchRequest::from_root(Filter::parse("(dept=7)")?);
+/// let resp = driver.resync(&mut master, &request, ReSyncControl::poll(None))?;
+/// assert_eq!(resp.actions.len(), 1);
+/// assert_eq!(driver.stats().attempts, 1);
+/// assert_eq!(driver.stats().retries, 0);
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug)]
 pub struct SyncDriver<C: Clock = SystemClock> {
     clock: C,
     config: RetryConfig,
     jitter_state: u64,
     stats: DriverStats,
+    obs: Obs,
+    /// Pre-resolved `fbdr_resync_exchange_ns` histogram; `None` on an
+    /// unobserved driver.
+    exchange_hist: Option<Arc<Histogram>>,
 }
 
 impl SyncDriver<SystemClock> {
@@ -171,7 +200,30 @@ impl<C: Clock> SyncDriver<C> {
     /// A driver on an explicit clock (e.g. simulated time in tests).
     pub fn with_clock(config: RetryConfig, clock: C) -> Self {
         let jitter_state = config.jitter_seed ^ 0x9E37_79B9_7F4A_7C15;
-        SyncDriver { clock, config, jitter_state, stats: DriverStats::default() }
+        SyncDriver {
+            clock,
+            config,
+            jitter_state,
+            stats: DriverStats::default(),
+            obs: Obs::off(),
+            exchange_hist: None,
+        }
+    }
+
+    /// Attaches observability: every exchange is timed into the
+    /// `fbdr_resync_exchange_ns` histogram, degradation-ladder
+    /// transitions (retry → reinstall → serve-stale) are mirrored into
+    /// `fbdr_resync_*_total` registry counters, and `driver.*` trace
+    /// events are emitted when a subscriber is installed.
+    ///
+    /// [`SyncDriver::stats`] stays per-driver; the registry counters
+    /// aggregate across every driver sharing the same [`Obs`].
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.exchange_hist = obs
+            .is_active()
+            .then(|| obs.registry().histogram("fbdr_resync_exchange_ns"));
+        self.obs = obs;
+        self
     }
 
     /// The retry policy in force.
@@ -188,12 +240,20 @@ impl<C: Clock> SyncDriver<C> {
     /// observes a disconnected notification channel).
     pub fn note_poll_fallback(&mut self) {
         self.stats.poll_fallbacks += 1;
+        if self.obs.is_active() {
+            self.obs.registry().counter("fbdr_resync_poll_fallbacks_total").inc();
+        }
+        event!(self.obs, "driver", "poll_fallback");
     }
 
     /// Counts a full reinstall (recorded by the replica when a session
     /// proves unrecoverable and the content is reloaded from scratch).
     pub fn note_reinstall(&mut self) {
         self.stats.reinstalls += 1;
+        if self.obs.is_active() {
+            self.obs.registry().counter("fbdr_resync_reinstalls_total").inc();
+        }
+        event!(self.obs, "driver", "reinstall");
     }
 
     /// Performs one resync exchange, retrying transient failures with
@@ -213,15 +273,20 @@ impl<C: Clock> SyncDriver<C> {
         ctl: ReSyncControl,
     ) -> Result<SyncResponse, SyncError> {
         let start = self.clock.now_ms();
+        let timer = self.exchange_hist.as_ref().map(|_| Instant::now());
         let mut attempt: u32 = 0;
-        loop {
+        let out = loop {
             self.stats.attempts += 1;
             match transport.resync(request, ctl) {
                 Ok(resp) => {
                     if attempt > 0 {
                         self.stats.recovered += 1;
+                        if self.obs.is_active() {
+                            self.obs.registry().counter("fbdr_resync_recovered_total").inc();
+                        }
+                        event!(self.obs, "driver", "recovered", attempts = attempt + 1);
                     }
-                    return Ok(resp);
+                    break Ok(resp);
                 }
                 Err(e) if e.is_transient() => {
                     let sleep = self.backoff_ms(attempt);
@@ -230,18 +295,30 @@ impl<C: Clock> SyncDriver<C> {
                         || elapsed + sleep > self.config.timeout_budget_ms
                     {
                         self.stats.exhausted += 1;
-                        return Err(SyncError::RetriesExhausted {
+                        if self.obs.is_active() {
+                            self.obs.registry().counter("fbdr_resync_exhausted_total").inc();
+                        }
+                        event!(self.obs, "driver", "exhausted", attempts = attempt + 1);
+                        break Err(SyncError::RetriesExhausted {
                             attempts: u64::from(attempt) + 1,
                             last: Box::new(e),
                         });
                     }
                     attempt += 1;
                     self.stats.retries += 1;
+                    if self.obs.is_active() {
+                        self.obs.registry().counter("fbdr_resync_retries_total").inc();
+                    }
+                    event!(self.obs, "driver", "retry", attempt = attempt, backoff_ms = sleep);
                     self.clock.sleep_ms(sleep);
                 }
-                Err(e) => return Err(e),
+                Err(e) => break Err(e),
             }
+        };
+        if let (Some(h), Some(t)) = (&self.exchange_hist, timer) {
+            h.record_since(t);
         }
+        out
     }
 
     /// The backoff before retry number `attempt + 1`: an exponentially

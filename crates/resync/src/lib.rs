@@ -67,4 +67,7 @@ mod protocol;
 pub use content::ReplicaContent;
 pub use driver::{Clock, DriverStats, RetryConfig, SyncDriver, SyncTransport, SystemClock};
 pub use master::SyncMaster;
-pub use protocol::{Cookie, ReSyncControl, SyncAction, SyncError, SyncMode, SyncResponse, SyncTraffic};
+pub use protocol::{
+    ActionCounts, Cookie, ReSyncControl, SyncAction, SyncError, SyncMode, SyncResponse,
+    SyncTraffic,
+};

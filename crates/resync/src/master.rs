@@ -6,6 +6,7 @@ use crate::protocol::{
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use fbdr_dit::{ChangeRecord, DitError, DitStore, UpdateOp};
 use fbdr_ldap::{Dn, Entry, SearchRequest};
+use fbdr_obs::{event, Obs};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
@@ -70,6 +71,11 @@ pub struct SyncMaster {
     replay_expiry_ops: Option<u64>,
     /// How many responses were re-delivered from the replay buffer.
     redeliveries: u64,
+    /// Process-local observability; not persisted (a restored master
+    /// starts with [`Obs::off`] and can be re-attached via
+    /// [`SyncMaster::set_obs`], like reopening a connection).
+    #[serde(skip)]
+    obs: Obs,
 }
 
 impl SyncMaster {
@@ -109,6 +115,24 @@ impl SyncMaster {
     /// duplicated delivery was recovered).
     pub fn redeliveries(&self) -> u64 {
         self.redeliveries
+    }
+
+    /// Attaches observability: resync exchanges increment
+    /// `fbdr_resync_requests_total`/`fbdr_resync_redeliveries_total`/
+    /// `fbdr_resync_expired_total` and emit `resync.*` trace events
+    /// (request/response/redelivery/expiry, with cookie sequence numbers
+    /// and entry-action counts).
+    ///
+    /// The handle does not survive [serialization](SyncMaster): a
+    /// restored master starts detached, exactly like its persist
+    /// channels.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// The observability handle this master records through.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Bounds the replay buffer: a pending batch older than `ops` applied
@@ -194,6 +218,21 @@ impl SyncMaster {
     /// for a different search request, and [`SyncError::ReplayExpired`]
     /// when a lost batch can no longer be replayed.
     pub fn resync(&mut self, request: &SearchRequest, ctl: ReSyncControl) -> Result<SyncResponse, SyncError> {
+        if self.obs.is_active() {
+            self.obs.registry().counter("fbdr_resync_requests_total").inc();
+        }
+        event!(
+            self.obs,
+            "resync",
+            "request",
+            mode = match ctl.mode {
+                SyncMode::Poll => "poll",
+                SyncMode::Persist => "persist",
+                SyncMode::SyncEnd => "sync_end",
+            },
+            seq = ctl.cookie.map_or(0, |c| c.seq()),
+            fresh = ctl.cookie.is_none(),
+        );
         match ctl.mode {
             SyncMode::SyncEnd => {
                 let cookie = ctl.cookie.ok_or(SyncError::MissingCookie)?;
@@ -237,26 +276,72 @@ impl SyncMaster {
                     .is_some_and(|limit| ops_applied.saturating_sub(session.pending_at) > limit);
                 match (&session.pending, expired) {
                     (Some(batch), false) => redelivery = Some(batch.clone()),
-                    _ => return Err(SyncError::ReplayExpired(c)),
+                    _ => {
+                        self.note_expiry(c, "pending batch past replay window");
+                        return Err(SyncError::ReplayExpired(c));
+                    }
                 }
             } else {
                 // A cookie from an older exchange: the replica's view is
                 // more than one batch behind and cannot be repaired
                 // incrementally.
+                self.note_expiry(c, "cookie more than one batch behind");
                 return Err(SyncError::ReplayExpired(c));
             }
         }
         if let Some(actions) = redelivery {
-            let cookie = Cookie::new(sid as u32, session.seq);
+            let seq = self.sessions[&sid].seq;
+            let cookie = Cookie::new(sid as u32, seq);
             self.redeliveries += 1;
-            return Ok(SyncResponse { actions, cookie: Some(cookie), redelivered: true });
+            if self.obs.is_active() {
+                self.obs.registry().counter("fbdr_resync_redeliveries_total").inc();
+            }
+            let resp = SyncResponse { actions, cookie: Some(cookie), redelivered: true };
+            event!(
+                self.obs,
+                "resync",
+                "redelivery",
+                seq = seq,
+                actions = resp.actions.len(),
+            );
+            return Ok(resp);
         }
         let actions = session.drain_actions(&self.dit);
         session.seq = session.seq.wrapping_add(1);
         session.pending = Some(actions.clone());
         session.pending_at = ops_applied;
         let cookie = Cookie::new(sid as u32, session.seq);
-        Ok(SyncResponse { actions, cookie: Some(cookie), redelivered: false })
+        let resp = SyncResponse { actions, cookie: Some(cookie), redelivered: false };
+        if self.obs.tracing_enabled() {
+            let counts = resp.action_counts();
+            event!(
+                self.obs,
+                "resync",
+                "response",
+                seq = cookie.seq(),
+                adds = counts.adds,
+                modifies = counts.modifies,
+                deletes = counts.deletes,
+                retains = counts.retains,
+            );
+        }
+        Ok(resp)
+    }
+
+    /// Records a replay-window expiry: the counter plus a `resync.expiry`
+    /// trace event carrying the offending cookie's sequence number.
+    fn note_expiry(&self, cookie: Cookie, reason: &'static str) {
+        if self.obs.is_active() {
+            self.obs.registry().counter("fbdr_resync_expired_total").inc();
+        }
+        event!(
+            self.obs,
+            "resync",
+            "expiry",
+            session = cookie.session(),
+            seq = cookie.seq(),
+            reason = reason,
+        );
     }
 
     /// Convenience for persist mode: performs the request and hands back

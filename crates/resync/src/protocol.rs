@@ -152,6 +152,35 @@ impl SyncResponse {
         }
         t
     }
+
+    /// Per-kind tally of this response's entry actions — what the
+    /// `resync.response` trace events report alongside the cookie
+    /// sequence number.
+    pub fn action_counts(&self) -> ActionCounts {
+        let mut c = ActionCounts::default();
+        for a in &self.actions {
+            match a {
+                SyncAction::Add(_) => c.adds += 1,
+                SyncAction::Modify(_) => c.modifies += 1,
+                SyncAction::Delete(_) => c.deletes += 1,
+                SyncAction::Retain(_) => c.retains += 1,
+            }
+        }
+        c
+    }
+}
+
+/// Entry-action tallies of one [`SyncResponse`], by [`SyncAction`] kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActionCounts {
+    /// `Add` actions (full entry entering the content).
+    pub adds: u64,
+    /// `Modify` actions (full entry, changed in place).
+    pub modifies: u64,
+    /// `Delete` actions (DN leaving the content).
+    pub deletes: u64,
+    /// `Retain` actions (DN confirmed unchanged).
+    pub retains: u64,
 }
 
 /// Synchronization traffic accounting: how many full entries travelled,

@@ -2,6 +2,7 @@
 
 use crate::generalize::Generalizer;
 use fbdr_ldap::SearchRequest;
+use fbdr_obs::{event, span, Obs};
 use fbdr_replica::FilterReplica;
 use fbdr_resync::{SyncError, SyncMaster, SyncTraffic};
 use serde::{Deserialize, Serialize};
@@ -64,6 +65,9 @@ pub struct FilterSelector {
     managed: HashSet<String>,
     queries_seen: u64,
     revolutions: u64,
+    /// Observability handle; [`Obs::off`] unless attached via
+    /// [`FilterSelector::with_obs`].
+    obs: Obs,
 }
 
 impl FilterSelector {
@@ -76,7 +80,23 @@ impl FilterSelector {
             managed: HashSet::new(),
             queries_seen: 0,
             revolutions: 0,
+            obs: Obs::off(),
         }
+    }
+
+    /// Attaches observability: each revolution is timed into the
+    /// `fbdr_selection_revolve_ns` histogram, increments
+    /// `fbdr_selection_{revolutions,installed,evicted}_total`, and emits
+    /// `selection.{revolution,promote,evict}` trace events.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The observability handle this selector records through.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Queries observed so far.
@@ -146,7 +166,9 @@ impl FilterSelector {
         master: &mut SyncMaster,
         replica: &mut FilterReplica,
     ) -> Result<RevolutionReport, SyncError> {
+        let _span = span!(self.obs, "selection", "revolve");
         self.revolutions += 1;
+        let scored = self.candidates.values().filter(|c| c.hits > 0).count();
         let selected = self.select(master.dit());
         let selected_keys: Vec<String> = selected.iter().map(candidate_key).collect();
 
@@ -159,6 +181,7 @@ impl FilterSelector {
             if self.managed.contains(&key) && !selected_keys.contains(&key) {
                 replica.remove_filter(master, r);
                 self.managed.remove(&key);
+                event!(self.obs, "selection", "evict", filter = key.as_str());
                 report.removed.push(r.clone());
             }
         }
@@ -168,6 +191,13 @@ impl FilterSelector {
             let key = candidate_key(&r);
             if !current_keys.contains(&key) {
                 let t = replica.install_filter(master, r.clone())?;
+                event!(
+                    self.obs,
+                    "selection",
+                    "promote",
+                    filter = key.as_str(),
+                    load_entries = t.full_entries,
+                );
                 report.traffic.absorb(&t);
                 report.installed.push(r);
             }
@@ -178,6 +208,21 @@ impl FilterSelector {
             c.hits = 0;
             c.size = None; // re-estimate next time; the directory changes
         }
+        if self.obs.is_active() {
+            let reg = self.obs.registry();
+            reg.counter("fbdr_selection_revolutions_total").inc();
+            reg.counter("fbdr_selection_installed_total").add(report.installed.len() as u64);
+            reg.counter("fbdr_selection_evicted_total").add(report.removed.len() as u64);
+        }
+        event!(
+            self.obs,
+            "selection",
+            "revolution",
+            revolution = self.revolutions,
+            candidates = scored,
+            installed = report.installed.len(),
+            evicted = report.removed.len(),
+        );
         Ok(report)
     }
 

@@ -57,6 +57,26 @@ impl Bencher {
         }
         self.elapsed_per_iter = start.elapsed() / iters as u32;
     }
+
+    /// Times `routine` over fresh input from `setup`; only the routine is
+    /// measured. The iteration budget is fixed (setup cost is unknown), so
+    /// expensive-setup benchmarks stay bounded.
+    pub fn iter_with_setup<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+    ) {
+        black_box(routine(setup())); // warm-up
+        let iters: u64 = 30;
+        let mut measured = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+        }
+        self.elapsed_per_iter = measured / iters as u32;
+    }
 }
 
 /// Top-level benchmark driver.

@@ -22,6 +22,7 @@
 //! | [`selection`] | `fbdr-selection` | filter generalization + selection |
 //! | [`workload`] | `fbdr-workload` | enterprise directory + Table 1 traces |
 //! | [`core`] | `fbdr-core` | the `Replicator` façade + experiment engine |
+//! | [`obs`] | `fbdr-obs` | metrics registry, latency histograms, structured tracing |
 //!
 //! # Quickstart
 //!
@@ -57,6 +58,7 @@ pub use fbdr_core as core;
 pub use fbdr_dit as dit;
 pub use fbdr_ldap as ldap;
 pub use fbdr_net as net;
+pub use fbdr_obs as obs;
 pub use fbdr_replica as replica;
 pub use fbdr_resync as resync;
 pub use fbdr_selection as selection;
@@ -73,6 +75,7 @@ pub mod prelude {
         AttrName, AttrSelection, AttrValue, Dn, Entry, Filter, Rdn, Scope, SearchRequest, Template,
     };
     pub use fbdr_net::{Network, Server};
+    pub use fbdr_obs::{MetricsRegistry, Obs, RingBuffer};
     pub use fbdr_replica::{FilterReplica, SubtreeReplica};
     pub use fbdr_resync::{
         ReSyncControl, ReplicaContent, SyncAction, SyncMaster, SyncMode, SyncTraffic,

@@ -275,3 +275,76 @@ fn legacy_fire_and_forget_diverges_where_fixed_mode_converges() {
     );
 }
 
+/// The observability layer sees the same chaos three ways: the master's
+/// own redelivery count, the `fbdr_resync_*` registry counters, and the
+/// `resync.redelivery` / `driver.retry` events caught by a ring-buffer
+/// subscriber must all agree on a seeded drop schedule.
+#[test]
+fn trace_events_and_counters_agree_under_response_loss() {
+    use fbdr_obs::{Obs, RingBuffer};
+    use std::sync::Arc;
+
+    let obs = Obs::new();
+    let ring = Arc::new(RingBuffer::new(16_384));
+    obs.set_subscriber(ring.clone());
+
+    let clock = SimClock::new();
+    let mut master = build_master();
+    master.set_obs(obs.clone());
+    let replica = FilterReplica::with_obs(0, obs.clone());
+    replica.install_filter(&mut master, filter_request()).unwrap();
+    // Installation performs one fresh exchange directly against the
+    // master; count driver-era requests from here.
+    let requests_at_install = obs.registry().counter("fbdr_resync_requests_total").get();
+
+    let plan = FaultPlan::builder(42).drop_response(0.35).build();
+    let mut link = FaultyLink::new(master, plan, clock.clone());
+    let mut driver = SyncDriver::with_clock(
+        RetryConfig { max_retries: 3, base_backoff_ms: 10, jitter_seed: 42, ..RetryConfig::default() },
+        clock,
+    )
+    .with_obs(obs.clone());
+
+    let mut rng = StdRng::seed_from_u64(42);
+    for step in 0..UPDATES {
+        let i = rng.gen_range(0..ENTRIES);
+        let _ = link.master_mut().apply(fbdr_dit::UpdateOp::Modify {
+            dn: dn(i),
+            mods: vec![fbdr_dit::Modification::Replace(
+                "serialNumber".into(),
+                vec![serial(rng.gen::<bool>(), i).into()],
+            )],
+        });
+        if step % 2 == 0 {
+            replica.sync_with(&mut link, &mut driver).expect("retries absorb the loss");
+        }
+    }
+    link.quiesce();
+    replica.sync_with(&mut link, &mut driver).expect("clean cycle");
+
+    // Redeliveries: master bookkeeping == registry counter == trace events.
+    let redeliveries = link.master().redeliveries();
+    assert!(redeliveries > 0, "the schedule must exercise the replay buffer");
+    let reg = obs.registry();
+    assert_eq!(reg.counter("fbdr_resync_redeliveries_total").get(), redeliveries);
+    assert_eq!(ring.count("resync", "redelivery") as u64, redeliveries);
+
+    // Retries: driver stats == registry counter == trace events.
+    let retries = driver.stats().retries;
+    assert!(retries > 0);
+    assert_eq!(reg.counter("fbdr_resync_retries_total").get(), retries);
+    assert_eq!(ring.count("driver", "retry") as u64, retries);
+
+    // Every redelivery event carries the replayed batch's cookie seq.
+    for e in ring.named("resync", "redelivery") {
+        assert!(e.u64_field("seq").is_some(), "redelivery without a seq: {e}");
+    }
+
+    // The exchange histogram times each driver-level exchange once,
+    // however many attempts it took; and since only responses are
+    // dropped, every attempt reached the master as a request.
+    let d = driver.stats();
+    assert_eq!(reg.histogram("fbdr_resync_exchange_ns").count(), d.attempts - d.retries);
+    assert_eq!(reg.counter("fbdr_resync_requests_total").get() - requests_at_install, d.attempts);
+}
+

@@ -231,6 +231,88 @@ fn readers_see_consistent_epochs_under_faulty_sync() {
     assert!(replica.stats().queries > 0);
 }
 
+/// The metrics registry uses `Relaxed` atomics throughout — cheap on the
+/// hot path — which is only sound because nothing reads a *relationship*
+/// between counters mid-flight. This pins the contract the relaxation
+/// relies on: once the writer threads quiesce (joined), every counter and
+/// histogram holds the exact total, and a replica's stats snapshot equals
+/// the registry's view of the same counters.
+#[test]
+fn registry_counters_are_exact_after_quiesce() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 10_000;
+
+    // Raw registry: all threads hammer the same counter, gauge and
+    // histogram handles.
+    let reg = MetricsRegistry::new();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let reg = &reg;
+            s.spawn(move || {
+                let c = reg.counter("chaos_total");
+                let g = reg.gauge("water_level");
+                let h = reg.histogram("lap_ns");
+                for i in 0..PER_THREAD {
+                    c.inc();
+                    g.add(1);
+                    h.record((t * PER_THREAD + i) as u64);
+                }
+            });
+        }
+    });
+    assert_eq!(reg.counter("chaos_total").get(), (THREADS * PER_THREAD) as u64);
+    assert_eq!(reg.gauge("water_level").get(), (THREADS * PER_THREAD) as i64);
+    let lap = reg.snapshot().histograms["lap_ns"].clone();
+    assert_eq!(lap.count, (THREADS * PER_THREAD) as u64);
+    assert_eq!(lap.max, (THREADS * PER_THREAD - 1) as u64);
+
+    // Through the stack: an obs-bound replica answering from many threads
+    // must report the same exact totals via `stats()` (the atomic
+    // snapshot) and via the registry export (the same Arc<Counter>s).
+    let obs = Obs::new();
+    let mut master = SyncMaster::new();
+    master.dit_mut().add_suffix("o=xyz".parse().expect("dn"));
+    master
+        .dit_mut()
+        .add(Entry::new("o=xyz".parse().expect("dn")).with("objectclass", "organization"))
+        .expect("add");
+    master
+        .dit_mut()
+        .add(
+            Entry::new("cn=p,o=xyz".parse().expect("dn"))
+                .with("objectclass", "person")
+                .with("serialNumber", "400000"),
+        )
+        .expect("add");
+    let replica = FilterReplica::with_obs(0, obs.clone());
+    replica
+        .install_filter(
+            &mut master,
+            SearchRequest::from_root(Filter::parse("(serialNumber=4*)").expect("ok")),
+        )
+        .expect("install");
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let replica = &replica;
+            s.spawn(move || {
+                let q = SearchRequest::from_root(
+                    Filter::parse("(serialNumber=400000)").expect("ok"),
+                );
+                for _ in 0..PER_THREAD / 10 {
+                    assert_eq!(replica.try_answer(&q).expect("contained").len(), 1);
+                }
+            });
+        }
+    });
+    let queries = (THREADS * (PER_THREAD / 10)) as u64;
+    assert_eq!(replica.stats().queries, queries);
+    assert_eq!(replica.stats().hits, queries);
+    let reg = obs.registry();
+    assert_eq!(reg.counter("fbdr_replica_queries_total").get(), queries);
+    assert_eq!(reg.counter("fbdr_replica_hits_total").get(), queries);
+    assert_eq!(reg.histogram("fbdr_replica_try_answer_ns").count(), queries);
+}
+
 #[test]
 fn concurrent_clients_share_one_network() {
     // Master with 500 people; replica holding one serial block.
