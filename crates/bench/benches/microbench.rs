@@ -201,6 +201,55 @@ fn bench_simplify(c: &mut Criterion) {
     c.bench_function("filter_simplify", |b| b.iter(|| black_box(&f).simplify()));
 }
 
+/// Galloping posting-list intersection against `BTreeSet::intersection`
+/// on the shapes the planner produces: a tiny equality candidate list
+/// against a large stored-filter list, and two comparable mid-size lists.
+fn bench_posting(c: &mut Criterion) {
+    use std::collections::BTreeSet;
+    let mut g = c.benchmark_group("posting_intersect");
+    let shapes: [(&str, Vec<u32>, Vec<u32>); 2] = [
+        ("point_vs_100k", vec![3, 31_337, 99_999], (0..100_000).collect()),
+        (
+            "mid_vs_mid",
+            (0..100_000).step_by(7).collect(),
+            (0..100_000).step_by(13).collect(),
+        ),
+    ];
+    for (name, a, b_list) in &shapes {
+        g.bench_with_input(BenchmarkId::new("gallop", name), &(), |b, ()| {
+            b.iter(|| fbdr_replica::posting::intersect(black_box(a), black_box(b_list)))
+        });
+        let sa: BTreeSet<u32> = a.iter().copied().collect();
+        let sb: BTreeSet<u32> = b_list.iter().copied().collect();
+        g.bench_with_input(BenchmarkId::new("btreeset", name), &(), |b, ()| {
+            b.iter(|| black_box(&sa).intersection(black_box(&sb)).copied().collect::<Vec<u32>>())
+        });
+    }
+    g.finish();
+}
+
+/// The containment decision cache: a repeated point query answered with
+/// the memoized decision (warm) versus paying the full containment loop
+/// every time (cold — the cache is cleared each iteration).
+fn bench_decision_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decision_cache");
+    let mut m = small_master(5_000);
+    let r = FilterReplica::new(0);
+    for i in 0..200 {
+        let f = Filter::parse(&format!("(serialNumber={:05}*)", 10_000 + i)).expect("ok");
+        r.install_filter(&mut m, SearchRequest::from_root(f)).expect("install");
+    }
+    let hit = SearchRequest::from_root(Filter::parse("(serialNumber=100150)").expect("ok"));
+    g.bench_function("warm_hit_200_filters", |b| b.iter(|| r.try_answer(black_box(&hit))));
+    g.bench_function("cold_hit_200_filters", |b| {
+        b.iter(|| {
+            r.clear_decision_cache();
+            r.try_answer(black_box(&hit))
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_parse,
@@ -214,5 +263,7 @@ criterion_group!(
     bench_ldif,
     bench_sort,
     bench_simplify,
+    bench_posting,
+    bench_decision_cache,
 );
 criterion_main!(benches);

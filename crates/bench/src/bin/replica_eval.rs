@@ -1,0 +1,81 @@
+//! `replica_eval` — replica answer-latency benchmark (indexed vs scan).
+//!
+//! ```text
+//! replica_eval [--entries N] [--samples N] [--out PATH]
+//! ```
+//!
+//! Measures `try_answer` (planned/indexed) against `try_answer_scan`
+//! (posting-list scan) over point/prefix/range/scan query classes, writes
+//! `BENCH_replica_eval.json` with exact p50/p99 per class, and prints a
+//! summary. Exits non-zero if the indexed path is below 3× the scan path
+//! at p50 on point queries (the index stopped paying for itself).
+
+use fbdr_bench::replica_eval::{run, ReplicaEvalConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ReplicaEvalConfig::default();
+    let mut out = String::from("BENCH_replica_eval.json");
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--entries" => {
+                cfg.entries = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--entries takes a number"));
+            }
+            "--samples" => {
+                cfg.samples = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--samples takes a number"));
+            }
+            "--out" => out = it.next().unwrap_or_else(|| usage("--out takes a path")),
+            "--help" | "-h" => {
+                println!("usage: replica_eval [--entries N] [--samples N] [--out PATH]");
+                return;
+            }
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let report = run(&cfg);
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+
+    println!(
+        "# replica_eval — {} entries, {} samples/class, filters: {}",
+        report.entries,
+        report.samples,
+        report.filters.join(" "),
+    );
+    for c in report.classes.values() {
+        println!(
+            "  {:<7} indexed p50={:>7}ns p99={:>8}ns | scan p50={:>8}ns p99={:>9}ns | {:>6.1}x p50  (|result|≈{:.1})",
+            c.class, c.indexed.p50_ns, c.indexed.p99_ns, c.scan.p50_ns, c.scan.p99_ns,
+            c.speedup_p50, c.mean_result_size,
+        );
+    }
+    println!(
+        "  decision cache: {} hits / {} misses",
+        report.decision_cache_hits, report.decision_cache_misses
+    );
+    println!("  wrote {out}");
+
+    if !(report.point_speedup_p50 >= 3.0) {
+        eprintln!(
+            "FAIL: point-query indexed speedup {:.2}x is below the 3x floor",
+            report.point_speedup_p50
+        );
+        std::process::exit(1);
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("{msg}; see --help");
+    std::process::exit(2);
+}

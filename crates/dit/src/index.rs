@@ -50,24 +50,27 @@ impl Indexes {
         }
     }
 
-    /// DNs of entries having `attr = value` (normalized equality).
-    pub(crate) fn lookup_eq(&self, attr: &AttrName, value: &AttrValue) -> BTreeSet<Dn> {
-        self.by_attr
-            .get(attr)
-            .and_then(|i| i.text.get(value.normalized()))
-            .cloned()
-            .unwrap_or_default()
+    /// DNs of entries having `attr = value` (normalized equality),
+    /// borrowed straight from the index — `None` when no entry carries the
+    /// value (callers treat it as the empty set).
+    pub(crate) fn lookup_eq(&self, attr: &AttrName, value: &AttrValue) -> Option<&BTreeSet<Dn>> {
+        self.by_attr.get(attr).and_then(|i| i.text.get(value.normalized()))
     }
 
     /// DNs of entries having a value of `attr` starting with `prefix`
     /// (normalized). A superset check for substring predicates with an
-    /// `initial` component.
+    /// `initial` component. An empty prefix matches every value, so it
+    /// short-circuits to a presence lookup instead of walking (and
+    /// `starts_with`-testing) every key in the text map.
     pub(crate) fn lookup_prefix(&self, attr: &AttrName, prefix: &str) -> BTreeSet<Dn> {
+        if prefix.is_empty() {
+            return self.lookup_present(attr);
+        }
         let mut out = BTreeSet::new();
         if let Some(i) = self.by_attr.get(attr) {
             for (_k, dns) in i
                 .text
-                .range::<String, _>((Bound::Included(prefix.to_owned()), Bound::Unbounded))
+                .range::<str, _>((Bound::Included(prefix), Bound::Unbounded))
                 .take_while(|(k, _)| k.starts_with(prefix))
             {
                 out.extend(dns.iter().cloned());
@@ -144,13 +147,13 @@ impl Indexes {
             None => {
                 // String-typed: the text map is keyed by normalized text
                 // in exactly the predicate's lexicographic order.
-                let key = bound.normalized().to_owned();
-                let range: (Bound<String>, Bound<String>) = if is_lower {
+                let key = bound.normalized();
+                let range: (Bound<&str>, Bound<&str>) = if is_lower {
                     (Bound::Included(key), Bound::Unbounded)
                 } else {
                     (Bound::Unbounded, Bound::Included(key))
                 };
-                for (_k, dns) in i.text.range::<String, _>(range) {
+                for (_k, dns) in i.text.range::<str, _>(range) {
                     out.extend(dns.iter().cloned());
                 }
             }
@@ -190,11 +193,11 @@ mod tests {
     #[test]
     fn eq_lookup() {
         let ix = sample();
-        let got = ix.lookup_eq(&"serialnumber".into(), &"045612".into());
+        let got = ix.lookup_eq(&"serialnumber".into(), &"045612".into()).expect("indexed");
         assert_eq!(got.len(), 1);
         assert!(got.contains(&dn("cn=a,o=x")));
-        assert!(ix.lookup_eq(&"serialnumber".into(), &"999".into()).is_empty());
-        assert!(ix.lookup_eq(&"mail".into(), &"x".into()).is_empty());
+        assert!(ix.lookup_eq(&"serialnumber".into(), &"999".into()).is_none());
+        assert!(ix.lookup_eq(&"mail".into(), &"x".into()).is_none());
     }
 
     #[test]
@@ -223,7 +226,7 @@ mod tests {
         assert_eq!(ix.lookup_present(&"serialnumber".into()).len(), 3);
         ix.remove(&"serialNumber".into(), &"045612".into(), &dn("cn=a,o=x"));
         assert_eq!(ix.lookup_present(&"serialnumber".into()).len(), 2);
-        assert!(ix.lookup_eq(&"serialnumber".into(), &"045612".into()).is_empty());
+        assert!(ix.lookup_eq(&"serialnumber".into(), &"045612".into()).is_none());
     }
 
     #[test]
@@ -231,8 +234,8 @@ mod tests {
         let mut ix = Indexes::default();
         ix.insert(&"dept".into(), &"2406".into(), &dn("cn=a,o=x"));
         ix.insert(&"dept".into(), &"2406".into(), &dn("cn=b,o=x"));
-        assert_eq!(ix.lookup_eq(&"dept".into(), &"2406".into()).len(), 2);
+        assert_eq!(ix.lookup_eq(&"dept".into(), &"2406".into()).unwrap().len(), 2);
         ix.remove(&"dept".into(), &"2406".into(), &dn("cn=a,o=x"));
-        assert_eq!(ix.lookup_eq(&"dept".into(), &"2406".into()).len(), 1);
+        assert_eq!(ix.lookup_eq(&"dept".into(), &"2406".into()).unwrap().len(), 1);
     }
 }

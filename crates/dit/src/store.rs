@@ -6,6 +6,7 @@ use crate::index::Indexes;
 use crate::update::{Modification, UpdateOp};
 use fbdr_ldap::{AttrName, AttrValue, Comparison, Dn, Entry, Filter, Scope, SearchRequest};
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::ops::Bound;
 
@@ -465,17 +466,27 @@ impl DitStore {
 
     /// Index-based candidate planning: returns a superset of the DNs whose
     /// entries can match `filter`, or `None` when the index cannot help
-    /// (e.g. negations) and a scan is required.
-    fn plan(&self, filter: &Filter) -> Option<std::collections::BTreeSet<Dn>> {
+    /// (e.g. negations) and a scan is required. Equality plans borrow the
+    /// index's posting set directly (the common point-query shape copies
+    /// nothing until projection).
+    fn plan(&self, filter: &Filter) -> Option<Cow<'_, std::collections::BTreeSet<Dn>>> {
         match filter {
             Filter::Pred(p) => match p.comparison() {
-                Comparison::Eq(v) => Some(self.indexes.lookup_eq(p.attr(), v)),
-                Comparison::Ge(v) => Some(self.indexes.lookup_range(p.attr(), Some(v), None)),
-                Comparison::Le(v) => Some(self.indexes.lookup_range(p.attr(), None, Some(v))),
-                Comparison::Present => Some(self.indexes.lookup_present(p.attr())),
+                Comparison::Eq(v) => Some(
+                    self.indexes
+                        .lookup_eq(p.attr(), v)
+                        .map_or_else(|| Cow::Owned(Default::default()), Cow::Borrowed),
+                ),
+                Comparison::Ge(v) => {
+                    Some(Cow::Owned(self.indexes.lookup_range(p.attr(), Some(v), None)))
+                }
+                Comparison::Le(v) => {
+                    Some(Cow::Owned(self.indexes.lookup_range(p.attr(), None, Some(v))))
+                }
+                Comparison::Present => Some(Cow::Owned(self.indexes.lookup_present(p.attr()))),
                 Comparison::Substring(pat) => pat
                     .initial()
-                    .map(|init| self.indexes.lookup_prefix(p.attr(), init)),
+                    .map(|init| Cow::Owned(self.indexes.lookup_prefix(p.attr(), init))),
             },
             Filter::And(fs) => {
                 // Any one conjunct's candidates form a superset of the
@@ -485,9 +496,9 @@ impl DitStore {
             Filter::Or(fs) => {
                 let mut out = std::collections::BTreeSet::new();
                 for f in fs {
-                    out.extend(self.plan(f)?);
+                    out.extend(self.plan(f)?.into_owned());
                 }
-                Some(out)
+                Some(Cow::Owned(out))
             }
             Filter::Not(_) => None,
         }

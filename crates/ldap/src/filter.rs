@@ -171,6 +171,30 @@ impl Comparison {
         }
     }
 
+    /// The assertion value of an equality or range comparison, `None` for
+    /// presence and substring assertions (whose "value" is a pattern, not
+    /// a point).
+    ///
+    /// This is the plan-support accessor index planners use to dispatch on
+    /// the bound's type (integer vs. text) without matching every variant.
+    ///
+    /// ```
+    /// use fbdr_ldap::Filter;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let f = Filter::parse("(serialNumber>=500)")?;
+    /// let p = f.as_predicate().expect("single predicate");
+    /// assert_eq!(p.comparison().assertion().and_then(|v| v.as_int()), Some(500));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn assertion(&self) -> Option<&AttrValue> {
+        match self {
+            Comparison::Eq(v) | Comparison::Ge(v) | Comparison::Le(v) => Some(v),
+            Comparison::Present | Comparison::Substring(_) => None,
+        }
+    }
+
     /// Short kind label used by templates (`=`, `>=`, `<=`, `=*`, substring
     /// star-shape). Two comparisons of the same kind differ only in
     /// assertion values.
@@ -432,6 +456,46 @@ impl Filter {
                 other => Filter::Not(Box::new(other)),
             },
             Filter::Pred(p) => Filter::Pred(p.clone()),
+        }
+    }
+
+    /// The sub-filters of a conjunction or disjunction; the empty slice
+    /// for predicates and negations. Together with
+    /// [`as_predicate`](Filter::as_predicate) and
+    /// [`negated`](Filter::negated) this lets index planners walk the AST
+    /// by shape.
+    ///
+    /// ```
+    /// use fbdr_ldap::Filter;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let f = Filter::parse("(&(a=1)(b=2))")?;
+    /// assert_eq!(f.children().len(), 2);
+    /// assert!(Filter::parse("(a=1)")?.children().is_empty());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn children(&self) -> &[Filter] {
+        match self {
+            Filter::And(fs) | Filter::Or(fs) => fs,
+            Filter::Not(_) | Filter::Pred(_) => &[],
+        }
+    }
+
+    /// The predicate of a simple-predicate filter, `None` for composite
+    /// nodes.
+    pub fn as_predicate(&self) -> Option<&Predicate> {
+        match self {
+            Filter::Pred(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The inner filter of a negation, `None` for every other node.
+    pub fn negated(&self) -> Option<&Filter> {
+        match self {
+            Filter::Not(f) => Some(f),
+            _ => None,
         }
     }
 

@@ -1,17 +1,33 @@
 //! The filter-based replication model (the paper's contribution), with a
 //! read/write-split concurrency design: query answering is `&self` and
 //! lock-minimal, mutation publishes immutable per-epoch content snapshots.
+//!
+//! # Indexed evaluation
+//!
+//! Replica-local answering is index-backed. Every entry DN is interned to
+//! a dense `u32` id once; stored-filter contents are sorted id posting
+//! lists; the entry store is an id-addressed vector of shared entries; and
+//! each published epoch carries a [`SnapshotIndex`] with
+//! equality/prefix/range posting lists, maintained *incrementally* by the
+//! writer (never rebuilt from the entry store). A query is answered by
+//! compiling its filter into an index plan, intersecting (galloping) with
+//! the winning stored filter's list, and verifying residual predicates
+//! only on the candidates. Repeated queries skip the containment check
+//! entirely through a per-epoch decision cache.
 
+use crate::index::SnapshotIndex;
+use crate::posting;
 use crate::stats::{AtomicReplicaStats, ReplicaStats};
 use crossbeam::channel::{Receiver, TryRecvError};
 use fbdr_containment::{ContainmentEngine, EngineStats, PreparedQuery};
 use fbdr_ldap::{Entry, SearchRequest};
-use fbdr_obs::{event, Histogram, Obs};
+use fbdr_obs::{event, Counter, Histogram, Obs};
 use fbdr_resync::{
-    Clock, Cookie, ReSyncControl, SyncAction, SyncDriver, SyncError, SyncMaster, SyncTransport,
-    SyncTraffic,
+    dn_key, entry_key, Clock, Cookie, DnInterner, ReSyncControl, SyncAction, SyncDriver, SyncError,
+    SyncMaster, SyncTransport, SyncTraffic,
 };
 use parking_lot::{Mutex, RwLock};
+use std::borrow::Cow;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -36,7 +52,8 @@ pub enum StoredQueryKind {
 #[derive(Debug, Clone)]
 struct StoredFilter {
     prepared: PreparedQuery,
-    dns: HashSet<String>,
+    /// The filter's content as a sorted posting list of interned ids.
+    ids: Vec<u32>,
     /// True when the last sync cycle could not reach the master: the
     /// content is served anyway (availability over freshness) but hits
     /// are accounted as stale until a cycle succeeds.
@@ -50,18 +67,117 @@ struct StoredFilter {
 /// pointer copy) and then work entirely on their private snapshot, so a
 /// concurrent writer publishing epoch `n+1` never disturbs a reader still
 /// answering from epoch `n`.
+///
+/// The interner and index are themselves behind `Arc`s: an epoch that
+/// does not touch them shares its predecessor's allocation, and a sync
+/// cycle that does touch them pays one structural clone plus the delta.
 #[derive(Debug)]
 struct ContentSnapshot {
     /// Monotonic generation number; bumped by every published mutation.
     epoch: u64,
     filters: Vec<Arc<StoredFilter>>,
-    /// Entries referenced by at least one filter, keyed by normalized DN.
-    entries: HashMap<String, Entry>,
+    /// Id-addressed entry store: slot `id` holds the entry whose interned
+    /// DN is `id`, or `None` when no stored filter references it.
+    entries: Vec<Option<Arc<Entry>>>,
+    /// Number of occupied slots (the replica-size metric).
+    live: usize,
+    /// DN-key → id map; ids are append-only and stable across epochs.
+    interner: Arc<DnInterner>,
+    /// Equality/prefix/range posting lists over the occupied slots.
+    index: Arc<SnapshotIndex>,
 }
 
 impl ContentSnapshot {
     fn empty() -> Self {
-        ContentSnapshot { epoch: 0, filters: Vec::new(), entries: HashMap::new() }
+        ContentSnapshot {
+            epoch: 0,
+            filters: Vec::new(),
+            entries: Vec::new(),
+            live: 0,
+            interner: Arc::new(DnInterner::new()),
+            index: Arc::new(SnapshotIndex::default()),
+        }
+    }
+
+    /// The entry stored under an interned id, if the slot is occupied.
+    fn entry(&self, id: u32) -> Option<&Entry> {
+        self.entries.get(id as usize)?.as_deref()
+    }
+
+    /// True when a normalized DN key is held by some stored filter.
+    fn contains_key(&self, key: &str) -> bool {
+        self.interner.get(key).is_some_and(|id| self.entry(id).is_some())
+    }
+}
+
+/// The writer's mutable working copy of a snapshot's content, threaded
+/// through every mutator. Cloning from the previous snapshot copies the
+/// filter/entry vectors (of `Arc`s — cheap) and *shares* the interner and
+/// index until the first mutation touches them (`Arc::make_mut`).
+struct Working {
+    epoch: u64,
+    filters: Vec<Arc<StoredFilter>>,
+    entries: Vec<Option<Arc<Entry>>>,
+    live: usize,
+    interner: Arc<DnInterner>,
+    index: Arc<SnapshotIndex>,
+}
+
+impl Working {
+    fn from_snapshot(snap: &ContentSnapshot) -> Self {
+        Working {
+            epoch: snap.epoch,
+            filters: snap.filters.clone(),
+            entries: snap.entries.clone(),
+            live: snap.live,
+            interner: snap.interner.clone(),
+            index: snap.index.clone(),
+        }
+    }
+
+    fn into_snapshot(self) -> ContentSnapshot {
+        ContentSnapshot {
+            epoch: self.epoch + 1,
+            filters: self.filters,
+            entries: self.entries,
+            live: self.live,
+            interner: self.interner,
+            index: self.index,
+        }
+    }
+
+    /// Interns a DN key (cloning the shared interner only on a genuinely
+    /// new DN) and grows the slot vector to fit.
+    fn intern(&mut self, key: &str) -> u32 {
+        let id = match self.interner.get(key) {
+            Some(id) => id,
+            None => Arc::make_mut(&mut self.interner).intern(key),
+        };
+        if self.entries.len() <= id as usize {
+            self.entries.resize(id as usize + 1, None);
+        }
+        id
+    }
+
+    /// Upserts an entry into its slot, keeping the index exact: the old
+    /// version's values are unindexed before the new ones are inserted.
+    fn store(&mut self, id: u32, e: Entry) {
+        let ix = Arc::make_mut(&mut self.index);
+        if let Some(old) = self.entries[id as usize].take() {
+            ix.remove_entry(id, &old);
+        } else {
+            self.live += 1;
+        }
+        ix.insert_entry(id, &e);
+        self.entries[id as usize] = Some(Arc::new(e));
+    }
+
+    /// Clears a slot and unindexes the entry it held.
+    fn evict(&mut self, id: u32) {
+        if let Some(old) = self.entries[id as usize].take() {
+            Arc::make_mut(&mut self.index).remove_entry(id, &old);
+            self.live -= 1;
+        }
     }
 }
 
@@ -82,9 +198,9 @@ struct FilterSession {
 #[derive(Debug, Default)]
 struct WriterState {
     sessions: Vec<FilterSession>,
-    /// How many filters reference each entry key (cache entries are owned
+    /// How many filters reference each entry id (cache entries are owned
     /// by their cached query and not counted here).
-    refcount: HashMap<String, usize>,
+    refcount: HashMap<u32, usize>,
 }
 
 /// A cached recent user query with its frozen result set (cached queries
@@ -109,6 +225,56 @@ impl QueryCache {
     fn view(&self) -> Vec<Arc<CachedQuery>> {
         self.queries.lock().iter().cloned().collect()
     }
+}
+
+/// Upper bound on memoized containment decisions; reaching it clears the
+/// map (Zipf traffic re-warms the hot keys within a few queries).
+const DECISION_CACHE_CAP: usize = 4096;
+
+/// Epoch-invalidated memo of containment decisions: normalized query key
+/// → index of the first stored filter that contains it (`Some`) or proof
+/// that none does (`None`). Valid only for the epoch it was filled in —
+/// any publish changes the filter list or content, so the map is cleared
+/// on the first probe against a newer epoch.
+#[derive(Debug, Default)]
+struct DecisionCache {
+    epoch: u64,
+    map: HashMap<String, Option<usize>>,
+}
+
+/// Point-in-time counters of the containment decision cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecisionCacheStats {
+    /// Probes answered from the cache (containment check skipped).
+    pub hits: u64,
+    /// Probes that fell through to the containment engine.
+    pub misses: u64,
+    /// Decisions currently memoized for the probing epoch.
+    pub entries: usize,
+}
+
+/// Pre-resolved metric handles for the answer path; `None` on an
+/// unobserved replica, so the fast path pays one branch, no registry
+/// lookups.
+#[derive(Debug)]
+struct AnswerMetrics {
+    /// `fbdr_replica_try_answer_ns` — end-to-end local answer latency.
+    answer_ns: Arc<Histogram>,
+    /// `fbdr_replica_index_build_ns` — incremental index maintenance time
+    /// per applied action batch.
+    index_build_ns: Arc<Histogram>,
+    /// `fbdr_replica_plan_candidates` — candidate-set size the planner
+    /// handed to residual verification (plan selectivity).
+    plan_candidates: Arc<Histogram>,
+    /// `fbdr_replica_plan_indexed_total` — answers served via an index plan.
+    plan_indexed: Arc<Counter>,
+    /// `fbdr_replica_plan_scan_total` — answers that fell back to scanning
+    /// the stored filter's posting list.
+    plan_scan: Arc<Counter>,
+    /// `fbdr_replica_decision_cache_hit_total`.
+    decision_hits: Arc<Counter>,
+    /// `fbdr_replica_decision_cache_miss_total`.
+    decision_misses: Arc<Counter>,
 }
 
 /// A filter-based replica: entries satisfying one or more stored LDAP
@@ -143,10 +309,11 @@ pub struct FilterReplica {
     engine: ContainmentEngine,
     stats: AtomicReplicaStats,
     writer: Mutex<WriterState>,
+    decisions: Mutex<DecisionCache>,
+    decision_hits: AtomicU64,
+    decision_misses: AtomicU64,
     obs: Obs,
-    /// Pre-resolved `fbdr_replica_try_answer_ns` histogram; `None` on an
-    /// unobserved replica, so the fast path pays one branch, no clock.
-    answer_hist: Option<Arc<Histogram>>,
+    metrics: Option<AnswerMetrics>,
 }
 
 impl FilterReplica {
@@ -160,15 +327,26 @@ impl FilterReplica {
     /// `fbdr_replica_*_total` metrics (one counter source — see
     /// [`AtomicReplicaStats::bound`]), every
     /// [`try_answer`](FilterReplica::try_answer) is timed into
-    /// `fbdr_replica_try_answer_ns`, the embedded [`ContainmentEngine`]
+    /// `fbdr_replica_try_answer_ns`, index maintenance is timed into
+    /// `fbdr_replica_index_build_ns`, plan selectivity and decision-cache
+    /// effectiveness are counted, the embedded [`ContainmentEngine`]
     /// records through the same handle, and QC hits/misses plus epoch
     /// publishes emit trace events when a subscriber is installed. With
     /// [`Obs::off`] this is identical to [`FilterReplica::new`].
     pub fn with_obs(cache_window: usize, obs: Obs) -> Self {
-        let (stats, answer_hist) = if obs.is_active() {
+        let (stats, metrics) = if obs.is_active() {
+            let reg = obs.registry();
             (
-                AtomicReplicaStats::bound(obs.registry()),
-                Some(obs.registry().histogram("fbdr_replica_try_answer_ns")),
+                AtomicReplicaStats::bound(reg),
+                Some(AnswerMetrics {
+                    answer_ns: reg.histogram("fbdr_replica_try_answer_ns"),
+                    index_build_ns: reg.histogram("fbdr_replica_index_build_ns"),
+                    plan_candidates: reg.histogram("fbdr_replica_plan_candidates"),
+                    plan_indexed: reg.counter("fbdr_replica_plan_indexed_total"),
+                    plan_scan: reg.counter("fbdr_replica_plan_scan_total"),
+                    decision_hits: reg.counter("fbdr_replica_decision_cache_hit_total"),
+                    decision_misses: reg.counter("fbdr_replica_decision_cache_miss_total"),
+                }),
             )
         } else {
             (AtomicReplicaStats::new(), None)
@@ -180,8 +358,11 @@ impl FilterReplica {
             engine: ContainmentEngine::with_obs(obs.clone()),
             stats,
             writer: Mutex::new(WriterState::default()),
+            decisions: Mutex::new(DecisionCache::default()),
+            decision_hits: AtomicU64::new(0),
+            decision_misses: AtomicU64::new(0),
             obs,
-            answer_hist,
+            metrics,
         }
     }
 
@@ -203,7 +384,7 @@ impl FilterReplica {
             "epoch_publish",
             epoch = snap.epoch,
             filters = snap.filters.len(),
-            entries = snap.entries.len(),
+            entries = snap.live,
         );
         *self.content.write() = Arc::new(snap);
     }
@@ -216,12 +397,12 @@ impl FilterReplica {
         let cached = self.cache.view();
         for cq in &cached {
             for k in &cq.keys {
-                if !snap.entries.contains_key(k) {
+                if !snap.contains_key(k) {
                     extra.insert(k);
                 }
             }
         }
-        snap.entries.len() + extra.len()
+        snap.live + extra.len()
     }
 
     /// Number of stored queries (generalized + cached) — the §7.4
@@ -266,6 +447,24 @@ impl FilterReplica {
     /// Containment-engine work counters (for §7.4).
     pub fn engine_stats(&self) -> EngineStats {
         self.engine.stats()
+    }
+
+    /// Containment decision-cache counters: probes answered without
+    /// running the containment engine (`hits`) versus full checks
+    /// (`misses`), plus the number of currently memoized decisions.
+    pub fn decision_cache_stats(&self) -> DecisionCacheStats {
+        DecisionCacheStats {
+            hits: self.decision_hits.load(Ordering::Relaxed),
+            misses: self.decision_misses.load(Ordering::Relaxed),
+            entries: self.decisions.lock().map.len(),
+        }
+    }
+
+    /// Drops all memoized containment decisions (the counters keep
+    /// accumulating). Invalidation is otherwise automatic on every
+    /// published epoch.
+    pub fn clear_decision_cache(&self) {
+        self.decisions.lock().map.clear();
     }
 
     /// The stored generalized filters with their accumulated hit counts.
@@ -332,18 +531,17 @@ impl FilterReplica {
         actions: &[SyncAction],
     ) {
         let snap = self.snapshot();
-        let mut filters = snap.filters.clone();
-        let mut entries = snap.entries.clone();
+        let mut work = Working::from_snapshot(&snap);
         let mut sf = StoredFilter {
             prepared: PreparedQuery::new(request),
-            dns: HashSet::new(),
+            ids: Vec::new(),
             stale: false,
             hits: Arc::new(AtomicU64::new(0)),
         };
-        apply_actions(&mut entries, &mut w.refcount, &mut sf, actions);
-        filters.push(Arc::new(sf));
+        self.timed_apply(&mut work, &mut w.refcount, &mut sf, actions);
+        work.filters.push(Arc::new(sf));
         w.sessions.push(FilterSession { cookie, notifications });
-        self.publish(ContentSnapshot { epoch: snap.epoch + 1, filters, entries });
+        self.publish(work.into_snapshot());
     }
 
     /// Applies every pending persist-mode notification across all
@@ -359,8 +557,7 @@ impl FilterReplica {
         let mut w = self.writer.lock();
         let WriterState { sessions, refcount } = &mut *w;
         let snap = self.snapshot();
-        let mut filters = snap.filters.clone();
-        let mut entries = snap.entries.clone();
+        let mut work = Working::from_snapshot(&snap);
         let mut traffic = SyncTraffic::default();
         let mut changed = false;
         for (i, session) in sessions.iter_mut().enumerate() {
@@ -377,8 +574,9 @@ impl FilterReplica {
                 for a in &pending {
                     traffic.count(a);
                 }
-                let sf = Arc::make_mut(&mut filters[i]);
-                apply_actions(&mut entries, refcount, sf, &pending);
+                let mut sf = (*work.filters[i]).clone();
+                self.timed_apply(&mut work, refcount, &mut sf, &pending);
+                work.filters[i] = Arc::new(sf);
                 changed = true;
             }
             if disconnected {
@@ -388,7 +586,7 @@ impl FilterReplica {
             }
         }
         if changed {
-            self.publish(ContentSnapshot { epoch: snap.epoch + 1, filters, entries });
+            self.publish(work.into_snapshot());
         }
         traffic
     }
@@ -402,17 +600,16 @@ impl FilterReplica {
         let Some(pos) = snap.filters.iter().position(|s| s.prepared.request() == request) else {
             return false;
         };
-        let mut filters = snap.filters.clone();
-        let mut entries = snap.entries.clone();
-        let removed = filters.remove(pos);
+        let mut work = Working::from_snapshot(&snap);
+        let removed = work.filters.remove(pos);
         let session = w.sessions.remove(pos);
         if let Some(c) = session.cookie {
             master.abandon(c);
         }
-        for dn in &removed.dns {
-            unref(&mut entries, &mut w.refcount, dn);
+        for &id in &removed.ids {
+            unref(&mut work, &mut w.refcount, id);
         }
-        self.publish(ContentSnapshot { epoch: snap.epoch + 1, filters, entries });
+        self.publish(work.into_snapshot());
         true
     }
 
@@ -437,12 +634,11 @@ impl FilterReplica {
         let mut w = self.writer.lock();
         let WriterState { sessions, refcount } = &mut *w;
         let snap = self.snapshot();
-        let mut filters = snap.filters.clone();
-        let mut entries = snap.entries.clone();
+        let mut work = Working::from_snapshot(&snap);
         let mut total = SyncTraffic::default();
         let mut failed: Option<SyncError> = None;
-        for i in 0..filters.len() {
-            let request = filters[i].prepared.request().clone();
+        for i in 0..work.filters.len() {
+            let request = work.filters[i].prepared.request().clone();
             let session = &mut sessions[i];
             let resp = match master.resync(&request, ReSyncControl::poll(session.cookie)) {
                 Ok(resp) => resp,
@@ -458,11 +654,7 @@ impl FilterReplica {
                     }
                     match master.resync(&request, ReSyncControl::poll(None)) {
                         Ok(resp) => {
-                            let sf = Arc::make_mut(&mut filters[i]);
-                            let old: Vec<String> = sf.dns.drain().collect();
-                            for dn in old {
-                                unref(&mut entries, refcount, &dn);
-                            }
+                            drop_filter_content(&mut work, refcount, i);
                             resp
                         }
                         Err(e) => {
@@ -478,11 +670,12 @@ impl FilterReplica {
             };
             session.cookie = resp.cookie;
             total.absorb(&resp.traffic());
-            let sf = Arc::make_mut(&mut filters[i]);
+            let mut sf = (*work.filters[i]).clone();
             sf.stale = false;
-            apply_actions(&mut entries, refcount, sf, &resp.actions);
+            self.timed_apply(&mut work, refcount, &mut sf, &resp.actions);
+            work.filters[i] = Arc::new(sf);
         }
-        self.publish(ContentSnapshot { epoch: snap.epoch + 1, filters, entries });
+        self.publish(work.into_snapshot());
         match failed {
             Some(e) => Err(e),
             None => Ok(total),
@@ -517,12 +710,11 @@ impl FilterReplica {
         let mut w = self.writer.lock();
         let WriterState { sessions, refcount } = &mut *w;
         let snap = self.snapshot();
-        let mut filters = snap.filters.clone();
-        let mut entries = snap.entries.clone();
+        let mut work = Working::from_snapshot(&snap);
         let mut total = SyncTraffic::default();
         let mut failed: Option<SyncError> = None;
-        for i in 0..filters.len() {
-            let request = filters[i].prepared.request().clone();
+        for i in 0..work.filters.len() {
+            let request = work.filters[i].prepared.request().clone();
             let session = &mut sessions[i];
             let resp = match driver.resync(transport, &request, ReSyncControl::poll(session.cookie))
             {
@@ -530,7 +722,7 @@ impl FilterReplica {
                 Err(e) if e.is_transient() => {
                     // Budget exhausted: serve what we have until the next
                     // cycle rather than failing the whole replica.
-                    Arc::make_mut(&mut filters[i]).stale = true;
+                    Arc::make_mut(&mut work.filters[i]).stale = true;
                     event!(self.obs, "replica", "filter_stale", filter_index = i, reason = "sync");
                     continue;
                 }
@@ -543,17 +735,13 @@ impl FilterReplica {
                     driver.note_reinstall();
                     match driver.resync(transport, &request, ReSyncControl::poll(None)) {
                         Ok(resp) => {
-                            let sf = Arc::make_mut(&mut filters[i]);
-                            let old: Vec<String> = sf.dns.drain().collect();
-                            for dn in old {
-                                unref(&mut entries, refcount, &dn);
-                            }
+                            drop_filter_content(&mut work, refcount, i);
                             resp
                         }
                         Err(e) if e.is_transient() => {
                             // Even the reinstall could not get through;
                             // the old content is still the best answer.
-                            Arc::make_mut(&mut filters[i]).stale = true;
+                            Arc::make_mut(&mut work.filters[i]).stale = true;
                             event!(
                                 self.obs,
                                 "replica",
@@ -576,11 +764,12 @@ impl FilterReplica {
             };
             session.cookie = resp.cookie;
             total.absorb(&resp.traffic());
-            let sf = Arc::make_mut(&mut filters[i]);
+            let mut sf = (*work.filters[i]).clone();
             sf.stale = false;
-            apply_actions(&mut entries, refcount, sf, &resp.actions);
+            self.timed_apply(&mut work, refcount, &mut sf, &resp.actions);
+            work.filters[i] = Arc::new(sf);
         }
-        self.publish(ContentSnapshot { epoch: snap.epoch + 1, filters, entries });
+        self.publish(work.into_snapshot());
         match failed {
             Some(e) => Err(e),
             None => Ok(total),
@@ -612,12 +801,12 @@ impl FilterReplica {
         let resp = master.resync(request, ReSyncControl::poll(w.sessions[pos].cookie))?;
         w.sessions[pos].cookie = resp.cookie;
         let traffic = resp.traffic();
-        let mut filters = snap.filters.clone();
-        let mut entries = snap.entries.clone();
-        let sf = Arc::make_mut(&mut filters[pos]);
+        let mut work = Working::from_snapshot(&snap);
+        let mut sf = (*work.filters[pos]).clone();
         sf.stale = false;
-        apply_actions(&mut entries, &mut w.refcount, sf, &resp.actions);
-        self.publish(ContentSnapshot { epoch: snap.epoch + 1, filters, entries });
+        self.timed_apply(&mut work, &mut w.refcount, &mut sf, &resp.actions);
+        work.filters[pos] = Arc::new(sf);
+        self.publish(work.into_snapshot());
         Ok(Some(traffic))
     }
 
@@ -631,7 +820,7 @@ impl FilterReplica {
         }
         let cq = Arc::new(CachedQuery {
             prepared: PreparedQuery::new(request),
-            keys: result.iter().map(key).collect(),
+            keys: result.iter().map(entry_key).collect(),
             entries: result.to_vec(),
             hits: AtomicU64::new(0),
         });
@@ -645,6 +834,25 @@ impl FilterReplica {
     /// Drops all cached user queries.
     pub fn clear_query_cache(&self) {
         self.cache.queries.lock().clear();
+    }
+
+    /// Applies an action batch to the working content, timing the
+    /// incremental index maintenance when the replica is observed.
+    fn timed_apply(
+        &self,
+        work: &mut Working,
+        refcount: &mut HashMap<u32, usize>,
+        sf: &mut StoredFilter,
+        actions: &[SyncAction],
+    ) {
+        if actions.is_empty() {
+            return;
+        }
+        let start = self.metrics.as_ref().map(|_| Instant::now());
+        apply_actions(work, refcount, sf, actions);
+        if let (Some(m), Some(t)) = (&self.metrics, start) {
+            m.index_build_ns.record_since(t);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -689,38 +897,56 @@ impl FilterReplica {
     /// # }
     /// ```
     pub fn try_answer(&self, query: &SearchRequest) -> Option<Vec<Entry>> {
-        let start = self.answer_hist.as_ref().map(|_| Instant::now());
-        let out = self.answer_inner(query);
-        if let (Some(h), Some(t)) = (&self.answer_hist, start) {
-            h.record_since(t);
+        let start = self.metrics.as_ref().map(|_| Instant::now());
+        self.stats.record_query();
+        let prepared = PreparedQuery::new(query.clone());
+        let snap = self.snapshot();
+        let out = self.answer_prepared(query, &prepared, &snap);
+        if let (Some(m), Some(t)) = (&self.metrics, start) {
+            m.answer_ns.record_since(t);
         }
         out
     }
 
-    /// The answer path proper; [`FilterReplica::try_answer`] wraps it
-    /// with the latency measurement.
-    fn answer_inner(&self, query: &SearchRequest) -> Option<Vec<Entry>> {
-        self.stats.record_query();
-        let prepared = PreparedQuery::new(query.clone());
-        let snap = self.snapshot();
+    /// The answer path proper, against an already-prepared query and an
+    /// already-read snapshot (so composed answering reuses both).
+    fn answer_prepared(
+        &self,
+        query: &SearchRequest,
+        prepared: &PreparedQuery,
+        snap: &ContentSnapshot,
+    ) -> Option<Vec<Entry>> {
         // Generalized filters first (they are authoritative and synced).
-        for sf in &snap.filters {
-            if self.engine.query_contained(&prepared, &sf.prepared) {
-                sf.hits.fetch_add(1, Ordering::Relaxed);
-                self.stats.record_generalized_hit(sf.stale);
-                event!(
-                    self.obs,
-                    "replica",
-                    "qc_hit",
-                    kind = "generalized",
-                    stale = sf.stale,
-                    epoch = snap.epoch,
-                );
-                return Some(evaluate(&snap.entries, query, &sf.dns));
+        // The containment decision is memoized per epoch: a repeat of a
+        // recently seen query skips the engine entirely.
+        let qkey = query_key(query);
+        let decision = match self.cached_decision(snap.epoch, &qkey) {
+            Some(d) => d,
+            None => {
+                let d = snap
+                    .filters
+                    .iter()
+                    .position(|sf| self.engine.query_contained(prepared, &sf.prepared));
+                self.remember_decision(snap.epoch, qkey, d);
+                d
             }
+        };
+        if let Some(pos) = decision {
+            let sf = &snap.filters[pos];
+            sf.hits.fetch_add(1, Ordering::Relaxed);
+            self.stats.record_generalized_hit(sf.stale);
+            event!(
+                self.obs,
+                "replica",
+                "qc_hit",
+                kind = "generalized",
+                stale = sf.stale,
+                epoch = snap.epoch,
+            );
+            return Some(self.evaluate_indexed(snap, query, &sf.ids));
         }
         for cq in self.cache.view() {
-            if self.engine.query_contained(&prepared, &cq.prepared) {
+            if self.engine.query_contained(prepared, &cq.prepared) {
                 cq.hits.fetch_add(1, Ordering::Relaxed);
                 self.stats.record_cache_hit();
                 event!(self.obs, "replica", "qc_hit", kind = "cached", epoch = snap.epoch);
@@ -737,6 +963,88 @@ impl FilterReplica {
         None
     }
 
+    /// Probes the decision cache; a probe against a newer epoch clears the
+    /// stale memo first.
+    fn cached_decision(&self, epoch: u64, key: &str) -> Option<Option<usize>> {
+        let mut dc = self.decisions.lock();
+        if dc.epoch != epoch {
+            dc.epoch = epoch;
+            dc.map.clear();
+        }
+        let found = dc.map.get(key).copied();
+        drop(dc);
+        match (&found, &self.metrics) {
+            (Some(_), Some(m)) => m.decision_hits.inc(),
+            (None, Some(m)) => m.decision_misses.inc(),
+            _ => {}
+        }
+        match found {
+            Some(_) => self.decision_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.decision_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Memoizes a containment decision, unless a publish raced in between
+    /// (the decision would poison the newer epoch).
+    fn remember_decision(&self, epoch: u64, key: String, decision: Option<usize>) {
+        let mut dc = self.decisions.lock();
+        if dc.epoch != epoch {
+            return;
+        }
+        if dc.map.len() >= DECISION_CACHE_CAP {
+            dc.map.clear();
+        }
+        dc.map.insert(key, decision);
+    }
+
+    /// Evaluates a query restricted to one stored filter's posting list,
+    /// through the snapshot index: the filter is compiled to a candidate
+    /// plan, intersected (galloping) with the filter's list, and only the
+    /// surviving candidates are verified against the full query. Falls
+    /// back to scanning the posting list when the filter is unplannable.
+    fn evaluate_indexed(
+        &self,
+        snap: &ContentSnapshot,
+        query: &SearchRequest,
+        ids: &[u32],
+    ) -> Vec<Entry> {
+        let cands: Cow<'_, [u32]> = match snap.index.plan(query.filter()) {
+            Some(plan) => {
+                let sel = posting::intersect(&plan, ids);
+                if let Some(m) = &self.metrics {
+                    m.plan_indexed.inc();
+                    m.plan_candidates.record(sel.len() as u64);
+                }
+                Cow::Owned(sel)
+            }
+            None => {
+                if let Some(m) = &self.metrics {
+                    m.plan_scan.inc();
+                    m.plan_candidates.record(ids.len() as u64);
+                }
+                Cow::Borrowed(ids)
+            }
+        };
+        collect_matching(snap, query, &cands)
+    }
+
+    /// Answers a query by brute-force scan, bypassing the index plan and
+    /// the decision cache — the reference evaluator the indexed path is
+    /// benchmarked and property-tested against. Runs the same containment
+    /// gate as [`try_answer`](FilterReplica::try_answer) but records no
+    /// replica statistics and no hit counts.
+    pub fn try_answer_scan(&self, query: &SearchRequest) -> Option<Vec<Entry>> {
+        let prepared = PreparedQuery::new(query.clone());
+        let snap = self.snapshot();
+        for sf in &snap.filters {
+            if self.engine.query_contained(&prepared, &sf.prepared) {
+                return Some(collect_matching(&snap, query, &sf.ids));
+            }
+        }
+        None
+    }
+
     /// Tries to answer a query from the **union** of stored generalized
     /// filters — an extension beyond the paper, which only checks
     /// containment in a single stored query (§3.4.2). A query like
@@ -750,12 +1058,30 @@ impl FilterReplica {
     /// the query cache. Statistics count this as a generalized hit.
     ///
     /// Like [`try_answer`](FilterReplica::try_answer) this takes `&self`;
-    /// the composed answer is evaluated against a single content epoch.
+    /// the query is prepared once and the whole attempt — single-filter
+    /// containment and union composition — runs against a single epoch
+    /// read.
     pub fn try_answer_composed(&self, query: &SearchRequest) -> Option<Vec<Entry>> {
-        if let Some(hit) = self.try_answer(query) {
+        let start = self.metrics.as_ref().map(|_| Instant::now());
+        self.stats.record_query();
+        let prepared = PreparedQuery::new(query.clone());
+        let snap = self.snapshot();
+        let out = self.answer_composed_prepared(query, &prepared, &snap);
+        if let (Some(m), Some(t)) = (&self.metrics, start) {
+            m.answer_ns.record_since(t);
+        }
+        out
+    }
+
+    fn answer_composed_prepared(
+        &self,
+        query: &SearchRequest,
+        prepared: &PreparedQuery,
+        snap: &ContentSnapshot,
+    ) -> Option<Vec<Entry>> {
+        if let Some(hit) = self.answer_prepared(query, prepared, snap) {
             return Some(hit);
         }
-        let snap = self.snapshot();
         // Candidates: stored filters whose region and attribute selection
         // cover the query's (the filter part is checked on the union).
         let candidates: Vec<&Arc<StoredFilter>> = snap
@@ -782,29 +1108,30 @@ impl FilterReplica {
         {
             return None;
         }
-        // The try_answer call above already counted this query (as a
+        // The answer_prepared call above already counted this query (as a
         // miss); composition converts it into a hit.
         self.stats.record_generalized_hit(false);
-        let mut dns: HashSet<String> = HashSet::new();
+        let mut lists: Vec<&[u32]> = Vec::with_capacity(candidates.len());
         for sf in &candidates {
             sf.hits.fetch_add(1, Ordering::Relaxed);
-            dns.extend(sf.dns.iter().cloned());
+            lists.push(&sf.ids);
         }
-        Some(evaluate(&snap.entries, query, &dns))
+        let ids = posting::union_many(lists);
+        Some(self.evaluate_indexed(snap, query, &ids))
     }
 }
 
-/// Evaluates a query over a snapshot's entry store restricted to one
-/// stored query's DN set.
-fn evaluate(entries: &HashMap<String, Entry>, query: &SearchRequest, dns: &HashSet<String>) -> Vec<Entry> {
-    let mut out: Vec<Entry> = dns
+/// Verifies a candidate id list against the full query, sorts the
+/// survivors by DN (deterministic output order) and projects the selected
+/// attributes — projection runs only on entries that made the answer.
+fn collect_matching(snap: &ContentSnapshot, query: &SearchRequest, ids: &[u32]) -> Vec<Entry> {
+    let mut hits: Vec<&Entry> = ids
         .iter()
-        .filter_map(|k| entries.get(k))
+        .filter_map(|&id| snap.entry(id))
         .filter(|e| query.matches(e))
-        .map(|e| query.attrs().project(e))
         .collect();
-    out.sort_by(|a, b| a.dn().cmp(b.dn()));
-    out
+    hits.sort_by(|a, b| a.dn().cmp(b.dn()));
+    hits.into_iter().map(|e| query.attrs().project(e)).collect()
 }
 
 /// Evaluates a query over a cached query's frozen result set.
@@ -818,27 +1145,43 @@ fn evaluate_cached(query: &SearchRequest, entries: &[Entry]) -> Vec<Entry> {
     out
 }
 
-/// Applies one batch of sync actions to a working copy of the content:
-/// the filter's DN set, the shared entry store and the refcounts.
+/// A collision-free memo key for the decision cache: the query's region,
+/// selection and canonical filter text. The filter printer escapes
+/// `( ) * \` in values, so distinct queries cannot collide (a collision
+/// would unsoundly reuse another query's containment decision).
+fn query_key(query: &SearchRequest) -> String {
+    format!(
+        "{}\u{1f}{:?}\u{1f}{}\u{1f}{:?}",
+        dn_key(query.base()),
+        query.scope(),
+        query.filter(),
+        query.attrs(),
+    )
+}
+
+/// Applies one batch of sync actions to the working content: the filter's
+/// posting list, the shared id-addressed entry store, the snapshot index
+/// and the refcounts.
 fn apply_actions(
-    entries: &mut HashMap<String, Entry>,
-    refcount: &mut HashMap<String, usize>,
+    work: &mut Working,
+    refcount: &mut HashMap<u32, usize>,
     sf: &mut StoredFilter,
     actions: &[SyncAction],
 ) {
     for a in actions {
         match a {
             SyncAction::Add(e) | SyncAction::Modify(e) => {
-                let k = key(e);
-                if sf.dns.insert(k.clone()) {
-                    *refcount.entry(k.clone()).or_insert(0) += 1;
+                let id = work.intern(&entry_key(e));
+                if posting::insert_sorted(&mut sf.ids, id) {
+                    *refcount.entry(id).or_insert(0) += 1;
                 }
-                entries.insert(k, e.clone());
+                work.store(id, e.clone());
             }
             SyncAction::Delete(dn) => {
-                let k = dn_key(dn);
-                if sf.dns.remove(&k) {
-                    unref(entries, refcount, &k);
+                if let Some(id) = work.interner.get(&dn_key(dn)) {
+                    if posting::remove_sorted(&mut sf.ids, id) {
+                        unref(work, refcount, id);
+                    }
                 }
             }
             SyncAction::Retain(_) => {}
@@ -846,28 +1189,26 @@ fn apply_actions(
     }
 }
 
-/// Drops one filter reference to an entry key, garbage-collecting the
-/// entry when no filter references remain.
-fn unref(entries: &mut HashMap<String, Entry>, refcount: &mut HashMap<String, usize>, k: &str) {
-    if let Some(rc) = refcount.get_mut(k) {
+/// Drops every id a filter references (full-reload preparation),
+/// garbage-collecting entries no other filter needs.
+fn drop_filter_content(work: &mut Working, refcount: &mut HashMap<u32, usize>, pos: usize) {
+    let mut sf = (*work.filters[pos]).clone();
+    for id in std::mem::take(&mut sf.ids) {
+        unref(work, refcount, id);
+    }
+    work.filters[pos] = Arc::new(sf);
+}
+
+/// Drops one filter reference to an entry id, garbage-collecting the
+/// entry (slot + index postings) when no filter references remain.
+fn unref(work: &mut Working, refcount: &mut HashMap<u32, usize>, id: u32) {
+    if let Some(rc) = refcount.get_mut(&id) {
         *rc -= 1;
         if *rc == 0 {
-            refcount.remove(k);
-            entries.remove(k);
+            refcount.remove(&id);
+            work.evict(id);
         }
     }
-}
-
-fn key(e: &Entry) -> String {
-    dn_key(e.dn())
-}
-
-fn dn_key(dn: &fbdr_ldap::Dn) -> String {
-    dn.rdns()
-        .iter()
-        .map(|r| format!("{}={}", r.attr().lower(), r.value().normalized()))
-        .collect::<Vec<_>>()
-        .join(",")
 }
 
 #[cfg(test)]
@@ -1222,6 +1563,89 @@ mod tests {
     }
 
     // ------------------------------------------------------------------
+    // Indexed evaluation
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn indexed_and_scan_paths_agree() {
+        let mut m = master();
+        let r = FilterReplica::new(0);
+        r.install_filter(&mut m, root_query("(serialNumber=0456*)")).unwrap();
+        r.install_filter(&mut m, root_query("(departmentNumber=2406)")).unwrap();
+        let queries = [
+            root_query("(serialNumber=045611)"),
+            root_query("(serialNumber=04561*)"),
+            root_query("(&(serialNumber=0456*)(departmentNumber=2406))"),
+            root_query("(|(serialNumber=045611)(serialNumber=045621))"),
+            root_query("(serialNumber=*45611)"), // unplannable → scan fallback
+            sub_query("c=in,o=xyz", "(serialNumber=0456*)"),
+            root_query("(serialNumber=999999)"),
+            root_query("(departmentNumber=9900)"), // not contained → miss
+        ];
+        for q in &queries {
+            assert_eq!(r.try_answer(q), r.try_answer_scan(q), "query {q}");
+        }
+    }
+
+    #[test]
+    fn decision_cache_memoizes_and_invalidates() {
+        let mut m = master();
+        let r = FilterReplica::new(0);
+        r.install_filter(&mut m, root_query("(departmentNumber=2406)")).unwrap();
+        let q = root_query("(departmentNumber=2406)");
+
+        r.try_answer(&q);
+        let s = r.decision_cache_stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 1, 1));
+
+        // Repeat: the containment check is skipped, the answer unchanged.
+        let before = r.engine_stats().total();
+        assert_eq!(r.try_answer(&q).unwrap().len(), 2);
+        assert_eq!(r.engine_stats().total(), before, "engine not consulted");
+        let s = r.decision_cache_stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+
+        // Misses are memoized too.
+        let miss = root_query("(serialNumber=120001)");
+        assert!(r.try_answer(&miss).is_none());
+        assert!(r.try_answer(&miss).is_none());
+        let s = r.decision_cache_stats();
+        assert_eq!((s.hits, s.misses, s.entries), (2, 2, 2));
+
+        // A publish (sync cycle) invalidates: the next probe misses and
+        // sees the fresh content.
+        m.apply(UpdateOp::Add(person("e", "us", "045650", "2406"))).unwrap();
+        r.sync(&mut m).unwrap();
+        assert_eq!(r.try_answer(&q).unwrap().len(), 3);
+        let s = r.decision_cache_stats();
+        assert_eq!((s.hits, s.misses, s.entries), (2, 3, 1));
+
+        // Manual clearing keeps counters but drops memos.
+        r.clear_decision_cache();
+        assert_eq!(r.decision_cache_stats().entries, 0);
+    }
+
+    #[test]
+    fn epoch_shares_untouched_index() {
+        // A sync cycle with no changes publishes a new epoch that shares
+        // the previous epoch's interner and index allocations.
+        let mut m = master();
+        let r = FilterReplica::new(0);
+        r.install_filter(&mut m, root_query("(departmentNumber=2406)")).unwrap();
+        let before = r.snapshot();
+        r.sync(&mut m).unwrap();
+        let after = r.snapshot();
+        assert_eq!(after.epoch, before.epoch + 1);
+        assert!(Arc::ptr_eq(&before.index, &after.index), "index shared");
+        assert!(Arc::ptr_eq(&before.interner, &after.interner), "interner shared");
+        // A cycle that does apply changes replaces them.
+        m.apply(UpdateOp::Add(person("e", "us", "045650", "2406"))).unwrap();
+        r.sync(&mut m).unwrap();
+        let touched = r.snapshot();
+        assert!(!Arc::ptr_eq(&after.index, &touched.index));
+    }
+
+    // ------------------------------------------------------------------
     // Robustness: degradation ladder
     // ------------------------------------------------------------------
 
@@ -1365,5 +1789,153 @@ mod tests {
         let t = r.sync(&mut m).unwrap();
         assert_eq!(t.full_entries, 1);
         assert_eq!(r.entry_count(), 4);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    //! Equivalence property: for arbitrary content and arbitrary filters,
+    //! the planned/indexed evaluator and the naive scan oracle return the
+    //! same entries in the same order — including across epochs where
+    //! entries leave the content.
+
+    use super::*;
+    use fbdr_ldap::Filter;
+    use proptest::prelude::*;
+
+    /// Spec of one generated entry; the vector index names it. The tag
+    /// byte encodes an optional attribute: values ≥ 4 mean "absent".
+    type EntrySpec = (u8, u8, bool, u8);
+
+    fn build_entry(i: usize, spec: &EntrySpec) -> Entry {
+        let (dept, sn, has_mail, tag) = spec;
+        let mut e = Entry::new(format!("cn=e{i},o=x").parse().unwrap())
+            .with("objectclass", "person")
+            .with("dept", &format!("{}", dept % 5))
+            .with("sn", &format!("{}", 100_000 + (*sn as u32 % 40)));
+        if *has_mail {
+            e = e.with("mail", &format!("u{i}@x.com"));
+        }
+        if *tag < 4 {
+            e = e.with("tag", &format!("t{}", tag % 3));
+        }
+        e
+    }
+
+    /// A replica whose single stored filter holds all generated entries,
+    /// built through the real writer path (interner + incremental index).
+    fn build_state(specs: &[EntrySpec]) -> (FilterReplica, ContentSnapshot, Vec<u32>) {
+        let r = FilterReplica::new(0);
+        let actions: Vec<SyncAction> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| SyncAction::Add(build_entry(i, s)))
+            .collect();
+        let mut work = Working::from_snapshot(&ContentSnapshot::empty());
+        let mut refcount = HashMap::new();
+        let mut sf = StoredFilter {
+            prepared: PreparedQuery::new(SearchRequest::from_root(Filter::match_all())),
+            ids: Vec::new(),
+            stale: false,
+            hits: Arc::new(AtomicU64::new(0)),
+        };
+        apply_actions(&mut work, &mut refcount, &mut sf, &actions);
+        let ids = sf.ids.clone();
+        work.filters.push(Arc::new(sf));
+        (r, work.into_snapshot(), ids)
+    }
+
+    /// One leaf predicate, drawn to collide with generated values often
+    /// enough to exercise non-empty plans.
+    fn leaf() -> impl Strategy<Value = Filter> {
+        let attr = prop_oneof![
+            Just("dept".to_owned()),
+            Just("sn".to_owned()),
+            Just("mail".to_owned()),
+            Just("tag".to_owned()),
+            Just("ghost".to_owned()),
+        ];
+        (attr, 0u8..8, 0u8..7).prop_map(|(a, v, kind)| {
+            let val = match a.as_str() {
+                "dept" => format!("{}", v % 5),
+                "sn" => format!("{}", 100_000 + (v as u32 % 40)),
+                "mail" => format!("u{v}@x.com"),
+                "tag" => format!("t{}", v % 3),
+                _ => format!("{v}"),
+            };
+            let text = match kind {
+                0 => format!("({a}={val})"),
+                1 => format!("({a}>={val})"),
+                2 => format!("({a}<={val})"),
+                3 => format!("({a}=*)"),
+                4 => {
+                    // Prefix: plannable substring.
+                    let cut = val.len().min(3);
+                    format!("({a}={}*)", &val[..cut])
+                }
+                5 => {
+                    // Middle substring: unplannable → scan fallback.
+                    let cut = val.len().min(2);
+                    format!("({a}=*{}*)", &val[val.len() - cut..])
+                }
+                _ => format!("(!({a}={val}))"),
+            };
+            Filter::parse(&text).expect("generated filter parses")
+        })
+    }
+
+    /// Compose 1–3 leaves with a random connective.
+    fn filter() -> impl Strategy<Value = Filter> {
+        (prop::collection::vec(leaf(), 1..4), 0u8..3).prop_map(|(leaves, comb)| match comb {
+            0 => Filter::and(leaves),
+            1 => Filter::or(leaves),
+            _ => leaves.into_iter().next().expect("non-empty"),
+        })
+    }
+
+    /// Scan oracle: same verification/order/projection tail, no plan.
+    fn oracle(snap: &ContentSnapshot, query: &SearchRequest, ids: &[u32]) -> Vec<Entry> {
+        collect_matching(snap, query, ids)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(192))]
+        #[test]
+        fn indexed_evaluation_matches_scan_oracle(
+            specs in prop::collection::vec((0u8..8, 0u8..8, any::<bool>(), 0u8..8), 0..40),
+            filters in prop::collection::vec(filter(), 1..6),
+            doomed in prop::collection::vec(any::<bool>(), 0..40),
+        ) {
+            let (r, snap, ids) = build_state(&specs);
+            for f in &filters {
+                let q = SearchRequest::from_root(f.clone());
+                let indexed = r.evaluate_indexed(&snap, &q, &ids);
+                let scanned = oracle(&snap, &q, &ids);
+                prop_assert_eq!(&indexed, &scanned, "epoch 1, filter {}", f);
+            }
+
+            // Entries leave between epochs: delete a subset through the
+            // writer path and re-check equivalence on the new epoch.
+            let deletes: Vec<SyncAction> = specs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| doomed.get(*i).copied().unwrap_or(false))
+                .map(|(i, s)| SyncAction::Delete(build_entry(i, s).dn().clone()))
+                .collect();
+            let mut work = Working::from_snapshot(&snap);
+            let mut refcount: HashMap<u32, usize> =
+                ids.iter().map(|&id| (id, 1usize)).collect();
+            let mut sf = (*work.filters[0]).clone();
+            apply_actions(&mut work, &mut refcount, &mut sf, &deletes);
+            let ids2 = sf.ids.clone();
+            work.filters[0] = Arc::new(sf);
+            let snap2 = work.into_snapshot();
+            for f in &filters {
+                let q = SearchRequest::from_root(f.clone());
+                let indexed = r.evaluate_indexed(&snap2, &q, &ids2);
+                let scanned = oracle(&snap2, &q, &ids2);
+                prop_assert_eq!(&indexed, &scanned, "epoch 2, filter {}", f);
+            }
+        }
     }
 }

@@ -1,0 +1,278 @@
+//! Per-epoch attribute indexes over a content snapshot.
+//!
+//! A [`SnapshotIndex`] maps attribute values to sorted posting lists of
+//! interned entry ids, mirroring the master-side DIT index design
+//! (equality via normalized text, ranges via [`AttrValue`] order, prefix
+//! via text-range scans) but keyed by dense ids instead of DNs.
+//!
+//! Lifecycle: the writer keeps the index inside an `Arc` that each
+//! published snapshot shares. A sync cycle that touches no entries
+//! publishes the *same* `Arc` (zero rebuild); a cycle that does touch
+//! entries clones the structure once (`Arc::make_mut`) and applies only
+//! the delta — the index is never rebuilt from the entry store.
+
+use crate::posting;
+use fbdr_ldap::{AttrName, AttrValue, Comparison, Entry, Filter, Predicate};
+use std::borrow::Cow;
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
+
+/// Posting lists for one attribute.
+#[derive(Debug, Clone, Default)]
+struct AttrPostings {
+    /// Normalized value text → ids, in lexicographic order (equality and
+    /// prefix lookups).
+    text: BTreeMap<String, Vec<u32>>,
+    /// Values in [`AttrValue`] order (numeric-aware) → ids (range
+    /// lookups with the same semantics as predicate evaluation).
+    ord: BTreeMap<AttrValue, Vec<u32>>,
+    /// Ids of entries carrying the attribute at all.
+    present: Vec<u32>,
+}
+
+/// Immutable-per-epoch equality/prefix/range index over snapshot entries.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SnapshotIndex {
+    by_attr: HashMap<AttrName, AttrPostings>,
+}
+
+impl SnapshotIndex {
+    /// Indexes every attribute value of `e` under `id`.
+    pub(crate) fn insert_entry(&mut self, id: u32, e: &Entry) {
+        for (attr, values) in e.attrs() {
+            let idx = self.by_attr.entry(attr.clone()).or_default();
+            posting::insert_sorted(&mut idx.present, id);
+            for v in values {
+                posting::insert_sorted(
+                    idx.text.entry(v.normalized().to_owned()).or_default(),
+                    id,
+                );
+                posting::insert_sorted(idx.ord.entry(v.clone()).or_default(), id);
+            }
+        }
+    }
+
+    /// Removes every attribute value of `e` from under `id`. `e` must be
+    /// the entry version previously inserted for `id`.
+    pub(crate) fn remove_entry(&mut self, id: u32, e: &Entry) {
+        for (attr, values) in e.attrs() {
+            let Some(idx) = self.by_attr.get_mut(attr) else { continue };
+            posting::remove_sorted(&mut idx.present, id);
+            for v in values {
+                if let Some(list) = idx.text.get_mut(v.normalized()) {
+                    posting::remove_sorted(list, id);
+                    if list.is_empty() {
+                        idx.text.remove(v.normalized());
+                    }
+                }
+                if let Some(list) = idx.ord.get_mut(v) {
+                    posting::remove_sorted(list, id);
+                    if list.is_empty() {
+                        idx.ord.remove(v);
+                    }
+                }
+            }
+            if idx.present.is_empty() {
+                self.by_attr.remove(attr);
+            }
+        }
+    }
+
+    /// Compiles a filter into a candidate posting list: a sorted id set
+    /// guaranteed to be a **superset** of the entries matching `filter`
+    /// (callers verify residual predicates on the candidates). Returns
+    /// `None` when the index cannot bound the result (negations,
+    /// substring patterns without an `initial` component) and the caller
+    /// must scan.
+    ///
+    /// Conjunctions intersect every plannable child (galloping);
+    /// disjunctions require every child to plan and union them.
+    pub(crate) fn plan<'a>(&'a self, filter: &Filter) -> Option<Cow<'a, [u32]>> {
+        if let Some(p) = filter.as_predicate() {
+            return self.plan_pred(p);
+        }
+        if filter.negated().is_some() {
+            return None;
+        }
+        let children = filter.children();
+        match filter {
+            Filter::And(_) => {
+                let mut plans: Vec<Cow<'a, [u32]>> =
+                    children.iter().filter_map(|c| self.plan(c)).collect();
+                if plans.is_empty() {
+                    return None;
+                }
+                plans.sort_by_key(|p| p.len());
+                let mut it = plans.into_iter();
+                let mut acc = it.next().expect("non-empty");
+                for p in it {
+                    if acc.is_empty() {
+                        break;
+                    }
+                    acc = Cow::Owned(posting::intersect(&acc, &p));
+                }
+                Some(acc)
+            }
+            Filter::Or(_) => {
+                let mut parts: Vec<Cow<'a, [u32]>> = Vec::with_capacity(children.len());
+                for c in children {
+                    parts.push(self.plan(c)?);
+                }
+                Some(posting::union_cows(parts))
+            }
+            _ => None,
+        }
+    }
+
+    fn plan_pred<'a>(&'a self, p: &Predicate) -> Option<Cow<'a, [u32]>> {
+        let idx = self.by_attr.get(p.attr());
+        match p.comparison() {
+            Comparison::Eq(v) => Some(
+                idx.and_then(|i| i.text.get(v.normalized()))
+                    .map_or(Cow::Owned(Vec::new()), |l| Cow::Borrowed(l.as_slice())),
+            ),
+            Comparison::Ge(v) => Some(self.one_bound(idx, v, true)),
+            Comparison::Le(v) => Some(self.one_bound(idx, v, false)),
+            Comparison::Present => {
+                Some(idx.map_or(Cow::Owned(Vec::new()), |i| Cow::Borrowed(i.present.as_slice())))
+            }
+            Comparison::Substring(pat) => {
+                let init = pat.initial()?;
+                let Some(i) = idx else { return Some(Cow::Owned(Vec::new())) };
+                let lists = i
+                    .text
+                    .range::<str, _>((Bound::Included(init), Bound::Unbounded))
+                    .take_while(|(k, _)| k.starts_with(init))
+                    .map(|(_, l)| Cow::Borrowed(l.as_slice()))
+                    .collect();
+                Some(posting::union_cows(lists))
+            }
+        }
+    }
+
+    /// Candidates for a single `>=` (`is_lower`) or `<=` bound. Mirrors
+    /// the DIT index's typed dispatch: integer bounds scan the `ord` map
+    /// widened by one (alternate spellings of the bound value, "0500" for
+    /// 500, sort before its canonical spelling), string bounds scan the
+    /// `text` map whose order is exactly the predicate's.
+    fn one_bound<'a>(
+        &'a self,
+        idx: Option<&'a AttrPostings>,
+        bound: &AttrValue,
+        is_lower: bool,
+    ) -> Cow<'a, [u32]> {
+        let Some(i) = idx else { return Cow::Owned(Vec::new()) };
+        match bound.as_int() {
+            Some(n) => {
+                let (lo, hi) = if is_lower {
+                    let b = if n > i64::MIN {
+                        Bound::Excluded(AttrValue::new((n - 1).to_string()))
+                    } else {
+                        Bound::Unbounded
+                    };
+                    (b, Bound::Unbounded)
+                } else {
+                    let b = if n < i64::MAX {
+                        Bound::Excluded(AttrValue::new((n + 1).to_string()))
+                    } else {
+                        Bound::Unbounded
+                    };
+                    (Bound::Unbounded, b)
+                };
+                let lists = i.ord.range((lo, hi)).map(|(_, l)| Cow::Borrowed(l.as_slice()));
+                posting::union_cows(lists.collect())
+            }
+            None => {
+                let key = bound.normalized();
+                let range: (Bound<&str>, Bound<&str>) = if is_lower {
+                    (Bound::Included(key), Bound::Unbounded)
+                } else {
+                    (Bound::Unbounded, Bound::Included(key))
+                };
+                let lists = i
+                    .text
+                    .range::<str, _>(range)
+                    .map(|(_, l)| Cow::Borrowed(l.as_slice()));
+                posting::union_cows(lists.collect())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: u32) -> Entry {
+        Entry::new(format!("cn=e{id},o=x").parse().unwrap())
+            .with("objectclass", "person")
+            .with("serialNumber", &format!("{:06}", 100_000 + id))
+            .with("dept", &format!("{}", id % 3))
+    }
+
+    fn sample(n: u32) -> SnapshotIndex {
+        let mut ix = SnapshotIndex::default();
+        for id in 0..n {
+            ix.insert_entry(id, &entry(id));
+        }
+        ix
+    }
+
+    fn plan_of(ix: &SnapshotIndex, f: &str) -> Option<Vec<u32>> {
+        ix.plan(&Filter::parse(f).unwrap()).map(|c| c.into_owned())
+    }
+
+    #[test]
+    fn equality_and_present_plans() {
+        let ix = sample(10);
+        assert_eq!(plan_of(&ix, "(serialNumber=100003)"), Some(vec![3]));
+        assert_eq!(plan_of(&ix, "(serialNumber=999999)"), Some(vec![]));
+        assert_eq!(plan_of(&ix, "(missing=1)"), Some(vec![]));
+        assert_eq!(plan_of(&ix, "(objectclass=*)"), Some((0..10).collect()));
+    }
+
+    #[test]
+    fn prefix_and_range_plans() {
+        let ix = sample(20);
+        // 100000..100019 — prefix 10001 covers ids 10..19.
+        assert_eq!(plan_of(&ix, "(serialNumber=10001*)"), Some((10..20).collect()));
+        assert_eq!(plan_of(&ix, "(serialNumber>=100015)"), Some((15..20).collect()));
+        assert_eq!(plan_of(&ix, "(serialNumber<=100002)"), Some((0..3).collect()));
+        // No initial component: cannot plan.
+        assert_eq!(plan_of(&ix, "(serialNumber=*5)"), None);
+    }
+
+    #[test]
+    fn boolean_plans() {
+        let ix = sample(12);
+        // And intersects; the dept list has ~4 ids, serial range 6.
+        assert_eq!(plan_of(&ix, "(&(dept=0)(serialNumber>=100006))"), Some(vec![6, 9]));
+        // A non-plannable conjunct is simply dropped from the plan.
+        assert_eq!(
+            plan_of(&ix, "(&(dept=1)(serialNumber=*x*))"),
+            Some(vec![1, 4, 7, 10])
+        );
+        // Or unions, but only if every branch plans.
+        assert_eq!(
+            plan_of(&ix, "(|(serialNumber=100001)(dept=2))"),
+            Some(vec![1, 2, 5, 8, 11])
+        );
+        assert_eq!(plan_of(&ix, "(|(dept=0)(x=*y))"), None);
+        assert_eq!(plan_of(&ix, "(!(dept=0))"), None);
+        assert_eq!(plan_of(&ix, "(&(!(dept=0))(x=*y))"), None);
+    }
+
+    #[test]
+    fn remove_keeps_index_exact() {
+        let mut ix = sample(6);
+        ix.remove_entry(2, &entry(2));
+        assert_eq!(plan_of(&ix, "(serialNumber=100002)"), Some(vec![]));
+        assert_eq!(plan_of(&ix, "(dept=2)"), Some(vec![5]));
+        assert_eq!(plan_of(&ix, "(objectclass=*)"), Some(vec![0, 1, 3, 4, 5]));
+        // Removing everything empties the maps entirely.
+        for id in [0u32, 1, 3, 4, 5] {
+            ix.remove_entry(id, &entry(id));
+        }
+        assert!(ix.by_attr.is_empty());
+    }
+}

@@ -17,6 +17,17 @@
 //! the locally computed result on a hit and `None` (→ referral to the
 //! master) on a miss, plus hit-ratio accounting ([`ReplicaStats`]).
 //!
+//! # Indexed evaluation
+//!
+//! [`FilterReplica`] answers queries through a per-epoch snapshot index:
+//! entry DNs are interned to dense `u32` ids, stored-filter contents are
+//! sorted [`posting`] lists, and each epoch carries incrementally
+//! maintained equality/prefix/range posting lists. A hit compiles the
+//! query filter into a candidate plan, intersects it (galloping) with the
+//! winning filter's list, and verifies residual predicates only on the
+//! candidates. Containment decisions are memoized per epoch
+//! ([`DecisionCacheStats`]).
+//!
 //! # Concurrency
 //!
 //! Query answering is `&self` on both models. [`FilterReplica`] goes
@@ -26,10 +37,12 @@
 //! ([`AtomicReplicaStats`]) snapshotted into plain [`ReplicaStats`].
 
 mod filter_replica;
+mod index;
+pub mod posting;
 mod stats;
 mod subtree;
 
-pub use filter_replica::{FilterReplica, StoredQueryKind};
+pub use filter_replica::{DecisionCacheStats, FilterReplica, StoredQueryKind};
 pub use stats::{AtomicReplicaStats, ReplicaStats};
 pub use subtree::SubtreeReplica;
 

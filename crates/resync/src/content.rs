@@ -1,11 +1,18 @@
 //! The replica-side content of one synchronized search request.
 
+use crate::intern::{dn_key, DnInterner};
 use crate::protocol::SyncAction;
 use fbdr_ldap::{Dn, Entry};
-use std::collections::HashMap;
 
 /// The set of entries a replica holds for one replicated search request,
 /// updated by applying [`SyncAction`]s.
+///
+/// Entries are stored in id-addressed slots: each distinct DN is interned
+/// to a dense `u32` once ([`DnInterner`]) and every later action touching
+/// that DN resolves to a direct vector index instead of re-hashing the
+/// string key. This is the same id space the filter replica's posting
+/// lists use, so content handed from the sync layer to a replica keeps
+/// its ids.
 ///
 /// `Retain` actions participate in the history-free scheme of equation
 /// (3): a sync cycle built from retain/add/modify actions implicitly
@@ -13,7 +20,9 @@ use std::collections::HashMap;
 /// [`ReplicaContent::apply_snapshot_cycle`].
 #[derive(Debug, Clone, Default)]
 pub struct ReplicaContent {
-    entries: HashMap<String, Entry>,
+    interner: DnInterner,
+    slots: Vec<Option<Entry>>,
+    live: usize,
 }
 
 impl ReplicaContent {
@@ -24,34 +33,63 @@ impl ReplicaContent {
 
     /// Number of entries held.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.live
     }
 
     /// True when no entries are held.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.live == 0
     }
 
     /// Looks up an entry by DN.
     pub fn get(&self, dn: &Dn) -> Option<&Entry> {
-        self.entries.get(&key(dn))
+        let id = self.interner.get(&dn_key(dn))?;
+        self.slots[id as usize].as_ref()
     }
 
     /// True if the DN is in the content.
     pub fn contains(&self, dn: &Dn) -> bool {
-        self.entries.contains_key(&key(dn))
+        self.get(dn).is_some()
     }
 
     /// Iterates the held entries (unordered).
     pub fn iter(&self) -> impl Iterator<Item = &Entry> {
-        self.entries.values()
+        self.slots.iter().flatten()
     }
 
     /// DNs held, sorted (for deterministic comparisons).
     pub fn sorted_dns(&self) -> Vec<String> {
-        let mut dns: Vec<String> = self.entries.keys().cloned().collect();
+        let mut dns: Vec<String> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_some())
+            .filter_map(|(id, _)| self.interner.key_of(id as u32))
+            .map(str::to_owned)
+            .collect();
         dns.sort();
         dns
+    }
+
+    /// Interns a DN key and returns its slot id, growing storage to fit.
+    fn slot_of(&mut self, key: &str) -> u32 {
+        let id = self.interner.intern(key);
+        if self.slots.len() <= id as usize {
+            self.slots.resize(id as usize + 1, None);
+        }
+        id
+    }
+
+    fn put(&mut self, id: u32, e: Entry) {
+        if self.slots[id as usize].replace(e).is_none() {
+            self.live += 1;
+        }
+    }
+
+    fn clear_slot(&mut self, id: u32) {
+        if self.slots[id as usize].take().is_some() {
+            self.live -= 1;
+        }
     }
 
     /// Applies one incremental action (add/modify upsert, delete removes;
@@ -59,10 +97,13 @@ impl ReplicaContent {
     pub fn apply(&mut self, action: &SyncAction) {
         match action {
             SyncAction::Add(e) | SyncAction::Modify(e) => {
-                self.entries.insert(key(e.dn()), e.clone());
+                let id = self.slot_of(&dn_key(e.dn()));
+                self.put(id, e.clone());
             }
             SyncAction::Delete(dn) => {
-                self.entries.remove(&key(dn));
+                if let Some(id) = self.interner.get(&dn_key(dn)) {
+                    self.clear_slot(id);
+                }
             }
             SyncAction::Retain(_) => {}
         }
@@ -78,32 +119,40 @@ impl ReplicaContent {
     /// Applies a *snapshot cycle* (equation (3)): every entry the cycle
     /// does not mention via add/modify/retain is dropped.
     pub fn apply_snapshot_cycle<'a, I: IntoIterator<Item = &'a SyncAction>>(&mut self, actions: I) {
-        let mut next: HashMap<String, Entry> = HashMap::new();
+        let mut next: Vec<Option<Entry>> = vec![None; self.slots.len()];
+        let mut live = 0usize;
         for a in actions {
             match a {
                 SyncAction::Add(e) | SyncAction::Modify(e) => {
-                    next.insert(key(e.dn()), e.clone());
+                    let id = self.slot_of(&dn_key(e.dn()));
+                    if next.len() <= id as usize {
+                        next.resize(id as usize + 1, None);
+                    }
+                    if next[id as usize].replace(e.clone()).is_none() {
+                        live += 1;
+                    }
                 }
                 SyncAction::Retain(dn) => {
-                    if let Some(e) = self.entries.remove(&key(dn)) {
-                        next.insert(key(dn), e);
+                    if let Some(id) = self.interner.get(&dn_key(dn)) {
+                        if let Some(e) = self.slots[id as usize].take() {
+                            if next[id as usize].replace(e).is_none() {
+                                live += 1;
+                            }
+                        }
                     }
                 }
                 SyncAction::Delete(dn) => {
-                    next.remove(&key(dn));
+                    if let Some(id) = self.interner.get(&dn_key(dn)) {
+                        if (id as usize) < next.len() && next[id as usize].take().is_some() {
+                            live -= 1;
+                        }
+                    }
                 }
             }
         }
-        self.entries = next;
+        self.slots = next;
+        self.live = live;
     }
-}
-
-fn key(dn: &Dn) -> String {
-    dn.rdns()
-        .iter()
-        .map(|r| format!("{}={}", r.attr().lower(), r.value().normalized()))
-        .collect::<Vec<_>>()
-        .join(",")
 }
 
 #[cfg(test)]
@@ -160,5 +209,25 @@ mod tests {
         let mut c = ReplicaContent::new();
         c.apply_snapshot_cycle(&[SyncAction::Retain("cn=ghost,o=x".parse().unwrap())]);
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn readd_after_delete_reuses_slot() {
+        let mut c = ReplicaContent::new();
+        c.apply(&SyncAction::Add(entry("cn=a,o=x")));
+        c.apply(&SyncAction::Delete("cn=a,o=x".parse().unwrap()));
+        assert!(c.is_empty());
+        c.apply(&SyncAction::Add(entry("cn=a,o=x").with("mail", "m@x")));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.sorted_dns(), ["cn=a,o=x"]);
+    }
+
+    #[test]
+    fn sorted_dns_are_deterministic() {
+        let mut c = ReplicaContent::new();
+        for dn in ["cn=c,o=x", "cn=a,o=x", "cn=b,o=x"] {
+            c.apply(&SyncAction::Add(entry(dn)));
+        }
+        assert_eq!(c.sorted_dns(), ["cn=a,o=x", "cn=b,o=x", "cn=c,o=x"]);
     }
 }

@@ -1,0 +1,131 @@
+//! Dense `u32` interning of normalized DN keys.
+//!
+//! Replica-side content stores are keyed by DN. Hashing the full string
+//! form of a DN on every lookup is measurable on the query path, so the
+//! sync layer interns each distinct DN key once and hands *ids* to the
+//! stores: an id is a dense `u32` usable as a direct vector index, and a
+//! set of ids is a sorted posting list that intersects without hashing.
+//!
+//! Ids are append-only and stable for the lifetime of the interner: a DN
+//! that leaves the content and later returns receives the same id, which
+//! is what lets immutable per-epoch structures (posting lists, attribute
+//! indexes) be shared across epochs without re-translation.
+
+use fbdr_ldap::{Dn, Entry};
+use std::collections::HashMap;
+
+/// The canonical string key of a DN: lowercased attribute types and
+/// normalized values, comma-joined leaf-first. Two DNs that compare equal
+/// under LDAP matching rules produce the same key.
+pub fn dn_key(dn: &Dn) -> String {
+    let mut out = String::new();
+    for (i, r) in dn.rdns().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(r.attr().lower());
+        out.push('=');
+        out.push_str(r.value().normalized());
+    }
+    out
+}
+
+/// The canonical key of an entry's DN (see [`dn_key`]).
+pub fn entry_key(e: &Entry) -> String {
+    dn_key(e.dn())
+}
+
+/// An append-only map from normalized DN keys to dense `u32` ids.
+///
+/// `intern` assigns ids in first-seen order; ids are never recycled, so
+/// any id handed out remains a valid index into id-addressed storage for
+/// the interner's lifetime (`len()` bounds the id space).
+///
+/// ```
+/// use fbdr_resync::DnInterner;
+///
+/// let mut it = DnInterner::new();
+/// let a = it.intern("cn=a,o=x");
+/// let b = it.intern("cn=b,o=x");
+/// assert_ne!(a, b);
+/// assert_eq!(it.intern("cn=a,o=x"), a); // stable
+/// assert_eq!(it.get("cn=b,o=x"), Some(b));
+/// assert_eq!(it.key_of(a), Some("cn=a,o=x"));
+/// assert_eq!(it.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DnInterner {
+    ids: HashMap<String, u32>,
+    keys: Vec<String>,
+}
+
+impl DnInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        DnInterner::default()
+    }
+
+    /// Number of distinct keys interned (the id space is `0..len()`).
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Returns the id of `key`, assigning the next dense id on first
+    /// sight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u32::MAX` distinct keys are interned.
+    pub fn intern(&mut self, key: &str) -> u32 {
+        if let Some(&id) = self.ids.get(key) {
+            return id;
+        }
+        let id = u32::try_from(self.keys.len()).expect("id space exhausted");
+        self.ids.insert(key.to_owned(), id);
+        self.keys.push(key.to_owned());
+        id
+    }
+
+    /// The id of `key`, if it has been interned.
+    pub fn get(&self, key: &str) -> Option<u32> {
+        self.ids.get(key).copied()
+    }
+
+    /// The key an id was assigned for (sync-time reverse resolution).
+    pub fn key_of(&self, id: u32) -> Option<&str> {
+        self.keys.get(id as usize).map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_normalized() {
+        let d: Dn = "CN=John  Doe, O=XYZ".parse().unwrap();
+        assert_eq!(dn_key(&d), "cn=john doe,o=xyz");
+        let e = Entry::new("cn=A,o=X".parse().unwrap());
+        assert_eq!(entry_key(&e), "cn=a,o=x");
+    }
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let mut it = DnInterner::new();
+        for i in 0..100u32 {
+            assert_eq!(it.intern(&format!("cn=e{i},o=x")), i);
+        }
+        for i in 0..100u32 {
+            assert_eq!(it.intern(&format!("cn=e{i},o=x")), i, "re-intern is stable");
+            assert_eq!(it.key_of(i), Some(format!("cn=e{i},o=x").as_str()));
+        }
+        assert_eq!(it.len(), 100);
+        assert_eq!(it.get("cn=missing,o=x"), None);
+        assert_eq!(it.key_of(100), None);
+    }
+}

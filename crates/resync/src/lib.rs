@@ -61,10 +61,12 @@
 pub mod baseline;
 mod content;
 pub mod driver;
+mod intern;
 mod master;
 mod protocol;
 
 pub use content::ReplicaContent;
+pub use intern::{dn_key, entry_key, DnInterner};
 pub use driver::{Clock, DriverStats, RetryConfig, SyncDriver, SyncTransport, SystemClock};
 pub use master::SyncMaster;
 pub use protocol::{
