@@ -1,0 +1,117 @@
+//! `master_fanout` — master update fan-out benchmark (routed vs naive).
+//!
+//! ```text
+//! master_fanout [--entries N] [--updates N] [--sessions A,B,C]
+//!               [--repeats N] [--floor X] [--out PATH]
+//! ```
+//!
+//! Applies the same update stream through `SyncMaster::apply` (candidate
+//! routing via the session routing index) and `SyncMaster::apply_naive`
+//! (every session evaluated per update) at each session count, verifies
+//! both paths drain identical actions, writes `BENCH_master_fanout.json`
+//! and prints a summary. Exits non-zero if routed throughput at the
+//! largest session count is below `--floor` (default 5×) times the naive
+//! reference — the routing index stopped paying for itself.
+
+use fbdr_bench::master_fanout::{run, FanoutConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = FanoutConfig::default();
+    let mut out = String::from("BENCH_master_fanout.json");
+    let mut floor = 5.0f64;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--entries" => {
+                cfg.entries = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--entries takes a number"));
+            }
+            "--updates" => {
+                cfg.updates = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--updates takes a number"));
+            }
+            "--sessions" => {
+                let spec = it.next().unwrap_or_else(|| usage("--sessions takes A,B,C"));
+                cfg.session_counts = spec
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage("bad session count")))
+                    .collect();
+                if cfg.session_counts.is_empty() {
+                    usage("--sessions needs at least one count");
+                }
+            }
+            "--repeats" => {
+                cfg.repeats = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--repeats takes a number"));
+            }
+            "--floor" => {
+                floor = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--floor takes a number"));
+            }
+            "--out" => out = it.next().unwrap_or_else(|| usage("--out takes a path")),
+            "--help" | "-h" => {
+                println!(
+                    "usage: master_fanout [--entries N] [--updates N] \
+                     [--sessions A,B,C] [--repeats N] [--floor X] [--out PATH]"
+                );
+                return;
+            }
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let report = run(&cfg);
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+
+    println!(
+        "# master_fanout — {} entries, {} updates/run, +{} residual sessions",
+        report.entries,
+        report.updates,
+        report.rungs.values().next().map_or(0, |r| r.residual_sessions),
+    );
+    for rung in report.rungs.values() {
+        println!(
+            "  {:>4} sessions  routed {:>10.0} ops/s | naive {:>10.0} ops/s | {:>6.1}x  \
+             (install {:>6.1}us/session, {} actions verified equal)",
+            rung.sessions,
+            rung.routed_ops_per_sec,
+            rung.naive_ops_per_sec,
+            rung.speedup,
+            rung.install_us_per_session,
+            rung.actions_compared,
+        );
+    }
+    for c in ["fbdr_resync_route_indexed_total", "fbdr_resync_route_scan_total",
+              "fbdr_resync_route_skipped_total"] {
+        if let Some(v) = report.counters.get(c) {
+            println!("  {c} = {v}");
+        }
+    }
+    println!("  wrote {out}");
+
+    if !(report.speedup_at_max_sessions >= floor) {
+        eprintln!(
+            "FAIL: routed fan-out speedup {:.2}x at {} sessions is below the {floor}x floor",
+            report.speedup_at_max_sessions, report.max_sessions
+        );
+        std::process::exit(1);
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("{msg}; see --help");
+    std::process::exit(2);
+}

@@ -10,20 +10,40 @@ use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::ops::Bound;
 
-/// Hierarchical path key: RDNs root-first, normalized, so that the subtree
-/// of a DN is a contiguous key range in a `BTreeMap`.
-type PathKey = Vec<String>;
+/// Hierarchical map key: orders DNs root-first over normalized RDN
+/// components ([`Dn::cmp_hierarchical`]), so that the subtree of a DN is
+/// a contiguous key range in a `BTreeMap`. Wrapping the `Dn` itself (a
+/// cheap refcounted clone) keeps lookups allocation-free — the previous
+/// `Vec<String>` key cost one formatted string per RDN per probe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct TreeKey(Dn);
 
-fn path_key(dn: &Dn) -> PathKey {
-    dn.rdns()
-        .iter()
-        .rev()
-        .map(|r| format!("{}={}", r.attr().lower(), r.value().normalized()))
-        .collect()
+impl Serialize for TreeKey {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.0.serialize(serializer)
+    }
 }
 
-fn key_starts_with(key: &[String], prefix: &[String]) -> bool {
-    key.len() >= prefix.len() && &key[..prefix.len()] == prefix
+impl<'de> Deserialize<'de> for TreeKey {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Dn::deserialize(deserializer).map(TreeKey)
+    }
+}
+
+impl Ord for TreeKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp_hierarchical(&other.0)
+    }
+}
+
+impl PartialOrd for TreeKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+fn path_key(dn: &Dn) -> TreeKey {
+    TreeKey(dn.clone())
 }
 
 /// An in-memory Directory Information Tree with attribute indexes, a
@@ -38,7 +58,7 @@ fn key_starts_with(key: &[String], prefix: &[String]) -> bool {
 #[derive(Debug, Default, Clone, Serialize, Deserialize)]
 pub struct DitStore {
     #[serde(with = "crate::serde_util")]
-    entries: BTreeMap<PathKey, Entry>,
+    entries: BTreeMap<TreeKey, Entry>,
     suffixes: Vec<Dn>,
     indexes: Indexes,
     csn: Csn,
@@ -109,11 +129,10 @@ impl DitStore {
 
     /// True if `dn` has at least one child entry.
     pub fn has_children(&self, dn: &Dn) -> bool {
-        let key = path_key(dn);
         self.entries
-            .range((Bound::Excluded(key.clone()), Bound::Unbounded))
+            .range((Bound::Excluded(path_key(dn)), Bound::Unbounded))
             .next()
-            .is_some_and(|(k, _)| key_starts_with(k, &key))
+            .is_some_and(|(k, _)| dn.is_ancestor_or_self_of(&k.0))
     }
 
     /// Iterates all entries in DN (hierarchical) order.
@@ -123,10 +142,10 @@ impl DitStore {
 
     /// Iterates entries in the subtree rooted at `base` (including `base`).
     pub fn subtree(&self, base: &Dn) -> impl Iterator<Item = &Entry> {
-        let key = path_key(base);
+        let base = base.clone();
         self.entries
-            .range((Bound::Included(key.clone()), Bound::Unbounded))
-            .take_while(move |(k, _)| key_starts_with(k, &key))
+            .range((Bound::Included(path_key(&base)), Bound::Unbounded))
+            .take_while(move |(k, _)| base.is_ancestor_or_self_of(&k.0))
             .map(|(_, e)| e)
     }
 
@@ -259,46 +278,72 @@ impl DitStore {
     ///   not present (the store is left unchanged).
     pub fn modify(&mut self, dn: &Dn, mods: Vec<Modification>) -> Result<ChangeRecord, DitError> {
         let key = path_key(dn);
-        let Some(entry) = self.entries.get(&key) else {
+        let Some(entry) = self.entries.get_mut(&key) else {
             return Err(DitError::NoSuchEntry(dn.clone()));
         };
-        // Validate and apply on a copy first so failures leave no trace.
-        let mut updated = entry.clone();
-        for m in &mods {
-            match m {
-                Modification::AddValues(a, vs) => {
-                    for v in vs {
-                        updated.add(a.clone(), v.clone());
-                    }
-                }
-                Modification::DeleteValues(a, vs) => {
-                    for v in vs {
-                        if !updated.remove_value(a, v) {
-                            return Err(DitError::NoSuchValue(dn.clone(), format!("{a}: {v}")));
-                        }
-                    }
-                }
-                Modification::DeleteAttr(a) => {
-                    if !updated.remove_attr(a) {
-                        return Err(DitError::NoSuchValue(dn.clone(), a.to_string()));
-                    }
-                }
-                Modification::Replace(a, vs) => {
-                    updated.replace(a.clone(), vs.iter().cloned());
-                }
-            }
-        }
-        let old = self.entries.insert(key, updated.clone()).expect("entry exists");
-        self.reindex(dn, &old, &updated);
+        // Snapshot only the touched attributes, apply in place, and roll
+        // the snapshots back on failure — copying the whole entry and
+        // diffing every attribute against the index made modify cost
+        // scale with entry size rather than with the change.
         let touched: Vec<AttrName> = {
             let mut t: Vec<AttrName> = mods.iter().map(|m| m.attr().clone()).collect();
             t.dedup();
             t
         };
+        let before: Vec<(AttrName, Vec<AttrValue>)> = touched
+            .iter()
+            .map(|a| (a.clone(), entry.values(a).cloned().collect()))
+            .collect();
+        let mut failed = None;
+        'apply: for m in &mods {
+            match m {
+                Modification::AddValues(a, vs) => {
+                    for v in vs {
+                        entry.add(a.clone(), v.clone());
+                    }
+                }
+                Modification::DeleteValues(a, vs) => {
+                    for v in vs {
+                        if !entry.remove_value(a, v) {
+                            failed = Some(DitError::NoSuchValue(dn.clone(), format!("{a}: {v}")));
+                            break 'apply;
+                        }
+                    }
+                }
+                Modification::DeleteAttr(a) => {
+                    if !entry.remove_attr(a) {
+                        failed = Some(DitError::NoSuchValue(dn.clone(), a.to_string()));
+                        break 'apply;
+                    }
+                }
+                Modification::Replace(a, vs) => {
+                    entry.replace(a.clone(), vs.iter().cloned());
+                }
+            }
+        }
+        if let Some(err) = failed {
+            for (a, vals) in before {
+                // An empty snapshot means the attribute did not exist.
+                entry.replace(a, vals);
+            }
+            return Err(err);
+        }
+        for (a, old_vals) in &before {
+            for v in old_vals {
+                if !entry.has_value(a, v) {
+                    self.indexes.remove(a, v, dn);
+                }
+            }
+            for v in entry.values(a) {
+                if !old_vals.contains(v) {
+                    self.indexes.insert(a, v, dn);
+                }
+            }
+        }
         let changes = touched
             .into_iter()
             .map(|a| {
-                let vals: Vec<AttrValue> = updated.values(&a).cloned().collect();
+                let vals: Vec<AttrValue> = entry.values(&a).cloned().collect();
                 (a, vals)
             })
             .collect();
@@ -370,23 +415,6 @@ impl DitStore {
         Ok(self.record(dn.clone(), ChangeKind::ModifyDn, changes, Some(new_dn)))
     }
 
-    fn reindex(&mut self, dn: &Dn, old: &Entry, new: &Entry) {
-        for (a, vs) in old.attrs() {
-            for v in vs {
-                if !new.has_value(a, v) {
-                    self.indexes.remove(a, v, dn);
-                }
-            }
-        }
-        for (a, vs) in new.attrs() {
-            for v in vs {
-                if !old.has_value(a, v) {
-                    self.indexes.insert(a, v, dn);
-                }
-            }
-        }
-    }
-
     fn record(
         &mut self,
         dn: Dn,
@@ -433,6 +461,56 @@ impl DitStore {
                 .filter(|dn| self.get(dn).is_some_and(|e| filter.matches(e)))
                 .count(),
             None => self.iter().filter(|e| filter.matches(e)).count(),
+        }
+    }
+
+    /// Streams every entry matching a search request to `f`, answering
+    /// through the indexed candidate plan where possible, **without**
+    /// cloning entries or DNs and without materializing a result vector.
+    ///
+    /// Visit order is unspecified (the planned path visits candidates in
+    /// index order, the scan fallback in hierarchical order) — callers
+    /// needing DN order should collect and sort, or use
+    /// [`DitStore::search`]. This is the bulk-enumeration seam the sync
+    /// layer's session installation uses: it interns ids straight off the
+    /// borrowed entries instead of paying for an owned result set.
+    pub fn for_each_match(&self, req: &SearchRequest, mut f: impl FnMut(&Entry)) {
+        match req.scope() {
+            Scope::Base => {
+                if let Some(e) = self.get(req.base()) {
+                    if req.filter().matches(e) {
+                        f(e);
+                    }
+                }
+            }
+            Scope::OneLevel => {
+                for e in self.children(req.base()) {
+                    if req.filter().matches(e) {
+                        f(e);
+                    }
+                }
+            }
+            Scope::Subtree => match self.plan(req.filter()) {
+                Some(cands) => {
+                    for dn in cands.iter() {
+                        if !req.scope().contains(req.base(), dn) {
+                            continue;
+                        }
+                        if let Some(e) = self.get(dn) {
+                            if req.filter().matches(e) {
+                                f(e);
+                            }
+                        }
+                    }
+                }
+                None => {
+                    for e in self.subtree(req.base()) {
+                        if req.filter().matches(e) {
+                            f(e);
+                        }
+                    }
+                }
+            },
         }
     }
 
@@ -586,6 +664,27 @@ mod tests {
         assert_eq!(s.search(&sub("o=xyz", "(serialNumber=0456*)")).len(), 2);
         assert_eq!(s.search(&sub("c=in,o=xyz", "(serialNumber=0456*)")).len(), 0);
         assert_eq!(s.search(&sub("o=xyz", "(serialNumber=12*)")).len(), 1);
+    }
+
+    #[test]
+    fn for_each_match_agrees_with_search_dns() {
+        let s = base_store();
+        let reqs = [
+            sub("o=xyz", "(serialNumber=045612)"),
+            sub("o=xyz", "(serialNumber=0456*)"),
+            sub("o=xyz", "(!(mail=*))"),
+            sub("c=us,o=xyz", "(objectclass=inetOrgPerson)"),
+            SearchRequest::new(dn("o=xyz"), Scope::OneLevel, Filter::match_all()),
+            SearchRequest::new(dn("c=us,o=xyz"), Scope::Base, Filter::match_all()),
+        ];
+        for req in &reqs {
+            let mut streamed: Vec<Dn> = Vec::new();
+            s.for_each_match(req, |e| streamed.push(e.dn().clone()));
+            streamed.sort();
+            let mut expect = s.search_dns(req);
+            expect.sort();
+            assert_eq!(streamed, expect, "request {req:?}");
+        }
     }
 
     #[test]

@@ -11,9 +11,10 @@
 //! [`Dn::is_ancestor_of`], and `isparent(a, b)` is [`Dn::is_parent_of`].
 
 use crate::{AttrName, AttrValue, NameParseError};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
 use std::fmt;
 use std::str::FromStr;
+use std::sync::Arc;
 
 /// A relative distinguished name: one `attr=value` naming component.
 ///
@@ -62,21 +63,41 @@ impl fmt::Display for Rdn {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Dn {
-    /// RDNs leaf-first (index 0 is the entry's own RDN).
-    rdns: Vec<Rdn>,
+    /// RDNs leaf-first (index 0 is the entry's own RDN). Shared so that
+    /// cloning a DN — pervasive in store indexes, changelogs and session
+    /// bookkeeping — is a refcount bump, not a deep string copy.
+    rdns: Arc<[Rdn]>,
+}
+
+impl Default for Dn {
+    fn default() -> Self {
+        Dn::root()
+    }
+}
+
+impl Serialize for Dn {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_seq(self.rdns.iter())
+    }
+}
+
+impl<'de> Deserialize<'de> for Dn {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(Dn::from_rdns(Vec::<Rdn>::deserialize(deserializer)?))
+    }
 }
 
 impl Dn {
     /// The root DN (empty sequence of RDNs).
     pub fn root() -> Self {
-        Dn { rdns: Vec::new() }
+        Dn { rdns: Vec::new().into() }
     }
 
     /// Builds a DN from RDNs ordered leaf-first.
     pub fn from_rdns(rdns: Vec<Rdn>) -> Self {
-        Dn { rdns }
+        Dn { rdns: rdns.into() }
     }
 
     /// True for the DIT root.
@@ -104,7 +125,7 @@ impl Dn {
         if self.rdns.is_empty() {
             None
         } else {
-            Some(Dn { rdns: self.rdns[1..].to_vec() })
+            Some(Dn { rdns: self.rdns[1..].into() })
         }
     }
 
@@ -113,7 +134,15 @@ impl Dn {
         let mut rdns = Vec::with_capacity(self.rdns.len() + 1);
         rdns.push(rdn);
         rdns.extend_from_slice(&self.rdns);
-        Dn { rdns }
+        Dn { rdns: rdns.into() }
+    }
+
+    /// Hierarchical ordering: root-first comparison of normalized RDN
+    /// components, so a parent sorts immediately before its subtree and
+    /// every subtree is one contiguous run. (The derived [`Ord`] compares
+    /// leaf-first, matching the string form.)
+    pub fn cmp_hierarchical(&self, other: &Dn) -> std::cmp::Ordering {
+        self.rdns.iter().rev().cmp(other.rdns.iter().rev())
     }
 
     /// `isSuffix(self, other)` of the paper including equality: true when
@@ -181,7 +210,7 @@ impl FromStr for Dn {
             }
             rdns.push(Rdn::new(attr, unescape(value.trim())));
         }
-        Ok(Dn { rdns })
+        Ok(Dn { rdns: rdns.into() })
     }
 }
 

@@ -60,5 +60,5 @@ pub use error::{FilterParseError, NameParseError};
 pub use filter::{Comparison, Filter, Predicate, SubstringPattern};
 pub use search::{AttrSelection, Scope, SearchRequest};
 pub use sort::{sort_entries, SortKey};
-pub use template::{Template, TemplateId};
+pub use template::{SlotKey, Template, TemplateId};
 pub use value::AttrValue;

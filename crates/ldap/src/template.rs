@@ -134,6 +134,183 @@ impl fmt::Display for Template {
     }
 }
 
+/// One routing key of a template, referring to value slots by index
+/// (see [`Template::routing_plan`]).
+///
+/// A key *matches* an entry when the entry has a value for `attr` that is
+/// equal to / starts with / merely exists for the instantiated slot value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SlotKey {
+    /// An equality assertion: the slot's value must appear verbatim
+    /// (normalized) among the entry's values of `attr`.
+    Eq {
+        /// The constrained attribute.
+        attr: AttrName,
+        /// Index into the template's value slots.
+        slot: usize,
+    },
+    /// An initial-substring assertion: some value of `attr` must start
+    /// with the slot's (normalized) text.
+    Prefix {
+        /// The constrained attribute.
+        attr: AttrName,
+        /// Index of the `initial` component's slot.
+        slot: usize,
+    },
+    /// A presence assertion: the entry must have `attr` at all. Carries no
+    /// slot — presence predicates have no assertion value.
+    Present {
+        /// The constrained attribute.
+        attr: AttrName,
+    },
+}
+
+impl SlotKey {
+    fn rank(&self) -> u8 {
+        // Selectivity order used when a conjunction offers a choice.
+        match self {
+            SlotKey::Eq { .. } => 0,
+            SlotKey::Prefix { .. } => 1,
+            SlotKey::Present { .. } => 2,
+        }
+    }
+}
+
+impl Template {
+    /// Extracts a **sound routing plan** from the template shape: a set of
+    /// slot-level keys such that *any* entry matched by *any* query of
+    /// this template must satisfy at least one key (instantiated with that
+    /// query's slot values). Returns `None` when no such key set exists
+    /// (negations, range assertions, substring patterns without an
+    /// initial component) and the query must go on a residual scan list.
+    ///
+    /// The plan depends only on the template, so an interest index over
+    /// many same-template queries computes it once and instantiates it per
+    /// query — the paper's template argument (§4) applied to update
+    /// fan-out instead of containment.
+    ///
+    /// Soundness per node:
+    /// * a predicate keys on itself (`=` → [`SlotKey::Eq`], `initial*` →
+    ///   [`SlotKey::Prefix`], `=*` → [`SlotKey::Present`]); ranges,
+    ///   negations and star-leading substrings are not indexable;
+    /// * a conjunction is covered by *any one* child's keys (every match
+    ///   satisfies all children) — the most selective indexable child is
+    ///   chosen;
+    /// * a disjunction needs *all* children indexable (a match may satisfy
+    ///   any one branch); its plan is the union of the children's keys.
+    ///
+    /// ```
+    /// use fbdr_ldap::{Filter, SlotKey, Template};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let q = Filter::parse("(&(objectclass=person)(dept=7))")?;
+    /// let (t, values) = Template::of(&q);
+    /// let plan = t.routing_plan().expect("conjunction of equalities");
+    /// // One key suffices for an AND; the plan picks an equality slot.
+    /// assert_eq!(plan.len(), 1);
+    /// let SlotKey::Eq { slot, .. } = &plan[0] else { panic!("eq key") };
+    /// assert_eq!(values[*slot].raw(), "person");
+    /// assert!(Template::of(&Filter::parse("(!(dept=7))")?).0.routing_plan().is_none());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn routing_plan(&self) -> Option<Vec<SlotKey>> {
+        self.routing_plans().map(|alts| {
+            // min_by_key keeps the first of equally-scored alternatives.
+            alts.into_iter()
+                .min_by_key(|a| plan_score(a))
+                .expect("alternatives are non-empty")
+        })
+    }
+
+    /// Every sound routing plan of the template: each returned key set is
+    /// independently sufficient (see [`Template::routing_plan`] for the
+    /// soundness contract). A conjunction offers one alternative per
+    /// indexable child — a consumer that knows the live key population
+    /// (e.g. an interest index) can pick the alternative with the
+    /// least-loaded posting lists instead of the statically best-ranked
+    /// one, which matters when a template mixes a high-selectivity slot
+    /// with a near-constant one (`(&(objectclass=_)(dept=_))`: keying
+    /// every query on its `objectclass` value degenerates to a broadcast).
+    /// Returns `None` when the shape has no sound keys at all.
+    pub fn routing_plans(&self) -> Option<Vec<Vec<SlotKey>>> {
+        let mut slot = 0usize;
+        plan_node(&self.shape, &mut slot)
+    }
+}
+
+/// Recursive plan extraction, returning all alternative key sets. Always
+/// advances `slot` across the whole subtree (so sibling plans see correct
+/// slot indices) even when the subtree itself is not indexable.
+fn plan_node(f: &Filter, slot: &mut usize) -> Option<Vec<Vec<SlotKey>>> {
+    match f {
+        Filter::Pred(p) => {
+            let attr = AttrName::new(p.attr().lower());
+            match p.comparison() {
+                Comparison::Eq(_) => {
+                    let key = SlotKey::Eq { attr, slot: *slot };
+                    *slot += 1;
+                    Some(vec![vec![key]])
+                }
+                Comparison::Ge(_) | Comparison::Le(_) => {
+                    *slot += 1;
+                    None
+                }
+                Comparison::Present => Some(vec![vec![SlotKey::Present { attr }]]),
+                Comparison::Substring(pat) => {
+                    let components = pat.components().count();
+                    let plan = pat
+                        .initial()
+                        .map(|_| vec![vec![SlotKey::Prefix { attr, slot: *slot }]]);
+                    *slot += components;
+                    plan
+                }
+            }
+        }
+        Filter::And(fs) => {
+            // Every indexable child is a sound alternative on its own
+            // (a match satisfies all children), so offer them all.
+            let mut alts: Vec<Vec<SlotKey>> = Vec::new();
+            for child in fs {
+                if let Some(child_alts) = plan_node(child, slot) {
+                    alts.extend(child_alts);
+                }
+            }
+            (!alts.is_empty()).then_some(alts)
+        }
+        Filter::Or(fs) => {
+            // A match may satisfy any one branch: all children must be
+            // indexable, and the union forms a single alternative (each
+            // child collapsed to its statically best key set — a cross
+            // product of alternatives would explode).
+            let mut keys = Vec::new();
+            let mut indexable = true;
+            for child in fs {
+                match plan_node(child, slot) {
+                    Some(child_alts) => keys.extend(
+                        child_alts
+                            .into_iter()
+                            .min_by_key(|a| plan_score(a))
+                            .expect("alternatives are non-empty"),
+                    ),
+                    None => indexable = false, // keep walking: slots must advance
+                }
+            }
+            indexable.then_some(vec![keys])
+        }
+        Filter::Not(inner) => {
+            plan_node(inner, slot);
+            None
+        }
+    }
+}
+
+/// Lower is better: prefer plans whose weakest key is strongest, then
+/// fewer keys (fewer posting lists to maintain and probe).
+fn plan_score(plan: &[SlotKey]) -> (u8, usize) {
+    (plan.iter().map(SlotKey::rank).max().unwrap_or(u8::MAX), plan.len())
+}
+
 const PLACEHOLDER: &str = "_";
 
 fn abstract_filter(f: &Filter, slots: &mut Vec<Slot>, values: &mut Vec<crate::AttrValue>) -> Filter {
@@ -287,6 +464,78 @@ mod tests {
     fn instantiate_wrong_arity_is_none() {
         let (t, _) = Template::of(&f("(&(a=1)(b=2))"));
         assert!(t.instantiate(&[AttrValue::new("x")]).is_none());
+    }
+
+    #[test]
+    fn routing_plan_simple_predicates() {
+        let (t, _) = Template::of(&f("(uid=jdoe)"));
+        assert_eq!(
+            t.routing_plan(),
+            Some(vec![SlotKey::Eq { attr: "uid".into(), slot: 0 }])
+        );
+        let (t, _) = Template::of(&f("(sn=smi*)"));
+        assert_eq!(
+            t.routing_plan(),
+            Some(vec![SlotKey::Prefix { attr: "sn".into(), slot: 0 }])
+        );
+        let (t, _) = Template::of(&f("(mail=*)"));
+        assert_eq!(t.routing_plan(), Some(vec![SlotKey::Present { attr: "mail".into() }]));
+    }
+
+    #[test]
+    fn routing_plan_residual_shapes() {
+        for s in ["(age>=30)", "(age<=30)", "(sn=*ith)", "(!(uid=x))", "(|(uid=x)(age>=3))"] {
+            let (t, _) = Template::of(&f(s));
+            assert_eq!(t.routing_plan(), None, "{s} should be residual");
+        }
+    }
+
+    #[test]
+    fn routing_plan_and_picks_most_selective_child_with_correct_slot() {
+        // The range slot (0) is unindexable; the equality must key slot 1.
+        let (t, vals) = Template::of(&f("(&(age>=30)(uid=jdoe))"));
+        assert_eq!(
+            t.routing_plan(),
+            Some(vec![SlotKey::Eq { attr: "uid".into(), slot: 1 }])
+        );
+        assert_eq!(vals[1].raw(), "jdoe");
+        // Equality beats prefix beats presence.
+        let (t, _) = Template::of(&f("(&(mail=*)(sn=smi*)(uid=jdoe))"));
+        assert_eq!(
+            t.routing_plan(),
+            Some(vec![SlotKey::Eq { attr: "uid".into(), slot: 1 }])
+        );
+    }
+
+    #[test]
+    fn routing_plan_or_unions_all_branches() {
+        let (t, vals) = Template::of(&f("(|(dept=7)(sn=smi*th))"));
+        // The OR needs both branches; the substring contributes its
+        // initial slot (slot 1; slot 2 is the final component).
+        assert_eq!(
+            t.routing_plan(),
+            Some(vec![
+                SlotKey::Eq { attr: "dept".into(), slot: 0 },
+                SlotKey::Prefix { attr: "sn".into(), slot: 1 },
+            ])
+        );
+        assert_eq!(vals.len(), 3);
+    }
+
+    #[test]
+    fn routing_plan_slot_indices_survive_nesting() {
+        // Slots: 0 = a's value, 1..=2 = substring components, 3 = c, 4 = d.
+        let (t, vals) = Template::of(&f("(&(|(a=1)(b=*x*y))(|(c=3)(d=4)))"));
+        // First OR is residual (no initial component); second OR wins.
+        assert_eq!(
+            t.routing_plan(),
+            Some(vec![
+                SlotKey::Eq { attr: "c".into(), slot: 3 },
+                SlotKey::Eq { attr: "d".into(), slot: 4 },
+            ])
+        );
+        assert_eq!(vals[3].raw(), "3");
+        assert_eq!(vals[4].raw(), "4");
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! indexes) be shared across epochs without re-translation.
 
 use fbdr_ldap::{Dn, Entry};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// The canonical string key of a DN: lowercased attribute types and
@@ -102,6 +103,91 @@ impl DnInterner {
     }
 }
 
+/// A bidirectional DN ↔ dense `u32` id table for master-side session
+/// bookkeeping.
+///
+/// Pairs a DN → id map with an id-indexed `Vec<Dn>` so the sync layer can
+/// both intern a DN touched by an update *and* resolve ids back to DNs
+/// when draining actions. Only the DN vector is serialized; the map is
+/// rebuilt lazily after deserialization (ids are dense and assigned in
+/// vector order, so the rebuild is exact).
+///
+/// ```
+/// use fbdr_resync::DnTable;
+///
+/// let mut t = DnTable::new();
+/// let a = t.intern(&"cn=A,o=X".parse().unwrap());
+/// assert_eq!(t.intern(&"CN=a, O=X".parse().unwrap()), a); // normalized
+/// assert_eq!(t.dn_of(a).unwrap().to_string(), "cn=A,o=X");
+/// assert_eq!(t.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DnTable {
+    dns: Vec<Dn>,
+    /// `Dn`'s `Eq`/`Hash` are case-insensitive over precomputed forms, so
+    /// keying by the DN itself matches LDAP matching-rule equality without
+    /// building a string key per probe.
+    #[serde(skip)]
+    ids: HashMap<Dn, u32>,
+}
+
+impl DnTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        DnTable::default()
+    }
+
+    /// Number of distinct DNs interned (the id space is `0..len()`).
+    pub fn len(&self) -> usize {
+        self.dns.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.dns.is_empty()
+    }
+
+    /// Rebuilds the DN → id map from the DN vector if it is out of date
+    /// (after deserialization the map arrives empty).
+    pub fn rehydrate(&mut self) {
+        if self.ids.len() == self.dns.len() {
+            return;
+        }
+        self.ids = self
+            .dns
+            .iter()
+            .enumerate()
+            .map(|(i, dn)| (dn.clone(), i as u32))
+            .collect();
+    }
+
+    /// Returns the id of `dn`, assigning the next dense id on first
+    /// sight. DNs equal under LDAP matching rules share an id; the first
+    /// spelling seen is the one [`DnTable::dn_of`] returns.
+    pub fn intern(&mut self, dn: &Dn) -> u32 {
+        self.rehydrate();
+        if let Some(&id) = self.ids.get(dn) {
+            return id;
+        }
+        let id = u32::try_from(self.dns.len()).expect("id space exhausted");
+        self.ids.insert(dn.clone(), id);
+        self.dns.push(dn.clone());
+        id
+    }
+
+    /// The id of `dn`, if already interned. Requires a hydrated table
+    /// (any `&mut self` call rehydrates; fresh tables are hydrated).
+    pub fn get(&self, dn: &Dn) -> Option<u32> {
+        debug_assert_eq!(self.ids.len(), self.dns.len(), "table not rehydrated");
+        self.ids.get(dn).copied()
+    }
+
+    /// The DN an id was assigned for (drain-time reverse resolution).
+    pub fn dn_of(&self, id: u32) -> Option<&Dn> {
+        self.dns.get(id as usize)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,5 +213,23 @@ mod tests {
         assert_eq!(it.len(), 100);
         assert_eq!(it.get("cn=missing,o=x"), None);
         assert_eq!(it.key_of(100), None);
+    }
+
+    #[test]
+    fn table_round_trips_and_rehydrates() {
+        let mut t = DnTable::new();
+        let a = t.intern(&"cn=A,o=X".parse().unwrap());
+        let b = t.intern(&"cn=B,o=X".parse().unwrap());
+        assert_ne!(a, b);
+        assert_eq!(t.get(&"CN=a,O=X".parse().unwrap()), Some(a));
+
+        let json = serde_json::to_string(&t).unwrap();
+        let mut back: DnTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.dn_of(b).unwrap().to_string(), "cn=B,o=X");
+        // Interner arrives empty; the first intern rehydrates it.
+        assert_eq!(back.intern(&"cn=a,o=x".parse().unwrap()), a);
+        assert_eq!(back.intern(&"cn=C,o=X".parse().unwrap()), 2);
+        assert_eq!(back.get(&"cn=B,o=X".parse().unwrap()), Some(b));
     }
 }

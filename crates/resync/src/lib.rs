@@ -64,11 +64,13 @@ pub mod driver;
 mod intern;
 mod master;
 mod protocol;
+mod routing;
 
 pub use content::ReplicaContent;
-pub use intern::{dn_key, entry_key, DnInterner};
+pub use intern::{dn_key, entry_key, DnInterner, DnTable};
 pub use driver::{Clock, DriverStats, RetryConfig, SyncDriver, SyncTransport, SystemClock};
 pub use master::SyncMaster;
+pub use routing::{RoutingIndex, RoutingStats};
 pub use protocol::{
     ActionCounts, Cookie, ReSyncControl, SyncAction, SyncError, SyncMode, SyncResponse,
     SyncTraffic,

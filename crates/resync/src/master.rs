@@ -1,31 +1,57 @@
 //! The master (supplier) side of the ReSync protocol.
 
+use crate::intern::DnTable;
 use crate::protocol::{
     Cookie, ReSyncControl, SyncAction, SyncError, SyncMode, SyncResponse,
 };
+use crate::routing::RoutingIndex;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use fbdr_dit::{ChangeRecord, DitError, DitStore, UpdateOp};
 use fbdr_ldap::{Dn, Entry, SearchRequest};
 use fbdr_obs::{event, Obs};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
+
+/// Sorted-`Vec<u32>` posting-list helpers for session bookkeeping. The
+/// id space is the master's [`DnTable`]; lists are tiny relative to a
+/// `HashSet<Dn>` (4 bytes per member, no per-DN string hashing) and
+/// membership is a binary search.
+fn pl_contains(list: &[u32], id: u32) -> bool {
+    list.binary_search(&id).is_ok()
+}
+
+fn pl_insert(list: &mut Vec<u32>, id: u32) {
+    if let Err(pos) = list.binary_search(&id) {
+        list.insert(pos, id);
+    }
+}
+
+fn pl_remove(list: &mut Vec<u32>, id: u32) {
+    if let Ok(pos) = list.binary_search(&id) {
+        list.remove(pos);
+    }
+}
 
 /// Per-session state: the request, what the replica has been sent, the
 /// live content, and the **session history** — DNs that left the content
 /// since the last response (the paper's alternative to changelogs and
 /// tombstones).
+///
+/// All DN sets are interned-id posting lists (sorted `Vec<u32>`) over the
+/// owning master's [`DnTable`] — the master resolves ids back to DNs when
+/// building responses.
 #[derive(Debug, Serialize, Deserialize)]
 struct Session {
     request: SearchRequest,
-    /// DNs the replica holds (content as of the last response).
-    sent: HashSet<Dn>,
-    /// Current content DNs, maintained at update time.
-    current: HashSet<Dn>,
-    /// `E10`: DNs that left the content since the last response and are
+    /// Ids of DNs the replica holds (content as of the last response).
+    sent: Vec<u32>,
+    /// Current content ids, maintained at update time.
+    current: Vec<u32>,
+    /// `E10`: ids that left the content since the last response and are
     /// held by the replica.
-    departed: HashSet<Dn>,
-    /// `E11` candidates: in-content DNs modified since the last response.
-    changed: HashSet<Dn>,
+    departed: Vec<u32>,
+    /// `E11` candidates: in-content ids modified since the last response.
+    changed: Vec<u32>,
     /// Persist-mode notification channel, if the session is persistent.
     /// Not persisted: a restored persist session degrades to polling (its
     /// cookie stays valid), exactly like a dropped TCP connection.
@@ -61,6 +87,16 @@ pub struct SyncMaster {
     sessions: HashMap<u64, Session>,
     next_session: u64,
     ops_applied: u64,
+    /// DN ↔ dense id table backing every session's posting lists.
+    table: DnTable,
+    /// Which sessions can an update touch? Maintained across the session
+    /// lifecycle; never serialized — rebuilt from the surviving sessions
+    /// on first use after deserialization (see `ensure_routing`).
+    #[serde(skip)]
+    routing: RoutingIndex,
+    /// Reused candidate buffer, so steady-state routing allocates nothing.
+    #[serde(skip)]
+    scratch: Vec<u32>,
     /// Disables unacknowledged-batch replay, restoring the pre-fix
     /// fire-and-forget semantics. Only useful to demonstrate the
     /// divergence the replay buffer prevents.
@@ -76,6 +112,19 @@ pub struct SyncMaster {
     /// [`SyncMaster::set_obs`], like reopening a connection).
     #[serde(skip)]
     obs: Obs,
+    /// Instrument handles for the per-update routing metrics, resolved
+    /// once in [`SyncMaster::set_obs`] — the registry's name-keyed,
+    /// lock-guarded lookup is too slow for the apply hot path.
+    #[serde(skip)]
+    route_metrics: Option<RouteMetrics>,
+}
+
+#[derive(Debug, Clone)]
+struct RouteMetrics {
+    candidates: std::sync::Arc<fbdr_obs::Histogram>,
+    indexed: std::sync::Arc<fbdr_obs::Counter>,
+    scan: std::sync::Arc<fbdr_obs::Counter>,
+    skipped: std::sync::Arc<fbdr_obs::Counter>,
 }
 
 impl SyncMaster {
@@ -127,6 +176,15 @@ impl SyncMaster {
     /// restored master starts detached, exactly like its persist
     /// channels.
     pub fn set_obs(&mut self, obs: Obs) {
+        self.route_metrics = obs.is_active().then(|| {
+            let reg = obs.registry();
+            RouteMetrics {
+                candidates: reg.histogram("fbdr_resync_route_candidates"),
+                indexed: reg.counter("fbdr_resync_route_indexed_total"),
+                scan: reg.counter("fbdr_resync_route_scan_total"),
+                skipped: reg.counter("fbdr_resync_route_skipped_total"),
+            }
+        });
         self.obs = obs;
     }
 
@@ -159,31 +217,156 @@ impl SyncMaster {
     /// content and history; persist-mode sessions are notified
     /// immediately.
     ///
+    /// Fan-out is **routed**: the [`RoutingIndex`] computes the candidate
+    /// session set from the entry's *old* attribute state (looked up
+    /// before the store applies the op — an entry leaving a filter stops
+    /// matching afterwards, but its old values still hit the session's
+    /// keys, which is what routes the departure) and its *new* state,
+    /// plus the residual scan-list for the affected naming context. Only
+    /// candidates are evaluated; sessions outside the set provably need
+    /// no action. DN interning and entry clones happen only once routing
+    /// finds at least one candidate.
+    ///
     /// # Errors
     ///
     /// Propagates [`DitError`] from the store; sessions are untouched on
     /// failure.
     pub fn apply(&mut self, op: UpdateOp) -> Result<ChangeRecord, DitError> {
-        let target = op.target().clone();
-        let rec = self.dit.apply(op)?;
+        self.apply_inner(op, false)
+    }
+
+    /// The pre-index fan-out reference: identical semantics to
+    /// [`SyncMaster::apply`], but every live session is evaluated against
+    /// every update, O(sessions) per op. Kept as the equivalence oracle
+    /// and the baseline the `master_fanout` benchmark measures against.
+    ///
+    /// # Errors
+    ///
+    /// As [`SyncMaster::apply`].
+    pub fn apply_naive(&mut self, op: UpdateOp) -> Result<ChangeRecord, DitError> {
+        self.apply_inner(op, true)
+    }
+
+    /// Applies a batch of updates through the routed path, amortizing the
+    /// routing scratch buffer and index-hydration checks across the
+    /// batch. Stops at the first store error (earlier ops stay applied,
+    /// exactly as if issued through [`SyncMaster::apply`] one by one).
+    ///
+    /// # Errors
+    ///
+    /// The first [`DitError`] encountered, if any.
+    pub fn apply_batch(
+        &mut self,
+        ops: impl IntoIterator<Item = UpdateOp>,
+    ) -> Result<Vec<ChangeRecord>, DitError> {
+        ops.into_iter().map(|op| self.apply_inner(op, false)).collect()
+    }
+
+    /// Rebuilds derived in-memory state when it is out of date: the DN
+    /// table's reverse map and the routing index (both arrive empty after
+    /// deserialization; sessions and posting lists are authoritative).
+    fn ensure_routing(&mut self) {
+        self.table.rehydrate();
+        if self.routing.len() == self.sessions.len() {
+            return;
+        }
+        self.routing = RoutingIndex::new();
+        for (&sid, s) in &self.sessions {
+            self.routing.register(sid as u32, &s.request);
+        }
+    }
+
+    fn apply_inner(&mut self, op: UpdateOp, naive: bool) -> Result<ChangeRecord, DitError> {
+        if self.sessions.is_empty() {
+            // Nothing to route: no clones, no interning, no index work.
+            let rec = self.dit.apply(op)?;
+            self.ops_applied += 1;
+            return Ok(rec);
+        }
+        self.ensure_routing();
+        let mut cand = std::mem::take(&mut self.scratch);
+        cand.clear();
+        // Candidates from the entry's OLD attribute state, read before the
+        // store mutates it. Borrow-only: no DN or entry clones yet.
+        let mut residual_hits = 0usize;
+        if naive {
+            self.routing.all_sessions(&mut cand);
+        } else {
+            if let Some(old) = self.dit.get(op.target()) {
+                self.routing.candidates_for_entry(old, &mut cand);
+            }
+            let before = cand.len();
+            self.routing.residual_for_dn(op.target(), &mut cand);
+            residual_hits = cand.len() - before;
+        }
+        let rec = match self.dit.apply(op) {
+            Ok(rec) => rec,
+            Err(e) => {
+                self.scratch = cand;
+                return Err(e);
+            }
+        };
         self.ops_applied += 1;
-        let new_dn = rec.new_dn.clone().unwrap_or_else(|| target.clone());
+        let target = &rec.dn;
+        let new_dn = rec.new_dn.as_ref().unwrap_or(target);
         let renamed = rec.new_dn.is_some();
-        // Entry state after the operation (None if deleted).
-        let new_entry = self.dit.get(&new_dn).cloned();
-        for session in self.sessions.values_mut() {
+        // Entry state after the operation (None if deleted) — borrowed,
+        // never cloned on this path.
+        let new_entry = self.dit.get(new_dn);
+        if !naive {
+            if let Some(e) = new_entry {
+                self.routing.candidates_for_entry(e, &mut cand);
+            }
             if renamed {
-                session.note_departure(&target);
-                if let Some(e) = &new_entry {
-                    session.note_arrival_or_change(e);
-                }
-            } else {
-                match &new_entry {
-                    Some(e) => session.note_arrival_or_change(e),
-                    None => session.note_departure(&target),
+                let before = cand.len();
+                self.routing.residual_for_dn(new_dn, &mut cand);
+                residual_hits += cand.len() - before;
+            }
+        }
+        let indexed_hits = cand.len() - residual_hits;
+        cand.sort_unstable();
+        cand.dedup();
+        if !naive {
+            if let Some(m) = &self.route_metrics {
+                m.candidates.record(cand.len() as u64);
+                if cand.is_empty() {
+                    m.skipped.inc();
+                } else {
+                    // Not exclusive: an op can reach sessions through posting
+                    // keys *and* drag in the residual scan-list.
+                    if indexed_hits > 0 {
+                        m.indexed.inc();
+                    }
+                    if residual_hits > 0 {
+                        m.scan.inc();
+                    }
                 }
             }
         }
+        if cand.is_empty() {
+            self.scratch = cand;
+            return Ok(rec);
+        }
+        // At least one session is interested: intern the touched DNs now.
+        let target_id = self.table.intern(target);
+        let new_id = if renamed { self.table.intern(new_dn) } else { target_id };
+        for &sid in &cand {
+            let Some(session) = self.sessions.get_mut(&u64::from(sid)) else {
+                continue;
+            };
+            if renamed {
+                session.note_departure(target_id, target);
+                if let Some(e) = new_entry {
+                    session.note_arrival_or_change(e, new_id);
+                }
+            } else {
+                match new_entry {
+                    Some(e) => session.note_arrival_or_change(e, target_id),
+                    None => session.note_departure(target_id, target),
+                }
+            }
+        }
+        self.scratch = cand;
         Ok(rec)
     }
 
@@ -239,6 +422,8 @@ impl SyncMaster {
                 self.sessions
                     .remove(&u64::from(cookie.session()))
                     .ok_or(SyncError::UnknownCookie(cookie))?;
+                self.routing.remove(cookie.session());
+                self.note_session_count();
                 return Ok(SyncResponse { actions: Vec::new(), cookie: None, redelivered: false });
             }
             SyncMode::Poll | SyncMode::Persist => {}
@@ -306,7 +491,7 @@ impl SyncMaster {
             );
             return Ok(resp);
         }
-        let actions = session.drain_actions(&self.dit);
+        let actions = session.drain_actions(&self.dit, &self.table);
         session.seq = session.seq.wrapping_add(1);
         session.pending = Some(actions.clone());
         session.pending_at = ops_applied;
@@ -370,7 +555,10 @@ impl SyncMaster {
 
     /// Abandons a session (e.g. the client dropped a persistent search).
     pub fn abandon(&mut self, cookie: Cookie) {
-        self.sessions.remove(&u64::from(cookie.session()));
+        if self.sessions.remove(&u64::from(cookie.session())).is_some() {
+            self.routing.remove(cookie.session());
+            self.note_session_count();
+        }
     }
 
     /// Tears down every persist notification channel, as a network
@@ -397,39 +585,92 @@ impl SyncMaster {
     /// would pin their history forever).
     pub fn expire_idle(&mut self, max_idle_ops: u64) -> usize {
         let cutoff = self.ops_applied.saturating_sub(max_idle_ops);
-        let before = self.sessions.len();
-        self.sessions.retain(|_, s| {
-            let live_persist = s.notify.as_ref().is_some_and(|tx| !tx.is_disconnected());
-            s.last_active >= cutoff || live_persist
-        });
-        before - self.sessions.len()
+        let dead: Vec<u64> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| {
+                let live_persist = s.notify.as_ref().is_some_and(|tx| !tx.is_disconnected());
+                !(s.last_active >= cutoff || live_persist)
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &dead {
+            self.sessions.remove(id);
+            self.routing.remove(*id as u32);
+        }
+        if !dead.is_empty() {
+            self.note_session_count();
+        }
+        dead.len()
     }
 
     /// The DNs a session's replica currently holds, sorted — test and
     /// debugging aid.
     pub fn session_sent_dns(&self, cookie: Cookie) -> Option<Vec<String>> {
         self.sessions.get(&u64::from(cookie.session())).map(|s| {
-            let mut v: Vec<String> = s.sent.iter().map(|d| d.to_string()).collect();
+            let mut v: Vec<String> = s
+                .sent
+                .iter()
+                .filter_map(|&id| self.table.dn_of(id))
+                .map(|d| d.to_string())
+                .collect();
             v.sort();
             v
         })
     }
 
+    /// Live counts of the routing index's structures — test and
+    /// observability aid.
+    pub fn routing_stats(&self) -> crate::routing::RoutingStats {
+        self.routing.stats()
+    }
+
+    /// Panics if the routing index violates its invariants (stale ids,
+    /// unsorted or empty retained posting lists, registered sessions
+    /// missing from their postings). Test helper.
+    pub fn debug_validate_routing(&self) {
+        self.routing.debug_validate();
+        for &sid in self.sessions.keys() {
+            assert!(
+                self.routing.contains(sid as u32) || self.routing.is_empty(),
+                "live session {sid} absent from a hydrated routing index"
+            );
+        }
+    }
+
+    /// Publishes the live session count gauge.
+    fn note_session_count(&self) {
+        if self.obs.is_active() {
+            self.obs.registry().gauge("fbdr_resync_sessions").set(self.sessions.len() as i64);
+        }
+    }
+
     /// Allocates a session and returns its id (the high half of every
     /// cookie issued on it; responses fill in the sequence number).
+    ///
+    /// The initial content is answered through the DIT store's indexed
+    /// streaming path ([`DitStore::for_each_match`]) — entries are
+    /// interned straight off borrowed references, with no owned result
+    /// vector and no full-DIT scan for plannable filters.
     fn start_session(&mut self, request: &SearchRequest) -> u64 {
+        self.ensure_routing();
         self.next_session += 1;
         assert!(self.next_session <= u64::from(u32::MAX), "session ids exhausted");
         let sid = self.next_session;
-        let current: HashSet<Dn> = self.dit.search_dns(request).into_iter().collect();
+        let mut current: Vec<u32> = Vec::new();
+        let table = &mut self.table;
+        self.dit.for_each_match(request, |e| current.push(table.intern(e.dn())));
+        current.sort_unstable();
+        current.dedup();
+        self.routing.register(sid as u32, request);
         self.sessions.insert(
             sid,
             Session {
                 request: request.clone(),
-                sent: HashSet::new(), // nothing sent yet → everything is an add
+                sent: Vec::new(), // nothing sent yet → everything is an add
                 current,
-                departed: HashSet::new(),
-                changed: HashSet::new(),
+                departed: Vec::new(),
+                changed: Vec::new(),
                 notify: None,
                 parked_receiver: None,
                 last_active: self.ops_applied,
@@ -438,53 +679,64 @@ impl SyncMaster {
                 pending_at: self.ops_applied,
             },
         );
+        self.note_session_count();
         sid
     }
 }
 
 impl Session {
     /// Handles an entry that now exists at `entry.dn()` (added, modified
-    /// or rename target).
-    fn note_arrival_or_change(&mut self, entry: &Entry) {
-        let dn = entry.dn();
+    /// or rename target). `id` is the interned id of `entry.dn()`. The
+    /// entry is cloned only when a live persist channel needs the action.
+    fn note_arrival_or_change(&mut self, entry: &Entry, id: u32) {
         let now_in = self.request.matches(entry);
-        let was_in = self.current.contains(dn);
+        let was_in = pl_contains(&self.current, id);
         match (was_in, now_in) {
             (false, true) => {
-                self.current.insert(dn.clone());
-                self.departed.remove(dn);
-                self.changed.insert(dn.clone());
-                self.push(SyncAction::Add(entry.clone()));
+                pl_insert(&mut self.current, id);
+                pl_remove(&mut self.departed, id);
+                pl_insert(&mut self.changed, id);
+                if self.notify.is_some() {
+                    self.push(SyncAction::Add(entry.clone()), id);
+                }
             }
             (true, true) => {
-                self.changed.insert(dn.clone());
-                self.push(SyncAction::Modify(entry.clone()));
+                pl_insert(&mut self.changed, id);
+                if self.notify.is_some() {
+                    self.push(SyncAction::Modify(entry.clone()), id);
+                }
             }
-            (true, false) => self.depart(dn.clone()),
+            (true, false) => self.depart(id, entry.dn()),
             (false, false) => {}
         }
     }
 
     /// Handles an entry that no longer exists at `dn` (deleted or rename
-    /// source).
-    fn note_departure(&mut self, dn: &Dn) {
-        if self.current.contains(dn) {
-            self.depart(dn.clone());
+    /// source). `id` is the interned id of `dn`.
+    fn note_departure(&mut self, id: u32, dn: &Dn) {
+        if pl_contains(&self.current, id) {
+            self.depart(id, dn);
         }
     }
 
-    fn depart(&mut self, dn: Dn) {
-        self.current.remove(&dn);
-        self.changed.remove(&dn);
-        if self.sent.contains(&dn) {
-            self.departed.insert(dn.clone());
+    fn depart(&mut self, id: u32, dn: &Dn) {
+        pl_remove(&mut self.current, id);
+        pl_remove(&mut self.changed, id);
+        if pl_contains(&self.sent, id) {
+            pl_insert(&mut self.departed, id);
         }
-        self.push(SyncAction::Delete(dn));
+        if self.notify.is_some() {
+            self.push(SyncAction::Delete(dn.clone()), id);
+        }
     }
 
-    fn push(&mut self, action: SyncAction) {
+    /// Streams an action on the persist channel. Callers only construct
+    /// (clone into) the action when `notify` is armed.
+    fn push(&mut self, action: SyncAction, id: u32) {
         let Some(tx) = &self.notify else { return };
-        if tx.send(action.clone()).is_err() {
+        let upsert = matches!(action, SyncAction::Add(_) | SyncAction::Modify(_));
+        let delete = matches!(action, SyncAction::Delete(_));
+        if tx.send(action).is_err() {
             // A dropped receiver means the client abandoned the persistent
             // search; stop streaming — the session stays pollable and the
             // untouched poll ledger takes over from here.
@@ -496,28 +748,34 @@ impl Session {
         // poll on this session must not re-send what the stream carried —
         // and, more importantly, must not *skip* the departure of an entry
         // the replica only learned about through the stream.
-        match &action {
-            SyncAction::Add(e) | SyncAction::Modify(e) => {
-                self.sent.insert(e.dn().clone());
-                self.changed.remove(e.dn());
-            }
-            SyncAction::Delete(dn) => {
-                self.sent.remove(dn);
-                self.departed.remove(dn);
-            }
-            SyncAction::Retain(_) => {}
+        if upsert {
+            pl_insert(&mut self.sent, id);
+            pl_remove(&mut self.changed, id);
+        } else if delete {
+            pl_remove(&mut self.sent, id);
+            pl_remove(&mut self.departed, id);
         }
     }
 
     /// Builds the poll response: adds (current \ sent), modifies
     /// (changed ∩ current ∩ sent) and deletes (departed), then advances
-    /// the session state.
-    fn drain_actions(&mut self, dit: &DitStore) -> Vec<SyncAction> {
+    /// the session state. Ids resolve through the master's [`DnTable`];
+    /// each action group is emitted in DN order (ids are assigned in
+    /// first-touch order, which is not canonical across masters).
+    fn drain_actions(&mut self, dit: &DitStore, table: &DnTable) -> Vec<SyncAction> {
         let mut actions = Vec::new();
-        for dn in &self.departed {
+        let mut departed: Vec<&Dn> =
+            self.departed.iter().filter_map(|&id| table.dn_of(id)).collect();
+        departed.sort();
+        for dn in departed {
             actions.push(SyncAction::Delete(dn.clone()));
         }
-        let mut adds: Vec<&Dn> = self.current.difference(&self.sent).collect();
+        let mut adds: Vec<&Dn> = self
+            .current
+            .iter()
+            .filter(|id| !pl_contains(&self.sent, **id))
+            .filter_map(|&id| table.dn_of(id))
+            .collect();
         adds.sort();
         for dn in adds {
             if let Some(e) = dit.get(dn) {
@@ -527,7 +785,8 @@ impl Session {
         let mut mods: Vec<&Dn> = self
             .changed
             .iter()
-            .filter(|dn| self.sent.contains(*dn) && self.current.contains(*dn))
+            .filter(|id| pl_contains(&self.sent, **id) && pl_contains(&self.current, **id))
+            .filter_map(|&id| table.dn_of(id))
             .collect();
         mods.sort();
         for dn in mods {

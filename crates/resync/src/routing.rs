@@ -1,0 +1,559 @@
+//! Master-side session routing index: which sessions can an update touch?
+//!
+//! `SyncMaster::apply` must tell every *interested* session about an
+//! update, but evaluating every session's filter against every update is
+//! O(sessions) per op — the paper's templates (§4) exist precisely to
+//! prune that kind of per-filter work. This module applies the same idea
+//! to fan-out: sessions are grouped by LDAP template, the template's
+//! [`routing plan`](fbdr_ldap::Template::routing_plan) is computed once
+//! per template, and each session's concrete assertion values key into
+//! posting maps of session ids:
+//!
+//! * **equality** `(attr, value)` → sessions asserting exactly that value,
+//! * **prefix** `(attr, initial)` → sessions with an initial-substring
+//!   assertion on `attr`,
+//! * **presence** `attr` → sessions asserting `(attr=*)`.
+//!
+//! Sessions whose filters have no sound routing keys (`Not`, substring
+//! without an initial segment, pure range filters, …) land on a
+//! **residual scan-list**, bucketed by the root-most RDN of their search
+//! base so an update under `o=xyz` never scans sessions rooted at
+//! `o=abc`.
+//!
+//! The soundness contract (inherited from `routing_plan`): *if a
+//! session's filter matches an entry, at least one of its registered keys
+//! matches that entry's attribute state*. The master therefore looks up
+//! candidates from the entry's **old and new** values — an entry leaving
+//! a filter stops matching the new state, but its old state still hits
+//! the session's keys, which is exactly what routes the departure.
+//!
+//! All posting structures hang off a single per-attribute map, so the
+//! per-update candidate lookup costs one hash probe per entry attribute
+//! and allocates nothing.
+
+use fbdr_ldap::{Dn, SearchRequest, Template, TemplateId};
+use std::collections::HashMap;
+
+/// A concrete posting key a session is registered under.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum RouteKey {
+    /// Attribute (lowercased) asserted equal to a normalized value.
+    Eq(String, String),
+    /// Attribute (lowercased) asserted to start with a normalized prefix.
+    Prefix(String, String),
+    /// Attribute (lowercased) asserted present.
+    Present(String),
+}
+
+/// How one session is registered, remembered for exact removal.
+#[derive(Debug, Clone)]
+enum Registration {
+    /// Indexed under these posting keys.
+    Keys(Vec<RouteKey>),
+    /// On the residual scan-list under this base bucket (`None` = rooted
+    /// at the empty DN, scanned for every update).
+    Residual(Option<(String, String)>),
+}
+
+/// Counts of live index structures, for tests and observability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoutingStats {
+    /// Sessions currently registered.
+    pub sessions: usize,
+    /// Sessions reachable through posting keys.
+    pub indexed: usize,
+    /// Sessions on the residual scan-list.
+    pub residual: usize,
+    /// Distinct equality `(attr, value)` posting keys.
+    pub eq_keys: usize,
+    /// Distinct prefix `(attr, initial)` posting keys.
+    pub prefix_keys: usize,
+    /// Distinct presence posting keys.
+    pub present_keys: usize,
+    /// Distinct templates whose routing plan has been computed.
+    pub templates: usize,
+}
+
+/// The root-most RDN of a DN as a lowercased attribute and normalized
+/// value, or `None` for the empty DN. Buckets residual sessions by
+/// naming context.
+fn root_bucket(dn: &Dn) -> Option<(String, String)> {
+    dn.rdns()
+        .last()
+        .map(|r| (r.attr().lower().to_owned(), r.value().normalized().to_owned()))
+}
+
+/// Every posting list attached to one attribute. Grouping the three key
+/// kinds under a single map keeps the hot path at one probe per entry
+/// attribute.
+#[derive(Debug, Clone, Default)]
+struct AttrPostings {
+    /// Normalized value → sessions asserting equality with it.
+    eq: HashMap<String, Vec<u32>>,
+    /// `(normalized prefix, sessions)` pairs for initial-substring keys.
+    prefix: Vec<(String, Vec<u32>)>,
+    /// Sessions asserting presence of the attribute.
+    present: Vec<u32>,
+}
+
+impl AttrPostings {
+    fn is_empty(&self) -> bool {
+        self.eq.is_empty() && self.prefix.is_empty() && self.present.is_empty()
+    }
+}
+
+/// An index from update content to the session ids it can affect.
+///
+/// Maintained by the master across the session lifecycle (`register` on
+/// install, `remove` on abandon/expiry); never serialized — the master
+/// rebuilds it from the surviving sessions after deserialization.
+#[derive(Debug, Clone, Default)]
+pub struct RoutingIndex {
+    /// Template id → cached routing plan presence (`false` = residual).
+    /// The concrete [`fbdr_ldap::SlotKey`] plan is recomputed per
+    /// registration (registrations are rare); what this cache buys is
+    /// the per-template *decision*, mirroring the paper's argument that
+    /// live filters collapse onto few templates.
+    plans: HashMap<TemplateId, bool>,
+    /// Lowercased attribute → its posting lists.
+    by_attr: HashMap<String, AttrPostings>,
+    /// Root RDN `(attr, value)` → residual sessions based under it.
+    residual: HashMap<String, HashMap<String, Vec<u32>>>,
+    /// Residual sessions based at the empty DN (scanned for every DN).
+    residual_root: Vec<u32>,
+    registered: HashMap<u32, Registration>,
+}
+
+fn posting_insert(list: &mut Vec<u32>, id: u32) {
+    if let Err(pos) = list.binary_search(&id) {
+        list.insert(pos, id);
+    }
+}
+
+fn posting_remove(list: &mut Vec<u32>, id: u32) {
+    if let Ok(pos) = list.binary_search(&id) {
+        list.remove(pos);
+    }
+}
+
+impl RoutingIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        RoutingIndex::default()
+    }
+
+    /// Number of sessions currently registered.
+    pub fn len(&self) -> usize {
+        self.registered.len()
+    }
+
+    /// True when no session is registered.
+    pub fn is_empty(&self) -> bool {
+        self.registered.is_empty()
+    }
+
+    /// True when `id` is registered.
+    pub fn contains(&self, id: u32) -> bool {
+        self.registered.contains_key(&id)
+    }
+
+    /// Instantiates one plan alternative against the query's slot values.
+    fn concrete_keys(plan: &[fbdr_ldap::SlotKey], values: &[fbdr_ldap::AttrValue]) -> Vec<RouteKey> {
+        plan.iter()
+            .map(|k| match k {
+                fbdr_ldap::SlotKey::Eq { attr, slot } => RouteKey::Eq(
+                    attr.lower().to_owned(),
+                    values[*slot].normalized().to_owned(),
+                ),
+                fbdr_ldap::SlotKey::Prefix { attr, slot } => RouteKey::Prefix(
+                    attr.lower().to_owned(),
+                    values[*slot].normalized().to_owned(),
+                ),
+                fbdr_ldap::SlotKey::Present { attr } => {
+                    RouteKey::Present(attr.lower().to_owned())
+                }
+            })
+            .collect()
+    }
+
+    /// How many sessions already sit on this key set's posting lists —
+    /// the expected extra fan-out of picking it. Lower is better.
+    fn key_load(&self, keys: &[RouteKey]) -> usize {
+        keys.iter()
+            .map(|k| match k {
+                RouteKey::Eq(a, v) => self
+                    .by_attr
+                    .get(a)
+                    .and_then(|b| b.eq.get(v))
+                    .map_or(0, Vec::len),
+                RouteKey::Prefix(a, p) => self
+                    .by_attr
+                    .get(a)
+                    .and_then(|b| b.prefix.iter().find(|(q, _)| q == p))
+                    .map_or(0, |(_, ids)| ids.len()),
+                RouteKey::Present(a) => {
+                    self.by_attr.get(a).map_or(0, |b| b.present.len())
+                }
+            })
+            .sum()
+    }
+
+    /// Registers a session under the routing keys of its request filter,
+    /// or on the residual scan-list when the filter is not indexable.
+    /// When the template offers several sound key sets (a conjunction of
+    /// indexable children), the alternative whose posting lists currently
+    /// hold the fewest sessions wins — near-constant assertions like
+    /// `objectclass=person` stay unpicked once they start crowding, so a
+    /// fleet of `(&(objectclass=person)(dept=N))` sessions keys on the
+    /// selective `dept` slot instead of degenerating to a broadcast list.
+    /// Re-registering an id first removes its old registration.
+    pub fn register(&mut self, id: u32, request: &SearchRequest) {
+        self.remove(id);
+        let (template, values) = Template::of(request.filter());
+        let plans = template.routing_plans();
+        self.plans.insert(template.id().clone(), plans.is_some());
+        let reg = match plans {
+            Some(alts) => {
+                let keys = alts
+                    .iter()
+                    .map(|plan| Self::concrete_keys(plan, &values))
+                    .min_by_key(|keys| (self.key_load(keys), keys.len()))
+                    .expect("routing_plans returns non-empty alternatives");
+                for key in &keys {
+                    match key {
+                        RouteKey::Eq(a, v) => posting_insert(
+                            self.by_attr
+                                .entry(a.clone())
+                                .or_default()
+                                .eq
+                                .entry(v.clone())
+                                .or_default(),
+                            id,
+                        ),
+                        RouteKey::Prefix(a, p) => {
+                            let b = self.by_attr.entry(a.clone()).or_default();
+                            match b.prefix.iter_mut().find(|(q, _)| q == p) {
+                                Some((_, ids)) => posting_insert(ids, id),
+                                None => b.prefix.push((p.clone(), vec![id])),
+                            }
+                        }
+                        RouteKey::Present(a) => posting_insert(
+                            &mut self.by_attr.entry(a.clone()).or_default().present,
+                            id,
+                        ),
+                    }
+                }
+                Registration::Keys(keys)
+            }
+            None => {
+                let bucket = root_bucket(request.base());
+                match &bucket {
+                    Some((a, v)) => posting_insert(
+                        self.residual
+                            .entry(a.clone())
+                            .or_default()
+                            .entry(v.clone())
+                            .or_default(),
+                        id,
+                    ),
+                    None => posting_insert(&mut self.residual_root, id),
+                }
+                Registration::Residual(bucket)
+            }
+        };
+        self.registered.insert(id, reg);
+    }
+
+    /// Removes a session from every posting list it appears in. A no-op
+    /// for unknown ids. Emptied posting lists are dropped so the key
+    /// space tracks the live session population.
+    pub fn remove(&mut self, id: u32) {
+        let Some(reg) = self.registered.remove(&id) else {
+            return;
+        };
+        match reg {
+            Registration::Keys(keys) => {
+                for key in keys {
+                    let attr = match &key {
+                        RouteKey::Eq(a, _)
+                        | RouteKey::Prefix(a, _)
+                        | RouteKey::Present(a) => a,
+                    };
+                    let Some(b) = self.by_attr.get_mut(attr) else {
+                        continue;
+                    };
+                    match &key {
+                        RouteKey::Eq(_, v) => {
+                            if let Some(ids) = b.eq.get_mut(v) {
+                                posting_remove(ids, id);
+                                if ids.is_empty() {
+                                    b.eq.remove(v);
+                                }
+                            }
+                        }
+                        RouteKey::Prefix(_, p) => {
+                            if let Some(pos) = b.prefix.iter().position(|(q, _)| q == p) {
+                                posting_remove(&mut b.prefix[pos].1, id);
+                                if b.prefix[pos].1.is_empty() {
+                                    b.prefix.remove(pos);
+                                }
+                            }
+                        }
+                        RouteKey::Present(_) => posting_remove(&mut b.present, id),
+                    }
+                    if b.is_empty() {
+                        self.by_attr.remove(attr);
+                    }
+                }
+            }
+            Registration::Residual(Some((a, v))) => {
+                if let Some(per_attr) = self.residual.get_mut(&a) {
+                    if let Some(ids) = per_attr.get_mut(&v) {
+                        posting_remove(ids, id);
+                        if ids.is_empty() {
+                            per_attr.remove(&v);
+                        }
+                    }
+                    if per_attr.is_empty() {
+                        self.residual.remove(&a);
+                    }
+                }
+            }
+            Registration::Residual(None) => posting_remove(&mut self.residual_root, id),
+        }
+    }
+
+    /// Appends to `out` every indexed session one of whose keys matches
+    /// the entry's attribute state. Duplicates may be appended (a session
+    /// can match on several keys) — sort + dedup once after collecting
+    /// old and new state. One hash probe per entry attribute, zero
+    /// allocations.
+    pub fn candidates_for_entry(&self, entry: &fbdr_ldap::Entry, out: &mut Vec<u32>) {
+        if self.by_attr.is_empty() {
+            return;
+        }
+        for (attr, values) in entry.attrs() {
+            let Some(b) = self.by_attr.get(attr.lower()) else {
+                continue;
+            };
+            if !b.present.is_empty() {
+                out.extend_from_slice(&b.present);
+            }
+            if b.eq.is_empty() && b.prefix.is_empty() {
+                continue;
+            }
+            for v in values {
+                let norm = v.normalized();
+                if let Some(ids) = b.eq.get(norm) {
+                    out.extend_from_slice(ids);
+                }
+                for (p, ids) in &b.prefix {
+                    if norm.starts_with(p.as_str()) {
+                        out.extend_from_slice(ids);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Appends to `out` every residual (scan-list) session whose base
+    /// bucket covers `dn`: the bucket of `dn`'s root-most RDN plus the
+    /// sessions based at the empty DN.
+    pub fn residual_for_dn(&self, dn: &Dn, out: &mut Vec<u32>) {
+        if let Some(r) = dn.rdns().last() {
+            if let Some(ids) = self
+                .residual
+                .get(r.attr().lower())
+                .and_then(|per| per.get(r.value().normalized()))
+            {
+                out.extend_from_slice(ids);
+            }
+        }
+        out.extend_from_slice(&self.residual_root);
+    }
+
+    /// Appends every registered session id to `out` (the naive
+    /// reference path routes to everyone).
+    pub fn all_sessions(&self, out: &mut Vec<u32>) {
+        out.extend(self.registered.keys().copied());
+    }
+
+    /// Live structure counts.
+    pub fn stats(&self) -> RoutingStats {
+        let residual = self
+            .registered
+            .values()
+            .filter(|r| matches!(r, Registration::Residual(_)))
+            .count();
+        RoutingStats {
+            sessions: self.registered.len(),
+            indexed: self.registered.len() - residual,
+            residual,
+            eq_keys: self.by_attr.values().map(|b| b.eq.len()).sum(),
+            prefix_keys: self.by_attr.values().map(|b| b.prefix.len()).sum(),
+            present_keys: self.by_attr.values().filter(|b| !b.present.is_empty()).count(),
+            templates: self.plans.len(),
+        }
+    }
+
+    /// Panics if any posting list holds an id that is not registered, or
+    /// a registered id is missing from a posting list it should be on.
+    /// Test-and-debug helper for the stale-id invariant.
+    pub fn debug_validate(&self) {
+        let check = |ids: &Vec<u32>, what: &str| {
+            assert!(ids.windows(2).all(|w| w[0] < w[1]), "{what}: unsorted postings");
+            for id in ids {
+                assert!(
+                    self.registered.contains_key(id),
+                    "{what}: stale session id {id} in posting list"
+                );
+            }
+        };
+        for (a, b) in &self.by_attr {
+            assert!(!b.is_empty(), "attr {a}: empty posting group retained");
+            for (v, ids) in &b.eq {
+                check(ids, &format!("eq {a}={v}"));
+                assert!(!ids.is_empty(), "eq {a}={v}: empty posting retained");
+            }
+            for (p, ids) in &b.prefix {
+                check(ids, &format!("prefix {a}={p}*"));
+                assert!(!ids.is_empty(), "prefix {a}={p}*: empty posting retained");
+            }
+            check(&b.present, &format!("present {a}"));
+        }
+        for (a, per_attr) in &self.residual {
+            assert!(!per_attr.is_empty(), "residual {a}: empty attr map retained");
+            for (v, ids) in per_attr {
+                check(ids, &format!("residual bucket {a}={v}"));
+                assert!(!ids.is_empty(), "residual {a}={v}: empty bucket retained");
+            }
+        }
+        check(&self.residual_root, "residual root");
+        for (id, reg) in &self.registered {
+            let on = |ids: Option<&Vec<u32>>| ids.is_some_and(|l| l.binary_search(id).is_ok());
+            match reg {
+                Registration::Keys(keys) => {
+                    for key in keys {
+                        let present = match key {
+                            RouteKey::Eq(a, v) => {
+                                on(self.by_attr.get(a).and_then(|b| b.eq.get(v)))
+                            }
+                            RouteKey::Prefix(a, p) => self
+                                .by_attr
+                                .get(a)
+                                .and_then(|b| b.prefix.iter().find(|(q, _)| q == p))
+                                .is_some_and(|(_, l)| l.binary_search(id).is_ok()),
+                            RouteKey::Present(a) => {
+                                on(self.by_attr.get(a).map(|b| &b.present))
+                            }
+                        };
+                        assert!(present, "session {id}: missing from posting for {key:?}");
+                    }
+                }
+                Registration::Residual(Some((a, v))) => {
+                    assert!(
+                        on(self.residual.get(a).and_then(|per| per.get(v))),
+                        "session {id}: missing from residual bucket {a}={v}"
+                    );
+                }
+                Registration::Residual(None) => {
+                    assert!(
+                        on(Some(&self.residual_root)),
+                        "session {id}: missing from the root residual list"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbdr_ldap::{Entry, Filter, Scope};
+
+    fn req(base: &str, filter: &str) -> SearchRequest {
+        SearchRequest::new(base.parse().unwrap(), Scope::Subtree, Filter::parse(filter).unwrap())
+    }
+
+    fn candidates(ix: &RoutingIndex, e: &Entry) -> Vec<u32> {
+        let mut out = Vec::new();
+        ix.candidates_for_entry(e, &mut out);
+        ix.residual_for_dn(e.dn(), &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    #[test]
+    fn routes_by_equality_prefix_presence_and_residual() {
+        let mut ix = RoutingIndex::new();
+        ix.register(0, &req("o=xyz", "(dept=7)"));
+        ix.register(1, &req("o=xyz", "(sn=smi*)"));
+        ix.register(2, &req("o=xyz", "(mail=*)"));
+        ix.register(3, &req("o=xyz", "(!(dept=7))")); // residual
+        ix.register(4, &req("o=abc", "(!(dept=7))")); // residual, other root
+        ix.debug_validate();
+        assert_eq!(ix.stats().sessions, 5);
+        assert_eq!(ix.stats().residual, 2);
+
+        let e = Entry::new("cn=a,o=xyz".parse().unwrap())
+            .with("dept", "7")
+            .with("sn", "Smith");
+        // dept=7 matches 0; sn=Smith hits prefix smi*; residual bucket o=xyz → 3.
+        assert_eq!(candidates(&ix, &e), vec![0, 1, 3]);
+
+        let e2 = Entry::new("cn=b,o=xyz".parse().unwrap()).with("mail", "b@x");
+        assert_eq!(candidates(&ix, &e2), vec![2, 3]);
+
+        let e3 = Entry::new("cn=c,o=abc".parse().unwrap()).with("dept", "9");
+        assert_eq!(candidates(&ix, &e3), vec![4]);
+    }
+
+    #[test]
+    fn remove_leaves_no_stale_ids() {
+        let mut ix = RoutingIndex::new();
+        ix.register(0, &req("o=xyz", "(&(objectclass=person)(dept=7))"));
+        ix.register(1, &req("o=xyz", "(|(dept=7)(dept=8))"));
+        ix.register(2, &req("o=xyz", "(serialnumber>=100)")); // residual
+        ix.debug_validate();
+
+        ix.remove(1);
+        ix.debug_validate();
+        let e = Entry::new("cn=a,o=xyz".parse().unwrap()).with("dept", "8");
+        assert_eq!(candidates(&ix, &e), vec![2]); // 1 gone, 0 keyed off dept=7 only
+
+        ix.remove(0);
+        ix.remove(2);
+        ix.remove(2); // idempotent
+        ix.debug_validate();
+        assert!(ix.is_empty());
+        assert_eq!(ix.stats().eq_keys, 0);
+        assert_eq!(ix.stats().prefix_keys + ix.stats().present_keys, 0);
+    }
+
+    #[test]
+    fn reregister_replaces_old_keys() {
+        let mut ix = RoutingIndex::new();
+        ix.register(7, &req("o=xyz", "(dept=7)"));
+        ix.register(7, &req("o=xyz", "(dept=9)"));
+        ix.debug_validate();
+        let e7 = Entry::new("cn=a,o=xyz".parse().unwrap()).with("dept", "7");
+        let e9 = Entry::new("cn=a,o=xyz".parse().unwrap()).with("dept", "9");
+        assert!(candidates(&ix, &e7).is_empty());
+        assert_eq!(candidates(&ix, &e9), vec![7]);
+        assert_eq!(ix.stats().eq_keys, 1);
+    }
+
+    #[test]
+    fn root_dse_residual_session_scans_every_update() {
+        let mut ix = RoutingIndex::new();
+        ix.register(0, &req("", "(!(mail=*))"));
+        ix.debug_validate();
+        let e = Entry::new("cn=a,o=xyz".parse().unwrap()).with("dept", "1");
+        assert_eq!(candidates(&ix, &e), vec![0]);
+        ix.remove(0);
+        ix.debug_validate();
+        assert!(ix.is_empty());
+    }
+}
