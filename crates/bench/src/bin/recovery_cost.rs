@@ -1,0 +1,106 @@
+//! `recovery_cost` — session recovery cost benchmark (replay vs
+//! reconcile vs reinstall).
+//!
+//! ```text
+//! recovery_cost [--entries N] [--rungs A,B,C] [--fpr X]
+//!               [--floor X] [--out PATH]
+//! ```
+//!
+//! For each divergence rung (updates applied while the replica's session
+//! was detached) it measures the bytes and round trips of three recovery
+//! strategies on identically-built masters: an incremental poll with a
+//! live cookie, the Bloom-digest reconcile exchange, and a full filter
+//! reinstall. Writes `BENCH_recovery.json` and prints a summary. Exits
+//! non-zero if the reinstall/reconcile byte ratio at the 10-update rung
+//! is below `--floor` (default 10x) — divergence-proportional recovery
+//! stopped paying for itself.
+
+use fbdr_bench::recovery::{run, RecoveryConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = RecoveryConfig::default();
+    let mut out = String::from("BENCH_recovery.json");
+    let mut floor = 10.0f64;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--entries" => {
+                cfg.entries = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--entries takes a number"));
+            }
+            "--rungs" => {
+                let spec = it.next().unwrap_or_else(|| usage("--rungs takes A,B,C"));
+                cfg.rungs = spec
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage("bad divergence rung")))
+                    .collect();
+                if cfg.rungs.is_empty() {
+                    usage("--rungs needs at least one divergence");
+                }
+            }
+            "--fpr" => {
+                cfg.fpr = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--fpr takes a number"));
+            }
+            "--floor" => {
+                floor = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--floor takes a number"));
+            }
+            "--out" => out = it.next().unwrap_or_else(|| usage("--out takes a path")),
+            "--help" | "-h" => {
+                println!(
+                    "usage: recovery_cost [--entries N] [--rungs A,B,C] \
+                     [--fpr X] [--floor X] [--out PATH]"
+                );
+                return;
+            }
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let report = run(&cfg);
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+
+    println!("# recovery_cost — {} entries, digest fpr {}", report.entries, report.fpr);
+    for rung in report.rungs.values() {
+        println!(
+            "  N={:>6} ({:>4} entries diverged)  replay {:>9} B | reconcile {:>9} B \
+             ({} rt, {} shipped, {} deletes, {} probes) | reinstall {:>9} B | {:>7.1}x",
+            rung.divergence,
+            rung.diverged_entries,
+            rung.replay_bytes,
+            rung.reconcile_bytes,
+            rung.reconcile_round_trips,
+            rung.reconcile_shipped_entries,
+            rung.reconcile_deletes,
+            rung.reconcile_fallback_probes,
+            rung.reinstall_bytes,
+            rung.reinstall_over_reconcile,
+        );
+    }
+    println!("  wrote {out}");
+
+    if !(report.reinstall_over_reconcile_at_10 >= floor) {
+        eprintln!(
+            "FAIL: reinstall/reconcile byte ratio {:.2}x at N={} is below the {floor}x floor",
+            report.reinstall_over_reconcile_at_10, report.headline_rung
+        );
+        std::process::exit(1);
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("{msg}; see --help");
+    std::process::exit(2);
+}

@@ -34,8 +34,8 @@ pub struct ReplicatorReport {
     /// Revolutions performed.
     pub revolutions: u64,
     /// What the sync driver had to do to keep the replica converged:
-    /// retries, recoveries, reinstalls (the robustness cost of §5.2-style
-    /// failures, alongside the bandwidth cost above).
+    /// retries, recoveries, reconciliations, reinstalls (the robustness
+    /// cost of §5.2-style failures, alongside the bandwidth cost above).
     pub driver: DriverStats,
 }
 
@@ -141,10 +141,11 @@ impl Replicator {
     }
 
     /// Polls the master for all replicated filters, through the retrying
-    /// sync driver: transient failures are retried with backoff, sessions
-    /// past recovery are reinstalled, and a filter whose budget runs out
-    /// is served stale until the next cycle (see
-    /// [`FilterReplica::sync_with`]).
+    /// sync driver: transient failures are retried with backoff, lost
+    /// sessions are reconciled by set digest (shipping only the diverged
+    /// entries) or reinstalled when divergence exceeds the budget, and a
+    /// filter whose retry budget runs out is served stale until the next
+    /// cycle (see [`FilterReplica::sync_with`]).
     ///
     /// # Errors
     ///

@@ -11,6 +11,9 @@ use crate::plan::FaultPlan;
 use crossbeam::channel::Receiver;
 use fbdr_ldap::SearchRequest;
 use fbdr_net::{DirectoryService, ServerOutcome};
+use fbdr_resync::reconcile::{
+    RangeRequest, RangeResponse, ReconcileRequest, ReconcileResponse,
+};
 use fbdr_resync::{
     Cookie, ReSyncControl, SyncAction, SyncError, SyncMaster, SyncResponse, SyncTransport,
 };
@@ -123,6 +126,69 @@ impl SyncTransport for FaultyLink {
 
     fn abandon(&mut self, cookie: Cookie) {
         self.master.abandon(cookie);
+    }
+
+    fn reconcile(
+        &mut self,
+        request: &SearchRequest,
+        req: ReconcileRequest,
+    ) -> Result<ReconcileResponse, SyncError> {
+        let decision = self.plan.decide();
+        if !decision.is_clean() {
+            self.injected += 1;
+        }
+        self.clock.advance_ms(decision.latency_ms);
+        if decision.crash_restart {
+            self.crash_restart();
+        }
+        if decision.disconnect_persist {
+            self.master.drop_persist_channels();
+        }
+        if decision.drop_request {
+            return Err(SyncError::Unavailable("request dropped".into()));
+        }
+        let mut resp = self.master.reconcile(request, req.clone())?;
+        if decision.duplicate {
+            // A re-delivered digest starts a second session; the replica
+            // only ever hears the later answer. The orphan falls to idle
+            // expiry, exactly like a duplicated initial poll.
+            resp = self.master.reconcile(request, req)?;
+        }
+        if decision.drop_response {
+            return Err(SyncError::Unavailable("response dropped".into()));
+        }
+        Ok(resp)
+    }
+
+    fn reconcile_ranges(
+        &mut self,
+        cookie: Cookie,
+        req: &RangeRequest,
+    ) -> Result<RangeResponse, SyncError> {
+        let decision = self.plan.decide();
+        if !decision.is_clean() {
+            self.injected += 1;
+        }
+        self.clock.advance_ms(decision.latency_ms);
+        if decision.crash_restart {
+            self.crash_restart();
+        }
+        if decision.disconnect_persist {
+            self.master.drop_persist_channels();
+        }
+        if decision.drop_request {
+            return Err(SyncError::Unavailable("request dropped".into()));
+        }
+        let mut resp = self.master.reconcile_ranges(cookie, req)?;
+        if decision.duplicate {
+            // The range round is answered from the frozen stash, so the
+            // duplicate is byte-for-byte identical (idempotence).
+            resp = self.master.reconcile_ranges(cookie, req)?;
+        }
+        if decision.drop_response {
+            return Err(SyncError::Unavailable("response dropped".into()));
+        }
+        Ok(resp)
     }
 }
 
@@ -246,6 +312,29 @@ mod tests {
         assert!(resp.redelivered);
         assert_eq!(driver.stats().recovered, 1);
         assert_eq!(link.master().redeliveries(), 1);
+    }
+
+    #[test]
+    fn driver_reconcile_over_faulty_link_survives_a_dropped_digest_round() {
+        // The digest round's response is lost; the driver retries the
+        // whole exchange with a re-salted digest and converges.
+        let plan = FaultPlan::builder(0).at(0, FaultKind::DropResponse).build();
+        let mut link = FaultyLink::new(master(), plan, SimClock::new());
+        let clock = link.clock().clone();
+        let mut driver = SyncDriver::with_clock(RetryConfig::default(), clock);
+
+        // An empty replica: everything the master holds is a definite miss.
+        let outcome = driver.reconcile(&mut link, &req(), &[], &|_| None).unwrap();
+        assert_eq!(outcome.upserts.len(), 2);
+        assert!(outcome.delete_ids.is_empty());
+        assert_eq!(driver.stats().reconciliations, 1);
+        assert_eq!(driver.stats().recovered, 1);
+        assert_eq!(link.faults_injected(), 1);
+        // The orphan session from the lost first attempt lingers until
+        // idle expiry; the live one answers the cookie.
+        assert_eq!(link.master().session_count(), 2);
+        let resp = link.resync(&req(), ReSyncControl::poll(Some(outcome.cookie))).unwrap();
+        assert!(resp.actions.is_empty(), "cookie is already at the current content");
     }
 
     #[test]

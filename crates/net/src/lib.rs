@@ -41,12 +41,12 @@
 //! ```
 
 mod client;
-mod cost;
+pub mod cost;
 mod server;
 mod service;
 
 pub use client::{Client, NetError, SearchResult};
-pub use cost::{CostModel, OpStats};
+pub use cost::{CostModel, ExchangeTracker, Hop, HopDirection, OpStats};
 pub use server::{Server, ServerOutcome};
 pub use service::DirectoryService;
 

@@ -22,9 +22,10 @@ use crossbeam::channel::{Receiver, TryRecvError};
 use fbdr_containment::{ContainmentEngine, EngineStats, PreparedQuery};
 use fbdr_ldap::{Entry, SearchRequest};
 use fbdr_obs::{event, Counter, Histogram, Obs};
+use fbdr_resync::reconcile::entry_item_hash;
 use fbdr_resync::{
-    dn_key, entry_key, Clock, Cookie, DnInterner, ReSyncControl, SyncAction, SyncDriver, SyncError,
-    SyncMaster, SyncTransport, SyncTraffic,
+    dn_key, entry_key, Clock, Cookie, DnInterner, ReSyncControl, ReconcileItem, SyncAction,
+    SyncDriver, SyncError, SyncMaster, SyncTransport, SyncTraffic,
 };
 use parking_lot::{Mutex, RwLock};
 use std::borrow::Cow;
@@ -645,8 +646,10 @@ impl FilterReplica {
                 Err(e) if e.needs_reinstall() => {
                     // Session expired at the master (its §5.2 admin time
                     // limit) or a lost batch is past replay: start over
-                    // with a full reload of this filter's content.
-                    if matches!(e, SyncError::ReplayExpired(_)) {
+                    // with a full reload of this filter's content. (The
+                    // driver-based `sync_with` tries the cheaper
+                    // reconciliation rung first.)
+                    if matches!(e, SyncError::ReplayExpired { .. }) {
                         // The session still exists at the master.
                         if let Some(c) = session.cookie {
                             master.abandon(c);
@@ -690,8 +693,15 @@ impl FilterReplica {
     ///   served (availability over freshness; hits are counted in
     ///   [`ReplicaStats::stale_serves`]) and the next cycle retries;
     /// - an unrecoverable session error (expired cookie, replay past its
-    ///   window) triggers a full reinstall through the driver, so even the
-    ///   reload is retried on transient failures;
+    ///   window) first attempts a **reconciliation** exchange
+    ///   (`fbdr_resync::reconcile`): the replica digests its held items
+    ///   and receives only what actually diverged, re-establishing a live
+    ///   cookie at divergence-proportional cost. Reconciliation is skipped
+    ///   when the estimated divergence exceeds the driver's
+    ///   [`ReconcileConfig::divergence_budget`](fbdr_resync::ReconcileConfig)
+    ///   and falls back to a full reinstall when the exchange fails;
+    /// - the reinstall itself runs through the driver, so even the reload
+    ///   is retried on transient failures;
     /// - everything else propagates as in [`FilterReplica::sync`].
     ///
     /// Returns the total resync traffic of the cycle. Like `sync`, the
@@ -727,11 +737,84 @@ impl FilterReplica {
                     continue;
                 }
                 Err(e) if e.needs_reinstall() => {
-                    if matches!(e, SyncError::ReplayExpired(_)) {
+                    if matches!(e, SyncError::ReplayExpired { .. }) {
                         if let Some(c) = session.cookie {
                             transport.abandon(c);
                         }
                     }
+                    // Rung 2 of the ladder: reconcile — re-establish the
+                    // session at divergence-proportional cost instead of
+                    // re-shipping the whole content.
+                    let est = e.estimated_divergence();
+                    event!(
+                        self.obs,
+                        "replica",
+                        "session_lost",
+                        filter_index = i,
+                        divergence_known = est.is_some(),
+                        divergence = est.unwrap_or(0),
+                    );
+                    let budget = driver.reconcile_config().divergence_budget;
+                    if est.is_some_and(|d| d > budget) {
+                        driver.note_reconcile_fallback("divergence over budget");
+                    } else {
+                        let held = &work.filters[i].ids;
+                        let items: Vec<ReconcileItem> = held
+                            .iter()
+                            .filter_map(|&id| {
+                                let e = work.entries.get(id as usize)?.as_deref()?;
+                                Some(ReconcileItem { hash: entry_item_hash(e), id })
+                            })
+                            .collect();
+                        let resolve = |key: &str| {
+                            work.interner
+                                .get(key)
+                                .filter(|id| work.filters[i].ids.binary_search(id).is_ok())
+                        };
+                        match driver.reconcile(transport, &request, &items, &resolve) {
+                            Ok(outcome) => {
+                                session.cookie = Some(outcome.cookie);
+                                total.absorb(&outcome.traffic());
+                                // Deletes BEFORE upserts: a modify caught
+                                // as a round-two false positive arrives as
+                                // a delete of the stale version plus an
+                                // add of the current one.
+                                let mut actions: Vec<SyncAction> = Vec::with_capacity(
+                                    outcome.delete_ids.len() + outcome.upserts.len(),
+                                );
+                                for &id in &outcome.delete_ids {
+                                    if let Some(e) =
+                                        work.entries.get(id as usize).and_then(|s| s.as_deref())
+                                    {
+                                        actions.push(SyncAction::Delete(e.dn().clone()));
+                                    }
+                                }
+                                actions.extend(outcome.upserts.into_iter().map(SyncAction::Add));
+                                let mut sf = (*work.filters[i]).clone();
+                                sf.stale = false;
+                                self.timed_apply(&mut work, refcount, &mut sf, &actions);
+                                work.filters[i] = Arc::new(sf);
+                                continue;
+                            }
+                            Err(e) if e.is_transient() => {
+                                // The exchange could not get through; the
+                                // old content is still the best answer.
+                                Arc::make_mut(&mut work.filters[i]).stale = true;
+                                event!(
+                                    self.obs,
+                                    "replica",
+                                    "filter_stale",
+                                    filter_index = i,
+                                    reason = "reconcile",
+                                );
+                                continue;
+                            }
+                            Err(_) => {
+                                driver.note_reconcile_fallback("reconcile exchange failed");
+                            }
+                        }
+                    }
+                    // Rung 3: full reinstall.
                     driver.note_reinstall();
                     match driver.resync(transport, &request, ReSyncControl::poll(None)) {
                         Ok(resp) => {
@@ -1665,10 +1748,13 @@ mod tests {
         }
     }
 
-    /// A transport over a real master that fails the next `outage` calls.
+    /// A transport over a real master that fails the next `outage` calls;
+    /// `drop_responses` instead lets the master process the request and
+    /// loses the answer on the way back (the replay-buffer case).
     struct FlakyMaster {
         master: SyncMaster,
         outage: u32,
+        drop_responses: u32,
     }
 
     impl SyncTransport for FlakyMaster {
@@ -1681,6 +1767,11 @@ mod tests {
                 self.outage -= 1;
                 return Err(SyncError::Unavailable("outage".into()));
             }
+            if self.drop_responses > 0 {
+                self.drop_responses -= 1;
+                let _ = self.master.resync(request, ctl);
+                return Err(SyncError::Unavailable("response dropped".into()));
+            }
             self.master.resync(request, ctl)
         }
 
@@ -1690,6 +1781,30 @@ mod tests {
 
         fn abandon(&mut self, cookie: Cookie) {
             self.master.abandon(cookie);
+        }
+
+        fn reconcile(
+            &mut self,
+            request: &SearchRequest,
+            req: fbdr_resync::reconcile::ReconcileRequest,
+        ) -> Result<fbdr_resync::reconcile::ReconcileResponse, SyncError> {
+            if self.outage > 0 {
+                self.outage -= 1;
+                return Err(SyncError::Unavailable("outage".into()));
+            }
+            self.master.reconcile(request, req)
+        }
+
+        fn reconcile_ranges(
+            &mut self,
+            cookie: Cookie,
+            req: &fbdr_resync::reconcile::RangeRequest,
+        ) -> Result<fbdr_resync::reconcile::RangeResponse, SyncError> {
+            if self.outage > 0 {
+                self.outage -= 1;
+                return Err(SyncError::Unavailable("outage".into()));
+            }
+            self.master.reconcile_ranges(cookie, req)
         }
     }
 
@@ -1707,7 +1822,7 @@ mod tests {
         r.install_filter(&mut m, root_query("(departmentNumber=2406)")).unwrap();
         m.apply(UpdateOp::Add(person("e", "us", "045650", "2406"))).unwrap();
 
-        let mut link = FlakyMaster { master: m, outage: 2 };
+        let mut link = FlakyMaster { master: m, outage: 2, drop_responses: 0 };
         let mut d = driver();
         let t = r.sync_with(&mut link, &mut d).unwrap();
         assert_eq!(t.full_entries, 1);
@@ -1724,7 +1839,7 @@ mod tests {
         m.apply(UpdateOp::Add(person("e", "us", "045650", "2406"))).unwrap();
 
         // Outage longer than the retry budget (1 try + 2 retries).
-        let mut link = FlakyMaster { master: m, outage: 10 };
+        let mut link = FlakyMaster { master: m, outage: 10, drop_responses: 0 };
         let mut d = driver();
         let t = r.sync_with(&mut link, &mut d).expect("cycle must not fail");
         assert_eq!(t.pdus(), 0);
@@ -1746,18 +1861,131 @@ mod tests {
     }
 
     #[test]
-    fn sync_with_reinstalls_after_session_expiry() {
+    fn sync_with_reconciles_after_session_expiry() {
+        // The session dies at the master, but only one entry diverged:
+        // recovery goes through the reconcile rung and ships exactly that
+        // entry, never touching the reinstall counter.
+        let mut m = master();
+        let r = FilterReplica::new(0);
+        r.install_filter(&mut m, root_query("(serialNumber=0456*)")).unwrap();
+        let held_before = r.entry_count();
+        m.apply(UpdateOp::Add(person("e", "us", "045650", "2406"))).unwrap();
+        assert_eq!(m.expire_idle(0), 1);
+
+        let mut link = FlakyMaster { master: m, outage: 0, drop_responses: 0 };
+        let mut d = driver();
+        let t = r.sync_with(&mut link, &mut d).unwrap();
+        assert_eq!(t.full_entries, 1, "only the diverged entry crosses the wire");
+        assert_eq!(d.stats().reconciliations, 1);
+        assert_eq!(d.stats().reinstalls, 0);
+        assert_eq!(r.stale_filter_count(), 0);
+        assert_eq!(r.entry_count(), held_before + 1);
+        // The re-established cookie polls incrementally.
+        link.master.apply(UpdateOp::Add(person("f", "in", "045660", "7"))).unwrap();
+        let t = r.sync_with(&mut link, &mut d).unwrap();
+        assert_eq!(t.full_entries, 1);
+        assert_eq!(d.stats().reconciliations, 1, "no second reconcile needed");
+    }
+
+    #[test]
+    fn sync_with_reconcile_applies_detached_deletions() {
+        // Deletions that happened while the session was dead must land
+        // through reconciliation — the divergence Bloom digests alone
+        // cannot see.
+        let mut m = master();
+        let r = FilterReplica::new(0);
+        r.install_filter(&mut m, root_query("(serialNumber=0456*)")).unwrap();
+        let held_before = r.entry_count();
+        m.apply(UpdateOp::Delete(dn("cn=a,c=us,o=xyz"))).unwrap();
+        assert_eq!(m.expire_idle(0), 1);
+
+        let mut link = FlakyMaster { master: m, outage: 0, drop_responses: 0 };
+        let mut d = driver();
+        let t = r.sync_with(&mut link, &mut d).unwrap();
+        assert_eq!(t.dn_only, 1, "the deletion travels as one hash, applied locally");
+        assert_eq!(d.stats().reconciliations, 1);
+        assert_eq!(d.stats().reinstalls, 0);
+        assert_eq!(r.entry_count(), held_before - 1);
+        let q = root_query("(serialNumber=0456*)");
+        assert!(
+            r.try_answer(&q).unwrap().iter().all(|e| e.dn() != &dn("cn=a,c=us,o=xyz")),
+            "zero lost deletions"
+        );
+    }
+
+    #[test]
+    fn sync_with_falls_back_to_reinstall_when_transport_cannot_reconcile() {
+        // A transport without the reconcile legs (the trait defaults)
+        // routes recovery to the old full-reload rung.
+        struct PlainLink {
+            master: SyncMaster,
+        }
+        impl SyncTransport for PlainLink {
+            fn resync(
+                &mut self,
+                request: &SearchRequest,
+                ctl: ReSyncControl,
+            ) -> Result<fbdr_resync::SyncResponse, SyncError> {
+                self.master.resync(request, ctl)
+            }
+            fn take_receiver(&mut self, cookie: Cookie) -> Option<Receiver<SyncAction>> {
+                self.master.take_receiver(cookie)
+            }
+            fn abandon(&mut self, cookie: Cookie) {
+                self.master.abandon(cookie);
+            }
+        }
+
         let mut m = master();
         let r = FilterReplica::new(0);
         r.install_filter(&mut m, root_query("(serialNumber=0456*)")).unwrap();
         m.apply(UpdateOp::Add(person("e", "us", "045650", "2406"))).unwrap();
         assert_eq!(m.expire_idle(0), 1);
 
-        let mut link = FlakyMaster { master: m, outage: 0 };
+        let mut link = PlainLink { master: m };
         let mut d = driver();
         let t = r.sync_with(&mut link, &mut d).unwrap();
         assert_eq!(t.full_entries, 4, "full reload");
+        assert_eq!(d.stats().reconciliations, 0);
         assert_eq!(d.stats().reinstalls, 1);
+        assert_eq!(r.stale_filter_count(), 0);
+    }
+
+    #[test]
+    fn sync_with_respects_the_divergence_budget() {
+        // A replay overrun reports how far behind the replica is; a
+        // driver with a zero budget must skip reconciliation and
+        // reinstall directly.
+        let mut m = master();
+        m.set_replay_expiry_ops(0);
+        let r = FilterReplica::new(0);
+        r.install_filter(&mut m, root_query("(serialNumber=0456*)")).unwrap();
+        m.apply(UpdateOp::Add(person("e", "us", "045650", "2406"))).unwrap();
+
+        // The poll's response is lost; with no retries left the filter
+        // goes stale while the master's session moves one batch ahead.
+        let mut link = FlakyMaster { master: m, outage: 0, drop_responses: 1 };
+        let mut d = SyncDriver::with_clock(
+            fbdr_resync::RetryConfig { max_retries: 0, ..Default::default() },
+            TestClock::default(),
+        )
+        .with_reconcile(fbdr_resync::ReconcileConfig {
+            divergence_budget: 0,
+            ..Default::default()
+        });
+        let t = r.sync_with(&mut link, &mut d).unwrap();
+        assert_eq!(t.full_entries, 0);
+        assert_eq!(r.stale_filter_count(), 1);
+
+        // More updates land before the next cycle: the pending batch is
+        // past its replay window, divergence (1) exceeds the budget (0).
+        link.master
+            .apply(UpdateOp::Add(person("f", "in", "045660", "7")))
+            .unwrap();
+        let t = r.sync_with(&mut link, &mut d).unwrap();
+        assert_eq!(d.stats().reconciliations, 0, "budget forbids reconciliation");
+        assert_eq!(d.stats().reinstalls, 1);
+        assert_eq!(t.full_entries, 5, "full reload of the whole content");
         assert_eq!(r.stale_filter_count(), 0);
     }
 

@@ -9,6 +9,10 @@
 //! tests (and the fault-injection harness) can run on simulated time.
 
 use crate::protocol::{ReSyncControl, SyncAction, SyncError, SyncResponse};
+use crate::reconcile::{
+    self, RangeRequest, RangeResponse, ReconcileConfig, ReconcileItem, ReconcileOutcome,
+    ReconcileRequest, ReconcileResponse,
+};
 use crate::Cookie;
 use crate::SyncMaster;
 use crossbeam::channel::Receiver;
@@ -64,6 +68,35 @@ pub trait SyncTransport {
 
     /// Abandons a session.
     fn abandon(&mut self, cookie: Cookie);
+
+    /// Digest round of a reconciliation exchange (see
+    /// [`crate::reconcile`]). The default implementation reports the
+    /// transport as incapable, which routes the recovery ladder straight
+    /// to reinstall — correct for transports predating reconciliation.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::ReconcileFailed`] by default.
+    fn reconcile(
+        &mut self,
+        _request: &SearchRequest,
+        _req: ReconcileRequest,
+    ) -> Result<ReconcileResponse, SyncError> {
+        Err(SyncError::ReconcileFailed("transport does not support reconciliation".into()))
+    }
+
+    /// Range round of a reconciliation exchange.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::ReconcileFailed`] by default.
+    fn reconcile_ranges(
+        &mut self,
+        _cookie: Cookie,
+        _req: &RangeRequest,
+    ) -> Result<RangeResponse, SyncError> {
+        Err(SyncError::ReconcileFailed("transport does not support reconciliation".into()))
+    }
 }
 
 impl SyncTransport for SyncMaster {
@@ -81,6 +114,22 @@ impl SyncTransport for SyncMaster {
 
     fn abandon(&mut self, cookie: Cookie) {
         SyncMaster::abandon(self, cookie)
+    }
+
+    fn reconcile(
+        &mut self,
+        request: &SearchRequest,
+        req: ReconcileRequest,
+    ) -> Result<ReconcileResponse, SyncError> {
+        SyncMaster::reconcile(self, request, req)
+    }
+
+    fn reconcile_ranges(
+        &mut self,
+        cookie: Cookie,
+        req: &RangeRequest,
+    ) -> Result<RangeResponse, SyncError> {
+        SyncMaster::reconcile_ranges(self, cookie, req)
     }
 }
 
@@ -129,7 +178,11 @@ pub struct DriverStats {
     pub recovered: u64,
     /// Exchanges abandoned after exhausting the retry/timeout budget.
     pub exhausted: u64,
-    /// Full content reinstalls after an unrecoverable session error.
+    /// Sessions recovered through a reconciliation exchange (cost
+    /// proportional to divergence, not content size).
+    pub reconciliations: u64,
+    /// Full content reinstalls after an unrecoverable session error that
+    /// reconciliation could not (or was not allowed to) repair.
     pub reinstalls: u64,
     /// Persist subscriptions that degraded to polling after their
     /// notification channel disconnected.
@@ -143,8 +196,18 @@ impl DriverStats {
         self.retries += other.retries;
         self.recovered += other.recovered;
         self.exhausted += other.exhausted;
+        self.reconciliations += other.reconciliations;
         self.reinstalls += other.reinstalls;
         self.poll_fallbacks += other.poll_fallbacks;
+    }
+
+    /// Sessions re-established after an unrecoverable error, by either
+    /// path. Before reconciliation existed this was exactly `reinstalls`;
+    /// callers that only care that recovery happened can keep using the
+    /// sum.
+    #[deprecated(note = "inspect `reconciliations` and `reinstalls` separately")]
+    pub fn session_recoveries(&self) -> u64 {
+        self.reconciliations + self.reinstalls
     }
 }
 
@@ -175,12 +238,15 @@ impl DriverStats {
 pub struct SyncDriver<C: Clock = SystemClock> {
     clock: C,
     config: RetryConfig,
+    reconcile: ReconcileConfig,
     jitter_state: u64,
     stats: DriverStats,
     obs: Obs,
     /// Pre-resolved `fbdr_resync_exchange_ns` histogram; `None` on an
     /// unobserved driver.
     exchange_hist: Option<Arc<Histogram>>,
+    /// Pre-resolved `fbdr_resync_reconcile_exchange_ns` histogram.
+    reconcile_hist: Option<Arc<Histogram>>,
 }
 
 impl SyncDriver<SystemClock> {
@@ -203,11 +269,20 @@ impl<C: Clock> SyncDriver<C> {
         SyncDriver {
             clock,
             config,
+            reconcile: ReconcileConfig::default(),
             jitter_state,
             stats: DriverStats::default(),
             obs: Obs::off(),
             exchange_hist: None,
+            reconcile_hist: None,
         }
+    }
+
+    /// Sets the reconciliation tuning (digest false-positive rate, range
+    /// bucket count, divergence budget).
+    pub fn with_reconcile(mut self, config: ReconcileConfig) -> Self {
+        self.reconcile = config;
+        self
     }
 
     /// Attaches observability: every exchange is timed into the
@@ -222,6 +297,9 @@ impl<C: Clock> SyncDriver<C> {
         self.exchange_hist = obs
             .is_active()
             .then(|| obs.registry().histogram("fbdr_resync_exchange_ns"));
+        self.reconcile_hist = obs
+            .is_active()
+            .then(|| obs.registry().histogram("fbdr_resync_reconcile_exchange_ns"));
         self.obs = obs;
         self
     }
@@ -229,6 +307,11 @@ impl<C: Clock> SyncDriver<C> {
     /// The retry policy in force.
     pub fn config(&self) -> &RetryConfig {
         &self.config
+    }
+
+    /// The reconciliation tuning in force.
+    pub fn reconcile_config(&self) -> &ReconcileConfig {
+        &self.reconcile
     }
 
     /// Accumulated robustness counters.
@@ -256,6 +339,16 @@ impl<C: Clock> SyncDriver<C> {
         event!(self.obs, "driver", "reinstall");
     }
 
+    /// Counts a reconcile→reinstall fallback (budget exceeded, transport
+    /// incapable, or the exchange itself failed). The subsequent
+    /// reinstall is counted separately via [`SyncDriver::note_reinstall`].
+    pub fn note_reconcile_fallback(&mut self, reason: &str) {
+        if self.obs.is_active() {
+            self.obs.registry().counter("fbdr_resync_reconcile_fallbacks_total").inc();
+        }
+        event!(self.obs, "driver", "reconcile_fallback", reason = reason);
+    }
+
     /// Performs one resync exchange, retrying transient failures with
     /// exponential backoff and deterministic jitter until the retry count
     /// or time budget runs out.
@@ -272,12 +365,83 @@ impl<C: Clock> SyncDriver<C> {
         request: &SearchRequest,
         ctl: ReSyncControl,
     ) -> Result<SyncResponse, SyncError> {
-        let start = self.clock.now_ms();
         let timer = self.exchange_hist.as_ref().map(|_| Instant::now());
+        let out = self.retry_loop(&mut |_attempt| transport.resync(request, ctl));
+        if let (Some(h), Some(t)) = (&self.exchange_hist, timer) {
+            h.record_since(t);
+        }
+        out
+    }
+
+    /// Runs a full reconciliation exchange (see [`crate::reconcile`])
+    /// under the driver's retry policy, with per-attempt digest re-salting
+    /// so a retried exchange draws fresh Bloom false positives. On
+    /// success the reconciliation counters and the
+    /// `fbdr_resync_reconcile_exchange_ns` histogram are recorded.
+    ///
+    /// # Errors
+    ///
+    /// As [`SyncDriver::resync`]: [`SyncError::RetriesExhausted`] when the
+    /// retry/time budget runs out on transient failures, any other
+    /// [`SyncError`] immediately — including
+    /// [`SyncError::ReconcileFailed`] when the transport or master cannot
+    /// reconcile (the caller falls back to reinstall).
+    pub fn reconcile(
+        &mut self,
+        transport: &mut dyn SyncTransport,
+        request: &SearchRequest,
+        items: &[ReconcileItem],
+        resolve: &dyn Fn(&str) -> Option<u32>,
+    ) -> Result<ReconcileOutcome, SyncError> {
+        let timer = self.reconcile_hist.as_ref().map(|_| Instant::now());
+        let base = self.reconcile;
+        let out = self.retry_loop(&mut |attempt| {
+            let cfg = ReconcileConfig {
+                seed: base.seed ^ (u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                ..base
+            };
+            reconcile::reconcile(transport, request, items, resolve, &cfg)
+        });
+        if let Ok(outcome) = &out {
+            self.stats.reconciliations += 1;
+            let bytes = outcome.cost.stats.bytes_total();
+            if self.obs.is_active() {
+                let reg = self.obs.registry();
+                reg.counter("fbdr_resync_reconciliations_total").inc();
+                reg.counter("fbdr_resync_reconcile_rounds_total")
+                    .add(outcome.cost.stats.round_trips);
+                reg.counter("fbdr_resync_reconcile_bytes_total").add(bytes);
+            }
+            event!(
+                self.obs,
+                "driver",
+                "reconcile",
+                rounds = outcome.cost.stats.round_trips,
+                bytes = bytes,
+                upserts = outcome.upserts.len(),
+                deletes = outcome.delete_ids.len(),
+                fallback_probes = outcome.cost.fallback_probes,
+            );
+        }
+        if let (Some(h), Some(t)) = (&self.reconcile_hist, timer) {
+            h.record_since(t);
+        }
+        out
+    }
+
+    /// The shared retry ladder: runs `op` (receiving the 0-based attempt
+    /// number), retrying transient failures with exponential backoff and
+    /// deterministic jitter until the retry count or time budget runs
+    /// out. Non-transient errors surface immediately.
+    fn retry_loop<T>(
+        &mut self,
+        op: &mut dyn FnMut(u32) -> Result<T, SyncError>,
+    ) -> Result<T, SyncError> {
+        let start = self.clock.now_ms();
         let mut attempt: u32 = 0;
-        let out = loop {
+        loop {
             self.stats.attempts += 1;
-            match transport.resync(request, ctl) {
+            match op(attempt) {
                 Ok(resp) => {
                     if attempt > 0 {
                         self.stats.recovered += 1;
@@ -314,11 +478,7 @@ impl<C: Clock> SyncDriver<C> {
                 }
                 Err(e) => break Err(e),
             }
-        };
-        if let (Some(h), Some(t)) = (&self.exchange_hist, timer) {
-            h.record_since(t);
         }
-        out
     }
 
     /// The backoff before retry number `attempt + 1`: an exponentially
@@ -472,6 +632,105 @@ mod tests {
         assert!(err.needs_reinstall());
         assert_eq!(d.stats().attempts, 1);
         assert_eq!(d.stats().retries, 0);
+    }
+
+    #[test]
+    fn reconcile_on_incapable_transport_fails_non_transiently() {
+        let calls = Rc::new(Cell::new(0));
+        // Flaky relies on the trait's default reconcile legs.
+        let mut t = Flaky { failures_left: 0, calls };
+        let mut d = SyncDriver::with_clock(RetryConfig::default(), TestClock::default());
+        let err = d.reconcile(&mut t, &req(), &[], &|_| None).unwrap_err();
+        assert!(matches!(err, SyncError::ReconcileFailed(_)));
+        assert!(!err.is_transient());
+        assert!(!err.needs_reinstall(), "classified as its own failure, not a dead session");
+        assert_eq!(d.stats().reconciliations, 0);
+    }
+
+    #[test]
+    fn reconcile_exchange_converges_with_divergence_proportional_shipping() {
+        use crate::intern::entry_key;
+        use crate::reconcile::{entry_item_hash, ReconcileItem};
+        use crate::ReSyncControl;
+        use fbdr_ldap::{Entry, Filter, Scope};
+        use std::collections::HashMap;
+
+        let person = |cn: &str, mail: &str| {
+            Entry::new(format!("cn={cn},o=xyz").parse().unwrap())
+                .with("objectclass", "person")
+                .with("dept", "7")
+                .with("mail", mail)
+        };
+        let mut m = SyncMaster::new();
+        m.dit_mut().add_suffix("o=xyz".parse().unwrap());
+        m.dit_mut().add(Entry::new("o=xyz".parse().unwrap())).unwrap();
+        for i in 0..50 {
+            m.dit_mut().add(person(&format!("e{i}"), &format!("e{i}@x"))).unwrap();
+        }
+        let request = SearchRequest::new(
+            "o=xyz".parse().unwrap(),
+            Scope::Subtree,
+            Filter::parse("(dept=7)").unwrap(),
+        );
+
+        // The replica holds e0..=e44 at the master's versions, a *stale*
+        // e45, and a ghost entry the master never had; e46..=e49 are
+        // missing entirely.
+        let mut held: Vec<Entry> =
+            (0..45).map(|i| person(&format!("e{i}"), &format!("e{i}@x"))).collect();
+        held.push(person("e45", "stale@x"));
+        held.push(person("ghost", "g@x"));
+        let keys: Vec<String> = held.iter().map(entry_key).collect();
+        let items: Vec<ReconcileItem> = held
+            .iter()
+            .enumerate()
+            .map(|(i, e)| ReconcileItem { hash: entry_item_hash(e), id: i as u32 })
+            .collect();
+
+        let mut d = SyncDriver::with_clock(RetryConfig::default(), TestClock::default());
+        let resolve = |key: &str| keys.iter().position(|k| k == key).map(|i| i as u32);
+        let outcome = d.reconcile(&mut m, &request, &items, &resolve).expect("reconciles");
+
+        // Divergence-proportional: ~6 differing items out of 50, so far
+        // fewer than the full content crosses the wire.
+        assert!(
+            outcome.upserts.len() <= 10,
+            "shipped {} entries for ~6 diverged items",
+            outcome.upserts.len()
+        );
+        assert!(!outcome.delete_ids.is_empty(), "stale e45 and the ghost must be deleted");
+        assert!(outcome.cost.stats.round_trips <= 2);
+        assert_eq!(d.stats().reconciliations, 1);
+
+        // Deletes before upserts converges the replica byte-for-byte.
+        let mut content: HashMap<String, Entry> =
+            keys.iter().cloned().zip(held.iter().cloned()).collect();
+        for &id in &outcome.delete_ids {
+            content.remove(&keys[id as usize]);
+        }
+        for e in &outcome.upserts {
+            content.insert(entry_key(e), e.clone());
+        }
+        let mut got: Vec<String> = content.keys().cloned().collect();
+        got.sort();
+        let mut want: Vec<String> =
+            m.dit().search_dns(&request).iter().map(crate::dn_key).collect();
+        want.sort();
+        assert_eq!(got, want);
+        for (key, e) in &content {
+            assert_eq!(
+                entry_item_hash(e),
+                entry_item_hash(m.dit().get(e.dn()).unwrap()),
+                "content mismatch at {key}"
+            );
+        }
+
+        // The cookie resumes incrementally at the current content.
+        m.apply(fbdr_dit::UpdateOp::Add(person("late", "l@x"))).unwrap();
+        let poll = d
+            .resync(&mut m, &request, ReSyncControl::poll(Some(outcome.cookie)))
+            .expect("cookie is live");
+        assert_eq!(poll.actions.len(), 1);
     }
 
     #[test]

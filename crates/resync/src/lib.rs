@@ -64,12 +64,14 @@ pub mod driver;
 mod intern;
 mod master;
 mod protocol;
+pub mod reconcile;
 mod routing;
 
 pub use content::ReplicaContent;
 pub use intern::{dn_key, entry_key, DnInterner, DnTable};
 pub use driver::{Clock, DriverStats, RetryConfig, SyncDriver, SyncTransport, SystemClock};
 pub use master::SyncMaster;
+pub use reconcile::{ReconcileConfig, ReconcileItem, ReconcileOutcome};
 pub use routing::{RoutingIndex, RoutingStats};
 pub use protocol::{
     ActionCounts, Cookie, ReSyncControl, SyncAction, SyncError, SyncMode, SyncResponse,

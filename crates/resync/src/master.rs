@@ -1,8 +1,12 @@
 //! The master (supplier) side of the ReSync protocol.
 
-use crate::intern::DnTable;
+use crate::intern::{dn_key, DnTable};
 use crate::protocol::{
     Cookie, ReSyncControl, SyncAction, SyncError, SyncMode, SyncResponse,
+};
+use crate::reconcile::{
+    bucket_of, entry_version, item_hash, RangeRequest, RangeResponse, RangeSummary,
+    ReconcileRequest, ReconcileResponse,
 };
 use crate::routing::RoutingIndex;
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -73,6 +77,23 @@ struct Session {
     pending: Option<Vec<SyncAction>>,
     /// Master op-count when `pending` was built, for replay expiry.
     pending_at: u64,
+    /// Item set frozen at a reconciliation digest round, awaiting the
+    /// (optional) range round. Cleared by the first ordinary poll on the
+    /// session. Persisted so an in-flight reconciliation survives a
+    /// master crash between rounds.
+    #[serde(default)]
+    reconcile: Option<ReconcileStash>,
+}
+
+/// The master's `(item hash, id)` set as of a session's digest round,
+/// sorted by hash, plus the bucket shift the range summary was built
+/// with. The range round answers against this frozen set, never the live
+/// content — updates landing between rounds are delivered by the next
+/// ordinary poll.
+#[derive(Debug, Serialize, Deserialize)]
+struct ReconcileStash {
+    shift: u32,
+    items: Vec<(u64, u32)>,
 }
 
 /// A master directory server that owns a [`DitStore`] and maintains ReSync
@@ -444,6 +465,10 @@ impl SyncMaster {
             return Err(SyncError::RequestMismatch(Cookie::new(sid as u32, session.seq)));
         }
         session.last_active = ops_applied;
+        // An ordinary poll supersedes any reconciliation in flight: the
+        // replica has either completed it (this is the follow-up poll) or
+        // abandoned it. Either way the frozen stash is garbage now.
+        session.reconcile = None;
         if ctl.mode == SyncMode::Persist && session.notify.is_none() {
             let (tx, rx) = unbounded();
             session.notify = Some(tx);
@@ -462,16 +487,26 @@ impl SyncMaster {
                 match (&session.pending, expired) {
                     (Some(batch), false) => redelivery = Some(batch.clone()),
                     _ => {
+                        let oldest_retained = session.pending_at;
                         self.note_expiry(c, "pending batch past replay window");
-                        return Err(SyncError::ReplayExpired(c));
+                        return Err(SyncError::ReplayExpired {
+                            cookie: c,
+                            oldest_retained,
+                            ops_applied,
+                        });
                     }
                 }
             } else {
                 // A cookie from an older exchange: the replica's view is
                 // more than one batch behind and cannot be repaired
                 // incrementally.
+                let oldest_retained = session.pending_at;
                 self.note_expiry(c, "cookie more than one batch behind");
-                return Err(SyncError::ReplayExpired(c));
+                return Err(SyncError::ReplayExpired {
+                    cookie: c,
+                    oldest_retained,
+                    ops_applied,
+                });
             }
         }
         if let Some(actions) = redelivery {
@@ -544,6 +579,145 @@ impl SyncMaster {
         let c = resp.cookie.expect("persist responses carry a cookie");
         let rx = self.take_receiver(c).ok_or(SyncError::UnknownCookie(c))?;
         Ok((resp, rx))
+    }
+
+    // ------------------------------------------------------------------
+    // Reconciliation (divergence-proportional session recovery)
+    // ------------------------------------------------------------------
+
+    /// Digest round of a reconciliation exchange (see
+    /// [`crate::reconcile`]): evaluates `request` as for a fresh session,
+    /// ships every entry the replica's Bloom digest *definitely* lacks,
+    /// and returns a range summary over the full item set plus a cookie
+    /// already positioned at the current content. The frozen item set is
+    /// stashed on the new session for the optional range round.
+    ///
+    /// A lost response leaves an orphan session, exactly like a lost
+    /// initial poll — the replica retries the whole exchange and the
+    /// orphan falls to [`SyncMaster::expire_idle`].
+    ///
+    /// # Errors
+    ///
+    /// Infallible today; returns `Result` for transport uniformity.
+    pub fn reconcile(
+        &mut self,
+        request: &SearchRequest,
+        req: ReconcileRequest,
+    ) -> Result<ReconcileResponse, SyncError> {
+        if self.obs.is_active() {
+            self.obs.registry().counter("fbdr_resync_reconcile_requests_total").inc();
+        }
+        let sid = self.start_session(request);
+        let current = self.sessions[&sid].current.clone();
+        let mut items: Vec<(u64, u32)> = Vec::with_capacity(current.len());
+        let mut missing: Vec<&Dn> = Vec::new();
+        for &id in &current {
+            let dn = self.table.dn_of(id).expect("current ids resolve");
+            let Some(e) = self.dit.get(dn) else { continue };
+            let h = item_hash(&dn_key(dn), entry_version(e));
+            items.push((h, id));
+            if !req.digest.contains(h) {
+                missing.push(dn);
+            }
+        }
+        let hashes: Vec<u64> = items.iter().map(|&(h, _)| h).collect();
+        let summary = RangeSummary::build(req.summary_buckets, &hashes);
+        missing.sort();
+        let upserts: Vec<Entry> =
+            missing.iter().filter_map(|dn| self.dit.get(dn)).cloned().collect();
+        items.sort_unstable();
+        let stash = ReconcileStash { shift: summary.shift(), items };
+        let session = self.sessions.get_mut(&sid).expect("just created");
+        session.sent = current;
+        session.seq = 1;
+        session.pending = None;
+        session.reconcile = Some(stash);
+        let cookie = Cookie::new(sid as u32, 1);
+        event!(
+            self.obs,
+            "resync",
+            "reconcile",
+            session = cookie.session(),
+            digest_items = req.digest.items(),
+            shipped = upserts.len(),
+            content = self.sessions[&sid].sent.len(),
+        );
+        Ok(ReconcileResponse { upserts, summary, cookie })
+    }
+
+    /// Range round of a reconciliation exchange: for each probed bucket,
+    /// answers from the item set frozen at the digest round — entries for
+    /// stashed items the replica did not list (Bloom false positives) and
+    /// bare hashes for replica items absent from the stash (deletions the
+    /// replica must apply). Idempotent: the stash survives the call, so a
+    /// duplicated or retried request gets the same answer.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::UnknownCookie`] when the session is gone and
+    /// [`SyncError::ReconcileFailed`] when no digest round is in flight
+    /// for the cookie (e.g. an ordinary poll intervened).
+    pub fn reconcile_ranges(
+        &mut self,
+        cookie: Cookie,
+        req: &RangeRequest,
+    ) -> Result<RangeResponse, SyncError> {
+        let session = self
+            .sessions
+            .get_mut(&u64::from(cookie.session()))
+            .ok_or(SyncError::UnknownCookie(cookie))?;
+        if cookie.seq() != session.seq {
+            return Err(SyncError::ReconcileFailed(
+                "cookie does not match the reconcile exchange".into(),
+            ));
+        }
+        let Some(stash) = session.reconcile.take() else {
+            return Err(SyncError::ReconcileFailed(
+                "no reconcile exchange in flight for this session".into(),
+            ));
+        };
+        let mut missing_ids: Vec<u32> = Vec::new();
+        let mut delete_hashes: Vec<u64> = Vec::new();
+        for probe in &req.probes {
+            // The stash is sorted by hash, and bucket index is the hash's
+            // top bits, so each bucket is one contiguous stash range.
+            let lo = stash
+                .items
+                .partition_point(|&(h, _)| bucket_of(h, stash.shift) < probe.bucket as usize);
+            let hi = stash
+                .items
+                .partition_point(|&(h, _)| bucket_of(h, stash.shift) <= probe.bucket as usize);
+            for &(h, id) in &stash.items[lo..hi] {
+                if probe.hashes.binary_search(&h).is_err() {
+                    missing_ids.push(id);
+                }
+            }
+            for &h in &probe.hashes {
+                let in_stash = stash.items[lo..hi].binary_search_by_key(&h, |&(sh, _)| sh).is_ok();
+                if !in_stash {
+                    delete_hashes.push(h);
+                }
+            }
+        }
+        session.reconcile = Some(stash);
+        let mut missing: Vec<&Dn> =
+            missing_ids.iter().filter_map(|&id| self.table.dn_of(id)).collect();
+        missing.sort();
+        // Entries deleted at the master *since the digest round* resolve
+        // to nothing here; the follow-up poll delivers those deletions
+        // from the session ledger.
+        let upserts: Vec<Entry> =
+            missing.iter().filter_map(|dn| self.dit.get(dn)).cloned().collect();
+        event!(
+            self.obs,
+            "resync",
+            "reconcile_ranges",
+            session = cookie.session(),
+            probes = req.probes.len(),
+            shipped = upserts.len(),
+            deletes = delete_hashes.len(),
+        );
+        Ok(RangeResponse { upserts, delete_hashes })
     }
 
     /// Takes the parked notification receiver of a persist session.
@@ -677,6 +851,7 @@ impl SyncMaster {
                 seq: 0,
                 pending: None,
                 pending_at: self.ops_applied,
+                reconcile: None,
             },
         );
         self.note_session_count();
@@ -1094,12 +1269,16 @@ mod tests {
         m.apply(UpdateOp::Delete(dn("cn=a,o=xyz"))).unwrap();
         let lost = m.resync(&req, ReSyncControl::poll(Some(c0))).unwrap();
         assert_eq!(lost.actions.len(), 1);
-        // More updates land before the retry; the buffer has expired.
+        // More updates land before the retry; the buffer has expired. The
+        // error reports how far behind the replica is (1 update landed
+        // after the lost batch was built).
         m.apply(UpdateOp::Add(person("b", "7"))).unwrap();
+        let err = m.resync(&req, ReSyncControl::poll(Some(c0))).unwrap_err();
         assert_eq!(
-            m.resync(&req, ReSyncControl::poll(Some(c0))),
-            Err(SyncError::ReplayExpired(c0))
+            err,
+            SyncError::ReplayExpired { cookie: c0, oldest_retained: 1, ops_applied: 2 }
         );
+        assert_eq!(err.estimated_divergence(), Some(1));
         // The session itself stays alive: the *current* cookie still works.
         let resp = m.resync(&req, ReSyncControl::poll(lost.cookie)).unwrap();
         assert_eq!(resp.actions.len(), 1);
@@ -1113,10 +1292,10 @@ mod tests {
         let c1 = m.resync(&req, ReSyncControl::poll(Some(c0))).unwrap().cookie.unwrap();
         let _c2 = m.resync(&req, ReSyncControl::poll(Some(c1))).unwrap().cookie.unwrap();
         // c0 is now two exchanges behind — not replayable.
-        assert_eq!(
+        assert!(matches!(
             m.resync(&req, ReSyncControl::poll(Some(c0))),
-            Err(SyncError::ReplayExpired(c0))
-        );
+            Err(SyncError::ReplayExpired { cookie, .. }) if cookie == c0
+        ));
     }
 
     #[test]
@@ -1201,6 +1380,107 @@ mod tests {
         drop(live_rx);
         assert_eq!(m.expire_idle(3), 1);
         assert_eq!(m.session_count(), 0);
+    }
+
+    #[test]
+    fn reconcile_ships_bloom_negatives_and_reestablishes_session() {
+        use crate::reconcile::{entry_item_hash, BloomDigest, ReconcileRequest};
+        let mut m = master_with(vec![person("a", "7"), person("b", "7"), person("c", "7")]);
+        let req = dept7();
+        // The replica holds a and b at the master's versions; c is missing.
+        let held: Vec<u64> = [person("a", "7"), person("b", "7")]
+            .iter()
+            .map(entry_item_hash)
+            .collect();
+        let digest = BloomDigest::build(&held, 0.01, 99);
+        let resp = m
+            .reconcile(&req, ReconcileRequest { digest, summary_buckets: 16 })
+            .unwrap();
+        // c is a Bloom negative → shipped; a and b may only appear as
+        // (improbable) false-positive omissions, never as definite ships.
+        assert!(resp.upserts.iter().any(|e| e.dn() == &dn("cn=c,o=xyz")));
+        assert_eq!(resp.cookie.seq(), 1);
+
+        // The cookie is live at the current content: an incremental poll
+        // sees only post-reconcile updates.
+        m.apply(UpdateOp::Add(person("d", "7"))).unwrap();
+        let poll = m.resync(&req, ReSyncControl::poll(Some(resp.cookie))).unwrap();
+        assert_eq!(poll.actions.len(), 1);
+        assert!(matches!(&poll.actions[0], SyncAction::Add(e) if e.dn() == &dn("cn=d,o=xyz")));
+    }
+
+    #[test]
+    fn reconcile_ranges_answers_from_frozen_stash() {
+        use crate::reconcile::{
+            bucket_of, entry_item_hash, BloomDigest, RangeProbe, RangeRequest, ReconcileRequest,
+        };
+        let mut m = master_with(vec![person("a", "7"), person("b", "7")]);
+        let req = dept7();
+        // The replica holds a *stale* version of a, plus a ghost entry x
+        // the master never had. Digest over those two hashes.
+        let stale_a = entry_item_hash(&person("a", "7").with("mail", "old@x"));
+        let ghost_x = entry_item_hash(&person("x", "7"));
+        let digest = BloomDigest::build(&[stale_a, ghost_x], 0.01, 7);
+        let resp = m
+            .reconcile(&req, ReconcileRequest { digest, summary_buckets: 16 })
+            .unwrap();
+        let shift = resp.summary.shift();
+
+        // Probe every bucket with the replica's post-round-one set (here:
+        // its two local hashes — pretend round one shipped nothing it
+        // kept). The master must ship every stash item not listed and
+        // flag both replica-only hashes for deletion.
+        let mut probes: Vec<RangeProbe> = (0..resp.summary.len() as u32)
+            .map(|b| RangeProbe { bucket: b, hashes: Vec::new() })
+            .collect();
+        for h in [stale_a, ghost_x] {
+            probes[bucket_of(h, shift)].hashes.push(h);
+        }
+        for p in &mut probes {
+            p.hashes.sort_unstable();
+        }
+        let r2 = m.reconcile_ranges(resp.cookie, &RangeRequest { probes: probes.clone() }).unwrap();
+        let mut shipped: Vec<String> =
+            r2.upserts.iter().map(|e| e.dn().to_string()).collect();
+        shipped.sort();
+        assert_eq!(shipped, ["cn=a,o=xyz", "cn=b,o=xyz"]);
+        let mut dels = r2.delete_hashes.clone();
+        dels.sort_unstable();
+        let mut expect = vec![stale_a, ghost_x];
+        expect.sort_unstable();
+        assert_eq!(dels, expect);
+
+        // Idempotent: a duplicated range request gets the same answer.
+        let again = m.reconcile_ranges(resp.cookie, &RangeRequest { probes }).unwrap();
+        assert_eq!(again, r2);
+    }
+
+    #[test]
+    fn reconcile_ranges_requires_an_exchange_in_flight() {
+        use crate::reconcile::{BloomDigest, RangeRequest, ReconcileRequest};
+        let mut m = master_with(vec![person("a", "7")]);
+        let req = dept7();
+        let digest = BloomDigest::build(&[], 0.01, 1);
+        let resp = m
+            .reconcile(&req, ReconcileRequest { digest, summary_buckets: 16 })
+            .unwrap();
+        // An ordinary poll supersedes the exchange and clears the stash.
+        let poll = m.resync(&req, ReSyncControl::poll(Some(resp.cookie))).unwrap();
+        assert!(matches!(
+            m.reconcile_ranges(resp.cookie, &RangeRequest { probes: vec![] }),
+            Err(SyncError::ReconcileFailed(_))
+        ));
+        // A cookie from the wrong sequence is rejected too.
+        assert!(matches!(
+            m.reconcile_ranges(poll.cookie.unwrap(), &RangeRequest { probes: vec![] }),
+            Err(SyncError::ReconcileFailed(_))
+        ));
+        // A dead session is an unknown cookie.
+        let dead = Cookie::new(999, 1);
+        assert_eq!(
+            m.reconcile_ranges(dead, &RangeRequest { probes: vec![] }),
+            Err(SyncError::UnknownCookie(dead))
+        );
     }
 
     #[test]

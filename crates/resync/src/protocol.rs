@@ -253,12 +253,34 @@ pub enum SyncError {
     RequestMismatch(Cookie),
     /// The master can no longer replay the batch the cookie refers to
     /// (the replay buffer expired or the cookie is from an older exchange).
-    /// The replica must re-establish the session with a full reload.
+    /// The replica must re-establish the session — by reconciliation if
+    /// divergence is modest, by full reload otherwise.
     ///
     /// Invariant: the session still exists at the master (unlike
     /// [`UnknownCookie`](SyncError::UnknownCookie)); the caller should
-    /// `abandon` it before reloading to avoid leaking session state.
-    ReplayExpired(Cookie),
+    /// `abandon` it before re-establishing to avoid leaking session
+    /// state. `ops_applied - oldest_retained` bounds how many updates
+    /// the replica has missed
+    /// ([`estimated_divergence`](SyncError::estimated_divergence)),
+    /// which is what the recovery ladder uses to choose reconcile vs
+    /// reinstall.
+    ReplayExpired {
+        /// The cookie the caller sent (exactly as sent).
+        cookie: Cookie,
+        /// Master op-count at which the session's retained history begins
+        /// (when the unacknowledged batch was built).
+        oldest_retained: u64,
+        /// Master op-count when the request was rejected.
+        ops_applied: u64,
+    },
+    /// A reconciliation exchange could not be completed (unsupported
+    /// transport, no reconciliation in progress for the cookie, or a
+    /// malformed digest). The caller falls back one rung down the
+    /// recovery ladder — a full reinstall.
+    ///
+    /// Invariant: neither transient nor session-fatal; the session named
+    /// by any in-flight reconciliation cookie may be abandoned safely.
+    ReconcileFailed(String),
     /// The master, or the link to it, is temporarily unavailable. Issued
     /// by transports (fault injection, real networks) rather than the
     /// master itself; retrying later may succeed.
@@ -293,13 +315,27 @@ impl SyncError {
         }
     }
 
-    /// True when the session is unrecoverable and the replica must start
-    /// over with a full content reload.
+    /// True when the session is unrecoverable as-is and the replica must
+    /// re-establish it — first trying reconciliation, then a full reload.
     pub fn needs_reinstall(&self) -> bool {
         match self {
-            SyncError::UnknownCookie(_) | SyncError::ReplayExpired(_) => true,
+            SyncError::UnknownCookie(_) | SyncError::ReplayExpired { .. } => true,
             SyncError::RetriesExhausted { last, .. } => last.needs_reinstall(),
             _ => false,
+        }
+    }
+
+    /// How many master updates the replica has missed, when the master
+    /// could tell ([`ReplayExpired`](SyncError::ReplayExpired) carries its
+    /// retention bounds). `None` when divergence is unknown (e.g. the
+    /// session is gone entirely).
+    pub fn estimated_divergence(&self) -> Option<u64> {
+        match self {
+            SyncError::ReplayExpired { oldest_retained, ops_applied, .. } => {
+                Some(ops_applied.saturating_sub(*oldest_retained))
+            }
+            SyncError::RetriesExhausted { last, .. } => last.estimated_divergence(),
+            _ => None,
         }
     }
 }
@@ -312,8 +348,16 @@ impl fmt::Display for SyncError {
             SyncError::RequestMismatch(c) => {
                 write!(f, "search request does not match session {c}")
             }
-            SyncError::ReplayExpired(c) => {
-                write!(f, "unacknowledged batch for {c} is no longer replayable")
+            SyncError::ReplayExpired { cookie, oldest_retained, ops_applied } => {
+                write!(
+                    f,
+                    "unacknowledged batch for {cookie} is no longer replayable \
+                     (~{} updates behind)",
+                    ops_applied.saturating_sub(*oldest_retained)
+                )
+            }
+            SyncError::ReconcileFailed(why) => {
+                write!(f, "reconciliation failed: {why}")
             }
             SyncError::Unavailable(why) => write!(f, "master unavailable: {why}"),
             SyncError::RetriesExhausted { attempts, last } => {
@@ -391,8 +435,27 @@ mod tests {
         assert!(SyncError::Unavailable("drop".into()).is_transient());
         assert!(!SyncError::UnknownCookie(Cookie(1)).is_transient());
         assert!(SyncError::UnknownCookie(Cookie(1)).needs_reinstall());
-        assert!(SyncError::ReplayExpired(Cookie(1)).needs_reinstall());
+        let expired =
+            SyncError::ReplayExpired { cookie: Cookie(1), oldest_retained: 10, ops_applied: 17 };
+        assert!(expired.needs_reinstall());
+        assert!(!expired.is_transient());
         assert!(!SyncError::MissingCookie.needs_reinstall());
+        let rf = SyncError::ReconcileFailed("unsupported".into());
+        assert!(!rf.is_transient());
+        assert!(!rf.needs_reinstall());
+    }
+
+    #[test]
+    fn replay_expired_estimates_divergence() {
+        let expired =
+            SyncError::ReplayExpired { cookie: Cookie(1), oldest_retained: 10, ops_applied: 17 };
+        assert_eq!(expired.estimated_divergence(), Some(7));
+        assert!(expired.to_string().contains("~7 updates behind"));
+        // Divergence is unknown for a dead session, and transparent
+        // through the retry wrapper.
+        assert_eq!(SyncError::UnknownCookie(Cookie(1)).estimated_divergence(), None);
+        let wrapped = SyncError::RetriesExhausted { attempts: 2, last: Box::new(expired) };
+        assert_eq!(wrapped.estimated_divergence(), Some(7));
     }
 
     #[test]
@@ -406,7 +469,11 @@ mod tests {
         assert!(!e.needs_reinstall());
         let e2 = SyncError::RetriesExhausted {
             attempts: 1,
-            last: Box::new(SyncError::ReplayExpired(Cookie(9))),
+            last: Box::new(SyncError::ReplayExpired {
+                cookie: Cookie(9),
+                oldest_retained: 0,
+                ops_applied: 3,
+            }),
         };
         assert!(e2.needs_reinstall());
         // Display names the attempt count and the root cause; source()

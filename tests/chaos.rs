@@ -12,7 +12,7 @@
 use fbdr_faults::{FaultKind, FaultPlan, FaultyLink, SimClock};
 use fbdr_ldap::{Entry, Filter, SearchRequest};
 use fbdr_replica::FilterReplica;
-use fbdr_resync::{RetryConfig, SyncDriver, SyncMaster};
+use fbdr_resync::{ReconcileConfig, RetryConfig, SyncDriver, SyncMaster};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
@@ -59,6 +59,7 @@ struct RunReport {
     faults_injected: u64,
     redeliveries: u64,
     recovered: u64,
+    reconciliations: u64,
     reinstalls: u64,
     exhausted: u64,
     poll_fallbacks: u64,
@@ -85,7 +86,9 @@ fn chaos_run(seed: u64) -> RunReport {
     let mut master = build_master();
     if seed % 3 == 0 {
         // Aggressive replay expiry: a batch missed across a cycle
-        // boundary is gone and the filter must reinstall.
+        // boundary is gone and the filter must recover — by digest
+        // reconciliation normally, or by reinstall on the seeds whose
+        // divergence budget is zero (below).
         master.set_replay_expiry_ops(0);
     }
 
@@ -108,6 +111,12 @@ fn chaos_run(seed: u64) -> RunReport {
         },
         clock,
     );
+    if seed % 6 == 0 {
+        // A sixth of the schedules forbid reconciliation outright, so the
+        // suite keeps exercising the reinstall rung of the ladder too.
+        driver =
+            driver.with_reconcile(ReconcileConfig { divergence_budget: 0, ..Default::default() });
+    }
 
     // Seed-derived workload: toggle entries across the filter boundary,
     // delete and re-add them, syncing every `cadence` updates.
@@ -184,6 +193,7 @@ fn chaos_run(seed: u64) -> RunReport {
         faults_injected: link.faults_injected(),
         redeliveries: link.master().redeliveries(),
         recovered: d.recovered,
+        reconciliations: d.reconciliations,
         reinstalls: d.reinstalls,
         exhausted: d.exhausted,
         poll_fallbacks: replica.stats().poll_fallbacks,
@@ -198,6 +208,7 @@ fn hundred_seeded_fault_schedules_converge() {
         total.faults_injected += r.faults_injected;
         total.redeliveries += r.redeliveries;
         total.recovered += r.recovered;
+        total.reconciliations += r.reconciliations;
         total.reinstalls += r.reinstalls;
         total.exhausted += r.exhausted;
         total.poll_fallbacks += r.poll_fallbacks;
@@ -208,7 +219,8 @@ fn hundred_seeded_fault_schedules_converge() {
     assert!(total.redeliveries > 0, "replay buffer was used: {total:?}");
     assert!(total.recovered > 0, "driver retries recovered exchanges: {total:?}");
     assert!(total.exhausted > 0, "some exchanges exhausted their budget: {total:?}");
-    assert!(total.reinstalls > 0, "expired sessions were reinstalled: {total:?}");
+    assert!(total.reconciliations > 0, "expired sessions were reconciled: {total:?}");
+    assert!(total.reinstalls > 0, "zero-budget seeds fell back to reinstall: {total:?}");
     assert!(total.poll_fallbacks > 0, "persist filters fell back to polling: {total:?}");
 }
 
@@ -346,5 +358,155 @@ fn trace_events_and_counters_agree_under_response_loss() {
     let d = driver.stats();
     assert_eq!(reg.histogram("fbdr_resync_exchange_ns").count(), d.attempts - d.retries);
     assert_eq!(reg.counter("fbdr_resync_requests_total").get() - requests_at_install, d.attempts);
+}
+
+/// A scripted replay-eviction schedule: with zero replay retention and no
+/// retries, every dropped response strands the replica one batch behind,
+/// the batch is evicted before the next poll, and the cookie comes back
+/// `ReplayExpired`. Every such loss must be repaired by the reconcile
+/// rung — under the default (unlimited) divergence budget the reinstall
+/// counter stays at zero, and no deletion carried by a lost batch
+/// survives in the replica.
+#[test]
+fn replay_eviction_recovers_by_reconciliation_without_reinstall() {
+    let clock = SimClock::new();
+    let mut master = build_master();
+    master.set_replay_expiry_ops(0);
+    let replica = FilterReplica::new(0);
+    replica.install_filter(&mut master, filter_request()).unwrap();
+
+    let mut plan = FaultPlan::builder(7);
+    for op in [0, 3, 6, 9, 12] {
+        plan = plan.at(op, FaultKind::DropResponse);
+    }
+    let mut link = FaultyLink::new(master, plan.build(), clock.clone());
+    let mut driver = SyncDriver::with_clock(
+        RetryConfig { max_retries: 0, base_backoff_ms: 1, jitter_seed: 7, ..RetryConfig::default() },
+        clock,
+    );
+
+    // Touch a distinct even-indexed (in-filter) entry each step; every
+    // fourth step deletes it, the rest modify it across the boundary.
+    let mut lost_deletes = Vec::new();
+    for step in 0..12usize {
+        let i = (2 * step) % ENTRIES;
+        let op = if step % 4 == 3 {
+            lost_deletes.push(i);
+            fbdr_dit::UpdateOp::Delete(dn(i))
+        } else {
+            fbdr_dit::UpdateOp::Modify {
+                dn: dn(i),
+                mods: vec![fbdr_dit::Modification::Replace(
+                    "serialNumber".into(),
+                    vec![serial(step % 2 == 0, i).into()],
+                )],
+            }
+        };
+        link.master_mut().apply(op).unwrap();
+        let _ = replica.sync_with(&mut link, &mut driver);
+    }
+    link.quiesce();
+    for _ in 0..2 {
+        replica.sync_with(&mut link, &mut driver).expect("clean cycle");
+    }
+
+    let d = driver.stats();
+    assert!(d.reconciliations > 0, "evicted batches forced reconciliation: {d:?}");
+    assert_eq!(d.reinstalls, 0, "nothing exceeded the unlimited budget: {d:?}");
+    assert_eq!(replica.stale_filter_count(), 0);
+
+    let request = filter_request();
+    let mut want = link.master().dit().search(&request);
+    want.sort_by(|a, b| a.dn().cmp(b.dn()));
+    let mut got = replica.try_answer(&request).expect("stored filter answers its own query");
+    got.sort_by(|a, b| a.dn().cmp(b.dn()));
+    assert_eq!(got, want, "replica diverged from master");
+    for &i in &lost_deletes {
+        assert!(
+            !got.iter().any(|e| e.dn() == &dn(i)),
+            "deleted entry e{i} still served after reconciliation"
+        );
+    }
+}
+
+mod recovery_equivalence {
+    //! Property: recovering a lost session by reconciliation yields
+    //! byte-for-byte the same replica content as a full reinstall, for
+    //! arbitrary divergence histories — including delete-heavy ones where
+    //! most of the lost updates are removals the digest cannot list
+    //! directly.
+
+    use super::*;
+    use proptest::prelude::*;
+
+    /// One divergence step applied to the master while the replica's
+    /// session is detached. `kind` picks delete/add/modify; the
+    /// distribution is delete-heavy on purpose.
+    type HistoryOp = (u8, u8, bool);
+
+    fn apply_history(master: &mut SyncMaster, ops: &[HistoryOp]) {
+        for (idx, kind, toggle) in ops {
+            let i = *idx as usize % ENTRIES;
+            let op = match kind % 5 {
+                // Two arms out of five delete: delete-heavy histories.
+                0 | 1 => fbdr_dit::UpdateOp::Delete(dn(i)),
+                2 => fbdr_dit::UpdateOp::Add(entry(i, &serial(*toggle, i))),
+                _ => fbdr_dit::UpdateOp::Modify {
+                    dn: dn(i),
+                    mods: vec![fbdr_dit::Modification::Replace(
+                        "serialNumber".into(),
+                        vec![serial(*toggle, i).into()],
+                    )],
+                },
+            };
+            // Deleting absent entries / re-adding present ones no-ops.
+            let _ = master.apply(op);
+        }
+    }
+
+    fn sorted_answer(replica: &FilterReplica) -> Vec<Entry> {
+        let mut v = replica.try_answer(&filter_request()).expect("filter answers its query");
+        v.sort_by(|a, b| a.dn().cmp(b.dn()));
+        v
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn reconcile_recovery_equals_reinstall_recovery(
+            ops in prop::collection::vec((any::<u8>(), any::<u8>(), any::<bool>()), 0..60),
+        ) {
+            let mut master = build_master();
+            let replica = FilterReplica::new(0);
+            replica.install_filter(&mut master, filter_request()).unwrap();
+
+            // Divergence accrues while the session is detached, then the
+            // master forgets the session entirely. The out-of-filter
+            // sentinel add guarantees at least one op lands after the
+            // install, so `expire_idle(0)` sees the session as idle even
+            // for an empty history.
+            apply_history(&mut master, &ops);
+            master.apply(fbdr_dit::UpdateOp::Add(entry(ENTRIES, &serial(false, ENTRIES)))).unwrap();
+            prop_assert_eq!(master.expire_idle(0), 1, "the detached session expired");
+
+            // One replica recovers through the reconcile rung...
+            let clock = SimClock::new();
+            let mut driver = SyncDriver::with_clock(
+                RetryConfig { max_retries: 0, jitter_seed: 1, ..RetryConfig::default() },
+                clock,
+            );
+            replica.sync_with(&mut master, &mut driver).expect("reconcile recovery");
+            let d = driver.stats();
+            prop_assert_eq!(d.reconciliations, 1, "recovery went through reconcile: {:?}", d);
+            prop_assert_eq!(d.reinstalls, 0);
+
+            // ...while a fresh replica installs the same filter from
+            // scratch — the reinstall rung's exact content.
+            let fresh = FilterReplica::new(1);
+            fresh.install_filter(&mut master, filter_request()).unwrap();
+
+            prop_assert_eq!(sorted_answer(&replica), sorted_answer(&fresh));
+        }
+    }
 }
 
