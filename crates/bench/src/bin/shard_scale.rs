@@ -1,0 +1,124 @@
+//! `shard_scale` — sharded-master apply scaling benchmark.
+//!
+//! ```text
+//! shard_scale [--entries N] [--updates N] [--shards A,B,C]
+//!             [--countries N] [--service-us N] [--repeats N]
+//!             [--floor X] [--out PATH]
+//! ```
+//!
+//! Applies the same total update stream through a `ShardedMaster` at each
+//! shard count (country `i` → shard `i % K`, one apply thread per shard,
+//! each apply carrying `--service-us` of simulated commit latency),
+//! verifies the sharded content matches an unsharded reference, writes
+//! `BENCH_shard_scale.json` and prints a summary. Exits non-zero if
+//! throughput at the largest shard count is below `--floor` (default 3×)
+//! times the smallest — sharding stopped scaling.
+
+use fbdr_bench::shard_scale::{run, ShardScaleConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ShardScaleConfig::default();
+    let mut out = String::from("BENCH_shard_scale.json");
+    let mut floor = 3.0f64;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--entries" => {
+                cfg.entries = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--entries takes a number"));
+            }
+            "--updates" => {
+                cfg.updates = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--updates takes a number"));
+            }
+            "--shards" => {
+                let spec = it.next().unwrap_or_else(|| usage("--shards takes A,B,C"));
+                cfg.shard_counts = spec
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage("bad shard count")))
+                    .collect();
+                if cfg.shard_counts.is_empty() {
+                    usage("--shards needs at least one count");
+                }
+            }
+            "--countries" => {
+                cfg.countries = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--countries takes a number"));
+            }
+            "--service-us" => {
+                cfg.service_us = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--service-us takes a number"));
+            }
+            "--repeats" => {
+                cfg.repeats = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--repeats takes a number"));
+            }
+            "--floor" => {
+                floor = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--floor takes a number"));
+            }
+            "--out" => out = it.next().unwrap_or_else(|| usage("--out takes a path")),
+            "--help" | "-h" => {
+                println!(
+                    "usage: shard_scale [--entries N] [--updates N] [--shards A,B,C] \
+                     [--countries N] [--service-us N] [--repeats N] [--floor X] [--out PATH]"
+                );
+                return;
+            }
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let report = run(&cfg);
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+
+    println!(
+        "# shard_scale — {} entries, {} updates/rung, {} countries, {}us simulated service",
+        report.entries, report.updates, report.countries, report.service_us,
+    );
+    for rung in report.rungs.values() {
+        println!(
+            "  {:>2} shards  {:>10.0} ops/s  ({:>8.1}ms, split {:?}, {} entries verified equal)",
+            rung.shards,
+            rung.ops_per_sec,
+            rung.elapsed_ms,
+            rung.per_shard_updates,
+            rung.entries_compared,
+        );
+    }
+    println!(
+        "  speedup at {} shards: {:.2}x over {:.0} ops/s baseline",
+        report.max_shards, report.speedup_at_max_shards, report.baseline_ops_per_sec,
+    );
+    println!("  wrote {out}");
+
+    if !(report.speedup_at_max_shards >= floor) {
+        eprintln!(
+            "FAIL: shard scaling {:.2}x at {} shards is below the {floor}x floor",
+            report.speedup_at_max_shards, report.max_shards
+        );
+        std::process::exit(1);
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("{msg}; see --help");
+    std::process::exit(2);
+}

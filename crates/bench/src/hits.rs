@@ -2,7 +2,7 @@
 
 use crate::setup::Params;
 use fbdr_core::experiment::{
-    build_country_replica, replay_filter, replay_subtree, select_static_filters, ReplayConfig,
+    build_context_replica, replay_filter, replay_subtree, select_static_filters, ReplayConfig,
     Routing,
 };
 use fbdr_core::Replicator;
@@ -72,9 +72,9 @@ pub fn fig4(params: &Params) -> Vec<Fig4Row> {
         }
         let f_out = replay_filter(&mut repl, &day2, &[], no_updates());
 
-        let countries = fbdr_core::experiment::select_subtree_countries(&dir, &day1, budget);
+        let countries = fbdr_core::experiment::select_subtree_contexts(&dir, &day1, budget);
         let mut master = dir.dit().clone();
-        let mut sub = build_country_replica(&master, &countries);
+        let mut sub = build_context_replica(&master, &countries);
         let s_out =
             replay_subtree(&mut master, &mut sub, &day2, &[], no_updates(), Routing::Oracle);
 

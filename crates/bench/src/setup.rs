@@ -16,6 +16,9 @@ pub enum Scale {
     /// Large: 100k employees, 100k queries per day (minutes per figure);
     /// approaches the paper's half-million-entry directory in spirit.
     Large,
+    /// Extra-large: 2M employees — past the paper's directory and into
+    /// sharded-master territory. Minutes to generate; bench-only.
+    Xl,
 }
 
 impl Scale {
@@ -25,6 +28,7 @@ impl Scale {
             "small" => Some(Scale::Small),
             "paper" | "default" => Some(Scale::Paper),
             "large" => Some(Scale::Large),
+            "xl" => Some(Scale::Xl),
             _ => None,
         }
     }
@@ -91,6 +95,16 @@ impl Params {
                 size_fractions: vec![0.02, 0.05, 0.1, 0.2, 0.3, 0.4],
                 filter_counts: vec![25, 50, 100, 200, 400, 800],
                 updates_per_day: 6_000,
+                sync_every: 500,
+            },
+            Scale::Xl => Params {
+                dir: DirectoryConfig::xl(),
+                day_queries: 200_000,
+                r_small: 6_000,
+                r_large: 10_000,
+                size_fractions: vec![0.02, 0.05, 0.1, 0.2, 0.3, 0.4],
+                filter_counts: vec![25, 50, 100, 200, 400, 800],
+                updates_per_day: 12_000,
                 sync_every: 500,
             },
         }

@@ -61,7 +61,7 @@ impl ThroughputConfig {
         let total_queries = match scale {
             Scale::Small => 4_000,
             Scale::Paper => 20_000,
-            Scale::Large => 50_000,
+            Scale::Large | Scale::Xl => 50_000,
         };
         ThroughputConfig {
             scale,

@@ -2,8 +2,8 @@
 
 use crate::setup::Params;
 use fbdr_core::experiment::{
-    build_country_replica, replay_filter, replay_subtree, select_static_filters,
-    select_subtree_countries, ReplayConfig, Routing,
+    build_context_replica, replay_filter, replay_subtree, select_static_filters,
+    select_subtree_contexts, ReplayConfig, Routing,
 };
 use fbdr_core::Replicator;
 use fbdr_resync::SyncMaster;
@@ -55,9 +55,9 @@ pub fn fig6(params: &Params) -> Vec<Fig6Row> {
         }
         let f_out = replay_filter(&mut repl, &day2, &updates, cfg);
 
-        let countries = select_subtree_countries(&dir, &day1, budget);
+        let countries = select_subtree_contexts(&dir, &day1, budget);
         let mut master = dir.dit().clone();
-        let mut sub = build_country_replica(&master, &countries);
+        let mut sub = build_context_replica(&master, &countries);
         let s_out = replay_subtree(&mut master, &mut sub, &day2, &updates, cfg, Routing::Oracle);
 
         rows.push(Fig6Row {
@@ -192,9 +192,9 @@ pub fn latency(params: &Params) -> Vec<LatencyRow> {
 
     // Subtree replica of the best countries within budget.
     {
-        let countries = select_subtree_countries(&dir, &day1, budget);
+        let countries = select_subtree_contexts(&dir, &day1, budget);
         let mut master = dir.dit().clone();
-        let mut sub = build_country_replica(&master, &countries);
+        let mut sub = build_context_replica(&master, &countries);
         let out = replay_subtree(
             &mut master,
             &mut sub,

@@ -13,7 +13,7 @@
 //!
 //! Selection helpers implement the train-then-freeze configuration of
 //! Figure 4 ([`select_static_filters`]) and the per-country greedy choice
-//! a subtree deployment would make ([`select_subtree_countries`]).
+//! a subtree deployment would make ([`select_subtree_contexts`]).
 
 use crate::replicator::{Replicator, ServedBy};
 use fbdr_containment::EngineStats;
@@ -225,12 +225,13 @@ pub fn select_static_filters(
 
 /// Greedy benefit/size choice of whole countries for the subtree model:
 /// benefit = trace queries targeting employees of the country, size = its
-/// population. Returns country codes best-first, within the entry budget.
-pub fn select_subtree_countries(
+/// population. Returns the chosen countries as typed [`NamingContext`]s
+/// (suffix `c={cc},o=xyz`), best-first, within the entry budget.
+pub fn select_subtree_contexts(
     dir: &EnterpriseDirectory,
     trace: &[TracedQuery],
     entry_budget: usize,
-) -> Vec<String> {
+) -> Vec<NamingContext> {
     // Map serial/mail → country.
     let mut by_serial: HashMap<&str, &str> = HashMap::new();
     let mut by_mail: HashMap<&str, &str> = HashMap::new();
@@ -274,18 +275,18 @@ pub fn select_subtree_countries(
         }
         if used + size <= entry_budget {
             used += size;
-            out.push(cc.to_owned());
+            let suffix = format!("c={cc},o=xyz").parse().expect("valid dn");
+            out.push(NamingContext::new(suffix));
         }
     }
     out
 }
 
-/// Builds a subtree replica holding the given countries.
-pub fn build_country_replica(master: &DitStore, countries: &[String]) -> SubtreeReplica {
+/// Builds a subtree replica holding the given naming contexts.
+pub fn build_context_replica(master: &DitStore, contexts: &[NamingContext]) -> SubtreeReplica {
     let mut replica = SubtreeReplica::new();
-    for cc in countries {
-        let suffix = format!("c={cc},o=xyz").parse().expect("valid dn");
-        replica.replicate_context(master, NamingContext::new(suffix));
+    for ctx in contexts {
+        replica.replicate_context(master, ctx.clone());
     }
     replica
 }
@@ -333,9 +334,9 @@ mod tests {
         let f_out = replay_filter(&mut repl, &trace, &ops, ReplayConfig::default());
 
         // Subtree model at (at least) the same size.
-        let countries = select_subtree_countries(&dir, &trace, budget);
+        let countries = select_subtree_contexts(&dir, &trace, budget);
         let (mut mdit, _) = EnterpriseDirectory::generate(DirectoryConfig::small()).into_parts();
-        let mut sub = build_country_replica(&mdit, &countries);
+        let mut sub = build_context_replica(&mdit, &countries);
         let s_out = replay_subtree(&mut mdit, &mut sub, &trace, &ops, ReplayConfig::default(), Routing::Oracle);
 
         let f_serial = f_out.kind_hit_ratio(QueryKind::SerialNumber);
@@ -366,8 +367,8 @@ mod tests {
     fn strict_routing_answers_nothing_for_root_queries() {
         let (dir, trace, ops) = setup();
         let (mut mdit, _) = EnterpriseDirectory::generate(DirectoryConfig::small()).into_parts();
-        let countries = select_subtree_countries(&dir, &trace, dir.employee_count());
-        let mut sub = build_country_replica(&mdit, &countries);
+        let countries = select_subtree_contexts(&dir, &trace, dir.employee_count());
+        let mut sub = build_context_replica(&mdit, &countries);
         let out = replay_subtree(
             &mut mdit,
             &mut sub,
@@ -383,8 +384,8 @@ mod tests {
     fn oracle_routing_gives_subtree_nonzero_hits() {
         let (dir, trace, ops) = setup();
         let (mut mdit, _) = EnterpriseDirectory::generate(DirectoryConfig::small()).into_parts();
-        let countries = select_subtree_countries(&dir, &trace, dir.employee_count() / 2);
-        let mut sub = build_country_replica(&mdit, &countries);
+        let countries = select_subtree_contexts(&dir, &trace, dir.employee_count() / 2);
+        let mut sub = build_context_replica(&mdit, &countries);
         let out = replay_subtree(
             &mut mdit,
             &mut sub,

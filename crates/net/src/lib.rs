@@ -44,11 +44,13 @@ mod client;
 pub mod cost;
 mod server;
 mod service;
+pub mod shard;
 
 pub use client::{Client, NetError, SearchResult};
 pub use cost::{CostModel, ExchangeTracker, Hop, HopDirection, OpStats};
 pub use server::{Server, ServerOutcome};
 pub use service::DirectoryService;
+pub use shard::{ShardId, ShardMap};
 
 use fbdr_obs::Obs;
 use std::collections::HashMap;

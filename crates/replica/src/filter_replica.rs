@@ -24,8 +24,9 @@ use fbdr_ldap::{Entry, SearchRequest};
 use fbdr_obs::{event, Counter, Histogram, Obs};
 use fbdr_resync::reconcile::entry_item_hash;
 use fbdr_resync::{
-    dn_key, entry_key, Clock, Cookie, DnInterner, ReSyncControl, ReconcileItem, SyncAction,
-    SyncDriver, SyncError, SyncMaster, SyncTransport, SyncTraffic,
+    dn_key, entry_key, Clock, CompositeCookie, Cookie, DnInterner, ReSyncControl, ReconcileItem,
+    ShardContent, ShardCoordinator, ShardId, ShardMap, ShardStatus, SyncAction, SyncDriver,
+    SyncError, SyncMaster, SyncTransport, SyncTraffic,
 };
 use parking_lot::{Mutex, RwLock};
 use std::borrow::Cow;
@@ -182,6 +183,55 @@ impl Working {
     }
 }
 
+/// One stored filter's held content sliced by shard ownership — the
+/// [`ShardContent`] view the coordinator reconciles/reinstalls against.
+/// Ownership is decided by the shard map over each held entry's DN, so a
+/// shard's slice is exactly what that shard's master serves.
+struct WorkingShardContent<'a> {
+    work: &'a Working,
+    filter: usize,
+    map: &'a ShardMap,
+}
+
+impl WorkingShardContent<'_> {
+    /// The held entry `id`, when it belongs to `shard`.
+    fn owned_entry(&self, shard: ShardId, id: u32) -> Option<&Entry> {
+        let e = self.work.entries.get(id as usize)?.as_deref()?;
+        (self.map.shard_of(e.dn()) == shard).then_some(e)
+    }
+}
+
+impl ShardContent for WorkingShardContent<'_> {
+    fn items(&self, shard: ShardId) -> Vec<ReconcileItem> {
+        self.work.filters[self.filter]
+            .ids
+            .iter()
+            .filter_map(|&id| {
+                let e = self.owned_entry(shard, id)?;
+                Some(ReconcileItem { hash: entry_item_hash(e), id })
+            })
+            .collect()
+    }
+
+    fn resolve(&self, shard: ShardId, key: &str) -> Option<u32> {
+        let id = self.work.interner.get(key)?;
+        self.work.filters[self.filter].ids.binary_search(&id).ok()?;
+        self.owned_entry(shard, id).map(|_| id)
+    }
+
+    fn dn_of(&self, shard: ShardId, id: u32) -> Option<fbdr_ldap::Dn> {
+        self.owned_entry(shard, id).map(|e| e.dn().clone())
+    }
+
+    fn held_dns(&self, shard: ShardId) -> Vec<fbdr_ldap::Dn> {
+        self.work.filters[self.filter]
+            .ids
+            .iter()
+            .filter_map(|&id| self.owned_entry(shard, id).map(|e| e.dn().clone()))
+            .collect()
+    }
+}
+
 /// Writer-side per-filter state that readers never touch: the ReSync
 /// session cookie and the optional persist-mode notification channel.
 ///
@@ -193,6 +243,10 @@ struct FilterSession {
     cookie: Option<Cookie>,
     /// Live notification channel for persist-mode filters.
     notifications: Option<Receiver<SyncAction>>,
+    /// Per-shard session cookies for filters installed against a sharded
+    /// master ([`FilterReplica::install_filter_sharded`]); `None` for
+    /// single-master filters.
+    composite: Option<CompositeCookie>,
 }
 
 /// All mutable bookkeeping, serialized behind one writer mutex.
@@ -541,7 +595,7 @@ impl FilterReplica {
         };
         self.timed_apply(&mut work, &mut w.refcount, &mut sf, actions);
         work.filters.push(Arc::new(sf));
-        w.sessions.push(FilterSession { cookie, notifications });
+        w.sessions.push(FilterSession { cookie, notifications, composite: None });
         self.publish(work.into_snapshot());
     }
 
@@ -850,6 +904,115 @@ impl FilterReplica {
             let mut sf = (*work.filters[i]).clone();
             sf.stale = false;
             self.timed_apply(&mut work, refcount, &mut sf, &resp.actions);
+            work.filters[i] = Arc::new(sf);
+        }
+        self.publish(work.into_snapshot());
+        match failed {
+            Some(e) => Err(e),
+            None => Ok(total),
+        }
+    }
+
+    /// Installs a generalized filter against a **sharded** master: the
+    /// coordinator splits the filter's base/scope across the shards it
+    /// overlaps, establishes one ReSync session per shard, and the merged
+    /// per-shard cookies are kept as a [`CompositeCookie`] for
+    /// [`FilterReplica::sync_with_sharded`] cycles. Returns the load
+    /// traffic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SyncError`] any shard produced
+    /// (all-or-nothing: partial sessions are abandoned).
+    pub fn install_filter_sharded<C: Clock>(
+        &self,
+        transport: &mut dyn SyncTransport,
+        coordinator: &mut ShardCoordinator<C>,
+        request: SearchRequest,
+    ) -> Result<SyncTraffic, SyncError> {
+        let mut w = self.writer.lock();
+        let (actions, cookie, traffic) = coordinator.install(transport, &request)?;
+        self.install_loaded(&mut w, request, None, None, &actions);
+        w.sessions.last_mut().expect("install_loaded pushed a session").composite = Some(cookie);
+        Ok(traffic)
+    }
+
+    /// One sync cycle against a sharded master: every stored filter polls
+    /// each shard it overlaps **independently** through the coordinator's
+    /// per-shard retry/reconcile/reinstall ladders, so a slow or
+    /// partitioned shard degrades only its own slice to stale while the
+    /// other shards' updates land. A filter with any stale or failed
+    /// shard is marked stale as a whole (its answers may miss that
+    /// shard's updates) but keeps serving.
+    ///
+    /// Filters installed via the unsharded paths are polled through the
+    /// plain transport legs, exactly as [`FilterReplica::sync_with`]
+    /// would, so mixed deployments can share one cycle. Publishes one
+    /// epoch.
+    ///
+    /// # Errors
+    ///
+    /// The first hard (non-transient, non-session) [`SyncError`] any
+    /// shard produced, after the cycle's partial progress is published.
+    pub fn sync_with_sharded<C: Clock>(
+        &self,
+        transport: &mut dyn SyncTransport,
+        coordinator: &mut ShardCoordinator<C>,
+    ) -> Result<SyncTraffic, SyncError> {
+        let mut w = self.writer.lock();
+        let WriterState { sessions, refcount } = &mut *w;
+        let snap = self.snapshot();
+        let mut work = Working::from_snapshot(&snap);
+        let mut total = SyncTraffic::default();
+        let mut failed: Option<SyncError> = None;
+        let map = coordinator.map().clone();
+        for i in 0..work.filters.len() {
+            let request = work.filters[i].prepared.request().clone();
+            let session = &mut sessions[i];
+            let Some(mut composite) = session.composite.take() else {
+                // Not a sharded filter; nothing to coordinate this cycle.
+                continue;
+            };
+            let outcomes = {
+                let content = WorkingShardContent { work: &work, filter: i, map: &map };
+                coordinator.sync_filter(transport, &request, &mut composite, &content)
+            };
+            session.composite = Some(composite);
+            let mut fresh = true;
+            let mut actions: Vec<SyncAction> = Vec::new();
+            for out in outcomes {
+                total.absorb(&out.traffic);
+                actions.extend(out.actions);
+                match out.status {
+                    ShardStatus::Stale => {
+                        fresh = false;
+                        event!(
+                            self.obs,
+                            "replica",
+                            "shard_stale",
+                            filter_index = i,
+                            shard = out.shard.index(),
+                        );
+                    }
+                    ShardStatus::Failed(e) => {
+                        fresh = false;
+                        event!(
+                            self.obs,
+                            "replica",
+                            "shard_failed",
+                            filter_index = i,
+                            shard = out.shard.index(),
+                        );
+                        if failed.is_none() {
+                            failed = Some(e);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let mut sf = (*work.filters[i]).clone();
+            sf.stale = !fresh;
+            self.timed_apply(&mut work, refcount, &mut sf, &actions);
             work.filters[i] = Arc::new(sf);
         }
         self.publish(work.into_snapshot());

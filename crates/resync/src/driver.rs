@@ -17,6 +17,7 @@ use crate::Cookie;
 use crate::SyncMaster;
 use crossbeam::channel::Receiver;
 use fbdr_ldap::SearchRequest;
+use fbdr_net::ShardId;
 use fbdr_obs::{event, Histogram, Obs};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -96,6 +97,72 @@ pub trait SyncTransport {
         _req: &RangeRequest,
     ) -> Result<RangeResponse, SyncError> {
         Err(SyncError::ReconcileFailed("transport does not support reconciliation".into()))
+    }
+
+    // ---- shard-addressed legs ----------------------------------------
+    //
+    // A sharded transport (see `crate::shard`) fronts several masters;
+    // the replica-side coordinator addresses each exchange to an explicit
+    // shard. Single-shard transports get identity defaults that delegate
+    // to the unsharded methods above, so existing transports — including
+    // fault-injecting wrappers that override those methods — keep their
+    // behavior without implementing anything new.
+
+    /// Number of shards behind this transport (1 unless sharded).
+    fn shard_count(&self) -> usize {
+        1
+    }
+
+    /// [`SyncTransport::resync`] addressed to one shard.
+    ///
+    /// # Errors
+    ///
+    /// As [`SyncTransport::resync`].
+    fn resync_at(
+        &mut self,
+        _shard: ShardId,
+        request: &SearchRequest,
+        ctl: ReSyncControl,
+    ) -> Result<SyncResponse, SyncError> {
+        self.resync(request, ctl)
+    }
+
+    /// [`SyncTransport::take_receiver`] addressed to one shard.
+    fn take_receiver_at(&mut self, _shard: ShardId, cookie: Cookie) -> Option<Receiver<SyncAction>> {
+        self.take_receiver(cookie)
+    }
+
+    /// [`SyncTransport::abandon`] addressed to one shard.
+    fn abandon_at(&mut self, _shard: ShardId, cookie: Cookie) {
+        self.abandon(cookie);
+    }
+
+    /// [`SyncTransport::reconcile`] addressed to one shard.
+    ///
+    /// # Errors
+    ///
+    /// As [`SyncTransport::reconcile`].
+    fn reconcile_at(
+        &mut self,
+        _shard: ShardId,
+        request: &SearchRequest,
+        req: ReconcileRequest,
+    ) -> Result<ReconcileResponse, SyncError> {
+        self.reconcile(request, req)
+    }
+
+    /// [`SyncTransport::reconcile_ranges`] addressed to one shard.
+    ///
+    /// # Errors
+    ///
+    /// As [`SyncTransport::reconcile_ranges`].
+    fn reconcile_ranges_at(
+        &mut self,
+        _shard: ShardId,
+        cookie: Cookie,
+        req: &RangeRequest,
+    ) -> Result<RangeResponse, SyncError> {
+        self.reconcile_ranges(cookie, req)
     }
 }
 
@@ -199,15 +266,6 @@ impl DriverStats {
         self.reconciliations += other.reconciliations;
         self.reinstalls += other.reinstalls;
         self.poll_fallbacks += other.poll_fallbacks;
-    }
-
-    /// Sessions re-established after an unrecoverable error, by either
-    /// path. Before reconciliation existed this was exactly `reinstalls`;
-    /// callers that only care that recovery happened can keep using the
-    /// sum.
-    #[deprecated(note = "inspect `reconciliations` and `reinstalls` separately")]
-    pub fn session_recoveries(&self) -> u64 {
-        self.reconciliations + self.reinstalls
     }
 }
 
@@ -373,6 +431,30 @@ impl<C: Clock> SyncDriver<C> {
         out
     }
 
+    /// [`SyncDriver::resync`] addressed to one shard of a sharded
+    /// transport: the same retry ladder, but the exchange goes through
+    /// [`SyncTransport::resync_at`] so a sharded transport cannot
+    /// re-route it by base (the coordinator has already decided the
+    /// shard).
+    ///
+    /// # Errors
+    ///
+    /// As [`SyncDriver::resync`].
+    pub fn resync_at(
+        &mut self,
+        transport: &mut dyn SyncTransport,
+        shard: ShardId,
+        request: &SearchRequest,
+        ctl: ReSyncControl,
+    ) -> Result<SyncResponse, SyncError> {
+        let timer = self.exchange_hist.as_ref().map(|_| Instant::now());
+        let out = self.retry_loop(&mut |_attempt| transport.resync_at(shard, request, ctl));
+        if let (Some(h), Some(t)) = (&self.exchange_hist, timer) {
+            h.record_since(t);
+        }
+        out
+    }
+
     /// Runs a full reconciliation exchange (see [`crate::reconcile`])
     /// under the driver's retry policy, with per-attempt digest re-salting
     /// so a retried exchange draws fresh Bloom false positives. On
@@ -393,6 +475,37 @@ impl<C: Clock> SyncDriver<C> {
         items: &[ReconcileItem],
         resolve: &dyn Fn(&str) -> Option<u32>,
     ) -> Result<ReconcileOutcome, SyncError> {
+        self.reconcile_run(&mut |cfg| reconcile::reconcile(transport, request, items, resolve, cfg))
+    }
+
+    /// [`SyncDriver::reconcile`] addressed to one shard of a sharded
+    /// transport: same retry policy, re-salting and bookkeeping, with the
+    /// exchange legs going through [`SyncTransport::reconcile_at`] /
+    /// [`SyncTransport::reconcile_ranges_at`].
+    ///
+    /// # Errors
+    ///
+    /// As [`SyncDriver::reconcile`].
+    pub fn reconcile_at(
+        &mut self,
+        transport: &mut dyn SyncTransport,
+        shard: ShardId,
+        request: &SearchRequest,
+        items: &[ReconcileItem],
+        resolve: &dyn Fn(&str) -> Option<u32>,
+    ) -> Result<ReconcileOutcome, SyncError> {
+        self.reconcile_run(&mut |cfg| {
+            reconcile::reconcile_at(transport, shard, request, items, resolve, cfg)
+        })
+    }
+
+    /// Shared body of [`SyncDriver::reconcile`]/[`SyncDriver::reconcile_at`]:
+    /// retry loop with per-attempt digest re-salting around `exchange`,
+    /// plus the success-side counters, events and histogram.
+    fn reconcile_run(
+        &mut self,
+        exchange: &mut dyn FnMut(&ReconcileConfig) -> Result<ReconcileOutcome, SyncError>,
+    ) -> Result<ReconcileOutcome, SyncError> {
         let timer = self.reconcile_hist.as_ref().map(|_| Instant::now());
         let base = self.reconcile;
         let out = self.retry_loop(&mut |attempt| {
@@ -400,7 +513,7 @@ impl<C: Clock> SyncDriver<C> {
                 seed: base.seed ^ (u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
                 ..base
             };
-            reconcile::reconcile(transport, request, items, resolve, &cfg)
+            exchange(&cfg)
         });
         if let Ok(outcome) = &out {
             self.stats.reconciliations += 1;

@@ -405,6 +405,12 @@ impl Default for ReconcileConfig {
 }
 
 impl ReconcileConfig {
+    /// A builder starting from the defaults. New knobs get a builder
+    /// method and a default instead of breaking every construction site.
+    pub fn builder() -> ReconcileConfigBuilder {
+        ReconcileConfigBuilder { config: ReconcileConfig::default() }
+    }
+
     /// The effective summary bucket count for `items` held entries.
     pub fn effective_buckets(&self, items: usize) -> u32 {
         if self.summary_buckets > 0 {
@@ -412,6 +418,43 @@ impl ReconcileConfig {
         } else {
             ((items / 8) as u32).clamp(16, 4096).next_power_of_two()
         }
+    }
+}
+
+/// Builder for [`ReconcileConfig`]; see [`ReconcileConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct ReconcileConfigBuilder {
+    config: ReconcileConfig,
+}
+
+impl ReconcileConfigBuilder {
+    /// Target Bloom false-positive rate.
+    pub fn fpr(mut self, fpr: f64) -> Self {
+        self.config.fpr = fpr;
+        self
+    }
+
+    /// Range-summary bucket count (`0` = automatic).
+    pub fn summary_buckets(mut self, buckets: u32) -> Self {
+        self.config.summary_buckets = buckets;
+        self
+    }
+
+    /// Base digest seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Maximum estimated divergence to attempt reconciliation for.
+    pub fn divergence_budget(mut self, budget: u64) -> Self {
+        self.config.divergence_budget = budget;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> ReconcileConfig {
+        self.config
     }
 }
 
@@ -492,6 +535,39 @@ pub fn reconcile(
     resolve: &dyn Fn(&str) -> Option<u32>,
     config: &ReconcileConfig,
 ) -> Result<ReconcileOutcome, SyncError> {
+    reconcile_inner(transport, None, request, items, resolve, config)
+}
+
+/// [`reconcile`] addressed to one shard of a sharded transport: the
+/// exchange legs go through [`SyncTransport::reconcile_at`] /
+/// [`SyncTransport::reconcile_ranges_at`] so the coordinator's shard
+/// choice is honored instead of re-routing by base.
+///
+/// # Errors
+///
+/// As [`reconcile`].
+pub fn reconcile_at(
+    transport: &mut dyn SyncTransport,
+    shard: fbdr_net::ShardId,
+    request: &SearchRequest,
+    items: &[ReconcileItem],
+    resolve: &dyn Fn(&str) -> Option<u32>,
+    config: &ReconcileConfig,
+) -> Result<ReconcileOutcome, SyncError> {
+    reconcile_inner(transport, Some(shard), request, items, resolve, config)
+}
+
+/// Shared body: `shard == None` uses the unsharded transport legs (which
+/// a sharded transport may route by base), `Some(shard)` the addressed
+/// ones.
+fn reconcile_inner(
+    transport: &mut dyn SyncTransport,
+    shard: Option<fbdr_net::ShardId>,
+    request: &SearchRequest,
+    items: &[ReconcileItem],
+    resolve: &dyn Fn(&str) -> Option<u32>,
+    config: &ReconcileConfig,
+) -> Result<ReconcileOutcome, SyncError> {
     let hashes: Vec<u64> = items.iter().map(|it| it.hash).collect();
     let digest = BloomDigest::build(&hashes, config.fpr, config.seed);
     let req = ReconcileRequest {
@@ -503,7 +579,10 @@ pub fn reconcile(
     let mut tracker = ExchangeTracker::new();
     tracker.begin_round();
     tracker.register(HopDirection::LocalToRemote, 0, digest_bytes);
-    let resp = transport.reconcile(request, req)?;
+    let resp = match shard {
+        Some(s) => transport.reconcile_at(s, request, req)?,
+        None => transport.reconcile(request, req)?,
+    };
     let summary_bytes = resp.summary.wire_bytes();
     tracker.register(HopDirection::RemoteToLocal, resp.state_bytes(), resp.metadata_bytes());
 
@@ -553,7 +632,10 @@ pub fn reconcile(
         fallback_probes = rreq.probes.len() as u64;
         tracker.begin_round();
         tracker.register(HopDirection::LocalToRemote, 0, rreq.wire_bytes());
-        let r2 = transport.reconcile_ranges(resp.cookie, &rreq)?;
+        let r2 = match shard {
+            Some(s) => transport.reconcile_ranges_at(s, resp.cookie, &rreq)?,
+            None => transport.reconcile_ranges(resp.cookie, &rreq)?,
+        };
         tracker.register(HopDirection::RemoteToLocal, r2.state_bytes(), r2.metadata_bytes());
         for h in &r2.delete_hashes {
             // Unknown hashes (cannot happen with a well-behaved master)

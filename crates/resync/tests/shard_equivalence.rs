@@ -1,0 +1,395 @@
+//! Sharded split-merge equivalence: a `ShardCoordinator` driving one
+//! session per shard of a `ShardedMaster` must be observably identical
+//! to a single session against one unsharded `SyncMaster` holding the
+//! same directory — same search answers, same converged replica content
+//! at every poll boundary, and composite cookies that survive a serde
+//! round trip (including part reordering) mid-stream. Plus a chaos
+//! check: partitioning one shard leaves every other shard serving.
+
+use fbdr_dit::{Modification, UpdateOp};
+use fbdr_ldap::{Dn, Entry, Filter, Rdn, Scope, SearchRequest};
+use crossbeam::channel::Receiver;
+use fbdr_resync::reconcile::{RangeRequest, RangeResponse, ReconcileRequest, ReconcileResponse};
+use fbdr_resync::{
+    CompositeCookie, Cookie, ReSyncControl, ReconcileConfig, ReconcileItem, ReplicaContent,
+    RetryConfig, ShardContent, ShardCoordinator, ShardId, ShardMap, ShardStatus, ShardedMaster,
+    SyncAction, SyncError, SyncMaster, SyncResponse, SyncTransport,
+};
+use proptest::prelude::*;
+
+const COUNTRIES: usize = 4;
+
+/// An abstract operation against a pool of person entries, each living
+/// under its id's country (`c=s{id % COUNTRIES},o=xyz`). Renames change
+/// the RDN only, so an entry never crosses its shard boundary and both
+/// sides of the comparison see identical success/failure per op.
+#[derive(Debug, Clone)]
+enum Op {
+    Add { id: usize, dept: u8 },
+    Delete { id: usize },
+    SetDept { id: usize, dept: u8 },
+    SetMail { id: usize, tag: u8 },
+    Rename { id: usize, new_id: usize },
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..16, 0u8..4).prop_map(|(id, dept)| Op::Add { id, dept }),
+        (0usize..16).prop_map(|id| Op::Delete { id }),
+        (0usize..16, 0u8..4).prop_map(|(id, dept)| Op::SetDept { id, dept }),
+        (0usize..16, 0u8..4).prop_map(|(id, tag)| Op::SetMail { id, tag }),
+        (0usize..16, 0usize..16).prop_map(|(id, new_id)| Op::Rename { id, new_id }),
+    ]
+}
+
+fn country_dn(c: usize) -> Dn {
+    format!("c=s{c},o=xyz").parse().expect("valid dn")
+}
+
+fn dn_of(id: usize) -> Dn {
+    format!("cn=p{id},c=s{},o=xyz", id % COUNTRIES).parse().expect("valid dn")
+}
+
+fn entry_of(id: usize, dept: u8) -> Entry {
+    Entry::new(dn_of(id))
+        .with("objectclass", "person")
+        .with("cn", &format!("p{id}"))
+        .with("dept", &dept.to_string())
+}
+
+fn to_update(op: &Op) -> UpdateOp {
+    match op {
+        Op::Add { id, dept } => UpdateOp::Add(entry_of(*id, *dept)),
+        Op::Delete { id } => UpdateOp::Delete(dn_of(*id)),
+        Op::SetDept { id, dept } => UpdateOp::Modify {
+            dn: dn_of(*id),
+            mods: vec![Modification::Replace("dept".into(), vec![dept.to_string().into()])],
+        },
+        Op::SetMail { id, tag } => UpdateOp::Modify {
+            dn: dn_of(*id),
+            mods: vec![Modification::Replace("mail".into(), vec![format!("m{tag}@x").into()])],
+        },
+        Op::Rename { id, new_id } => UpdateOp::ModifyDn {
+            dn: dn_of(*id),
+            new_rdn: Rdn::new("cn", format!("p{new_id}")),
+            new_superior: None,
+        },
+    }
+}
+
+/// Country `c` → shard `c % k`: the same namespace at every shard count.
+fn map_for(k: usize) -> ShardMap {
+    let mut map = ShardMap::new(ShardId::ZERO);
+    for c in 0..COUNTRIES {
+        map.assign(country_dn(c), ShardId::new(u16::try_from(c % k).expect("fits")));
+    }
+    map
+}
+
+/// The unsharded reference holding the full skeleton.
+fn unsharded() -> SyncMaster {
+    let mut m = SyncMaster::new();
+    m.dit_mut().add_suffix("o=xyz".parse().expect("valid dn"));
+    m.dit_mut().add(Entry::new("o=xyz".parse().expect("valid dn"))).expect("suffix add");
+    for c in 0..COUNTRIES {
+        m.dit_mut()
+            .add(Entry::new(country_dn(c)).with("objectclass", "country"))
+            .expect("country add");
+    }
+    m
+}
+
+/// A sharded master over `k` shards, each shard's DIT holding the
+/// skeleton plus its own countries.
+fn sharded(k: usize) -> ShardedMaster {
+    let map = map_for(k);
+    let mut m = ShardedMaster::new(map.clone());
+    for shard in map.shards() {
+        let dit = m.shard_mut(shard).dit_mut();
+        dit.add_suffix("o=xyz".parse().expect("valid dn"));
+        dit.add(Entry::new("o=xyz".parse().expect("valid dn"))).expect("suffix add");
+    }
+    for c in 0..COUNTRIES {
+        let shard = map.shard_of(&country_dn(c));
+        m.shard_mut(shard)
+            .dit_mut()
+            .add(Entry::new(country_dn(c)).with("objectclass", "country"))
+            .expect("country add");
+    }
+    m
+}
+
+const SESSION_FILTERS: &[&str] = &[
+    "(dept=1)",
+    "(&(objectclass=person)(dept=0))",
+    "(|(dept=1)(dept=3))",
+    "(cn=p1*)",
+    "(mail=*)",
+    "(!(dept=1))",
+];
+
+fn session_request(filter_idx: usize) -> SearchRequest {
+    SearchRequest::new(
+        "o=xyz".parse().expect("valid dn"),
+        Scope::Subtree,
+        Filter::parse(SESSION_FILTERS[filter_idx % SESSION_FILTERS.len()]).expect("valid filter"),
+    )
+}
+
+/// The happy path never walks the recovery ladder, so the coordinator's
+/// content view is never consulted.
+struct NoContent;
+
+impl ShardContent for NoContent {
+    fn items(&self, _shard: ShardId) -> Vec<ReconcileItem> {
+        Vec::new()
+    }
+    fn resolve(&self, _shard: ShardId, _key: &str) -> Option<u32> {
+        None
+    }
+    fn dn_of(&self, _shard: ShardId, _id: u32) -> Option<Dn> {
+        None
+    }
+    fn held_dns(&self, _shard: ShardId) -> Vec<Dn> {
+        Vec::new()
+    }
+}
+
+/// Serde round trip with the parts deliberately reversed: the decoded
+/// cookie must normalize back to the same composite.
+fn scramble_cookie(cookie: &CompositeCookie) -> CompositeCookie {
+    let mut parts: Vec<(ShardId, Cookie)> = cookie.iter().collect();
+    parts.reverse();
+    let json = serde_json::to_string(&parts).expect("parts serialize");
+    let decoded: CompositeCookie = serde_json::from_str(&json).expect("cookie deserializes");
+    assert_eq!(&decoded, cookie, "scrambled round trip must normalize");
+    decoded
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// One coordinator-driven filter over N shards converges to exactly
+    /// the content a single unsharded session converges to — answers,
+    /// replica content, and cookies that resume across serde round trips.
+    #[test]
+    fn coordinator_split_merge_equals_single_master(
+        ops in prop::collection::vec(op(), 1..60),
+        n_shards in 1usize..5,
+        filter_idx in 0usize..6,
+        poll_every in 1usize..8,
+    ) {
+        let mut single = unsharded();
+        let mut multi = sharded(n_shards);
+        let mut coord = ShardCoordinator::new(multi.map().clone());
+        let req = session_request(filter_idx);
+
+        let single_resp = single.resync(&req, ReSyncControl::poll(None)).expect("single install");
+        let mut single_cookie = single_resp.cookie.expect("cookie");
+        let mut single_content = ReplicaContent::new();
+        single_content.apply_all(&single_resp.actions);
+
+        let (actions, mut composite, _) = coord.install(&mut multi, &req).expect("install");
+        let mut multi_content = ReplicaContent::new();
+        multi_content.apply_all(&actions);
+        prop_assert_eq!(multi_content.sorted_dns(), single_content.sorted_dns());
+
+        for (i, o) in ops.iter().enumerate() {
+            let up = to_update(o);
+            let expect_ok = single.apply(up.clone()).is_ok();
+            let got_ok = multi.apply(up).is_ok();
+            prop_assert_eq!(got_ok, expect_ok, "apply outcome diverged at op {}", i);
+
+            if (i + 1) % poll_every == 0 {
+                // The composite cookie resumes after a scrambled serde
+                // round trip mid-stream.
+                composite = scramble_cookie(&composite);
+
+                let outcomes = coord.sync_filter(&mut multi, &req, &mut composite, &NoContent);
+                for out in &outcomes {
+                    prop_assert_eq!(&out.status, &ShardStatus::Updated,
+                        "healthy shard degraded at op {}", i);
+                    multi_content.apply_all(&out.actions);
+                }
+                let r = single
+                    .resync(&req, ReSyncControl::poll(Some(single_cookie)))
+                    .expect("single poll");
+                single_cookie = r.cookie.expect("cookie");
+                single_content.apply_all(&r.actions);
+                prop_assert_eq!(
+                    multi_content.sorted_dns(), single_content.sorted_dns(),
+                    "converged content diverged after op {}", i
+                );
+            }
+        }
+
+        // Final drain on both sides.
+        composite = scramble_cookie(&composite);
+        for out in coord.sync_filter(&mut multi, &req, &mut composite, &NoContent) {
+            prop_assert_eq!(&out.status, &ShardStatus::Updated);
+            multi_content.apply_all(&out.actions);
+        }
+        let r = single.resync(&req, ReSyncControl::poll(Some(single_cookie))).expect("final");
+        single_content.apply_all(&r.actions);
+        prop_assert_eq!(multi_content.sorted_dns(), single_content.sorted_dns());
+
+        // Exact convergence: the sharded replica content matches both the
+        // unsharded replica and the masters' own answers, entries included.
+        let mut single_dns: Vec<String> =
+            single.dit().search_dns(&req).iter().map(|d| d.to_string()).collect();
+        single_dns.sort();
+        prop_assert_eq!(multi_content.sorted_dns(), single_dns);
+        for e in multi_content.iter() {
+            let at_master = single.dit().get(e.dn()).expect("entry exists at master");
+            prop_assert_eq!(e, at_master, "entry content diverged");
+        }
+        // And the sharded master's fan-out search agrees with the
+        // unsharded answer set.
+        let mut sharded_answer: Vec<String> =
+            multi.search(&req).iter().map(|e| e.dn().to_string()).collect();
+        sharded_answer.sort();
+        let mut single_answer: Vec<String> =
+            single.dit().search(&req).iter().map(|e| e.dn().to_string()).collect();
+        single_answer.sort();
+        prop_assert_eq!(sharded_answer, single_answer);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Chaos: one partitioned shard cannot stall the rest
+// ---------------------------------------------------------------------
+
+/// A transport wrapper that drops every shard-addressed exchange to one
+/// shard on the floor, as a network partition would.
+struct PartitionedShard {
+    inner: ShardedMaster,
+    dead: ShardId,
+}
+
+impl SyncTransport for PartitionedShard {
+    fn resync(
+        &mut self,
+        request: &SearchRequest,
+        ctl: ReSyncControl,
+    ) -> Result<SyncResponse, SyncError> {
+        self.inner.resync(request, ctl)
+    }
+    fn take_receiver(&mut self, cookie: Cookie) -> Option<Receiver<SyncAction>> {
+        self.inner.take_receiver(cookie)
+    }
+    fn abandon(&mut self, cookie: Cookie) {
+        self.inner.abandon(cookie);
+    }
+    fn shard_count(&self) -> usize {
+        self.inner.shard_count()
+    }
+    fn resync_at(
+        &mut self,
+        shard: ShardId,
+        request: &SearchRequest,
+        ctl: ReSyncControl,
+    ) -> Result<SyncResponse, SyncError> {
+        if shard == self.dead {
+            return Err(SyncError::Unavailable("partitioned".into()));
+        }
+        self.inner.resync_at(shard, request, ctl)
+    }
+    fn take_receiver_at(&mut self, shard: ShardId, cookie: Cookie) -> Option<Receiver<SyncAction>> {
+        self.inner.take_receiver_at(shard, cookie)
+    }
+    fn abandon_at(&mut self, shard: ShardId, cookie: Cookie) {
+        self.inner.abandon_at(shard, cookie);
+    }
+    fn reconcile_at(
+        &mut self,
+        shard: ShardId,
+        request: &SearchRequest,
+        req: ReconcileRequest,
+    ) -> Result<ReconcileResponse, SyncError> {
+        if shard == self.dead {
+            return Err(SyncError::Unavailable("partitioned".into()));
+        }
+        self.inner.reconcile_at(shard, request, req)
+    }
+    fn reconcile_ranges_at(
+        &mut self,
+        shard: ShardId,
+        cookie: Cookie,
+        req: &RangeRequest,
+    ) -> Result<RangeResponse, SyncError> {
+        if shard == self.dead {
+            return Err(SyncError::Unavailable("partitioned".into()));
+        }
+        self.inner.reconcile_ranges_at(shard, cookie, req)
+    }
+}
+
+/// A fast-failing retry policy so the partitioned shard degrades to
+/// stale without real backoff sleeps.
+fn snappy_retry() -> RetryConfig {
+    RetryConfig {
+        max_retries: 1,
+        base_backoff_ms: 0,
+        max_backoff_ms: 0,
+        timeout_budget_ms: 10_000,
+        jitter_seed: 7,
+    }
+}
+
+#[test]
+fn partitioned_shard_degrades_alone_and_catches_up() {
+    let mut coord = ShardCoordinator::with_config(
+        map_for(4),
+        snappy_retry(),
+        ReconcileConfig::default(),
+    );
+    let mut t = PartitionedShard { inner: sharded(4), dead: ShardId::new(u16::MAX) };
+    let req = session_request(4); // (mail=*)
+    for id in 0..8 {
+        t.inner.apply(UpdateOp::Add(entry_of(id, 1).with("mail", "a@x"))).unwrap();
+    }
+
+    // Install while healthy.
+    let (actions, mut composite, _) = coord.install(&mut t, &req).expect("install");
+    let mut content = ReplicaContent::new();
+    content.apply_all(&actions);
+    assert_eq!(content.sorted_dns().len(), 8);
+    assert_eq!(composite.len(), 4);
+
+    // New entries land on every shard; shard 2 then partitions.
+    for id in 8..16 {
+        t.inner.apply(UpdateOp::Add(entry_of(id, 2).with("mail", "b@x"))).unwrap();
+    }
+    let dead = ShardId::new(2);
+    t.dead = dead;
+    let outcomes = coord.sync_filter(&mut t, &req, &mut composite, &NoContent);
+    let mut fresh_actions = 0usize;
+    for out in &outcomes {
+        if out.shard == dead {
+            assert_eq!(out.status, ShardStatus::Stale, "partitioned shard must serve stale");
+            assert!(out.actions.is_empty());
+        } else {
+            assert_eq!(out.status, ShardStatus::Updated, "healthy shard {} stalled", out.shard);
+            fresh_actions += out.actions.len();
+        }
+        content.apply_all(&out.actions);
+    }
+    // Countries s0/s1/s3 each gained two entries; only s2's two are missing.
+    assert_eq!(fresh_actions, 6);
+    assert_eq!(content.sorted_dns().len(), 14);
+    // The stale shard kept its cookie for resumption.
+    assert!(composite.get(dead).is_some());
+    assert_eq!(composite.len(), 4);
+
+    // Partition heals: the kept cookie resumes incrementally — no
+    // reinstall, no reconcile, just the missed batch.
+    t.dead = ShardId::new(u16::MAX);
+    let outcomes = coord.sync_filter(&mut t, &req, &mut composite, &NoContent);
+    for out in &outcomes {
+        assert_eq!(out.status, ShardStatus::Updated);
+        content.apply_all(&out.actions);
+    }
+    assert_eq!(content.sorted_dns().len(), 16);
+    assert_eq!(coord.stats().reinstalls, 0);
+    assert_eq!(coord.stats().reconciliations, 0);
+}
