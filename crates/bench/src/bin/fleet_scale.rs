@@ -1,0 +1,132 @@
+//! `fleet_scale` — fleet-scale persist-mode staleness/coalescing bench.
+//!
+//! ```text
+//! fleet_scale [--replicas N] [--shards N] [--entries N] [--depts N]
+//!             [--updates N] [--steady-interval MS] [--ramp MS]
+//!             [--max-batch N] [--max-delay MS] [--flush-interval MS]
+//!             [--link-base MS] [--link-jitter MS] [--seed N]
+//!             [--floor X] [--out PATH]
+//! ```
+//!
+//! Simulates `--replicas` persist-mode sessions against a sharded
+//! master under steady and flash-crowd load, once with per-update
+//! wakeups and once with batching/coalescing, then writes
+//! `BENCH_fleet.json` (byte-identical for the same seed — the report
+//! carries no wall time). Exits non-zero if coalescing fails to cut
+//! wakeups by `--floor` (default 3×) in every scenario, if the two arms
+//! diverge in content, or if any replica misses convergence.
+
+use fbdr_bench::fleet_scale::{run, FleetScaleConfig};
+use fbdr_net::LinkProfile;
+
+fn usage(msg: &str) -> ! {
+    eprintln!("fleet_scale: {msg} (try --help)");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = FleetScaleConfig::default();
+    let mut out = String::from("BENCH_fleet.json");
+    let mut floor = 3.0f64;
+    let (mut link_base, mut link_jitter) = (2u64, 6u64);
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        let mut num = |flag: &str| -> u64 {
+            it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                usage(&format!("{flag} takes a number"));
+            })
+        };
+        match a.as_str() {
+            "--replicas" => cfg.replicas = num("--replicas") as usize,
+            "--shards" => cfg.shards = num("--shards") as usize,
+            "--entries" => cfg.entries_per_shard = num("--entries") as usize,
+            "--depts" => cfg.depts = num("--depts") as usize,
+            "--updates" => cfg.updates = num("--updates") as usize,
+            "--steady-interval" => cfg.steady_interval_ms = num("--steady-interval"),
+            "--ramp" => cfg.flash_ramp_ms = num("--ramp"),
+            "--max-batch" => cfg.max_batch = num("--max-batch"),
+            "--max-delay" => cfg.max_delay_ms = num("--max-delay"),
+            "--flush-interval" => cfg.flush_interval_ms = num("--flush-interval"),
+            "--link-base" => link_base = num("--link-base"),
+            "--link-jitter" => link_jitter = num("--link-jitter"),
+            "--seed" => cfg.seed = num("--seed"),
+            "--floor" => {
+                floor = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--floor takes a number"));
+            }
+            "--out" => out = it.next().unwrap_or_else(|| usage("--out takes a path")),
+            "--help" | "-h" => {
+                println!(
+                    "usage: fleet_scale [--replicas N] [--shards N] [--entries N] [--depts N] \
+                     [--updates N] [--steady-interval MS] [--ramp MS] [--max-batch N] \
+                     [--max-delay MS] [--flush-interval MS] [--link-base MS] [--link-jitter MS] \
+                     [--seed N] [--floor X] [--out PATH]"
+                );
+                return;
+            }
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    cfg.link = if link_jitter == 0 {
+        LinkProfile::constant(link_base)
+    } else {
+        LinkProfile::jittered(link_base, link_jitter)
+    };
+
+    let report = run(&cfg);
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+
+    println!(
+        "# fleet_scale — {} replicas, {} shards, {} entries/shard, {} depts, {} updates/scenario",
+        report.replicas, report.shards, report.entries_per_shard, report.depts, report.updates,
+    );
+    let mut failed = false;
+    for (name, s) in &report.scenarios {
+        println!(
+            "  {name:>6}  baseline: {:>8} wakeups  staleness p50/p99/p999 = {}/{}/{} ms",
+            s.baseline.wakeups,
+            s.baseline.staleness.p50_ms,
+            s.baseline.staleness.p99_ms,
+            s.baseline.staleness.p999_ms,
+        );
+        println!(
+            "  {name:>6}  coalesced: {:>7} wakeups  staleness p50/p99/p999 = {}/{}/{} ms  \
+             amplification {:.1}x  reduction {:.1}x  content_equal {}",
+            s.coalesced.wakeups,
+            s.coalesced.staleness.p50_ms,
+            s.coalesced.staleness.p99_ms,
+            s.coalesced.staleness.p999_ms,
+            s.coalesced.amplification_x,
+            s.wakeup_reduction_x,
+            s.content_equal,
+        );
+        if !s.content_equal {
+            eprintln!("FAIL: {name}: coalescing changed the final fleet content");
+            failed = true;
+        }
+        for (arm, r) in [("baseline", &s.baseline), ("coalesced", &s.coalesced)] {
+            if r.diverged > 0 {
+                eprintln!("FAIL: {name}/{arm}: {} replicas diverged from the master", r.diverged);
+                failed = true;
+            }
+        }
+        if !(s.wakeup_reduction_x >= floor) {
+            eprintln!(
+                "FAIL: {name}: coalescing cut wakeups only {:.2}x, below the {floor}x floor",
+                s.wakeup_reduction_x
+            );
+            failed = true;
+        }
+    }
+    println!("  wrote {out}");
+    if failed {
+        std::process::exit(1);
+    }
+}

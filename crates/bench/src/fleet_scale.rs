@@ -1,0 +1,168 @@
+//! Fleet-scale persist-mode benchmark: 10k+ replica sessions against a
+//! sharded master under the event-driven simulator, measuring answer
+//! staleness and notification amplification with coalescing on and off.
+//! Emits `BENCH_fleet.json`, gated on coalescing actually reducing
+//! wakeups and on both arms converging to identical fleet content.
+//!
+//! Two workload scenarios run, each as a baseline/coalesced pair over
+//! the *same* seeded op stream:
+//!
+//! * **steady** — one update every few simulated milliseconds, the
+//!   paper's background-churn regime;
+//! * **flash-crowd** — the whole update budget lands inside a short
+//!   ramp, the regime where per-update notification melts the masters
+//!   and coalescing pays for itself.
+//!
+//! Everything runs on the simulated clock: the report contains no wall
+//! time, so the same seed writes a byte-identical `BENCH_fleet.json`
+//! every run — reproducibility you can `diff`.
+
+use fbdr_sim::{FleetConfig, FleetReport, FleetSim, Workload};
+use fbdr_net::LinkProfile;
+use fbdr_resync::NotifyPolicy;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Benchmark configuration: fleet shape plus the coalescing knobs under
+/// ablation.
+#[derive(Debug, Clone)]
+pub struct FleetScaleConfig {
+    /// Replica sessions in the fleet.
+    pub replicas: usize,
+    /// Sync-master shards (one country subtree each).
+    pub shards: usize,
+    /// Person entries per country.
+    pub entries_per_shard: usize,
+    /// Department values (one persistent filter per value per country).
+    pub depts: usize,
+    /// Workload updates per scenario.
+    pub updates: usize,
+    /// Steady-scenario inter-update gap, simulated ms.
+    pub steady_interval_ms: u64,
+    /// Flash-crowd ramp: all updates land inside this window, ms.
+    pub flash_ramp_ms: u64,
+    /// Coalesced arm: flush after this many raw updates per session.
+    pub max_batch: u64,
+    /// Coalesced arm: flush when the oldest queued update is this old.
+    pub max_delay_ms: u64,
+    /// Master flush-timer cadence, simulated ms.
+    pub flush_interval_ms: u64,
+    /// Master→replica link latency model.
+    pub link: LinkProfile,
+    /// Master seed (workload, tie-breaking, jitter).
+    pub seed: u64,
+}
+
+impl Default for FleetScaleConfig {
+    fn default() -> Self {
+        FleetScaleConfig {
+            replicas: 10_000,
+            shards: 4,
+            entries_per_shard: 200,
+            depts: 8,
+            updates: 1_000,
+            steady_interval_ms: 5,
+            flash_ramp_ms: 100,
+            max_batch: 32,
+            max_delay_ms: 250,
+            flush_interval_ms: 10,
+            link: LinkProfile::jittered(2, 6),
+            seed: 42,
+        }
+    }
+}
+
+/// One scenario's baseline/coalesced pair and its ablation verdict.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScenarioReport {
+    /// Per-update wakeups (degenerate coalescing: batch of 1, no delay).
+    pub baseline: FleetReport,
+    /// Batched/coalesced wakeups under the configured knobs.
+    pub coalesced: FleetReport,
+    /// `baseline.wakeups / coalesced.wakeups` — the ablation headline.
+    pub wakeup_reduction_x: f64,
+    /// Both arms ran the same op stream; did they converge to the same
+    /// fleet content, entry set for entry set?
+    pub content_equal: bool,
+}
+
+/// The full benchmark report serialized to `BENCH_fleet.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetScaleReport {
+    /// Replica sessions per run.
+    pub replicas: usize,
+    /// Shards per run.
+    pub shards: usize,
+    /// Entries per country.
+    pub entries_per_shard: usize,
+    /// Departments (filter groups per country).
+    pub depts: usize,
+    /// Updates per scenario.
+    pub updates: usize,
+    /// Coalesced arm's max-batch knob.
+    pub max_batch: u64,
+    /// Coalesced arm's max-delay knob, ms.
+    pub max_delay_ms: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// `steady` and `flash` scenario results.
+    pub scenarios: BTreeMap<String, ScenarioReport>,
+}
+
+fn fleet_config(cfg: &FleetScaleConfig, workload: Workload, policy: NotifyPolicy) -> FleetConfig {
+    FleetConfig {
+        replicas: cfg.replicas,
+        shards: cfg.shards,
+        entries_per_shard: cfg.entries_per_shard,
+        depts: cfg.depts,
+        updates: cfg.updates,
+        workload,
+        policy,
+        flush_interval_ms: cfg.flush_interval_ms,
+        link: cfg.link,
+        link_drop_per_mille: 0,
+        seed: cfg.seed,
+    }
+}
+
+fn run_scenario(cfg: &FleetScaleConfig, workload: Workload) -> ScenarioReport {
+    let baseline =
+        FleetSim::new(fleet_config(cfg, workload, NotifyPolicy::coalescing(1, 0))).run();
+    let coalesced = FleetSim::new(fleet_config(
+        cfg,
+        workload,
+        NotifyPolicy::coalescing(cfg.max_batch, cfg.max_delay_ms),
+    ))
+    .run();
+    let wakeup_reduction_x = if coalesced.wakeups == 0 {
+        0.0
+    } else {
+        baseline.wakeups as f64 / coalesced.wakeups as f64
+    };
+    let content_equal = baseline.content_digest == coalesced.content_digest;
+    ScenarioReport { baseline, coalesced, wakeup_reduction_x, content_equal }
+}
+
+/// Runs both scenarios, both arms each.
+pub fn run(cfg: &FleetScaleConfig) -> FleetScaleReport {
+    let mut scenarios = BTreeMap::new();
+    scenarios.insert(
+        "steady".to_owned(),
+        run_scenario(cfg, Workload::Steady { interval_ms: cfg.steady_interval_ms }),
+    );
+    scenarios.insert(
+        "flash".to_owned(),
+        run_scenario(cfg, Workload::FlashCrowd { ramp_ms: cfg.flash_ramp_ms }),
+    );
+    FleetScaleReport {
+        replicas: cfg.replicas,
+        shards: cfg.shards,
+        entries_per_shard: cfg.entries_per_shard,
+        depts: cfg.depts,
+        updates: cfg.updates,
+        max_batch: cfg.max_batch,
+        max_delay_ms: cfg.max_delay_ms,
+        seed: cfg.seed,
+        scenarios,
+    }
+}

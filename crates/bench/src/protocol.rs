@@ -187,7 +187,7 @@ pub fn fig3() -> Vec<(String, Vec<String>)> {
         new_superior: None,
     })
     .expect("valid op");
-    let notes: Vec<SyncAction> = rx.try_iter().collect();
+    let notes: Vec<SyncAction> = rx.try_iter().flat_map(|b| b.actions).collect();
     lines.extend(notes.iter().map(|a| a.to_string()));
     lines.push("abandon".to_owned());
     phases.push(("S, (persist, cookie1)".to_owned(), lines));

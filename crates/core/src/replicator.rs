@@ -5,8 +5,8 @@ use fbdr_dit::{ChangeRecord, DitError, UpdateOp};
 use fbdr_ldap::{Entry, SearchRequest};
 use fbdr_replica::{FilterReplica, ReplicaStats};
 use fbdr_resync::{
-    DriverStats, ReconcileConfig, RetryConfig, ShardCoordinator, ShardedMaster, SyncDriver,
-    SyncError, SyncMaster, SyncTraffic, SystemClock,
+    DriverStats, NotifyFlush, NotifyPolicy, ReconcileConfig, RetryConfig, ShardCoordinator,
+    ShardId, ShardedMaster, SyncDriver, SyncError, SyncMaster, SyncTraffic, SystemClock,
 };
 use fbdr_selection::FilterSelector;
 use serde::{Deserialize, Serialize};
@@ -79,6 +79,26 @@ impl Replicator {
     pub fn with_retry_config(mut self, config: RetryConfig) -> Self {
         self.driver = SyncDriver::new(config);
         self
+    }
+
+    /// Sets the master's persist-mode notification policy: how many raw
+    /// updates are batched per session wakeup and how long they may wait
+    /// ([`NotifyPolicy::coalescing`] vs the per-update default).
+    pub fn with_notify_policy(mut self, policy: NotifyPolicy) -> Self {
+        self.master.set_notify_policy(policy);
+        self
+    }
+
+    /// Advances the master's notification clock — drive this from the
+    /// deployment loop so coalescing max-delay deadlines can expire.
+    pub fn advance_to(&mut self, now_ms: u64) {
+        self.master.advance_to(now_ms);
+    }
+
+    /// Flushes due (or, with `force`, all) coalesced persist-mode
+    /// batches; returns one [`NotifyFlush`] per session wakeup.
+    pub fn flush_notifications(&mut self, force: bool) -> Vec<NotifyFlush> {
+        self.master.flush_notifications(force)
     }
 
     /// Read access to the master.
@@ -210,6 +230,24 @@ impl ShardedReplicator {
         self
     }
 
+    /// Sets every shard's persist-mode notification policy (see
+    /// [`Replicator::with_notify_policy`]).
+    pub fn with_notify_policy(mut self, policy: NotifyPolicy) -> Self {
+        self.master.set_notify_policy(policy);
+        self
+    }
+
+    /// Advances every shard's notification clock.
+    pub fn advance_to(&mut self, now_ms: u64) {
+        self.master.advance_to(now_ms);
+    }
+
+    /// Flushes due (or all, with `force`) coalesced persist-mode batches
+    /// across every shard, tagged with the owning [`ShardId`].
+    pub fn flush_notifications(&mut self, force: bool) -> Vec<(ShardId, NotifyFlush)> {
+        self.master.flush_notifications(force)
+    }
+
     /// Read access to the sharded master.
     pub fn master(&self) -> &ShardedMaster {
         &self.master
@@ -336,6 +374,39 @@ mod tests {
         assert_eq!(s2, ServedBy::Replica);
         assert_eq!(es.len(), 1);
         assert_eq!(r.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn notify_policy_wiring_coalesces_persist_batches() {
+        use fbdr_dit::Modification;
+        use fbdr_resync::ReSyncControl;
+
+        let mut m = master();
+        let resp = m
+            .resync(
+                &SearchRequest::from_root(Filter::parse("(serialNumber=04*)").unwrap()),
+                ReSyncControl::persist(None),
+            )
+            .unwrap();
+        let rx = m.take_receiver(resp.cookie.unwrap()).unwrap();
+
+        let mut r = Replicator::new(m, 0).with_notify_policy(NotifyPolicy::coalescing(10, 50));
+        for i in 0..3 {
+            r.apply_update(UpdateOp::Modify {
+                dn: format!("cn=e{i},o=xyz").parse().unwrap(),
+                mods: vec![Modification::Replace("mail".into(), vec![format!("e{i}@x").into()])],
+            })
+            .unwrap();
+        }
+        // Not due yet: nothing waited max_delay.
+        assert!(r.flush_notifications(false).is_empty());
+        r.advance_to(60);
+        let flushes = r.flush_notifications(false);
+        assert_eq!(flushes.len(), 1, "three updates coalesce into one wakeup");
+        assert_eq!(flushes[0].coalesced_from, 3);
+        let batch = rx.try_recv().unwrap();
+        assert_eq!(batch.coalesced_from, 3);
+        assert_eq!(batch.actions.len(), 3);
     }
 
     #[test]

@@ -17,5 +17,5 @@ pub mod link;
 pub mod plan;
 
 pub use clock::SimClock;
-pub use link::{FaultyLink, FaultyService};
+pub use link::{FaultTarget, FaultyLink, FaultyService};
 pub use plan::{FaultDecision, FaultKind, FaultPlan, FaultPlanBuilder};

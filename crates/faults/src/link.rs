@@ -1,5 +1,5 @@
 //! Fault-injecting wrappers: a [`FaultyLink`] between a replica and its
-//! [`SyncMaster`], and a [`FaultyService`] in front of any
+//! master (sharded or not), and a [`FaultyService`] in front of any
 //! [`DirectoryService`].
 //!
 //! Both consult a [`FaultPlan`] per operation, so a seed fully determines
@@ -10,14 +10,60 @@ use crate::clock::SimClock;
 use crate::plan::FaultPlan;
 use crossbeam::channel::Receiver;
 use fbdr_ldap::SearchRequest;
-use fbdr_net::{DirectoryService, ServerOutcome};
+use fbdr_net::{DirectoryService, ServerOutcome, ShardId};
 use fbdr_resync::reconcile::{
     RangeRequest, RangeResponse, ReconcileRequest, ReconcileResponse,
 };
 use fbdr_resync::{
-    Cookie, ReSyncControl, SyncAction, SyncError, SyncMaster, SyncResponse, SyncTransport,
+    Cookie, NotifyBatch, ReSyncControl, ShardedMaster, SyncError, SyncMaster, SyncResponse,
+    SyncTransport,
 };
 use std::sync::Mutex;
+
+/// A master a [`FaultyLink`] can wrap: the transport legs plus the two
+/// master-side state transitions faults need to trigger — dropping live
+/// persist channels (a persist disconnect) and a crash restart from the
+/// serialized snapshot (losing exactly the state that does not survive
+/// persistence).
+pub trait FaultTarget: SyncTransport {
+    /// Drops all live persist-mode notification channels.
+    fn drop_persist_channels(&mut self);
+
+    /// Crash the master and restart it from its serialized snapshot.
+    fn crash_restart(&mut self);
+}
+
+impl FaultTarget for SyncMaster {
+    fn drop_persist_channels(&mut self) {
+        SyncMaster::drop_persist_channels(self);
+    }
+
+    fn crash_restart(&mut self) {
+        let snapshot = serde_json::to_string(self).expect("master state must serialize");
+        // The observability handle does not survive persistence; carry it
+        // across the restart so metric streams span crashes seamlessly.
+        let obs = self.obs().clone();
+        *self = serde_json::from_str(&snapshot).expect("master state must deserialize");
+        self.set_obs(obs);
+    }
+}
+
+impl FaultTarget for ShardedMaster {
+    fn drop_persist_channels(&mut self) {
+        ShardedMaster::drop_persist_channels(self);
+    }
+
+    fn crash_restart(&mut self) {
+        let snapshot = serde_json::to_string(self).expect("master state must serialize");
+        let obs: Vec<_> = (0..self.map().shard_count())
+            .map(|i| self.shard(ShardId::new(i as u16)).obs().clone())
+            .collect();
+        *self = serde_json::from_str(&snapshot).expect("master state must deserialize");
+        for (i, o) in obs.into_iter().enumerate() {
+            self.shard_mut(ShardId::new(i as u16)).set_obs(o);
+        }
+    }
+}
 
 /// An unreliable network link between a replica and its master.
 ///
@@ -28,33 +74,40 @@ use std::sync::Mutex;
 /// on the way back (the case the replay buffer exists for). A *crash
 /// restart* serializes the master to JSON and restores it, losing exactly
 /// the state that does not survive persistence (live persist channels).
+///
+/// The link is generic over its [`FaultTarget`]: wrap a [`SyncMaster`]
+/// for a single-master deployment or a [`ShardedMaster`] for a sharded
+/// one. The shard-addressed `_at` legs forward the explicit shard to the
+/// wrapped master (with the same per-exchange fault decisions), so a
+/// shard coordinator above the link sees per-shard faults rather than
+/// having its addressing silently collapsed to the plain legs.
 #[derive(Debug)]
-pub struct FaultyLink {
-    master: SyncMaster,
+pub struct FaultyLink<M: FaultTarget = SyncMaster> {
+    master: M,
     plan: FaultPlan,
     clock: SimClock,
     injected: u64,
 }
 
-impl FaultyLink {
+impl<M: FaultTarget> FaultyLink<M> {
     /// Wraps `master` behind `plan`, advancing `clock` by the plan's
     /// simulated latency on every exchange.
-    pub fn new(master: SyncMaster, plan: FaultPlan, clock: SimClock) -> Self {
+    pub fn new(master: M, plan: FaultPlan, clock: SimClock) -> Self {
         FaultyLink { master, plan, clock, injected: 0 }
     }
 
     /// The master behind the link.
-    pub fn master(&self) -> &SyncMaster {
+    pub fn master(&self) -> &M {
         &self.master
     }
 
     /// Mutable access to the master (to apply updates during a run).
-    pub fn master_mut(&mut self) -> &mut SyncMaster {
+    pub fn master_mut(&mut self) -> &mut M {
         &mut self.master
     }
 
     /// Unwraps the link, returning the master.
-    pub fn into_master(self) -> SyncMaster {
+    pub fn into_master(self) -> M {
         self.master
     }
 
@@ -73,32 +126,20 @@ impl FaultyLink {
         self.injected
     }
 
-    /// Crash the master and restart it from its serialized snapshot.
-    fn crash_restart(&mut self) {
-        let snapshot =
-            serde_json::to_string(&self.master).expect("master state must serialize");
-        // The observability handle does not survive persistence; carry it
-        // across the restart so metric streams span crashes seamlessly.
-        let obs = self.master.obs().clone();
-        self.master =
-            serde_json::from_str(&snapshot).expect("master state must deserialize");
-        self.master.set_obs(obs);
-    }
-}
-
-impl SyncTransport for FaultyLink {
-    fn resync(
+    /// One faulted request/response exchange: decide the faults, apply
+    /// the master-side ones (crash, persist disconnect), then run `op`
+    /// zero, one or two times depending on drop/duplicate decisions.
+    fn exchange<R>(
         &mut self,
-        request: &SearchRequest,
-        ctl: ReSyncControl,
-    ) -> Result<SyncResponse, SyncError> {
+        mut op: impl FnMut(&mut M) -> Result<R, SyncError>,
+    ) -> Result<R, SyncError> {
         let decision = self.plan.decide();
         if !decision.is_clean() {
             self.injected += 1;
         }
         self.clock.advance_ms(decision.latency_ms);
         if decision.crash_restart {
-            self.crash_restart();
+            self.master.crash_restart();
         }
         if decision.disconnect_persist {
             self.master.drop_persist_channels();
@@ -106,11 +147,13 @@ impl SyncTransport for FaultyLink {
         if decision.drop_request {
             return Err(SyncError::Unavailable("request dropped".into()));
         }
-        let mut resp = self.master.resync(request, ctl)?;
+        let mut resp = op(&mut self.master)?;
         if decision.duplicate {
             // The network re-delivered the request; the master sees it
-            // twice and must answer both identically (idempotence).
-            resp = self.master.resync(request, ctl)?;
+            // twice and must answer both consistently (resync replays
+            // identically from the buffer; a duplicated reconcile digest
+            // starts an orphan session that falls to idle expiry).
+            resp = op(&mut self.master)?;
         }
         if decision.drop_response {
             // The master processed the request, but the replica never
@@ -119,8 +162,18 @@ impl SyncTransport for FaultyLink {
         }
         Ok(resp)
     }
+}
 
-    fn take_receiver(&mut self, cookie: Cookie) -> Option<Receiver<SyncAction>> {
+impl<M: FaultTarget> SyncTransport for FaultyLink<M> {
+    fn resync(
+        &mut self,
+        request: &SearchRequest,
+        ctl: ReSyncControl,
+    ) -> Result<SyncResponse, SyncError> {
+        self.exchange(|m| m.resync(request, ctl))
+    }
+
+    fn take_receiver(&mut self, cookie: Cookie) -> Option<Receiver<NotifyBatch>> {
         self.master.take_receiver(cookie)
     }
 
@@ -133,31 +186,7 @@ impl SyncTransport for FaultyLink {
         request: &SearchRequest,
         req: ReconcileRequest,
     ) -> Result<ReconcileResponse, SyncError> {
-        let decision = self.plan.decide();
-        if !decision.is_clean() {
-            self.injected += 1;
-        }
-        self.clock.advance_ms(decision.latency_ms);
-        if decision.crash_restart {
-            self.crash_restart();
-        }
-        if decision.disconnect_persist {
-            self.master.drop_persist_channels();
-        }
-        if decision.drop_request {
-            return Err(SyncError::Unavailable("request dropped".into()));
-        }
-        let mut resp = self.master.reconcile(request, req.clone())?;
-        if decision.duplicate {
-            // A re-delivered digest starts a second session; the replica
-            // only ever hears the later answer. The orphan falls to idle
-            // expiry, exactly like a duplicated initial poll.
-            resp = self.master.reconcile(request, req)?;
-        }
-        if decision.drop_response {
-            return Err(SyncError::Unavailable("response dropped".into()));
-        }
-        Ok(resp)
+        self.exchange(|m| m.reconcile(request, req.clone()))
     }
 
     fn reconcile_ranges(
@@ -165,30 +194,46 @@ impl SyncTransport for FaultyLink {
         cookie: Cookie,
         req: &RangeRequest,
     ) -> Result<RangeResponse, SyncError> {
-        let decision = self.plan.decide();
-        if !decision.is_clean() {
-            self.injected += 1;
-        }
-        self.clock.advance_ms(decision.latency_ms);
-        if decision.crash_restart {
-            self.crash_restart();
-        }
-        if decision.disconnect_persist {
-            self.master.drop_persist_channels();
-        }
-        if decision.drop_request {
-            return Err(SyncError::Unavailable("request dropped".into()));
-        }
-        let mut resp = self.master.reconcile_ranges(cookie, req)?;
-        if decision.duplicate {
-            // The range round is answered from the frozen stash, so the
-            // duplicate is byte-for-byte identical (idempotence).
-            resp = self.master.reconcile_ranges(cookie, req)?;
-        }
-        if decision.drop_response {
-            return Err(SyncError::Unavailable("response dropped".into()));
-        }
-        Ok(resp)
+        self.exchange(|m| m.reconcile_ranges(cookie, req))
+    }
+
+    fn shard_count(&self) -> usize {
+        self.master.shard_count()
+    }
+
+    fn resync_at(
+        &mut self,
+        shard: ShardId,
+        request: &SearchRequest,
+        ctl: ReSyncControl,
+    ) -> Result<SyncResponse, SyncError> {
+        self.exchange(|m| m.resync_at(shard, request, ctl))
+    }
+
+    fn take_receiver_at(&mut self, shard: ShardId, cookie: Cookie) -> Option<Receiver<NotifyBatch>> {
+        self.master.take_receiver_at(shard, cookie)
+    }
+
+    fn abandon_at(&mut self, shard: ShardId, cookie: Cookie) {
+        self.master.abandon_at(shard, cookie);
+    }
+
+    fn reconcile_at(
+        &mut self,
+        shard: ShardId,
+        request: &SearchRequest,
+        req: ReconcileRequest,
+    ) -> Result<ReconcileResponse, SyncError> {
+        self.exchange(|m| m.reconcile_at(shard, request, req.clone()))
+    }
+
+    fn reconcile_ranges_at(
+        &mut self,
+        shard: ShardId,
+        cookie: Cookie,
+        req: &RangeRequest,
+    ) -> Result<RangeResponse, SyncError> {
+        self.exchange(|m| m.reconcile_ranges_at(shard, cookie, req))
     }
 }
 

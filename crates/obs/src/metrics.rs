@@ -194,7 +194,7 @@ impl Histogram {
         max
     }
 
-    /// A point-in-time summary (count, sum, max, p50/p90/p99).
+    /// A point-in-time summary (count, sum, max, p50/p90/p99/p999).
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
             count: self.count.load(Ordering::Relaxed),
@@ -203,6 +203,7 @@ impl Histogram {
             p50: self.quantile(0.50),
             p90: self.quantile(0.90),
             p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
         }
     }
 
@@ -223,8 +224,9 @@ impl Histogram {
 
 /// Plain-data summary of a [`Histogram`], as stored in bench reports.
 ///
-/// Times are nanoseconds; `p50`/`p90`/`p99` are octave upper bounds (at
-/// most 2× above the true quantile), `max` is exact.
+/// Times are nanoseconds; `p50`/`p90`/`p99`/`p999` are octave upper
+/// bounds (at most 2× above the true quantile), `max` is exact. `p999`
+/// defaults to 0 when decoding reports written before it existed.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HistogramSnapshot {
     /// Samples recorded.
@@ -239,6 +241,9 @@ pub struct HistogramSnapshot {
     pub p90: u64,
     /// 99th-percentile estimate (ns).
     pub p99: u64,
+    /// 99.9th-percentile estimate (ns).
+    #[serde(default)]
+    pub p999: u64,
 }
 
 impl HistogramSnapshot {
@@ -397,6 +402,7 @@ impl MetricsRegistry {
             let _ = writeln!(out, "{name}{{quantile=\"0.5\"}} {}", s.p50);
             let _ = writeln!(out, "{name}{{quantile=\"0.9\"}} {}", s.p90);
             let _ = writeln!(out, "{name}{{quantile=\"0.99\"}} {}", s.p99);
+            let _ = writeln!(out, "{name}{{quantile=\"0.999\"}} {}", s.p999);
             let _ = writeln!(out, "{name}{{quantile=\"1.0\"}} {}", s.max);
         }
         out

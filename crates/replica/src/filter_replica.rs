@@ -24,9 +24,9 @@ use fbdr_ldap::{Entry, SearchRequest};
 use fbdr_obs::{event, Counter, Histogram, Obs};
 use fbdr_resync::reconcile::entry_item_hash;
 use fbdr_resync::{
-    dn_key, entry_key, Clock, CompositeCookie, Cookie, DnInterner, ReSyncControl, ReconcileItem,
-    ShardContent, ShardCoordinator, ShardId, ShardMap, ShardStatus, SyncAction, SyncDriver,
-    SyncError, SyncMaster, SyncTransport, SyncTraffic,
+    dn_key, entry_key, Clock, CompositeCookie, Cookie, DnInterner, NotifyBatch, ReSyncControl,
+    ReconcileItem, ShardContent, ShardCoordinator, ShardId, ShardMap, ShardStatus, SyncAction,
+    SyncDriver, SyncError, SyncMaster, SyncTransport, SyncTraffic,
 };
 use parking_lot::{Mutex, RwLock};
 use std::borrow::Cow;
@@ -242,7 +242,7 @@ impl ShardContent for WorkingShardContent<'_> {
 struct FilterSession {
     cookie: Option<Cookie>,
     /// Live notification channel for persist-mode filters.
-    notifications: Option<Receiver<SyncAction>>,
+    notifications: Option<Receiver<NotifyBatch>>,
     /// Per-shard session cookies for filters installed against a sharded
     /// master ([`FilterReplica::install_filter_sharded`]); `None` for
     /// single-master filters.
@@ -582,7 +582,7 @@ impl FilterReplica {
         w: &mut WriterState,
         request: SearchRequest,
         cookie: Option<Cookie>,
-        notifications: Option<Receiver<SyncAction>>,
+        notifications: Option<Receiver<NotifyBatch>>,
         actions: &[SyncAction],
     ) {
         let snap = self.snapshot();
@@ -620,7 +620,7 @@ impl FilterReplica {
             let mut pending: Vec<SyncAction> = Vec::new();
             let disconnected = loop {
                 match rx.try_recv() {
-                    Ok(a) => pending.push(a),
+                    Ok(b) => pending.extend(b.actions),
                     Err(TryRecvError::Empty) => break false,
                     Err(TryRecvError::Disconnected) => break true,
                 }
@@ -1938,7 +1938,7 @@ mod tests {
             self.master.resync(request, ctl)
         }
 
-        fn take_receiver(&mut self, cookie: Cookie) -> Option<Receiver<SyncAction>> {
+        fn take_receiver(&mut self, cookie: Cookie) -> Option<Receiver<NotifyBatch>> {
             self.master.take_receiver(cookie)
         }
 
@@ -2091,7 +2091,7 @@ mod tests {
             ) -> Result<fbdr_resync::SyncResponse, SyncError> {
                 self.master.resync(request, ctl)
             }
-            fn take_receiver(&mut self, cookie: Cookie) -> Option<Receiver<SyncAction>> {
+            fn take_receiver(&mut self, cookie: Cookie) -> Option<Receiver<NotifyBatch>> {
                 self.master.take_receiver(cookie)
             }
             fn abandon(&mut self, cookie: Cookie) {

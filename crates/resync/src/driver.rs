@@ -8,7 +8,7 @@
 //! anything else is surfaced immediately. Time comes from a [`Clock`], so
 //! tests (and the fault-injection harness) can run on simulated time.
 
-use crate::protocol::{ReSyncControl, SyncAction, SyncError, SyncResponse};
+use crate::protocol::{NotifyBatch, ReSyncControl, SyncError, SyncResponse};
 use crate::reconcile::{
     self, RangeRequest, RangeResponse, ReconcileConfig, ReconcileItem, ReconcileOutcome,
     ReconcileRequest, ReconcileResponse,
@@ -65,7 +65,7 @@ pub trait SyncTransport {
     ) -> Result<SyncResponse, SyncError>;
 
     /// Takes the parked persist-mode notification receiver for a session.
-    fn take_receiver(&mut self, cookie: Cookie) -> Option<Receiver<SyncAction>>;
+    fn take_receiver(&mut self, cookie: Cookie) -> Option<Receiver<NotifyBatch>>;
 
     /// Abandons a session.
     fn abandon(&mut self, cookie: Cookie);
@@ -128,7 +128,7 @@ pub trait SyncTransport {
     }
 
     /// [`SyncTransport::take_receiver`] addressed to one shard.
-    fn take_receiver_at(&mut self, _shard: ShardId, cookie: Cookie) -> Option<Receiver<SyncAction>> {
+    fn take_receiver_at(&mut self, _shard: ShardId, cookie: Cookie) -> Option<Receiver<NotifyBatch>> {
         self.take_receiver(cookie)
     }
 
@@ -175,7 +175,7 @@ impl SyncTransport for SyncMaster {
         SyncMaster::resync(self, request, ctl)
     }
 
-    fn take_receiver(&mut self, cookie: Cookie) -> Option<Receiver<SyncAction>> {
+    fn take_receiver(&mut self, cookie: Cookie) -> Option<Receiver<NotifyBatch>> {
         SyncMaster::take_receiver(self, cookie)
     }
 
@@ -662,7 +662,7 @@ mod tests {
             Ok(SyncResponse { actions: Vec::new(), cookie: Some(Cookie::new(1, 1)), redelivered: false })
         }
 
-        fn take_receiver(&mut self, _cookie: Cookie) -> Option<Receiver<SyncAction>> {
+        fn take_receiver(&mut self, _cookie: Cookie) -> Option<Receiver<NotifyBatch>> {
             None
         }
 
@@ -735,7 +735,7 @@ mod tests {
             ) -> Result<SyncResponse, SyncError> {
                 Err(SyncError::UnknownCookie(Cookie::new(9, 1)))
             }
-            fn take_receiver(&mut self, _cookie: Cookie) -> Option<Receiver<SyncAction>> {
+            fn take_receiver(&mut self, _cookie: Cookie) -> Option<Receiver<NotifyBatch>> {
                 None
             }
             fn abandon(&mut self, _cookie: Cookie) {}

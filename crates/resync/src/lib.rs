@@ -72,13 +72,13 @@ pub use content::ReplicaContent;
 pub use intern::{dn_key, entry_key, DnInterner, DnTable};
 pub use driver::{Clock, DriverStats, RetryConfig, SyncDriver, SyncTransport, SystemClock};
 pub use fbdr_net::{ShardId, ShardMap};
-pub use master::SyncMaster;
+pub use master::{NotifyFlush, NotifyPolicy, SyncMaster};
 pub use reconcile::{ReconcileConfig, ReconcileConfigBuilder, ReconcileItem, ReconcileOutcome};
 pub use routing::{RoutingIndex, RoutingStats};
 pub use shard::{
     CompositeCookie, ShardContent, ShardCoordinator, ShardOutcome, ShardStatus, ShardedMaster,
 };
 pub use protocol::{
-    ActionCounts, Cookie, ReSyncControl, SyncAction, SyncError, SyncMode, SyncResponse,
-    SyncTraffic,
+    ActionCounts, Cookie, NotifyBatch, ReSyncControl, SyncAction, SyncError, SyncMode,
+    SyncResponse, SyncTraffic,
 };

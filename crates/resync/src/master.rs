@@ -2,7 +2,7 @@
 
 use crate::intern::{dn_key, DnTable};
 use crate::protocol::{
-    Cookie, ReSyncControl, SyncAction, SyncError, SyncMode, SyncResponse,
+    Cookie, NotifyBatch, ReSyncControl, SyncAction, SyncError, SyncMode, SyncResponse,
 };
 use crate::reconcile::{
     bucket_of, entry_version, item_hash, RangeRequest, RangeResponse, RangeSummary,
@@ -60,10 +60,18 @@ struct Session {
     /// Not persisted: a restored persist session degrades to polling (its
     /// cookie stays valid), exactly like a dropped TCP connection.
     #[serde(skip)]
-    notify: Option<Sender<SyncAction>>,
+    notify: Option<Sender<NotifyBatch>>,
     /// Receiver parked until the client picks it up.
     #[serde(skip)]
-    parked_receiver: Option<Receiver<SyncAction>>,
+    parked_receiver: Option<Receiver<NotifyBatch>>,
+    /// Raw updates queued for the next notification flush (coalescing
+    /// policies only; the immediate policy sends at apply time). Not
+    /// persisted: the channel the queue feeds does not survive either.
+    #[serde(skip)]
+    dirty: u64,
+    /// Master time (ms) when the oldest queued update landed.
+    #[serde(skip)]
+    dirty_since_ms: Option<u64>,
     /// Master op-count at last activity, for idle expiry.
     last_active: u64,
     /// Sequence number of the last response issued on this session (the
@@ -94,6 +102,83 @@ struct Session {
 struct ReconcileStash {
     shift: u32,
     items: Vec<(u64, u32)>,
+}
+
+/// When persist-mode notifications are handed to a session's channel.
+///
+/// The [immediate](NotifyPolicy::immediate) policy (the default, and the
+/// original behavior) sends one [`NotifyBatch`] per update the moment it
+/// is applied — lowest staleness, one wakeup per update per interested
+/// session. A [coalescing](NotifyPolicy::coalescing) policy queues
+/// updates on the session ledger instead and flushes them in one batch
+/// when either knob fires ([`SyncMaster::flush_notifications`]):
+///
+/// * `max_batch` — the session has this many raw updates queued;
+/// * `max_delay_ms` — the oldest queued update has waited this long.
+///
+/// Coalescing bounds each session's queue with `max_queue`: a session
+/// that accumulates more raw updates than that between flushes has its
+/// channel torn down (backpressure — the replica observes the disconnect
+/// and falls back to polling, the standard degradation path). The poll
+/// ledger is unaffected, so no update is ever lost, only its push-mode
+/// delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NotifyPolicy {
+    /// `false`: send per update at apply time. `true`: queue and flush.
+    pub coalesce: bool,
+    /// Flush when a session has this many raw updates queued.
+    pub max_batch: u64,
+    /// Flush when the oldest queued update has waited this long (ms).
+    pub max_delay_ms: u64,
+    /// Tear down a session's channel when its queue exceeds this many raw
+    /// updates (coalescing only; the immediate policy never queues).
+    pub max_queue: u64,
+}
+
+impl NotifyPolicy {
+    /// One notification per update, sent at apply time (the default).
+    pub fn immediate() -> Self {
+        NotifyPolicy { coalesce: false, max_batch: 1, max_delay_ms: 0, max_queue: u64::MAX }
+    }
+
+    /// Queue updates and flush a coalesced batch per session when either
+    /// `max_batch` updates are queued or the oldest has waited
+    /// `max_delay_ms`. The queue bound defaults to `64 * max_batch`.
+    pub fn coalescing(max_batch: u64, max_delay_ms: u64) -> Self {
+        NotifyPolicy {
+            coalesce: true,
+            max_batch: max_batch.max(1),
+            max_delay_ms,
+            max_queue: max_batch.max(1).saturating_mul(64),
+        }
+    }
+
+    /// Overrides the backpressure bound.
+    pub fn with_max_queue(mut self, max_queue: u64) -> Self {
+        self.max_queue = max_queue.max(1);
+        self
+    }
+}
+
+impl Default for NotifyPolicy {
+    fn default() -> Self {
+        NotifyPolicy::immediate()
+    }
+}
+
+/// What one session flush produced — returned by
+/// [`SyncMaster::flush_notifications`] so an event-driven harness can
+/// schedule exactly one delivery per wakeup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NotifyFlush {
+    /// Session the batch was sent to.
+    pub session: u32,
+    /// Entry actions in the batch (after per-DN coalescing).
+    pub actions: usize,
+    /// Raw updates the batch coalesces.
+    pub coalesced_from: u64,
+    /// Master time (ms) when the oldest coalesced update landed.
+    pub first_enqueued_ms: u64,
 }
 
 /// A master directory server that owns a [`DitStore`] and maintains ReSync
@@ -128,6 +213,25 @@ pub struct SyncMaster {
     replay_expiry_ops: Option<u64>,
     /// How many responses were re-delivered from the replay buffer.
     redeliveries: u64,
+    /// Persist-mode notification flush policy.
+    #[serde(default)]
+    notify_policy: NotifyPolicy,
+    /// Master clock in milliseconds, advanced by [`SyncMaster::advance_to`]
+    /// — the time base for coalescing delays and batch staleness stamps.
+    /// A master never told the time runs everything at t=0, which only
+    /// matters to coalescing policies with a delay knob.
+    #[serde(default)]
+    now_ms: u64,
+    /// Notification wakeups sent (batches on any persist channel).
+    #[serde(default)]
+    notify_wakeups: u64,
+    /// Raw updates those wakeups carried (`>= notify_wakeups`; the ratio
+    /// is the amplification coalescing saves).
+    #[serde(default)]
+    notify_updates: u64,
+    /// Persist channels torn down by queue-bound backpressure.
+    #[serde(default)]
+    notify_overflows: u64,
     /// Process-local observability; not persisted (a restored master
     /// starts with [`Obs::off`] and can be re-attached via
     /// [`SyncMaster::set_obs`], like reopening a connection).
@@ -185,6 +289,140 @@ impl SyncMaster {
     /// duplicated delivery was recovered).
     pub fn redeliveries(&self) -> u64 {
         self.redeliveries
+    }
+
+    /// Sets the persist-mode notification flush policy (see
+    /// [`NotifyPolicy`]). Takes effect for subsequent updates; any
+    /// already-queued updates flush under the new policy's knobs.
+    pub fn set_notify_policy(&mut self, policy: NotifyPolicy) {
+        self.notify_policy = policy;
+    }
+
+    /// The persist-mode notification flush policy in force.
+    pub fn notify_policy(&self) -> NotifyPolicy {
+        self.notify_policy
+    }
+
+    /// Advances the master clock to `now_ms` (monotonic: earlier values
+    /// are ignored). The clock stamps notification batches and drives the
+    /// coalescing delay knob; event-driven harnesses call this before
+    /// each batch of applies.
+    pub fn advance_to(&mut self, now_ms: u64) {
+        self.now_ms = self.now_ms.max(now_ms);
+    }
+
+    /// The master clock, in milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Notification wakeups sent so far (one per [`NotifyBatch`] on any
+    /// persist channel).
+    pub fn notify_wakeups(&self) -> u64 {
+        self.notify_wakeups
+    }
+
+    /// Raw updates those wakeups carried. `notify_updates /
+    /// notify_wakeups` is the measured coalescing factor.
+    pub fn notify_updates(&self) -> u64 {
+        self.notify_updates
+    }
+
+    /// Persist channels torn down by queue-bound backpressure.
+    pub fn notify_overflows(&self) -> u64 {
+        self.notify_overflows
+    }
+
+    /// Flushes due persist-mode notification queues, one coalesced
+    /// [`NotifyBatch`] per session whose queue is due under the policy
+    /// (`force` flushes every non-empty queue regardless). Returns one
+    /// [`NotifyFlush`] per batch sent, ascending by session id, so an
+    /// event-driven harness can schedule exactly one delivery per wakeup.
+    ///
+    /// A queue whose updates cancelled out (an entry arrived and departed
+    /// between flushes) is cleared without a wakeup — the replica's
+    /// content is unaffected, so there is nothing to deliver. Only
+    /// meaningful under a coalescing policy; under the immediate policy
+    /// queues are always empty and this returns nothing.
+    pub fn flush_notifications(&mut self, force: bool) -> Vec<NotifyFlush> {
+        if self.sessions.is_empty() {
+            return Vec::new();
+        }
+        let policy = self.notify_policy;
+        let now = self.now_ms;
+        let mut due: Vec<u64> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| {
+                s.notify.is_some()
+                    && s.dirty > 0
+                    && (force
+                        || s.dirty >= policy.max_batch
+                        || s.dirty_since_ms
+                            .is_some_and(|t0| now.saturating_sub(t0) >= policy.max_delay_ms))
+            })
+            .map(|(&sid, _)| sid)
+            .collect();
+        due.sort_unstable();
+        let mut flushes = Vec::new();
+        for sid in due {
+            let Some(session) = self.sessions.get_mut(&sid) else { continue };
+            let coalesced_from = session.dirty;
+            let first_enqueued_ms = session.dirty_since_ms.unwrap_or(now);
+            session.dirty = 0;
+            session.dirty_since_ms = None;
+            // A dropped receiver means the client abandoned the
+            // persistent search: tear the channel down *before* touching
+            // the ledger, so every queued action survives for the poll
+            // the reconnecting replica will eventually issue.
+            let live = session.notify.as_ref().is_some_and(|tx| !tx.is_disconnected());
+            if !live {
+                session.notify = None;
+                continue;
+            }
+            let actions = session.build_actions(&self.dit, &self.table);
+            if actions.is_empty() {
+                // The queued updates cancelled out (arrived and departed
+                // between flushes): nothing to deliver, nothing to keep.
+                session.commit_drain();
+                continue;
+            }
+            let n_actions = actions.len();
+            let batch = NotifyBatch {
+                actions,
+                coalesced_from,
+                first_enqueued_ms,
+                flushed_ms: now,
+            };
+            let sent = session.notify.as_ref().is_some_and(|tx| tx.send(batch).is_ok());
+            if !sent {
+                // Disconnected between the probe and the send: keep the
+                // ledger uncommitted — the poll path still owns delivery.
+                session.notify = None;
+                continue;
+            }
+            session.commit_drain();
+            self.notify_wakeups += 1;
+            self.notify_updates += coalesced_from;
+            flushes.push(NotifyFlush {
+                session: sid as u32,
+                actions: n_actions,
+                coalesced_from,
+                first_enqueued_ms,
+            });
+        }
+        if !flushes.is_empty() && self.obs.is_active() {
+            let reg = self.obs.registry();
+            let wakeups = flushes.len() as u64;
+            let updates: u64 = flushes.iter().map(|f| f.coalesced_from).sum();
+            reg.counter("fbdr_resync_notify_wakeups_total").add(wakeups);
+            reg.counter("fbdr_resync_notify_updates_total").add(updates);
+            let depth = reg.histogram("fbdr_resync_notify_batch_updates");
+            for f in &flushes {
+                depth.record(f.coalesced_from);
+            }
+        }
+        flushes
     }
 
     /// Attaches observability: resync exchanges increment
@@ -371,23 +609,44 @@ impl SyncMaster {
         // At least one session is interested: intern the touched DNs now.
         let target_id = self.table.intern(target);
         let new_id = if renamed { self.table.intern(new_dn) } else { target_id };
+        let policy = self.notify_policy;
+        let now_ms = self.now_ms;
+        let mut outcome = NoteOutcome::default();
         for &sid in &cand {
             let Some(session) = self.sessions.get_mut(&u64::from(sid)) else {
                 continue;
             };
             if renamed {
-                session.note_departure(target_id, target);
+                outcome.merge(session.note_departure(target_id, target, &policy, now_ms));
                 if let Some(e) = new_entry {
-                    session.note_arrival_or_change(e, new_id);
+                    outcome.merge(session.note_arrival_or_change(e, new_id, &policy, now_ms));
                 }
             } else {
                 match new_entry {
-                    Some(e) => session.note_arrival_or_change(e, target_id),
-                    None => session.note_departure(target_id, target),
+                    Some(e) => {
+                        outcome.merge(session.note_arrival_or_change(e, target_id, &policy, now_ms));
+                    }
+                    None => outcome.merge(session.note_departure(target_id, target, &policy, now_ms)),
                 }
             }
         }
         self.scratch = cand;
+        if outcome.sent > 0 || outcome.overflows > 0 {
+            self.notify_wakeups += u64::from(outcome.sent);
+            self.notify_updates += u64::from(outcome.sent);
+            self.notify_overflows += u64::from(outcome.overflows);
+            if self.obs.is_active() {
+                let reg = self.obs.registry();
+                if outcome.sent > 0 {
+                    reg.counter("fbdr_resync_notify_wakeups_total").add(u64::from(outcome.sent));
+                    reg.counter("fbdr_resync_notify_updates_total").add(u64::from(outcome.sent));
+                }
+                if outcome.overflows > 0 {
+                    reg.counter("fbdr_resync_notify_overflows_total")
+                        .add(u64::from(outcome.overflows));
+                }
+            }
+        }
         Ok(rec)
     }
 
@@ -574,7 +833,7 @@ impl SyncMaster {
         &mut self,
         request: &SearchRequest,
         cookie: Option<Cookie>,
-    ) -> Result<(SyncResponse, Receiver<SyncAction>), SyncError> {
+    ) -> Result<(SyncResponse, Receiver<NotifyBatch>), SyncError> {
         let resp = self.resync(request, ReSyncControl::persist(cookie))?;
         let c = resp.cookie.expect("persist responses carry a cookie");
         let rx = self.take_receiver(c).ok_or(SyncError::UnknownCookie(c))?;
@@ -723,7 +982,7 @@ impl SyncMaster {
     /// Takes the parked notification receiver of a persist session.
     /// Returns `None` if the session is unknown or the receiver was
     /// already taken.
-    pub fn take_receiver(&mut self, cookie: Cookie) -> Option<Receiver<SyncAction>> {
+    pub fn take_receiver(&mut self, cookie: Cookie) -> Option<Receiver<NotifyBatch>> {
         self.sessions.get_mut(&u64::from(cookie.session()))?.parked_receiver.take()
     }
 
@@ -746,6 +1005,8 @@ impl SyncMaster {
                 dropped += 1;
             }
             s.parked_receiver = None;
+            s.dirty = 0;
+            s.dirty_since_ms = None;
         }
         dropped
     }
@@ -847,6 +1108,8 @@ impl SyncMaster {
                 changed: Vec::new(),
                 notify: None,
                 parked_receiver: None,
+                dirty: 0,
+                dirty_since_ms: None,
                 last_active: self.ops_applied,
                 seq: 0,
                 pending: None,
@@ -859,11 +1122,36 @@ impl SyncMaster {
     }
 }
 
+/// What a session noted about one update's persist-channel handling, so
+/// the master can account wakeups and overflows without the session
+/// holding observability handles.
+#[derive(Debug, Default, Clone, Copy)]
+struct NoteOutcome {
+    /// Immediate-mode batches sent.
+    sent: u32,
+    /// Channels torn down by the queue bound.
+    overflows: u32,
+}
+
+impl NoteOutcome {
+    fn merge(&mut self, other: NoteOutcome) {
+        self.sent += other.sent;
+        self.overflows += other.overflows;
+    }
+}
+
 impl Session {
     /// Handles an entry that now exists at `entry.dn()` (added, modified
     /// or rename target). `id` is the interned id of `entry.dn()`. The
-    /// entry is cloned only when a live persist channel needs the action.
-    fn note_arrival_or_change(&mut self, entry: &Entry, id: u32) {
+    /// entry is cloned only when an immediate-policy persist channel
+    /// needs the action now; coalescing policies queue by id alone.
+    fn note_arrival_or_change(
+        &mut self,
+        entry: &Entry,
+        id: u32,
+        policy: &NotifyPolicy,
+        now_ms: u64,
+    ) -> NoteOutcome {
         let now_in = self.request.matches(entry);
         let was_in = pl_contains(&self.current, id);
         match (was_in, now_in) {
@@ -871,52 +1159,95 @@ impl Session {
                 pl_insert(&mut self.current, id);
                 pl_remove(&mut self.departed, id);
                 pl_insert(&mut self.changed, id);
-                if self.notify.is_some() {
-                    self.push(SyncAction::Add(entry.clone()), id);
-                }
+                self.notify_update(|| SyncAction::Add(entry.clone()), id, policy, now_ms)
             }
             (true, true) => {
                 pl_insert(&mut self.changed, id);
-                if self.notify.is_some() {
-                    self.push(SyncAction::Modify(entry.clone()), id);
-                }
+                self.notify_update(|| SyncAction::Modify(entry.clone()), id, policy, now_ms)
             }
-            (true, false) => self.depart(id, entry.dn()),
-            (false, false) => {}
+            (true, false) => self.depart(id, entry.dn(), policy, now_ms),
+            (false, false) => NoteOutcome::default(),
         }
     }
 
     /// Handles an entry that no longer exists at `dn` (deleted or rename
     /// source). `id` is the interned id of `dn`.
-    fn note_departure(&mut self, id: u32, dn: &Dn) {
+    fn note_departure(
+        &mut self,
+        id: u32,
+        dn: &Dn,
+        policy: &NotifyPolicy,
+        now_ms: u64,
+    ) -> NoteOutcome {
         if pl_contains(&self.current, id) {
-            self.depart(id, dn);
+            self.depart(id, dn, policy, now_ms)
+        } else {
+            NoteOutcome::default()
         }
     }
 
-    fn depart(&mut self, id: u32, dn: &Dn) {
+    fn depart(&mut self, id: u32, dn: &Dn, policy: &NotifyPolicy, now_ms: u64) -> NoteOutcome {
         pl_remove(&mut self.current, id);
         pl_remove(&mut self.changed, id);
         if pl_contains(&self.sent, id) {
             pl_insert(&mut self.departed, id);
         }
-        if self.notify.is_some() {
-            self.push(SyncAction::Delete(dn.clone()), id);
-        }
+        self.notify_update(|| SyncAction::Delete(dn.clone()), id, policy, now_ms)
     }
 
-    /// Streams an action on the persist channel. Callers only construct
-    /// (clone into) the action when `notify` is armed.
-    fn push(&mut self, action: SyncAction, id: u32) {
-        let Some(tx) = &self.notify else { return };
+    /// Records one raw update against the persist channel: an immediate
+    /// policy sends a batch-of-one now (the action is built lazily, so
+    /// nothing is cloned without an armed channel); a coalescing policy
+    /// queues the update for the next flush and enforces the queue bound.
+    fn notify_update(
+        &mut self,
+        action: impl FnOnce() -> SyncAction,
+        id: u32,
+        policy: &NotifyPolicy,
+        now_ms: u64,
+    ) -> NoteOutcome {
+        let mut out = NoteOutcome::default();
+        if self.notify.is_none() {
+            return out;
+        }
+        if !policy.coalesce {
+            out.sent = self.push(action(), id, now_ms);
+            return out;
+        }
+        self.dirty += 1;
+        self.dirty_since_ms.get_or_insert(now_ms);
+        if self.dirty > policy.max_queue {
+            // Backpressure: the consumer is not keeping up. Tear the
+            // channel down — the replica observes the disconnect and
+            // degrades to polling, and the ledger (which holds every
+            // queued update) hands them to that poll.
+            self.notify = None;
+            self.parked_receiver = None;
+            self.dirty = 0;
+            self.dirty_since_ms = None;
+            out.overflows = 1;
+        }
+        out
+    }
+
+    /// Streams a batch-of-one on the persist channel (immediate policy).
+    /// Returns how many batches were sent (0 or 1).
+    fn push(&mut self, action: SyncAction, id: u32, now_ms: u64) -> u32 {
+        let Some(tx) = &self.notify else { return 0 };
         let upsert = matches!(action, SyncAction::Add(_) | SyncAction::Modify(_));
         let delete = matches!(action, SyncAction::Delete(_));
-        if tx.send(action).is_err() {
+        let batch = NotifyBatch {
+            actions: vec![action],
+            coalesced_from: 1,
+            first_enqueued_ms: now_ms,
+            flushed_ms: now_ms,
+        };
+        if tx.send(batch).is_err() {
             // A dropped receiver means the client abandoned the persistent
             // search; stop streaming — the session stays pollable and the
             // untouched poll ledger takes over from here.
             self.notify = None;
-            return;
+            return 0;
         }
         // The notification is in the replica's channel (delivery is the
         // channel's job now), so advance the poll ledger to match: a later
@@ -930,14 +1261,15 @@ impl Session {
             pl_remove(&mut self.sent, id);
             pl_remove(&mut self.departed, id);
         }
+        1
     }
 
-    /// Builds the poll response: adds (current \ sent), modifies
-    /// (changed ∩ current ∩ sent) and deletes (departed), then advances
-    /// the session state. Ids resolve through the master's [`DnTable`];
-    /// each action group is emitted in DN order (ids are assigned in
+    /// Builds the poll/flush batch without touching session state: adds
+    /// (current \ sent), modifies (changed ∩ current ∩ sent) and deletes
+    /// (departed). Ids resolve through the master's [`DnTable`]; each
+    /// action group is emitted in DN order (ids are assigned in
     /// first-touch order, which is not canonical across masters).
-    fn drain_actions(&mut self, dit: &DitStore, table: &DnTable) -> Vec<SyncAction> {
+    fn build_actions(&self, dit: &DitStore, table: &DnTable) -> Vec<SyncAction> {
         let mut actions = Vec::new();
         let mut departed: Vec<&Dn> =
             self.departed.iter().filter_map(|&id| table.dn_of(id)).collect();
@@ -969,9 +1301,22 @@ impl Session {
                 actions.push(SyncAction::Modify(e.clone()));
             }
         }
+        actions
+    }
+
+    /// Advances the session past a delivered batch: the replica now holds
+    /// the current content, and the history intervals restart.
+    fn commit_drain(&mut self) {
         self.sent = self.current.clone();
         self.departed.clear();
         self.changed.clear();
+    }
+
+    /// [`Session::build_actions`] + [`Session::commit_drain`] — the poll
+    /// path, where delivery is the replay buffer's job.
+    fn drain_actions(&mut self, dit: &DitStore, table: &DnTable) -> Vec<SyncAction> {
+        let actions = self.build_actions(dit, table);
+        self.commit_drain();
         actions
     }
 }
@@ -1137,10 +1482,17 @@ mod tests {
         m.apply(UpdateOp::Delete(dn("cn=a,o=xyz"))).unwrap();
         m.apply(UpdateOp::Add(person("z", "9"))).unwrap(); // outside content
 
-        let notes: Vec<SyncAction> = rx.try_iter().collect();
+        // Immediate policy: one wakeup (batch-of-one) per update.
+        let batches: Vec<NotifyBatch> = rx.try_iter().collect();
+        assert_eq!(batches.len(), 2);
+        assert!(batches.iter().all(|b| b.coalesced_from == 1));
+        let notes: Vec<SyncAction> =
+            batches.into_iter().flat_map(|b| b.actions).collect();
         assert_eq!(notes.len(), 2);
         assert!(matches!(&notes[0], SyncAction::Add(e) if e.dn() == &dn("cn=b,o=xyz")));
         assert!(matches!(&notes[1], SyncAction::Delete(d) if *d == dn("cn=a,o=xyz")));
+        assert_eq!(m.notify_wakeups(), 2);
+        assert_eq!(m.notify_updates(), 2);
     }
 
     #[test]
@@ -1481,6 +1833,136 @@ mod tests {
             m.reconcile_ranges(dead, &RangeRequest { probes: vec![] }),
             Err(SyncError::UnknownCookie(dead))
         );
+    }
+
+    #[test]
+    fn coalescing_policy_batches_updates_per_wakeup() {
+        let mut m = master_with(vec![person("a", "7")]);
+        m.set_notify_policy(NotifyPolicy::coalescing(10, 50));
+        let req = dept7();
+        let (resp, rx) = m.resync_persist(&req, None).unwrap();
+        let c = resp.cookie.unwrap();
+
+        // Three updates land inside one flush window; two touch the same
+        // entry (add then modify), so they coalesce into one action.
+        m.advance_to(100);
+        m.apply(UpdateOp::Add(person("b", "7"))).unwrap();
+        m.apply(UpdateOp::Modify {
+            dn: dn("cn=b,o=xyz"),
+            mods: vec![Modification::Replace("mail".into(), vec!["b@x".into()])],
+        })
+        .unwrap();
+        m.apply(UpdateOp::Add(person("c", "7"))).unwrap();
+
+        // Nothing sent yet: the queue is below max_batch and the delay
+        // has not elapsed.
+        assert!(rx.try_recv().is_err());
+        m.advance_to(120);
+        assert!(m.flush_notifications(false).is_empty(), "not due at 20ms of 50ms");
+
+        m.advance_to(151);
+        let flushes = m.flush_notifications(false);
+        assert_eq!(flushes.len(), 1);
+        assert_eq!(flushes[0].coalesced_from, 3);
+        assert_eq!(flushes[0].first_enqueued_ms, 100);
+
+        let batch = rx.try_recv().unwrap();
+        assert_eq!(batch.coalesced_from, 3);
+        assert_eq!(batch.first_enqueued_ms, 100);
+        assert_eq!(batch.flushed_ms, 151);
+        // Two adds (b carries its modify folded in), one wakeup for three
+        // raw updates.
+        assert_eq!(batch.actions.len(), 2);
+        assert!(batch.actions.iter().all(|a| matches!(a, SyncAction::Add(_))));
+        assert!(batch.actions.iter().any(
+            |a| matches!(a, SyncAction::Add(e) if e.has_value(&"mail".into(), &"b@x".into()))
+        ));
+        assert_eq!(m.notify_wakeups(), 1);
+        assert_eq!(m.notify_updates(), 3);
+
+        // A later poll must not re-send what the flush delivered.
+        let resp = m.resync(&req, ReSyncControl::poll(Some(c))).unwrap();
+        assert!(resp.actions.is_empty(), "flush advanced the poll ledger: {:?}", resp.actions);
+    }
+
+    #[test]
+    fn coalescing_max_batch_makes_flush_due_without_delay() {
+        let mut m = master_with(vec![]);
+        m.set_notify_policy(NotifyPolicy::coalescing(2, 1_000_000));
+        let req = dept7();
+        let (_, rx) = m.resync_persist(&req, None).unwrap();
+        m.apply(UpdateOp::Add(person("a", "7"))).unwrap();
+        assert!(m.flush_notifications(false).is_empty(), "1 of 2 queued");
+        m.apply(UpdateOp::Add(person("b", "7"))).unwrap();
+        let flushes = m.flush_notifications(false);
+        assert_eq!(flushes.len(), 1);
+        assert_eq!(flushes[0].coalesced_from, 2);
+        assert_eq!(rx.try_recv().unwrap().actions.len(), 2);
+    }
+
+    #[test]
+    fn cancelled_updates_flush_without_a_wakeup() {
+        let mut m = master_with(vec![]);
+        m.set_notify_policy(NotifyPolicy::coalescing(1, 0));
+        let req = dept7();
+        let (_, rx) = m.resync_persist(&req, None).unwrap();
+        // An entry arrives and departs inside one flush window: the
+        // replica never needs to know, so no wakeup is spent.
+        m.apply(UpdateOp::Add(person("x", "7"))).unwrap();
+        m.apply(UpdateOp::Delete(dn("cn=x,o=xyz"))).unwrap();
+        assert!(m.flush_notifications(true).is_empty());
+        assert!(rx.try_recv().is_err());
+        assert_eq!(m.notify_wakeups(), 0);
+    }
+
+    #[test]
+    fn notify_queue_overflow_tears_down_channel_but_keeps_ledger() {
+        let mut m = master_with(vec![]);
+        m.set_notify_policy(NotifyPolicy::coalescing(100, 1_000_000).with_max_queue(3));
+        let req = dept7();
+        let (resp, rx) = m.resync_persist(&req, None).unwrap();
+        let c = resp.cookie.unwrap();
+        for i in 0..5 {
+            m.apply(UpdateOp::Add(person(&format!("p{i}"), "7"))).unwrap();
+        }
+        // The 4th queued update breached the bound: channel torn down.
+        assert_eq!(m.notify_overflows(), 1);
+        assert!(matches!(
+            rx.try_recv(),
+            Err(crossbeam::channel::TryRecvError::Disconnected)
+        ));
+        assert!(m.flush_notifications(true).is_empty());
+        // Nothing lost: the poll ledger delivers all five entries.
+        let resp = m.resync(&req, ReSyncControl::poll(Some(c))).unwrap();
+        assert_eq!(resp.actions.len(), 5);
+    }
+
+    #[test]
+    fn flush_to_dropped_receiver_preserves_ledger_for_polls() {
+        let mut m = master_with(vec![]);
+        m.set_notify_policy(NotifyPolicy::coalescing(1, 0));
+        let req = dept7();
+        let (resp, rx) = m.resync_persist(&req, None).unwrap();
+        let c = resp.cookie.unwrap();
+        m.apply(UpdateOp::Add(person("a", "7"))).unwrap();
+        drop(rx);
+        // The flush observes the disconnect and must not consume the
+        // ledger: the add still reaches the replica through its poll.
+        assert!(m.flush_notifications(true).is_empty());
+        assert_eq!(m.notify_wakeups(), 0);
+        let resp = m.resync(&req, ReSyncControl::poll(Some(c))).unwrap();
+        assert_eq!(resp.actions.len(), 1);
+    }
+
+    #[test]
+    fn immediate_policy_is_unaffected_by_flush_calls() {
+        let mut m = master_with(vec![person("a", "7")]);
+        let req = dept7();
+        let (_, rx) = m.resync_persist(&req, None).unwrap();
+        m.apply(UpdateOp::Add(person("b", "7"))).unwrap();
+        // Immediate mode queues nothing, so flushing finds nothing.
+        assert!(m.flush_notifications(true).is_empty());
+        assert_eq!(rx.try_iter().count(), 1);
     }
 
     #[test]

@@ -127,6 +127,45 @@ impl fmt::Display for SyncAction {
     }
 }
 
+/// One persist-mode notification wakeup: every action the master had
+/// queued for the session at flush time, coalesced per DN by the session
+/// ledger.
+///
+/// A persist channel carries `NotifyBatch` messages, one per wakeup —
+/// never bare actions — so receiving a message *is* the wakeup and the
+/// amplification ratio `coalesced_from / 1` is directly observable at the
+/// replica. Under the immediate flush policy each batch carries exactly
+/// one update's actions (`coalesced_from == 1`), reproducing the original
+/// one-notification-per-update behavior.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NotifyBatch {
+    /// Actions to apply, coalesced per DN (deletes, then adds, then
+    /// modifies, each group in DN order — the same shape as a poll batch).
+    pub actions: Vec<SyncAction>,
+    /// How many raw master updates this batch coalesces. At least 1; a
+    /// value above `actions.len()` means several updates to the same DN
+    /// collapsed into one action.
+    pub coalesced_from: u64,
+    /// Master time (ms) when the oldest update in this batch landed — the
+    /// batch's staleness floor: `delivery_time - first_enqueued_ms` is the
+    /// worst answer staleness any entry in the batch experienced.
+    pub first_enqueued_ms: u64,
+    /// Master time (ms) when the batch was flushed into the channel.
+    pub flushed_ms: u64,
+}
+
+impl NotifyBatch {
+    /// Aggregated traffic cost of this batch (same accounting as
+    /// [`SyncResponse::traffic`]).
+    pub fn traffic(&self) -> SyncTraffic {
+        let mut t = SyncTraffic::default();
+        for a in &self.actions {
+            t.count(a);
+        }
+        t
+    }
+}
+
 /// Response to a ReSync request: the update actions plus, in poll mode,
 /// the cookie to resume the session.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

@@ -19,7 +19,10 @@
 //! fresh updates.
 
 use crate::driver::{Clock, DriverStats, RetryConfig, SyncDriver, SyncTransport, SystemClock};
-use crate::protocol::{Cookie, ReSyncControl, SyncAction, SyncError, SyncResponse, SyncTraffic};
+use crate::master::{NotifyFlush, NotifyPolicy};
+use crate::protocol::{
+    Cookie, NotifyBatch, ReSyncControl, SyncAction, SyncError, SyncResponse, SyncTraffic,
+};
 use crate::reconcile::{
     RangeRequest, RangeResponse, ReconcileConfig, ReconcileItem, ReconcileRequest,
     ReconcileResponse,
@@ -29,6 +32,7 @@ use crossbeam::channel::Receiver;
 use fbdr_dit::{ChangeRecord, DitError, UpdateOp};
 use fbdr_ldap::{Dn, Entry, SearchRequest};
 use fbdr_net::{ShardId, ShardMap};
+use fbdr_obs::Obs;
 use serde::{Deserialize, Serialize};
 
 // ----------------------------------------------------------------------
@@ -256,6 +260,63 @@ impl ShardedMaster {
     pub fn session_count(&self) -> usize {
         self.shards.iter().map(SyncMaster::session_count).sum()
     }
+
+    /// Drops every shard's live persist channels (e.g. a network
+    /// disconnect hitting the whole deployment). Returns the number of
+    /// channels dropped across all shards; sessions stay pollable.
+    pub fn drop_persist_channels(&mut self) -> usize {
+        self.shards.iter_mut().map(SyncMaster::drop_persist_channels).sum()
+    }
+
+    /// Sets the persist-mode notification policy on every shard.
+    pub fn set_notify_policy(&mut self, policy: NotifyPolicy) {
+        for shard in &mut self.shards {
+            shard.set_notify_policy(policy);
+        }
+    }
+
+    /// Attaches one observability handle to every shard: counters and
+    /// histograms from all shards aggregate into the same registry.
+    pub fn set_obs(&mut self, obs: Obs) {
+        for shard in &mut self.shards {
+            shard.set_obs(obs.clone());
+        }
+    }
+
+    /// Advances every shard's notification clock to `now_ms` (monotonic).
+    pub fn advance_to(&mut self, now_ms: u64) {
+        for shard in &mut self.shards {
+            shard.advance_to(now_ms);
+        }
+    }
+
+    /// Flushes due coalesced notifications on every shard (see
+    /// [`SyncMaster::flush_notifications`]). Returns one record per
+    /// wakeup, tagged with the shard it fired on, in shard order.
+    pub fn flush_notifications(&mut self, force: bool) -> Vec<(ShardId, NotifyFlush)> {
+        let mut out = Vec::new();
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            let id = ShardId::new(i as u16);
+            out.extend(shard.flush_notifications(force).into_iter().map(|f| (id, f)));
+        }
+        out
+    }
+
+    /// Total persist-mode wakeups sent across all shards.
+    pub fn notify_wakeups(&self) -> u64 {
+        self.shards.iter().map(SyncMaster::notify_wakeups).sum()
+    }
+
+    /// Total raw updates carried by those wakeups across all shards.
+    pub fn notify_updates(&self) -> u64 {
+        self.shards.iter().map(SyncMaster::notify_updates).sum()
+    }
+
+    /// Total notification-queue overflows (channel teardowns) across all
+    /// shards.
+    pub fn notify_overflows(&self) -> u64 {
+        self.shards.iter().map(SyncMaster::notify_overflows).sum()
+    }
 }
 
 impl SyncTransport for ShardedMaster {
@@ -268,7 +329,7 @@ impl SyncTransport for ShardedMaster {
         self.shards[shard.index()].resync(request, ctl)
     }
 
-    fn take_receiver(&mut self, _cookie: Cookie) -> Option<Receiver<SyncAction>> {
+    fn take_receiver(&mut self, _cookie: Cookie) -> Option<Receiver<NotifyBatch>> {
         // A bare cookie does not identify a shard; see the type docs.
         None
     }
@@ -310,7 +371,7 @@ impl SyncTransport for ShardedMaster {
         self.shards[shard.index()].resync(request, ctl)
     }
 
-    fn take_receiver_at(&mut self, shard: ShardId, cookie: Cookie) -> Option<Receiver<SyncAction>> {
+    fn take_receiver_at(&mut self, shard: ShardId, cookie: Cookie) -> Option<Receiver<NotifyBatch>> {
         self.shards[shard.index()].take_receiver(cookie)
     }
 

@@ -131,8 +131,8 @@ proptest! {
         for o in &ops {
             apply(&mut m, o);
         }
-        for action in rx.try_iter() {
-            replica.apply(&action);
+        for batch in rx.try_iter() {
+            replica.apply_all(&batch.actions);
         }
         assert_converged(&m, &req, &replica);
     }

@@ -81,7 +81,7 @@ fn figure3_session() {
         new_superior: None,
     })
     .unwrap();
-    let notes: Vec<SyncAction> = rx.try_iter().collect();
+    let notes: Vec<SyncAction> = rx.try_iter().flat_map(|b| b.actions).collect();
     let mut note_lines: Vec<String> = notes.iter().map(|a| a.to_string()).collect();
     note_lines.sort();
     assert_eq!(note_lines, ["cn=E3,o=xyz, delete", "cn=E5,o=xyz, add"]);

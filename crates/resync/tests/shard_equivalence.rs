@@ -13,7 +13,7 @@ use fbdr_resync::reconcile::{RangeRequest, RangeResponse, ReconcileRequest, Reco
 use fbdr_resync::{
     CompositeCookie, Cookie, ReSyncControl, ReconcileConfig, ReconcileItem, ReplicaContent,
     RetryConfig, ShardContent, ShardCoordinator, ShardId, ShardMap, ShardStatus, ShardedMaster,
-    SyncAction, SyncError, SyncMaster, SyncResponse, SyncTransport,
+    NotifyBatch, SyncError, SyncMaster, SyncResponse, SyncTransport,
 };
 use proptest::prelude::*;
 
@@ -274,7 +274,7 @@ impl SyncTransport for PartitionedShard {
     ) -> Result<SyncResponse, SyncError> {
         self.inner.resync(request, ctl)
     }
-    fn take_receiver(&mut self, cookie: Cookie) -> Option<Receiver<SyncAction>> {
+    fn take_receiver(&mut self, cookie: Cookie) -> Option<Receiver<NotifyBatch>> {
         self.inner.take_receiver(cookie)
     }
     fn abandon(&mut self, cookie: Cookie) {
@@ -294,7 +294,7 @@ impl SyncTransport for PartitionedShard {
         }
         self.inner.resync_at(shard, request, ctl)
     }
-    fn take_receiver_at(&mut self, shard: ShardId, cookie: Cookie) -> Option<Receiver<SyncAction>> {
+    fn take_receiver_at(&mut self, shard: ShardId, cookie: Cookie) -> Option<Receiver<NotifyBatch>> {
         self.inner.take_receiver_at(shard, cookie)
     }
     fn abandon_at(&mut self, shard: ShardId, cookie: Cookie) {

@@ -1,0 +1,144 @@
+//! The small-fleet equivalence check the simulator's credibility rests
+//! on: event-driven delivery (coalesced batches, per-link latency, FIFO
+//! clamping) must leave every replica holding exactly the content a
+//! synchronous driver gets by draining its persist channel after every
+//! single update.
+//!
+//! The twin master is built with the simulator's documented topology
+//! (`c=s{c},o=xyz` per shard, `cn=e{i},...` entries cycling through
+//! departments) and replays [`FleetSim::ops`] in index order — valid
+//! because a steady workload gives every op a distinct timestamp, so the
+//! event scheduler cannot reorder them.
+
+use fbdr_ldap::{Entry, Filter, Scope, SearchRequest};
+use fbdr_resync::{
+    NotifyPolicy, ReSyncControl, ReplicaContent, ShardId, ShardMap, ShardedMaster, SyncTransport,
+};
+use fbdr_sim::{FleetConfig, FleetSim, Workload};
+
+fn country_dn(c: usize) -> fbdr_ldap::Dn {
+    format!("c=s{c},o=xyz").parse().unwrap()
+}
+
+/// A synchronous twin of the sim's fleet: same topology, same sessions,
+/// but every update is followed by an immediate full drain — the
+/// synchronous driver's delivery model.
+struct SyncTwin {
+    master: ShardedMaster,
+    /// One persist session per (country, dept): receiver + content.
+    groups: Vec<(ShardId, crossbeam::channel::Receiver<fbdr_resync::NotifyBatch>, ReplicaContent)>,
+    depts: usize,
+}
+
+impl SyncTwin {
+    fn new(cfg: &FleetConfig) -> Self {
+        let mut map = ShardMap::new(ShardId::ZERO);
+        for c in 0..cfg.shards {
+            map.assign(country_dn(c), ShardId::new(c as u16));
+        }
+        let mut master = ShardedMaster::new(map);
+        for c in 0..cfg.shards {
+            let dit = master.shard_mut(ShardId::new(c as u16)).dit_mut();
+            dit.add_suffix("o=xyz".parse().unwrap());
+            dit.add(Entry::new("o=xyz".parse().unwrap())).unwrap();
+            dit.add(Entry::new(country_dn(c)).with("objectclass", "country")).unwrap();
+            for i in 0..cfg.entries_per_shard {
+                dit.add(
+                    Entry::new(format!("cn=e{i},c=s{c},o=xyz").parse().unwrap())
+                        .with("objectclass", "person")
+                        .with("cn", &format!("e{i}"))
+                        .with("dept", &(i % cfg.depts).to_string()),
+                )
+                .unwrap();
+            }
+        }
+        master.set_notify_policy(NotifyPolicy::immediate());
+        let mut groups = Vec::new();
+        for c in 0..cfg.shards {
+            for d in 0..cfg.depts {
+                let shard = ShardId::new(c as u16);
+                let req = SearchRequest::new(
+                    country_dn(c),
+                    Scope::Subtree,
+                    Filter::parse(&format!("(dept={d})")).unwrap(),
+                );
+                let resp = master.resync_at(shard, &req, ReSyncControl::persist(None)).unwrap();
+                let rx = master.take_receiver_at(shard, resp.cookie.unwrap()).unwrap();
+                let mut content = ReplicaContent::new();
+                content.apply_all(&resp.actions);
+                groups.push((shard, rx, content));
+            }
+        }
+        SyncTwin { master, groups, depts: cfg.depts }
+    }
+
+    /// Applies one op and synchronously drains every session's channel.
+    fn apply(&mut self, op: fbdr_dit::UpdateOp) {
+        self.master.apply(op).unwrap();
+        for (_, rx, content) in &mut self.groups {
+            for batch in rx.try_iter() {
+                content.apply_all(&batch.actions);
+            }
+        }
+    }
+
+    fn content_of(&self, c: usize, d: usize) -> &ReplicaContent {
+        &self.groups[c * self.depts + d].2
+    }
+}
+
+#[test]
+fn simulated_delivery_matches_the_synchronous_driver_entry_for_entry() {
+    let mut cfg = FleetConfig::small(24, 13).coalesced(16, 30);
+    cfg.updates = 120;
+    cfg.workload = Workload::Steady { interval_ms: 7 }; // distinct op times
+    let sim = FleetSim::new(cfg);
+
+    let mut twin = SyncTwin::new(&cfg);
+    for op in sim.ops().to_vec() {
+        twin.apply(op);
+    }
+
+    let (report, contents) = sim.run_with_contents();
+    assert_eq!(report.diverged, 0);
+    assert!(report.wakeups > 0);
+
+    for (r, content) in contents.iter().enumerate() {
+        let c = r % cfg.shards;
+        let d = (r / cfg.shards) % cfg.depts;
+        let want = twin.content_of(c, d);
+        assert_eq!(
+            content.sorted_dns(),
+            want.sorted_dns(),
+            "replica {r} (country {c}, dept {d}) holds a different entry set"
+        );
+        // Entry-for-entry: every attribute of every entry must match.
+        for dn_str in content.sorted_dns() {
+            let dn: fbdr_ldap::Dn = dn_str.parse().unwrap();
+            let got = content.get(&dn).expect("listed DN is present");
+            let exp = want.get(&dn).expect("listed DN is present in the twin");
+            assert_eq!(got, exp, "replica {r}: entry {dn_str} differs from synchronous delivery");
+        }
+    }
+}
+
+#[test]
+fn per_update_wakeups_also_match_the_synchronous_driver() {
+    // The degenerate coalescing policy (batch of 1, no delay) must be
+    // behaviourally identical to the synchronous driver too.
+    let mut cfg = FleetConfig::small(16, 21);
+    cfg.updates = 80;
+    cfg.workload = Workload::Steady { interval_ms: 5 };
+    let sim = FleetSim::new(cfg);
+    let mut twin = SyncTwin::new(&cfg);
+    for op in sim.ops().to_vec() {
+        twin.apply(op);
+    }
+    let (report, contents) = sim.run_with_contents();
+    assert_eq!(report.diverged, 0);
+    for (r, content) in contents.iter().enumerate() {
+        let c = r % cfg.shards;
+        let d = (r / cfg.shards) % cfg.depts;
+        assert_eq!(content.sorted_dns(), twin.content_of(c, d).sorted_dns());
+    }
+}

@@ -71,9 +71,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         new_rdn: Rdn::new("cn", "E5"),
         new_superior: None,
     })?;
-    for a in notifications.try_iter() {
-        println!("master -> client: {a}");
-        replica.apply(&a);
+    for batch in notifications.try_iter() {
+        for a in &batch.actions {
+            println!("master -> client: {a}");
+            replica.apply(a);
+        }
     }
 
     println!("client -> master: abandon\n");

@@ -144,7 +144,7 @@ fn figure3_session_through_facade() {
 
     let (_, rx) = m.resync_persist(&s, Some(cookie)).expect("persist");
     m.apply(UpdateOp::Add(Entry::new(dn("cn=E9,o=xyz")).with("dept", "7"))).expect("add");
-    let notes: Vec<SyncAction> = rx.try_iter().collect();
+    let notes: Vec<SyncAction> = rx.try_iter().flat_map(|b| b.actions).collect();
     assert_eq!(notes.len(), 1);
     assert!(matches!(&notes[0], SyncAction::Add(e) if e.dn() == &dn("cn=E9,o=xyz")));
 }
