@@ -1,0 +1,137 @@
+//! `soak` — long-run memory/throughput soak for the GC'd master fleet.
+//!
+//! ```text
+//! soak [--shards N] [--countries N] [--entries N] [--sessions N]
+//!      [--dead-sessions N] [--updates N] [--window N] [--poll-every N]
+//!      [--segments N] [--sample-every N] [--gc-every N]
+//!      [--deadline MS] [--seed N] [--flat-ceiling X]
+//!      [--sustain-floor X] [--out PATH]
+//! ```
+//!
+//! Drives 10× chaos-suite churn through two identical sharded fleets —
+//! one with causal-stability GC, one with collection disabled — over
+//! the same seeded op stream, then writes `BENCH_soak.json`. Exits
+//! non-zero if the GC arm's deterministic memory high-water creeps past
+//! `--flat-ceiling` (default 1.10×) of its post-warmup baseline, if the
+//! un-GC'd ablation arm's footprint fails to grow monotonically, if the
+//! GC arm's last-segment throughput falls below `--sustain-floor`
+//! (default 0.9×) of its first decile, or if the arms ever disagree on
+//! a poll response or the final content.
+
+use fbdr_bench::soak::{run, SoakConfig};
+
+fn usage(msg: &str) -> ! {
+    eprintln!("soak: {msg} (try --help)");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = SoakConfig::default();
+    let mut out = String::from("BENCH_soak.json");
+    let mut flat_ceiling = 1.10f64;
+    let mut sustain_floor = 0.9f64;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        let mut num = |flag: &str| -> u64 {
+            it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                usage(&format!("{flag} takes a number"));
+            })
+        };
+        match a.as_str() {
+            "--shards" => cfg.shards = num("--shards") as usize,
+            "--countries" => cfg.countries = num("--countries") as usize,
+            "--entries" => cfg.entries_per_country = num("--entries") as usize,
+            "--sessions" => cfg.sessions = num("--sessions") as usize,
+            "--dead-sessions" => cfg.dead_sessions = num("--dead-sessions") as usize,
+            "--updates" => cfg.updates = num("--updates") as usize,
+            "--window" => cfg.window = num("--window") as usize,
+            "--poll-every" => cfg.poll_every = num("--poll-every") as usize,
+            "--segments" => cfg.segments = num("--segments") as usize,
+            "--sample-every" => cfg.sample_every = num("--sample-every") as usize,
+            "--gc-every" => cfg.gc_every_ops = num("--gc-every"),
+            "--deadline" => cfg.session_deadline_ms = num("--deadline"),
+            "--seed" => cfg.seed = num("--seed"),
+            "--flat-ceiling" => {
+                flat_ceiling = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--flat-ceiling takes a number"));
+            }
+            "--sustain-floor" => {
+                sustain_floor = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--sustain-floor takes a number"));
+            }
+            "--out" => out = it.next().unwrap_or_else(|| usage("--out takes a path")),
+            "--help" | "-h" => {
+                println!(
+                    "usage: soak [--shards N] [--countries N] [--entries N] [--sessions N] \
+                     [--dead-sessions N] [--updates N] [--window N] [--poll-every N] \
+                     [--segments N] [--sample-every N] [--gc-every N] [--deadline MS] \
+                     [--seed N] [--flat-ceiling X] [--sustain-floor X] [--out PATH]"
+                );
+                return;
+            }
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let report = run(&cfg);
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+
+    println!(
+        "# soak — {} shards, {} sessions (+{} dead), {} steps, window {}",
+        report.shards, report.sessions, report.dead_sessions, report.updates, report.window,
+    );
+    for (i, s) in report.segments.iter().enumerate() {
+        println!(
+            "  seg {i}: gc {:>9} B  ablation {:>9} B  gc {:>8.0} ops/s",
+            s.gc_high_water_bytes, s.ablation_high_water_bytes, s.gc_ops_per_sec,
+        );
+    }
+    println!(
+        "  gc high-water ratio {:.3} (baseline {} B, peak {} B)  ablation growth {:.1}x  \
+         sustain {:.2}  evicted {}  recycled {}",
+        report.gc_high_water_ratio,
+        report.gc_baseline_bytes,
+        report.gc_peak_bytes,
+        report.ablation_growth_x,
+        report.throughput_sustain_ratio,
+        report.sessions_evicted,
+        report.ids_recycled,
+    );
+
+    let mut failed = false;
+    if !report.arms_equal {
+        eprintln!("FAIL: GC arm diverged from the un-GC'd arm");
+        failed = true;
+    }
+    if report.gc_high_water_ratio > flat_ceiling {
+        eprintln!(
+            "FAIL: gc arm memory crept {:.3}x over its post-warmup baseline (ceiling {flat_ceiling}x)",
+            report.gc_high_water_ratio
+        );
+        failed = true;
+    }
+    if !report.ablation_monotonic {
+        eprintln!("FAIL: ablation arm footprint is not monotonic — the soak generated no garbage");
+        failed = true;
+    }
+    if report.throughput_sustain_ratio < sustain_floor {
+        eprintln!(
+            "FAIL: gc arm throughput decayed to {:.2}x of its first decile (floor {sustain_floor}x)",
+            report.throughput_sustain_ratio
+        );
+        failed = true;
+    }
+    println!("  wrote {out}");
+    if failed {
+        std::process::exit(1);
+    }
+}

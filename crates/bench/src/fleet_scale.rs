@@ -121,6 +121,7 @@ fn fleet_config(cfg: &FleetScaleConfig, workload: Workload, policy: NotifyPolicy
         flush_interval_ms: cfg.flush_interval_ms,
         link: cfg.link,
         link_drop_per_mille: 0,
+        gc_every_ms: 0,
         seed: cfg.seed,
     }
 }

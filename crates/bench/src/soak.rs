@@ -1,0 +1,562 @@
+//! Long-run soak benchmark: bounded memory and sustained throughput for
+//! a GC'd sharded master fleet under 10× the chaos-suite's churn. Emits
+//! `BENCH_soak.json`.
+//!
+//! Two arms run the *identical* seeded op stream in lockstep against
+//! identical fleets:
+//!
+//! * **gc** — causal-stability GC on (periodic collection, a session
+//!   eviction deadline, replay expiry at the master default);
+//! * **ablation** — [`GcConfig::disabled()`]: nothing is ever reclaimed.
+//!
+//! The workload is the chaos suite's shape scaled up: base entries
+//! toggle across the filter boundary while a rolling window of *fresh*
+//! DNs is added in-filter and deleted a few steps later, so departed
+//! posting lists, replay buffers and retired interner slots all accrue
+//! garbage continuously. A fleet of live poll sessions acks on a fixed
+//! cadence (advancing the stability watermark); a few **dead** sessions
+//! install and never poll again — the gc arm evicts them at the
+//! deadline, the ablation arm lets them pin memory forever, which is
+//! what makes its footprint provably monotonic.
+//!
+//! Memory is measured with the master's own deterministic byte
+//! accounting ([`fbdr_resync::MasterFootprint`]) — no allocator stats —
+//! so the per-segment high-water series is reproducible for a seed.
+//! Throughput is wall-clock and therefore not byte-stable, but the
+//! *ratios* the gates check (flatness, monotonicity, sustain) are
+//! robust to host speed.
+//!
+//! Before any number is reported, the harness asserts the two arms are
+//! observationally identical for live sessions: every poll (and every
+//! duplicate-cookie redelivery probe) must return byte-for-byte equal
+//! responses, and the final directory content must match entry for
+//! entry. A GC that changed an answer would panic here, not ship a
+//! pretty graph.
+
+use fbdr_dit::{DitStore, Modification, UpdateOp};
+use fbdr_ldap::{Dn, Entry, Filter, Scope, SearchRequest};
+use fbdr_obs::Obs;
+use fbdr_resync::{
+    Cookie, GcConfig, ReSyncControl, ShardId, ShardMap, ShardedMaster, SyncMaster,
+};
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+/// Benchmark configuration.
+#[derive(Debug, Clone)]
+pub struct SoakConfig {
+    /// Sync-master shards (one or more countries each).
+    pub shards: usize,
+    /// Country containers (partition grain; ≥ `shards`).
+    pub countries: usize,
+    /// Long-lived base entries per country, toggling across the filter
+    /// boundary.
+    pub entries_per_country: usize,
+    /// Live poll sessions (spread round-robin across countries).
+    pub sessions: usize,
+    /// Sessions that install and then never poll again — eviction bait
+    /// for the gc arm, a memory pin for the ablation arm.
+    pub dead_sessions: usize,
+    /// Soak steps; each step applies one base-churn op plus one
+    /// fresh-DN add (and, past the window, one fresh-DN delete).
+    pub updates: usize,
+    /// Fresh churn DNs alive at once before deletion catches up.
+    pub window: usize,
+    /// Each live session polls every this many steps.
+    pub poll_every: usize,
+    /// Every n-th poll also re-sends the same cookie — a redelivery
+    /// probe through the replay buffer, compared across arms.
+    pub redeliver_every: usize,
+    /// Segments the run is cut into for high-water / throughput series.
+    pub segments: usize,
+    /// Footprint sample cadence, steps. Byte accounting walks the
+    /// interner, so per-step sampling would be quadratic on the
+    /// ablation arm.
+    pub sample_every: usize,
+    /// gc arm: collect every this many applied ops per shard.
+    pub gc_every_ops: u64,
+    /// gc arm: evict sessions idle longer than this (simulated ms; the
+    /// clock advances 1 ms per step).
+    pub session_deadline_ms: u64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for SoakConfig {
+    fn default() -> Self {
+        SoakConfig {
+            shards: 4,
+            countries: 4,
+            entries_per_country: 50,
+            sessions: 32,
+            dead_sessions: 8,
+            // 10× the chaos suite's total churn (100 seeds × 40 updates).
+            updates: 40_000,
+            window: 256,
+            poll_every: 16,
+            redeliver_every: 7,
+            segments: 10,
+            sample_every: 64,
+            gc_every_ops: 256,
+            session_deadline_ms: 2_000,
+            seed: 42,
+        }
+    }
+}
+
+/// One segment's samples, both arms.
+#[derive(Debug, Clone, Serialize)]
+pub struct SoakSegment {
+    /// Steps covered by this segment.
+    pub steps: usize,
+    /// gc arm deterministic footprint high-water, bytes.
+    pub gc_high_water_bytes: usize,
+    /// ablation arm deterministic footprint high-water, bytes.
+    pub ablation_high_water_bytes: usize,
+    /// gc arm throughput over the segment, steps/s (wall clock).
+    pub gc_ops_per_sec: f64,
+    /// ablation arm throughput over the segment, steps/s (wall clock).
+    pub ablation_ops_per_sec: f64,
+}
+
+/// The emitted `BENCH_soak.json` document.
+#[derive(Debug, Clone, Serialize)]
+pub struct SoakReport {
+    /// Shards in the fleet.
+    pub shards: usize,
+    /// Country containers.
+    pub countries: usize,
+    /// Base entries per country.
+    pub entries_per_country: usize,
+    /// Live poll sessions.
+    pub sessions: usize,
+    /// Never-polling sessions.
+    pub dead_sessions: usize,
+    /// Soak steps.
+    pub updates: usize,
+    /// Fresh-DN window.
+    pub window: usize,
+    /// Poll cadence, steps.
+    pub poll_every: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Per-segment high-water and throughput series.
+    pub segments: Vec<SoakSegment>,
+    /// gc arm post-warmup baseline (segment 1 high-water), bytes.
+    pub gc_baseline_bytes: usize,
+    /// gc arm worst high-water after warmup, bytes.
+    pub gc_peak_bytes: usize,
+    /// `gc_peak_bytes / gc_baseline_bytes` — the flatness headline.
+    pub gc_high_water_ratio: f64,
+    /// Did the gc arm stay within 1.10× of its post-warmup baseline?
+    pub gc_flat: bool,
+    /// `ablation last-segment / first-segment` high-water.
+    pub ablation_growth_x: f64,
+    /// Was the ablation arm's high-water series non-decreasing?
+    pub ablation_monotonic: bool,
+    /// gc arm first post-warmup segment throughput, steps/s. Segment 0
+    /// is warmup for throughput exactly as it is for memory: the churn
+    /// window is still filling (fewer ops per step) and every table is
+    /// at cold-start size, so it runs unrepresentatively fast.
+    pub gc_first_decile_ops_per_sec: f64,
+    /// gc arm last-segment throughput, steps/s.
+    pub gc_last_segment_ops_per_sec: f64,
+    /// `last / first-decile` — the sustain headline.
+    pub throughput_sustain_ratio: f64,
+    /// Polls compared byte-for-byte across arms (incl. redeliveries).
+    pub polls_compared: usize,
+    /// Every compared poll and the final content matched across arms.
+    pub arms_equal: bool,
+    /// gc arm: sessions the deadline evicted.
+    pub sessions_evicted: usize,
+    /// gc arm: interned ids released back to the free lists.
+    pub ids_recycled: usize,
+    /// gc arm: final op-count distance to the stability watermark.
+    pub final_stability_lag: u64,
+    /// gc arm final footprint, bytes.
+    pub gc_final_bytes: usize,
+    /// ablation arm final footprint, bytes.
+    pub ablation_final_bytes: usize,
+}
+
+fn country_dn(c: usize) -> Dn {
+    format!("c=s{c},o=xyz").parse().expect("dn")
+}
+
+fn base_dn(i: usize, countries: usize) -> Dn {
+    format!("cn=e{i},c=s{},o=xyz", i % countries).parse().expect("dn")
+}
+
+fn churn_dn(k: usize, countries: usize) -> Dn {
+    format!("cn=churn{k},c=s{},o=xyz", k % countries).parse().expect("dn")
+}
+
+/// Serial inside the replicated filter region (`04*`) or outside it —
+/// the chaos suite's boundary convention.
+fn serial(in_filter: bool, n: usize) -> String {
+    if in_filter {
+        format!("04{n:06}")
+    } else {
+        format!("99{n:06}")
+    }
+}
+
+fn map_for(cfg: &SoakConfig) -> ShardMap {
+    let mut map = ShardMap::new(ShardId::ZERO);
+    for c in 0..cfg.countries {
+        map.assign(
+            country_dn(c),
+            ShardId::new(u16::try_from(c % cfg.shards).expect("shard id fits")),
+        );
+    }
+    map
+}
+
+fn build_fleet(cfg: &SoakConfig, map: &ShardMap) -> ShardedMaster {
+    let mut dits: Vec<DitStore> = (0..cfg.shards)
+        .map(|_| {
+            let mut dit = DitStore::new();
+            dit.add_suffix("o=xyz".parse().expect("dn"));
+            dit.add(Entry::new("o=xyz".parse().expect("dn")).with("objectclass", "organization"))
+                .expect("fresh store");
+            dit
+        })
+        .collect();
+    for c in 0..cfg.countries {
+        let shard = map.shard_of(&country_dn(c));
+        dits[shard.index()]
+            .add(Entry::new(country_dn(c)).with("objectclass", "country"))
+            .expect("country entry");
+    }
+    for i in 0..cfg.countries * cfg.entries_per_country {
+        let shard = map.shard_of(&base_dn(i, cfg.countries));
+        dits[shard.index()]
+            .add(
+                Entry::new(base_dn(i, cfg.countries))
+                    .with("objectclass", "person")
+                    .with("serialNumber", &serial(i % 2 == 0, i)),
+            )
+            .expect("person entry");
+    }
+    ShardedMaster::from_masters(map.clone(), dits.into_iter().map(SyncMaster::with_dit).collect())
+}
+
+/// Session `s` watches the in-filter region of one country's subtree.
+fn session_request(s: usize, countries: usize) -> SearchRequest {
+    SearchRequest::new(
+        country_dn(s % countries),
+        Scope::Subtree,
+        Filter::parse("(serialNumber=04*)").expect("filter"),
+    )
+}
+
+/// Deterministic workload stream — splitmix64, the repo's usual seeding
+/// primitive, kept local so the bench has no RNG dependency.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One arm: a fleet plus its session cookies and per-segment clocks.
+struct Arm {
+    fleet: ShardedMaster,
+    /// Aggregated counters across the arm's shards (GC totals live here).
+    obs: Obs,
+    /// Live-session cookies, indexed by session.
+    cookies: Vec<Option<Cookie>>,
+    work: Duration,
+}
+
+impl Arm {
+    fn new(cfg: &SoakConfig, map: &ShardMap, gc: GcConfig) -> Self {
+        let mut fleet = build_fleet(cfg, map);
+        fleet.set_gc_config(gc);
+        // Both arms carry an active registry so counter bookkeeping
+        // burdens their timed work equally.
+        let obs = Obs::new();
+        fleet.set_obs(obs.clone());
+        Arm { fleet, obs, cookies: vec![None; cfg.sessions], work: Duration::ZERO }
+    }
+
+    fn counter(&self, name: &str) -> u64 {
+        self.obs.registry().snapshot().counters.get(name).copied().unwrap_or(0)
+    }
+
+    fn timed<T>(&mut self, f: impl FnOnce(&mut ShardedMaster) -> T) -> T {
+        let t = Instant::now();
+        let out = f(&mut self.fleet);
+        self.work += t.elapsed();
+        out
+    }
+}
+
+/// The step-`k` base-churn op — a pure function of the rolling RNG, so
+/// both arms replay the identical stream.
+fn base_op(rng: &mut u64, present: &mut [bool], in_filter: &mut [bool], countries: usize) -> UpdateOp {
+    let n = present.len();
+    let i = (splitmix(rng) % n as u64) as usize;
+    let roll = splitmix(rng) % 100;
+    if !present[i] {
+        present[i] = true;
+        in_filter[i] = roll < 50;
+        UpdateOp::Add(
+            Entry::new(base_dn(i, countries))
+                .with("objectclass", "person")
+                .with("serialNumber", &serial(in_filter[i], i)),
+        )
+    } else if roll < 25 {
+        present[i] = false;
+        UpdateOp::Delete(base_dn(i, countries))
+    } else {
+        in_filter[i] = !in_filter[i];
+        UpdateOp::Modify {
+            dn: base_dn(i, countries),
+            mods: vec![Modification::Replace(
+                "serialNumber".into(),
+                vec![serial(in_filter[i], i).into()],
+            )],
+        }
+    }
+}
+
+/// Runs the soak and builds the report. Panics — before reporting any
+/// number — if the gc arm's responses or final content ever deviate
+/// from the ablation arm's.
+pub fn run(cfg: &SoakConfig) -> SoakReport {
+    assert!(cfg.segments >= 3, "need at least warmup + 2 measured segments");
+    assert!(cfg.updates >= cfg.segments * cfg.poll_every, "updates too small for the cadence");
+    let map = map_for(cfg);
+    let mut gc_arm = Arm::new(
+        cfg,
+        &map,
+        GcConfig {
+            session_deadline_ms: Some(cfg.session_deadline_ms),
+            every_ops: Some(cfg.gc_every_ops),
+            ..GcConfig::default()
+        },
+    );
+    let mut ab_arm = Arm::new(cfg, &map, GcConfig::disabled());
+
+    // Install every session on both arms, in the same order, so session
+    // ids — and therefore cookies — correspond across arms. Live
+    // sessions first, then the dead ones that never poll again.
+    let mut polls_compared = 0usize;
+    for s in 0..cfg.sessions {
+        let req = session_request(s, cfg.countries);
+        let shard = map.shard_of(&country_dn(s % cfg.countries));
+        let a = gc_arm
+            .timed(|f| f.shard_mut(shard).resync(&req, ReSyncControl::poll(None)))
+            .expect("install");
+        let b = ab_arm
+            .timed(|f| f.shard_mut(shard).resync(&req, ReSyncControl::poll(None)))
+            .expect("install");
+        assert_eq!(a, b, "install diverged for session {s}");
+        polls_compared += 1;
+        gc_arm.cookies[s] = a.cookie;
+        ab_arm.cookies[s] = b.cookie;
+    }
+    for d in 0..cfg.dead_sessions {
+        let req = session_request(d, cfg.countries);
+        let shard = map.shard_of(&country_dn(d % cfg.countries));
+        gc_arm
+            .timed(|f| f.shard_mut(shard).resync(&req, ReSyncControl::poll(None)))
+            .expect("dead install");
+        ab_arm
+            .timed(|f| f.shard_mut(shard).resync(&req, ReSyncControl::poll(None)))
+            .expect("dead install");
+    }
+
+    let n_base = cfg.countries * cfg.entries_per_country;
+    let mut present = vec![true; n_base];
+    let mut in_filter: Vec<bool> = (0..n_base).map(|i| i % 2 == 0).collect();
+    let mut rng = cfg.seed ^ 0xABCD_EF01;
+    let mut segments: Vec<SoakSegment> = Vec::with_capacity(cfg.segments);
+    let mut seg = SoakSegment {
+        steps: 0,
+        gc_high_water_bytes: 0,
+        ablation_high_water_bytes: 0,
+        gc_ops_per_sec: 0.0,
+        ablation_ops_per_sec: 0.0,
+    };
+    let (mut gc_mark, mut ab_mark) = (gc_arm.work, ab_arm.work);
+    let mut arms_equal = true;
+    let mut polls = 0usize;
+
+    for step in 0..cfg.updates {
+        // One base-churn op (replayed bit-identically on both arms)...
+        let op = base_op(&mut rng, &mut present, &mut in_filter, cfg.countries);
+        gc_arm.timed(|f| f.apply(op.clone())).expect("gc apply");
+        ab_arm.timed(|f| f.apply(op)).expect("ablation apply");
+        // ...one fresh in-filter DN, and the delete that retires the one
+        // from `window` steps back.
+        let add = UpdateOp::Add(
+            Entry::new(churn_dn(step, cfg.countries))
+                .with("objectclass", "person")
+                .with("serialNumber", &serial(true, n_base + step)),
+        );
+        gc_arm.timed(|f| f.apply(add.clone())).expect("gc churn add");
+        ab_arm.timed(|f| f.apply(add)).expect("ablation churn add");
+        if step >= cfg.window {
+            let del = UpdateOp::Delete(churn_dn(step - cfg.window, cfg.countries));
+            gc_arm.timed(|f| f.apply(del.clone())).expect("gc churn delete");
+            ab_arm.timed(|f| f.apply(del)).expect("ablation churn delete");
+        }
+        // The simulated clock ticks 1 ms per step on both arms; only
+        // the gc arm has a deadline wired to it.
+        let now = step as u64 + 1;
+        gc_arm.timed(|f| f.advance_to(now));
+        ab_arm.timed(|f| f.advance_to(now));
+
+        // Poll cadence: each live session acks on its own phase.
+        for s in 0..cfg.sessions {
+            if step % cfg.poll_every != s % cfg.poll_every {
+                continue;
+            }
+            let req = session_request(s, cfg.countries);
+            let shard = map.shard_of(&country_dn(s % cfg.countries));
+            let (ca, cb) = (gc_arm.cookies[s], ab_arm.cookies[s]);
+            let a = gc_arm.timed(|f| f.shard_mut(shard).resync(&req, ReSyncControl::poll(ca)));
+            let b = ab_arm.timed(|f| f.shard_mut(shard).resync(&req, ReSyncControl::poll(cb)));
+            arms_equal &= a == b;
+            assert_eq!(a, b, "poll diverged for session {s} at step {step}");
+            polls_compared += 1;
+            polls += 1;
+            if polls % cfg.redeliver_every == 0 {
+                // Redelivery probe: the same cookie again must replay
+                // the same batch on both arms.
+                let a2 =
+                    gc_arm.timed(|f| f.shard_mut(shard).resync(&req, ReSyncControl::poll(ca)));
+                let b2 =
+                    ab_arm.timed(|f| f.shard_mut(shard).resync(&req, ReSyncControl::poll(cb)));
+                arms_equal &= a2 == b2;
+                assert_eq!(a2, b2, "redelivery diverged for session {s} at step {step}");
+                polls_compared += 1;
+            }
+            if let Ok(resp) = a {
+                gc_arm.cookies[s] = resp.cookie.or(gc_arm.cookies[s]);
+            }
+            if let Ok(resp) = b {
+                ab_arm.cookies[s] = resp.cookie.or(ab_arm.cookies[s]);
+            }
+        }
+
+        // Deterministic footprint sample (untimed — measurement, not
+        // protocol work), then segment bookkeeping.
+        seg.steps += 1;
+        let boundary = (step + 1) * cfg.segments / cfg.updates;
+        if step % cfg.sample_every == 0 || boundary > segments.len() {
+            seg.gc_high_water_bytes =
+                seg.gc_high_water_bytes.max(gc_arm.fleet.memory_footprint().total_bytes());
+            seg.ablation_high_water_bytes = seg
+                .ablation_high_water_bytes
+                .max(ab_arm.fleet.memory_footprint().total_bytes());
+        }
+        if boundary > segments.len() {
+            let (gw, aw) = (gc_arm.work - gc_mark, ab_arm.work - ab_mark);
+            seg.gc_ops_per_sec = seg.steps as f64 / gw.as_secs_f64().max(1e-9);
+            seg.ablation_ops_per_sec = seg.steps as f64 / aw.as_secs_f64().max(1e-9);
+            gc_mark = gc_arm.work;
+            ab_mark = ab_arm.work;
+            segments.push(std::mem::replace(
+                &mut seg,
+                SoakSegment {
+                    steps: 0,
+                    gc_high_water_bytes: 0,
+                    ablation_high_water_bytes: 0,
+                    gc_ops_per_sec: 0.0,
+                    ablation_ops_per_sec: 0.0,
+                },
+            ));
+        }
+    }
+
+    // Final equivalence: the directories must agree entry for entry.
+    let everyone = SearchRequest::from_root(Filter::parse("(objectclass=person)").expect("filter"));
+    let (mut got_gc, mut got_ab) = (gc_arm.fleet.search(&everyone), ab_arm.fleet.search(&everyone));
+    got_gc.sort_by(|a, b| a.dn().cmp(b.dn()));
+    got_ab.sort_by(|a, b| a.dn().cmp(b.dn()));
+    arms_equal &= got_gc == got_ab;
+    assert_eq!(got_gc, got_ab, "final content diverged between arms");
+
+    // One explicit final collection so the counters include everything
+    // the deadline owes, then read the run's cumulative totals.
+    gc_arm.fleet.collect_garbage();
+    let sessions_evicted = gc_arm.counter("fbdr_resync_gc_sessions_evicted_total") as usize;
+    let ids_recycled = gc_arm.counter("fbdr_resync_gc_ids_recycled_total") as usize;
+
+    let gc_baseline_bytes = segments[1].gc_high_water_bytes;
+    let gc_peak_bytes =
+        segments[2..].iter().map(|s| s.gc_high_water_bytes).max().unwrap_or(0);
+    let gc_high_water_ratio = gc_peak_bytes as f64 / gc_baseline_bytes.max(1) as f64;
+    let ablation_monotonic = segments
+        .windows(2)
+        .all(|w| w[1].ablation_high_water_bytes >= w[0].ablation_high_water_bytes);
+    let ablation_growth_x = segments.last().expect("segments").ablation_high_water_bytes as f64
+        / segments[0].ablation_high_water_bytes.max(1) as f64;
+    let gc_first = segments[1].gc_ops_per_sec;
+    let gc_last = segments.last().expect("segments").gc_ops_per_sec;
+
+    SoakReport {
+        shards: cfg.shards,
+        countries: cfg.countries,
+        entries_per_country: cfg.entries_per_country,
+        sessions: cfg.sessions,
+        dead_sessions: cfg.dead_sessions,
+        updates: cfg.updates,
+        window: cfg.window,
+        poll_every: cfg.poll_every,
+        seed: cfg.seed,
+        gc_baseline_bytes,
+        gc_peak_bytes,
+        gc_high_water_ratio,
+        gc_flat: gc_high_water_ratio <= 1.10,
+        ablation_growth_x,
+        ablation_monotonic,
+        gc_first_decile_ops_per_sec: gc_first,
+        gc_last_segment_ops_per_sec: gc_last,
+        throughput_sustain_ratio: gc_last / gc_first.max(1e-9),
+        polls_compared,
+        arms_equal,
+        sessions_evicted,
+        ids_recycled,
+        final_stability_lag: gc_arm.fleet.stability_lag(),
+        gc_final_bytes: gc_arm.fleet.memory_footprint().total_bytes(),
+        ablation_final_bytes: ab_arm.fleet.memory_footprint().total_bytes(),
+        segments,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reduced-scale smoke: all three gates hold and the arms agree.
+    #[test]
+    fn reduced_soak_holds_all_gates() {
+        let cfg = SoakConfig {
+            updates: 3_000,
+            window: 64,
+            entries_per_country: 20,
+            sessions: 8,
+            dead_sessions: 2,
+            session_deadline_ms: 300,
+            gc_every_ops: 64,
+            sample_every: 16,
+            ..SoakConfig::default()
+        };
+        let r = run(&cfg);
+        assert!(r.arms_equal);
+        assert!(r.gc_flat, "gc high-water ratio {}", r.gc_high_water_ratio);
+        assert!(r.ablation_monotonic, "ablation high-water series decayed");
+        assert!(
+            r.ablation_growth_x > 1.5,
+            "ablation barely grew ({}x) — the soak isn't generating garbage",
+            r.ablation_growth_x
+        );
+        assert!(r.sessions_evicted >= cfg.dead_sessions, "deadline eviction never fired");
+        assert!(r.ids_recycled > 0, "no interned ids were ever recycled");
+    }
+}

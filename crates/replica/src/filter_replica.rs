@@ -1447,12 +1447,20 @@ fn drop_filter_content(work: &mut Working, refcount: &mut HashMap<u32, usize>, p
 
 /// Drops one filter reference to an entry id, garbage-collecting the
 /// entry (slot + index postings) when no filter references remain.
+///
+/// The id itself is recycled at that point: no filter posting list holds
+/// it (refcount is zero), the slot was just emptied and the index
+/// unindexed, so the interner slot is released for reuse and the
+/// replica's id space — and every id-addressed vector built on it —
+/// stops growing with lifetime churn. Earlier epochs are untouched: they
+/// share the *previous* interner `Arc`, and the release copies on write.
 fn unref(work: &mut Working, refcount: &mut HashMap<u32, usize>, id: u32) {
     if let Some(rc) = refcount.get_mut(&id) {
         *rc -= 1;
         if *rc == 0 {
             refcount.remove(&id);
             work.evict(id);
+            Arc::make_mut(&mut work.interner).release(id);
         }
     }
 }

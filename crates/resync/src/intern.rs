@@ -1,4 +1,4 @@
-//! Dense `u32` interning of normalized DN keys.
+//! Dense `u32` interning of normalized DN keys, with id recycling.
 //!
 //! Replica-side content stores are keyed by DN. Hashing the full string
 //! form of a DN on every lookup is measurable on the query path, so the
@@ -6,10 +6,17 @@
 //! stores: an id is a dense `u32` usable as a direct vector index, and a
 //! set of ids is a sorted posting list that intersects without hashing.
 //!
-//! Ids are append-only and stable for the lifetime of the interner: a DN
-//! that leaves the content and later returns receives the same id, which
-//! is what lets immutable per-epoch structures (posting lists, attribute
-//! indexes) be shared across epochs without re-translation.
+//! Ids are stable while a key is interned: a DN that stays in the
+//! content keeps its id across epochs, which is what lets immutable
+//! per-epoch structures (posting lists, attribute indexes) be shared
+//! across epochs without re-translation. A key that has been deleted
+//! *and is provably unreferenced* can be [released](DnInterner::release):
+//! its slot joins a free list and is handed out again by a later
+//! `intern`, so the id space — and every id-addressed vector built on it
+//! — stops growing with lifetime churn. Each slot carries a
+//! **generation tag** that increments on release, so holders of a stale
+//! id can detect that the slot has been recycled out from under them
+//! ([`DnInterner::generation`]).
 
 use fbdr_ldap::{Dn, Entry};
 use serde::{Deserialize, Serialize};
@@ -36,11 +43,25 @@ pub fn entry_key(e: &Entry) -> String {
     dn_key(e.dn())
 }
 
-/// An append-only map from normalized DN keys to dense `u32` ids.
+/// Deterministic byte accounting for one DN: the sum of its normalized
+/// attribute/value lengths plus a fixed per-RDN overhead. Used by the
+/// memory-footprint reports instead of allocator statistics so equal
+/// runs report equal bytes on every platform.
+pub fn dn_approx_bytes(dn: &Dn) -> usize {
+    dn.rdns()
+        .iter()
+        .map(|r| r.attr().lower().len() + r.value().normalized().len() + 16)
+        .sum()
+}
+
+/// A map from normalized DN keys to dense `u32` ids with free-list
+/// recycling.
 ///
-/// `intern` assigns ids in first-seen order; ids are never recycled, so
-/// any id handed out remains a valid index into id-addressed storage for
-/// the interner's lifetime (`len()` bounds the id space).
+/// `intern` assigns ids in first-seen order, reusing released slots
+/// before growing; an id stays valid (a direct index into id-addressed
+/// storage of length [`DnInterner::capacity`]) until it is explicitly
+/// [released](DnInterner::release) by the owner that proved it
+/// unreferenced.
 ///
 /// ```
 /// use fbdr_resync::DnInterner;
@@ -49,15 +70,25 @@ pub fn entry_key(e: &Entry) -> String {
 /// let a = it.intern("cn=a,o=x");
 /// let b = it.intern("cn=b,o=x");
 /// assert_ne!(a, b);
-/// assert_eq!(it.intern("cn=a,o=x"), a); // stable
+/// assert_eq!(it.intern("cn=a,o=x"), a); // stable while interned
 /// assert_eq!(it.get("cn=b,o=x"), Some(b));
 /// assert_eq!(it.key_of(a), Some("cn=a,o=x"));
 /// assert_eq!(it.len(), 2);
+///
+/// // Releasing a slot recycles its id under a fresh generation.
+/// it.release(a);
+/// assert_eq!(it.key_of(a), None);
+/// let c = it.intern("cn=c,o=x");
+/// assert_eq!(c, a); // recycled, not grown
+/// assert_eq!(it.generation(c), 1);
+/// assert_eq!(it.capacity(), 2);
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct DnInterner {
     ids: HashMap<String, u32>,
-    keys: Vec<String>,
+    keys: Vec<Option<String>>,
+    gens: Vec<u32>,
+    free: Vec<u32>,
 }
 
 impl DnInterner {
@@ -66,51 +97,102 @@ impl DnInterner {
         DnInterner::default()
     }
 
-    /// Number of distinct keys interned (the id space is `0..len()`).
+    /// Number of distinct keys currently interned (live slots).
     pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Upper bound of the id space: every id ever handed out is
+    /// `< capacity()`, so id-addressed vectors of this length cover all
+    /// live ids.
+    pub fn capacity(&self) -> usize {
         self.keys.len()
     }
 
-    /// True when nothing has been interned.
+    /// True when nothing is currently interned.
     pub fn is_empty(&self) -> bool {
-        self.keys.is_empty()
+        self.ids.is_empty()
     }
 
-    /// Returns the id of `key`, assigning the next dense id on first
-    /// sight.
+    /// Returns the id of `key`, reusing a released slot — or assigning
+    /// the next dense id — on first sight.
     ///
     /// # Panics
     ///
-    /// Panics if more than `u32::MAX` distinct keys are interned.
+    /// Panics if more than `u32::MAX` slots are live at once.
     pub fn intern(&mut self, key: &str) -> u32 {
         if let Some(&id) = self.ids.get(key) {
             return id;
         }
-        let id = u32::try_from(self.keys.len()).expect("id space exhausted");
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.keys[id as usize] = Some(key.to_owned());
+                id
+            }
+            None => {
+                let id = u32::try_from(self.keys.len()).expect("id space exhausted");
+                self.keys.push(Some(key.to_owned()));
+                self.gens.push(0);
+                id
+            }
+        };
         self.ids.insert(key.to_owned(), id);
-        self.keys.push(key.to_owned());
         id
     }
 
-    /// The id of `key`, if it has been interned.
+    /// The id of `key`, if it is currently interned.
     pub fn get(&self, key: &str) -> Option<u32> {
         self.ids.get(key).copied()
     }
 
-    /// The key an id was assigned for (sync-time reverse resolution).
+    /// The key an id is currently assigned to (sync-time reverse
+    /// resolution); `None` for released or never-assigned slots.
     pub fn key_of(&self, id: u32) -> Option<&str> {
-        self.keys.get(id as usize).map(String::as_str)
+        self.keys.get(id as usize).and_then(|s| s.as_deref())
+    }
+
+    /// The generation tag of a slot: 0 while on its first assignment,
+    /// incremented every time the slot is released. A holder that
+    /// remembers `(id, generation)` can later detect recycling.
+    pub fn generation(&self, id: u32) -> u32 {
+        self.gens.get(id as usize).copied().unwrap_or(0)
+    }
+
+    /// Releases a live slot back to the free list, bumping its
+    /// generation. The caller asserts nothing still indexes by this id.
+    /// Returns `true` if the slot was live.
+    pub fn release(&mut self, id: u32) -> bool {
+        let Some(slot) = self.keys.get_mut(id as usize) else {
+            return false;
+        };
+        let Some(key) = slot.take() else {
+            return false;
+        };
+        self.ids.remove(&key);
+        self.gens[id as usize] += 1;
+        self.free.push(id);
+        true
+    }
+
+    /// Deterministic byte accounting: interned key bytes plus fixed
+    /// per-slot overhead (map entry, slot, generation, free-list entry).
+    pub fn approx_bytes(&self) -> usize {
+        let key_bytes: usize =
+            self.keys.iter().flatten().map(|k| 2 * k.len() + 48).sum();
+        key_bytes + self.keys.len() * 32 + self.free.len() * 4
     }
 }
 
 /// A bidirectional DN ↔ dense `u32` id table for master-side session
-/// bookkeeping.
+/// bookkeeping, with free-list recycling.
 ///
-/// Pairs a DN → id map with an id-indexed `Vec<Dn>` so the sync layer can
+/// Pairs a DN → id map with id-indexed DN slots so the sync layer can
 /// both intern a DN touched by an update *and* resolve ids back to DNs
-/// when draining actions. Only the DN vector is serialized; the map is
-/// rebuilt lazily after deserialization (ids are dense and assigned in
-/// vector order, so the rebuild is exact).
+/// when draining actions. Only the slot vector (plus generations and the
+/// free list) is serialized; the map is rebuilt lazily after
+/// deserialization. Slots whose DNs no session references any more are
+/// [released](DnTable::release) by the master's garbage collector and
+/// reused by later interns under a bumped generation tag.
 ///
 /// ```
 /// use fbdr_resync::DnTable;
@@ -120,10 +202,16 @@ impl DnInterner {
 /// assert_eq!(t.intern(&"CN=a, O=X".parse().unwrap()), a); // normalized
 /// assert_eq!(t.dn_of(a).unwrap().to_string(), "cn=A,o=X");
 /// assert_eq!(t.len(), 1);
+/// t.release(a);
+/// let b = t.intern(&"cn=B,o=X".parse().unwrap());
+/// assert_eq!(b, a); // recycled
+/// assert_eq!(t.generation(b), 1);
 /// ```
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct DnTable {
-    dns: Vec<Dn>,
+    slots: Vec<Option<Dn>>,
+    gens: Vec<u32>,
+    free: Vec<u32>,
     /// `Dn`'s `Eq`/`Hash` are case-insensitive over precomputed forms, so
     /// keying by the DN itself matches LDAP matching-rule equality without
     /// building a string key per probe.
@@ -137,54 +225,105 @@ impl DnTable {
         DnTable::default()
     }
 
-    /// Number of distinct DNs interned (the id space is `0..len()`).
+    /// Number of distinct DNs currently interned (live slots).
     pub fn len(&self) -> usize {
-        self.dns.len()
+        self.slots.len() - self.free.len()
     }
 
-    /// True when nothing has been interned.
+    /// Upper bound of the id space: every id ever handed out is
+    /// `< capacity()`.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when nothing is currently interned.
     pub fn is_empty(&self) -> bool {
-        self.dns.is_empty()
+        self.len() == 0
     }
 
-    /// Rebuilds the DN → id map from the DN vector if it is out of date
-    /// (after deserialization the map arrives empty).
+    /// Rebuilds the DN → id map from the slot vector if it is out of
+    /// date (after deserialization the map arrives empty).
     pub fn rehydrate(&mut self) {
-        if self.ids.len() == self.dns.len() {
+        if self.ids.len() == self.len() {
             return;
         }
         self.ids = self
-            .dns
+            .slots
             .iter()
             .enumerate()
-            .map(|(i, dn)| (dn.clone(), i as u32))
+            .filter_map(|(i, slot)| slot.as_ref().map(|dn| (dn.clone(), i as u32)))
             .collect();
     }
 
-    /// Returns the id of `dn`, assigning the next dense id on first
-    /// sight. DNs equal under LDAP matching rules share an id; the first
-    /// spelling seen is the one [`DnTable::dn_of`] returns.
+    /// Returns the id of `dn`, reusing a released slot — or assigning
+    /// the next dense id — on first sight. DNs equal under LDAP matching
+    /// rules share an id; the first spelling seen is the one
+    /// [`DnTable::dn_of`] returns.
     pub fn intern(&mut self, dn: &Dn) -> u32 {
         self.rehydrate();
         if let Some(&id) = self.ids.get(dn) {
             return id;
         }
-        let id = u32::try_from(self.dns.len()).expect("id space exhausted");
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.slots[id as usize] = Some(dn.clone());
+                id
+            }
+            None => {
+                let id = u32::try_from(self.slots.len()).expect("id space exhausted");
+                self.slots.push(Some(dn.clone()));
+                self.gens.push(0);
+                id
+            }
+        };
         self.ids.insert(dn.clone(), id);
-        self.dns.push(dn.clone());
         id
     }
 
-    /// The id of `dn`, if already interned. Requires a hydrated table
+    /// The id of `dn`, if currently interned. Requires a hydrated table
     /// (any `&mut self` call rehydrates; fresh tables are hydrated).
     pub fn get(&self, dn: &Dn) -> Option<u32> {
-        debug_assert_eq!(self.ids.len(), self.dns.len(), "table not rehydrated");
+        debug_assert_eq!(self.ids.len(), self.len(), "table not rehydrated");
         self.ids.get(dn).copied()
     }
 
-    /// The DN an id was assigned for (drain-time reverse resolution).
+    /// The DN an id is currently assigned to (drain-time reverse
+    /// resolution); `None` for released or never-assigned slots.
     pub fn dn_of(&self, id: u32) -> Option<&Dn> {
-        self.dns.get(id as usize)
+        self.slots.get(id as usize).and_then(|s| s.as_ref())
+    }
+
+    /// The generation tag of a slot: 0 on first assignment, incremented
+    /// every time the slot is released.
+    pub fn generation(&self, id: u32) -> u32 {
+        self.gens.get(id as usize).copied().unwrap_or(0)
+    }
+
+    /// Releases a live slot back to the free list, bumping its
+    /// generation. The caller (the master's GC) asserts no session
+    /// posting list or stash still references this id. Returns `true`
+    /// if the slot was live.
+    pub fn release(&mut self, id: u32) -> bool {
+        self.rehydrate();
+        let Some(slot) = self.slots.get_mut(id as usize) else {
+            return false;
+        };
+        let Some(dn) = slot.take() else {
+            return false;
+        };
+        self.ids.remove(&dn);
+        self.gens[id as usize] += 1;
+        self.free.push(id);
+        true
+    }
+
+    /// Deterministic byte accounting: interned DN bytes (normalized
+    /// forms plus fixed per-RDN overhead) plus per-slot overhead for the
+    /// map entry, slot, generation, and free-list bookkeeping.
+    pub fn approx_bytes(&self) -> usize {
+        let dn_bytes: usize =
+            self.slots.iter().flatten().map(|dn| 2 * dn_approx_bytes(dn) + 48).sum();
+        dn_bytes + self.slots.len() * 32 + self.free.len() * 4
     }
 }
 
@@ -216,6 +355,44 @@ mod tests {
     }
 
     #[test]
+    fn interner_recycles_released_slots() {
+        let mut it = DnInterner::new();
+        let a = it.intern("cn=a,o=x");
+        let b = it.intern("cn=b,o=x");
+        assert!(it.release(a));
+        assert!(!it.release(a), "double release is a no-op");
+        assert_eq!(it.len(), 1);
+        assert_eq!(it.capacity(), 2);
+        assert_eq!(it.get("cn=a,o=x"), None);
+        // The released slot is reused before the id space grows.
+        let c = it.intern("cn=c,o=x");
+        assert_eq!(c, a);
+        assert_eq!(it.generation(c), 1);
+        assert_eq!(it.generation(b), 0);
+        assert_eq!(it.capacity(), 2);
+        // A brand-new key after the free list drains grows the space.
+        let d = it.intern("cn=d,o=x");
+        assert_eq!(d, 2);
+        // Churning one key in place keeps capacity flat forever.
+        for i in 0..1000 {
+            let id = it.intern(&format!("cn=churn{i},o=x"));
+            it.release(id);
+        }
+        assert_eq!(it.capacity(), 4);
+    }
+
+    #[test]
+    fn interner_bytes_shrink_on_release() {
+        let mut it = DnInterner::new();
+        let ids: Vec<u32> = (0..50).map(|i| it.intern(&format!("cn=e{i},o=x"))).collect();
+        let full = it.approx_bytes();
+        for id in ids {
+            it.release(id);
+        }
+        assert!(it.approx_bytes() < full);
+    }
+
+    #[test]
     fn table_round_trips_and_rehydrates() {
         let mut t = DnTable::new();
         let a = t.intern(&"cn=A,o=X".parse().unwrap());
@@ -231,5 +408,39 @@ mod tests {
         assert_eq!(back.intern(&"cn=a,o=x".parse().unwrap()), a);
         assert_eq!(back.intern(&"cn=C,o=X".parse().unwrap()), 2);
         assert_eq!(back.get(&"cn=B,o=X".parse().unwrap()), Some(b));
+    }
+
+    #[test]
+    fn table_recycles_and_round_trips_free_list() {
+        let mut t = DnTable::new();
+        let a = t.intern(&"cn=A,o=X".parse().unwrap());
+        let b = t.intern(&"cn=B,o=X".parse().unwrap());
+        assert!(t.release(a));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.capacity(), 2);
+        assert_eq!(t.dn_of(a), None);
+        assert_eq!(t.get(&"cn=a,o=x".parse().unwrap()), None);
+
+        // The free list and generations survive serialization.
+        let json = serde_json::to_string(&t).unwrap();
+        let mut back: DnTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.generation(a), 1);
+        let c = back.intern(&"cn=C,o=X".parse().unwrap());
+        assert_eq!(c, a, "released slot reused after a round trip");
+        assert_eq!(back.get(&"cn=B,o=X".parse().unwrap()), Some(b));
+        assert_eq!(back.capacity(), 2);
+    }
+
+    #[test]
+    fn table_bytes_shrink_on_release() {
+        let mut t = DnTable::new();
+        let ids: Vec<u32> =
+            (0..50).map(|i| t.intern(&format!("cn=e{i},o=x").parse().unwrap())).collect();
+        let full = t.approx_bytes();
+        for id in ids {
+            t.release(id);
+        }
+        assert!(t.approx_bytes() < full);
     }
 }

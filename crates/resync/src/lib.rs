@@ -72,7 +72,8 @@ pub use content::ReplicaContent;
 pub use intern::{dn_key, entry_key, DnInterner, DnTable};
 pub use driver::{Clock, DriverStats, RetryConfig, SyncDriver, SyncTransport, SystemClock};
 pub use fbdr_net::{ShardId, ShardMap};
-pub use master::{NotifyFlush, NotifyPolicy, SyncMaster};
+pub use intern::dn_approx_bytes;
+pub use master::{GcConfig, GcReport, MasterFootprint, NotifyFlush, NotifyPolicy, SyncMaster};
 pub use reconcile::{ReconcileConfig, ReconcileConfigBuilder, ReconcileItem, ReconcileOutcome};
 pub use routing::{RoutingIndex, RoutingStats};
 pub use shard::{

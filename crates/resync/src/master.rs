@@ -74,6 +74,16 @@ struct Session {
     dirty_since_ms: Option<u64>,
     /// Master op-count at last activity, for idle expiry.
     last_active: u64,
+    /// Master clock (ms) at last activity, for the GC eviction deadline
+    /// ([`GcConfig::session_deadline_ms`]).
+    #[serde(default)]
+    last_active_ms: u64,
+    /// Master op-count through which delivery is **acknowledged**: the
+    /// replica has echoed a cookie proving it holds every action built at
+    /// or before this op-count. The minimum across live sessions is the
+    /// master's stability watermark.
+    #[serde(default)]
+    stable_at: u64,
     /// Sequence number of the last response issued on this session (the
     /// low 32 bits of the cookie the replica holds).
     seq: u32,
@@ -102,6 +112,125 @@ struct Session {
 struct ReconcileStash {
     shift: u32,
     items: Vec<(u64, u32)>,
+    /// Master op-count when the stash was frozen, for oldest-first
+    /// eviction under [`GcConfig::stash_max_items`].
+    #[serde(default)]
+    at: u64,
+}
+
+/// Knobs of the master's causal-stability garbage collector
+/// ([`SyncMaster::collect_garbage`]).
+///
+/// The collector reclaims everything no live session can ever ask for
+/// again: replay buffers past the replay-expiry window, reconcile
+/// stashes over the global item cap (oldest first), sessions unreachable
+/// past the deadline, and [`DnTable`] slots referenced by no surviving
+/// session ledger (released for id recycling). It runs automatically
+/// every [`GcConfig::every_ops`] applied updates and can be invoked
+/// directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GcConfig {
+    /// Evict sessions whose last activity is more than this many
+    /// master-clock milliseconds ago, so one dead replica cannot pin the
+    /// fleet's garbage forever. Persist sessions with a live channel are
+    /// exempt (their inactivity is the channel's silence, not death).
+    /// `None` (the default) never evicts by time — idle expiry via
+    /// [`SyncMaster::expire_idle`] still applies.
+    pub session_deadline_ms: Option<u64>,
+    /// Total frozen reconcile-stash items retained across all sessions;
+    /// exchanges are evicted oldest-first over this cap (their range
+    /// round fails with [`SyncError::ReconcileFailed`] and the replica
+    /// falls back to reinstall, the standard degradation path).
+    pub stash_max_items: usize,
+    /// Run the collector automatically every this many applied updates.
+    /// `None` disables automatic collection (the un-GC'd ablation arm).
+    pub every_ops: Option<u64>,
+}
+
+impl Default for GcConfig {
+    fn default() -> Self {
+        GcConfig {
+            session_deadline_ms: None,
+            stash_max_items: 1 << 20,
+            every_ops: Some(1024),
+        }
+    }
+}
+
+impl GcConfig {
+    /// Disables every reclamation path — the monotonic-growth baseline
+    /// the soak benchmark's ablation arm measures.
+    pub fn disabled() -> Self {
+        GcConfig { session_deadline_ms: None, stash_max_items: usize::MAX, every_ops: None }
+    }
+}
+
+/// What one [`SyncMaster::collect_garbage`] pass reclaimed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GcReport {
+    /// Sessions evicted by the unreachability deadline.
+    pub sessions_evicted: usize,
+    /// Replay buffers dropped eagerly (already past the replay-expiry
+    /// window, so a retry was going to get [`SyncError::ReplayExpired`]
+    /// either way — the batch bytes just no longer wait for it).
+    pub pending_dropped: usize,
+    /// Reconcile-stash items evicted over [`GcConfig::stash_max_items`].
+    pub stash_items_evicted: usize,
+    /// [`DnTable`] slots released for recycling (referenced by no
+    /// surviving session ledger or stash).
+    pub ids_released: usize,
+}
+
+impl GcReport {
+    /// Accumulates another report (per-shard sums).
+    pub fn merge(&mut self, other: GcReport) {
+        self.sessions_evicted += other.sessions_evicted;
+        self.pending_dropped += other.pending_dropped;
+        self.stash_items_evicted += other.stash_items_evicted;
+        self.ids_released += other.ids_released;
+    }
+}
+
+/// Deterministic byte accounting of a master's long-lived session state
+/// ([`SyncMaster::memory_footprint`]): sums of structure sizes computed
+/// from lengths and capacities, never allocator statistics, so equal
+/// histories report equal bytes on every platform.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MasterFootprint {
+    /// Live sessions.
+    pub sessions: usize,
+    /// Live [`DnTable`] slots.
+    pub table_live: usize,
+    /// Total [`DnTable`] slots ever allocated (the id-space bound —
+    /// flat under GC, monotonic without it).
+    pub table_capacity: usize,
+    /// [`DnTable`] bytes (interned DNs plus per-slot overhead).
+    pub table_bytes: usize,
+    /// Per-session posting-list bytes (`sent`/`current`/`departed`/
+    /// `changed` capacities).
+    pub postings_bytes: usize,
+    /// Unacknowledged replay-buffer bytes (pending batches).
+    pub replay_bytes: usize,
+    /// Frozen reconcile-stash bytes.
+    pub stash_bytes: usize,
+}
+
+impl MasterFootprint {
+    /// Total accounted bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.table_bytes + self.postings_bytes + self.replay_bytes + self.stash_bytes
+    }
+
+    /// Accumulates another footprint (per-shard sums).
+    pub fn merge(&mut self, other: MasterFootprint) {
+        self.sessions += other.sessions;
+        self.table_live += other.table_live;
+        self.table_capacity += other.table_capacity;
+        self.table_bytes += other.table_bytes;
+        self.postings_bytes += other.postings_bytes;
+        self.replay_bytes += other.replay_bytes;
+        self.stash_bytes += other.stash_bytes;
+    }
 }
 
 /// When persist-mode notifications are handed to a session's channel.
@@ -216,6 +345,9 @@ pub struct SyncMaster {
     /// Persist-mode notification flush policy.
     #[serde(default)]
     notify_policy: NotifyPolicy,
+    /// Causal-stability garbage-collector knobs.
+    #[serde(default)]
+    gc: GcConfig,
     /// Master clock in milliseconds, advanced by [`SyncMaster::advance_to`]
     /// — the time base for coalescing delays and batch staleness stamps.
     /// A master never told the time runs everything at t=0, which only
@@ -540,6 +672,7 @@ impl SyncMaster {
             // Nothing to route: no clones, no interning, no index work.
             let rec = self.dit.apply(op)?;
             self.ops_applied += 1;
+            self.maybe_collect();
             return Ok(rec);
         }
         self.ensure_routing();
@@ -604,6 +737,7 @@ impl SyncMaster {
         }
         if cand.is_empty() {
             self.scratch = cand;
+            self.maybe_collect();
             return Ok(rec);
         }
         // At least one session is interested: intern the touched DNs now.
@@ -647,6 +781,7 @@ impl SyncMaster {
                 }
             }
         }
+        self.maybe_collect();
         Ok(rec)
     }
 
@@ -714,6 +849,7 @@ impl SyncMaster {
             Some(c) => u64::from(c.session()),
         };
         let ops_applied = self.ops_applied;
+        let now_ms = self.now_ms;
         let replay_disabled = self.replay_disabled;
         let expiry = self.replay_expiry_ops;
         let session = self
@@ -724,6 +860,7 @@ impl SyncMaster {
             return Err(SyncError::RequestMismatch(Cookie::new(sid as u32, session.seq)));
         }
         session.last_active = ops_applied;
+        session.last_active_ms = now_ms;
         // An ordinary poll supersedes any reconciliation in flight: the
         // replica has either completed it (this is the follow-up poll) or
         // abandoned it. Either way the frozen stash is garbage now.
@@ -736,8 +873,11 @@ impl SyncMaster {
         let mut redelivery = None;
         if let (Some(c), false) = (resumed, replay_disabled) {
             if c.seq() == session.seq {
-                // The last issued batch is acknowledged as delivered.
+                // The last issued batch is acknowledged as delivered:
+                // everything built at or before `pending_at` is stable on
+                // this session, which advances the stability watermark.
                 session.pending = None;
+                session.stable_at = session.stable_at.max(session.pending_at);
             } else if session.seq > 0 && c.seq() == session.seq - 1 {
                 // Retried request: the previous response never arrived
                 // (or this request was delivered twice).
@@ -885,12 +1025,16 @@ impl SyncMaster {
         let upserts: Vec<Entry> =
             missing.iter().filter_map(|dn| self.dit.get(dn)).cloned().collect();
         items.sort_unstable();
-        let stash = ReconcileStash { shift: summary.shift(), items };
+        let stash = ReconcileStash { shift: summary.shift(), items, at: self.ops_applied };
         let session = self.sessions.get_mut(&sid).expect("just created");
         session.sent = current;
         session.seq = 1;
         session.pending = None;
         session.reconcile = Some(stash);
+        // Enforce the global stash cap at freeze time, oldest exchange
+        // first, so an abandoned reconciliation can never pin more than
+        // the configured item budget.
+        self.enforce_stash_cap();
         let cookie = Cookie::new(sid as u32, 1);
         event!(
             self.obs,
@@ -921,6 +1065,8 @@ impl SyncMaster {
         cookie: Cookie,
         req: &RangeRequest,
     ) -> Result<RangeResponse, SyncError> {
+        let ops_applied = self.ops_applied;
+        let now_ms = self.now_ms;
         let session = self
             .sessions
             .get_mut(&u64::from(cookie.session()))
@@ -930,6 +1076,8 @@ impl SyncMaster {
                 "cookie does not match the reconcile exchange".into(),
             ));
         }
+        session.last_active = ops_applied;
+        session.last_active_ms = now_ms;
         let Some(stash) = session.reconcile.take() else {
             return Err(SyncError::ReconcileFailed(
                 "no reconcile exchange in flight for this session".into(),
@@ -1035,8 +1183,231 @@ impl SyncMaster {
         }
         if !dead.is_empty() {
             self.note_session_count();
+            // An eviction advances the stability watermark (the dead
+            // session was pinning it), so reclaim in the same pass:
+            // dropping the session freed its replay buffer and stash, and
+            // the sweep releases every table slot only it referenced.
+            self.collect_garbage();
         }
         dead.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Causal-stability garbage collection
+    // ------------------------------------------------------------------
+
+    /// Sets the garbage-collector knobs (see [`GcConfig`]).
+    pub fn set_gc_config(&mut self, gc: GcConfig) {
+        self.gc = gc;
+    }
+
+    /// The garbage-collector knobs in force.
+    pub fn gc_config(&self) -> GcConfig {
+        self.gc
+    }
+
+    /// The stability watermark: the master op-count every live session
+    /// has acknowledged delivery through. Everything below it is
+    /// reclaimable — no session can ever ask for it again. `None` when
+    /// no sessions exist (everything is stable).
+    pub fn stability_watermark(&self) -> Option<u64> {
+        self.sessions.values().map(|s| s.stable_at).min()
+    }
+
+    /// How far the master has run ahead of its slowest acknowledger:
+    /// `ops_applied - stability_watermark` (0 with no sessions).
+    /// Exported as the `fbdr_resync_stability_lag` gauge.
+    pub fn stability_lag(&self) -> u64 {
+        self.stability_watermark()
+            .map_or(0, |w| self.ops_applied.saturating_sub(w))
+    }
+
+    /// Runs one causal-stability collection pass and reports what it
+    /// reclaimed:
+    ///
+    /// 1. **Deadline eviction** — sessions whose last activity is more
+    ///    than [`GcConfig::session_deadline_ms`] master-clock ms ago are
+    ///    removed (live persist channels exempt), so one dead replica
+    ///    cannot pin the watermark — and everything under it — forever.
+    /// 2. **Replay-buffer compaction** — pending batches already past the
+    ///    replay-expiry window are dropped eagerly; the retry that would
+    ///    have read them was getting [`SyncError::ReplayExpired`] anyway.
+    /// 3. **Stash cap** — reconcile stashes over
+    ///    [`GcConfig::stash_max_items`] total items are evicted oldest
+    ///    exchange first.
+    /// 4. **Id recycling** — every [`DnTable`] slot referenced by no
+    ///    surviving session ledger or stash is released to the free list
+    ///    (reused under a bumped generation tag), and session posting
+    ///    lists are shrunk to fit. Reclamation is reference-driven, so a
+    ///    GC'd master answers every live session identically to an
+    ///    un-GC'd one.
+    ///
+    /// Runs automatically every [`GcConfig::every_ops`] applied updates.
+    pub fn collect_garbage(&mut self) -> GcReport {
+        self.ensure_routing();
+        let mut report = GcReport::default();
+
+        // 1. Deadline eviction.
+        if let Some(deadline) = self.gc.session_deadline_ms {
+            let now = self.now_ms;
+            let dead: Vec<u64> = self
+                .sessions
+                .iter()
+                .filter(|(_, s)| {
+                    let live_persist =
+                        s.notify.as_ref().is_some_and(|tx| !tx.is_disconnected());
+                    now.saturating_sub(s.last_active_ms) > deadline && !live_persist
+                })
+                .map(|(&id, _)| id)
+                .collect();
+            for id in &dead {
+                self.sessions.remove(id);
+                self.routing.remove(*id as u32);
+            }
+            report.sessions_evicted = dead.len();
+            if !dead.is_empty() {
+                self.note_session_count();
+            }
+        }
+
+        // 2. Eager replay-buffer drop past the expiry window.
+        if let Some(limit) = self.replay_expiry_ops {
+            let ops = self.ops_applied;
+            for s in self.sessions.values_mut() {
+                if s.pending.is_some() && ops.saturating_sub(s.pending_at) > limit {
+                    s.pending = None;
+                    report.pending_dropped += 1;
+                }
+            }
+        }
+
+        // 3. Reconcile-stash cap, oldest exchange first.
+        report.stash_items_evicted = self.enforce_stash_cap();
+
+        // 4. Mark-sweep the DN table over the surviving references and
+        // shrink session posting lists whose capacity ran far ahead.
+        let mut marked = vec![false; self.table.capacity()];
+        let mark = |ids: &[u32], marked: &mut Vec<bool>| {
+            for &id in ids {
+                if let Some(m) = marked.get_mut(id as usize) {
+                    *m = true;
+                }
+            }
+        };
+        for s in self.sessions.values_mut() {
+            mark(&s.sent, &mut marked);
+            mark(&s.current, &mut marked);
+            mark(&s.departed, &mut marked);
+            mark(&s.changed, &mut marked);
+            if let Some(stash) = &s.reconcile {
+                for &(_, id) in &stash.items {
+                    if let Some(m) = marked.get_mut(id as usize) {
+                        *m = true;
+                    }
+                }
+            }
+            for list in [&mut s.sent, &mut s.current, &mut s.departed, &mut s.changed] {
+                if list.capacity() > 16 && list.capacity() > 2 * list.len() {
+                    list.shrink_to_fit();
+                }
+            }
+        }
+        for (id, is_marked) in marked.iter().enumerate() {
+            if !is_marked && self.table.release(id as u32) {
+                report.ids_released += 1;
+            }
+        }
+
+        if self.obs.is_active() {
+            let reg = self.obs.registry();
+            reg.counter("fbdr_resync_gc_runs_total").inc();
+            reg.counter("fbdr_resync_gc_sessions_evicted_total")
+                .add(report.sessions_evicted as u64);
+            reg.counter("fbdr_resync_gc_pending_dropped_total")
+                .add(report.pending_dropped as u64);
+            reg.counter("fbdr_resync_gc_stash_items_evicted_total")
+                .add(report.stash_items_evicted as u64);
+            reg.counter("fbdr_resync_gc_ids_recycled_total").add(report.ids_released as u64);
+            reg.gauge("fbdr_resync_stability_lag").set(self.stability_lag() as i64);
+            reg.gauge("fbdr_resync_table_capacity").set(self.table.capacity() as i64);
+        }
+        event!(
+            self.obs,
+            "resync",
+            "gc",
+            evicted = report.sessions_evicted,
+            pending_dropped = report.pending_dropped,
+            stash_evicted = report.stash_items_evicted,
+            ids_released = report.ids_released,
+        );
+        report
+    }
+
+    /// Evicts reconcile stashes, oldest exchange first (ties broken by
+    /// session id), until the total stashed items fit
+    /// [`GcConfig::stash_max_items`]. Returns how many items were
+    /// evicted.
+    fn enforce_stash_cap(&mut self) -> usize {
+        let cap = self.gc.stash_max_items;
+        let mut total: usize =
+            self.sessions.values().filter_map(|s| s.reconcile.as_ref()).map(|r| r.items.len()).sum();
+        if total <= cap {
+            return 0;
+        }
+        let mut stashed: Vec<(u64, u64, usize)> = self
+            .sessions
+            .iter()
+            .filter_map(|(&sid, s)| s.reconcile.as_ref().map(|r| (r.at, sid, r.items.len())))
+            .collect();
+        stashed.sort_unstable();
+        let mut evicted = 0usize;
+        for (_, sid, len) in stashed {
+            if total <= cap {
+                break;
+            }
+            if let Some(s) = self.sessions.get_mut(&sid) {
+                s.reconcile = None;
+                total -= len;
+                evicted += len;
+            }
+        }
+        evicted
+    }
+
+    /// Hook run after every applied update: collects when the op counter
+    /// crosses the [`GcConfig::every_ops`] cadence.
+    fn maybe_collect(&mut self) {
+        if self.gc.every_ops.is_some_and(|n| n > 0 && self.ops_applied % n == 0) {
+            self.collect_garbage();
+        }
+    }
+
+    /// Deterministic byte accounting of the master's long-lived state
+    /// (see [`MasterFootprint`]) — the soak benchmark's memory
+    /// high-water instrument.
+    pub fn memory_footprint(&self) -> MasterFootprint {
+        let mut f = MasterFootprint {
+            sessions: self.sessions.len(),
+            table_live: self.table.len(),
+            table_capacity: self.table.capacity(),
+            table_bytes: self.table.approx_bytes(),
+            ..MasterFootprint::default()
+        };
+        for s in self.sessions.values() {
+            f.postings_bytes += 4
+                * (s.sent.capacity()
+                    + s.current.capacity()
+                    + s.departed.capacity()
+                    + s.changed.capacity());
+            if let Some(pending) = &s.pending {
+                f.replay_bytes +=
+                    32 + pending.iter().map(SyncAction::estimated_size).sum::<usize>();
+            }
+            if let Some(stash) = &s.reconcile {
+                f.stash_bytes += 16 + 12 * stash.items.capacity();
+            }
+        }
+        f
     }
 
     /// The DNs a session's replica currently holds, sorted — test and
@@ -1111,6 +1482,10 @@ impl SyncMaster {
                 dirty: 0,
                 dirty_since_ms: None,
                 last_active: self.ops_applied,
+                last_active_ms: self.now_ms,
+                // Nothing is delivered yet, but the session can never ask
+                // for anything older than its own birth.
+                stable_at: self.ops_applied,
                 seq: 0,
                 pending: None,
                 pending_at: self.ops_applied,
@@ -1981,5 +2356,236 @@ mod tests {
         m.apply(UpdateOp::Add(person("b", "7"))).unwrap();
         let resp = m.resync(&req, ReSyncControl::poll(Some(c))).unwrap();
         assert_eq!(resp.actions.len(), 1);
+    }
+
+    // ------------------------------------------------------------------
+    // Causal-stability GC
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn watermark_advances_on_ack() {
+        let mut m = master_with(vec![person("a", "7")]);
+        let req = dept7();
+        assert_eq!(m.stability_watermark(), None, "no sessions: everything stable");
+        let c0 = m.resync(&req, ReSyncControl::poll(None)).unwrap().cookie.unwrap();
+        assert_eq!(m.stability_watermark(), Some(0));
+        for i in 0..4 {
+            m.apply(UpdateOp::Add(person(&format!("p{i}"), "7"))).unwrap();
+        }
+        assert_eq!(m.stability_lag(), 4, "nothing acked since op 0");
+        // The poll both acks the initial batch (built at op 0) and issues
+        // a new one (built at op 4) — stability stays at 0 until the new
+        // batch is acked in turn.
+        let c1 = m.resync(&req, ReSyncControl::poll(Some(c0))).unwrap().cookie.unwrap();
+        assert_eq!(m.stability_watermark(), Some(0));
+        let _c2 = m.resync(&req, ReSyncControl::poll(Some(c1))).unwrap().cookie.unwrap();
+        assert_eq!(m.stability_watermark(), Some(4));
+        assert_eq!(m.stability_lag(), 0);
+    }
+
+    #[test]
+    fn gc_recycles_ids_of_departed_entries() {
+        let mut m = master_with(vec![person("a", "7")]);
+        m.set_gc_config(GcConfig { every_ops: None, ..GcConfig::default() });
+        let req = dept7();
+        let mut c = m.resync(&req, ReSyncControl::poll(None)).unwrap().cookie.unwrap();
+        // Churn distinct DNs through the content, polling (and acking)
+        // after each add/delete pair so departures leave the ledger.
+        for i in 0..50 {
+            m.apply(UpdateOp::Add(person(&format!("churn{i}"), "7"))).unwrap();
+            m.apply(UpdateOp::Delete(dn(&format!("cn=churn{i},o=xyz")))).unwrap();
+            c = m.resync(&req, ReSyncControl::poll(Some(c))).unwrap().cookie.unwrap();
+        }
+        let before = m.memory_footprint();
+        let report = m.collect_garbage();
+        assert!(report.ids_released >= 49, "churned slots reclaimed: {report:?}");
+        let after = m.memory_footprint();
+        assert!(after.table_bytes < before.table_bytes);
+        assert_eq!(after.table_live, 1, "only cn=a remains referenced");
+        // Re-interning after release reuses slots instead of growing.
+        let cap = after.table_capacity;
+        m.apply(UpdateOp::Add(person("fresh", "7"))).unwrap();
+        m.apply(UpdateOp::Delete(dn("cn=fresh,o=xyz"))).unwrap();
+        c = m.resync(&req, ReSyncControl::poll(Some(c))).unwrap().cookie.unwrap();
+        let _ = m.resync(&req, ReSyncControl::poll(Some(c))).unwrap();
+        m.collect_garbage();
+        assert_eq!(m.memory_footprint().table_capacity, cap, "id space stopped growing");
+    }
+
+    #[test]
+    fn gc_is_transparent_to_live_sessions() {
+        // Twin masters over the identical history: one collects after
+        // every op, one never; every response must be identical.
+        let entries = vec![person("a", "7"), person("b", "9")];
+        let mut gc = master_with(entries.clone());
+        gc.set_gc_config(GcConfig {
+            session_deadline_ms: None,
+            stash_max_items: 1 << 20,
+            every_ops: Some(1),
+        });
+        let mut raw = master_with(entries);
+        raw.set_gc_config(GcConfig::disabled());
+        let req = dept7();
+        let mut cookies = Vec::new();
+        for m in [&mut gc, &mut raw] {
+            cookies.push(m.resync(&req, ReSyncControl::poll(None)).unwrap().cookie.unwrap());
+        }
+        assert_eq!(cookies[0], cookies[1]);
+        let mut cookie = cookies[0];
+        for i in 0..30 {
+            let ops = [
+                UpdateOp::Add(person(&format!("x{i}"), "7")),
+                UpdateOp::Delete(dn(&format!("cn=x{i},o=xyz"))),
+                UpdateOp::Modify {
+                    dn: dn("cn=a,o=xyz"),
+                    mods: vec![Modification::Replace("mail".into(), vec![format!("m{i}@x").into()])],
+                },
+            ];
+            for op in ops {
+                gc.apply(op.clone()).unwrap();
+                raw.apply(op).unwrap();
+            }
+            let a = gc.resync(&req, ReSyncControl::poll(Some(cookie))).unwrap();
+            let b = raw.resync(&req, ReSyncControl::poll(Some(cookie))).unwrap();
+            assert_eq!(a, b, "round {i}");
+            // Duplicate delivery of the same request must also agree.
+            let ra = gc.resync(&req, ReSyncControl::poll(Some(cookie))).unwrap();
+            let rb = raw.resync(&req, ReSyncControl::poll(Some(cookie))).unwrap();
+            assert_eq!(ra, rb, "redelivery round {i}");
+            cookie = a.cookie.unwrap();
+        }
+        assert!(gc.memory_footprint().table_capacity < raw.memory_footprint().table_capacity);
+    }
+
+    #[test]
+    fn deadline_evicts_unreachable_sessions_not_live_persist() {
+        let mut m = master_with(vec![person("a", "7")]);
+        m.set_gc_config(GcConfig {
+            session_deadline_ms: Some(100),
+            ..GcConfig::default()
+        });
+        // A poll session that goes silent, and a persist session with a
+        // live channel that is just as silent.
+        let _dead = m.resync(&dept7(), ReSyncControl::poll(None)).unwrap().cookie.unwrap();
+        let live = SearchRequest::new(
+            dn("o=xyz"),
+            Scope::Subtree,
+            Filter::parse("(dept=9)").unwrap(),
+        );
+        let (_resp, rx) = m.resync_persist(&live, None).unwrap();
+        m.advance_to(50);
+        assert_eq!(m.collect_garbage().sessions_evicted, 0, "inside the deadline");
+        m.advance_to(200);
+        let report = m.collect_garbage();
+        assert_eq!(report.sessions_evicted, 1, "silent poll session evicted");
+        assert_eq!(m.session_count(), 1, "live persist channel exempt");
+        assert!(report.ids_released > 0, "the evicted session's slots freed");
+        drop(rx);
+        m.advance_to(400);
+        assert_eq!(m.collect_garbage().sessions_evicted, 1, "dead channel: fair game");
+        assert_eq!(m.session_count(), 0);
+    }
+
+    #[test]
+    fn gc_drops_expired_pending_eagerly_with_same_retry_outcome() {
+        let mut m = master_with(vec![person("a", "7")]);
+        m.set_replay_expiry_ops(2);
+        m.set_gc_config(GcConfig { every_ops: None, ..GcConfig::default() });
+        let req = dept7();
+        let c0 = m.resync(&req, ReSyncControl::poll(None)).unwrap().cookie.unwrap();
+        m.apply(UpdateOp::Add(person("b", "7"))).unwrap();
+        let _c1 = m.resync(&req, ReSyncControl::poll(Some(c0))).unwrap();
+        for i in 0..3 {
+            m.apply(UpdateOp::Add(person(&format!("p{i}"), "9"))).unwrap();
+        }
+        // The unacked batch is past the window: GC frees its bytes now.
+        let before = m.memory_footprint().replay_bytes;
+        let report = m.collect_garbage();
+        assert_eq!(report.pending_dropped, 1);
+        assert!(m.memory_footprint().replay_bytes < before);
+        // The retry sees exactly what it would have seen without GC.
+        let err = m.resync(&req, ReSyncControl::poll(Some(c0))).unwrap_err();
+        assert!(matches!(err, SyncError::ReplayExpired { .. }));
+    }
+
+    #[test]
+    fn stash_cap_evicts_oldest_exchange_first() {
+        use crate::reconcile::{BloomDigest, RangeProbe, RangeRequest, ReconcileRequest};
+        let mut m = master_with(vec![
+            person("a", "7"),
+            person("b", "7"),
+            person("c", "7"),
+        ]);
+        m.set_gc_config(GcConfig {
+            stash_max_items: 4,
+            every_ops: None,
+            session_deadline_ms: None,
+        });
+        let digest = || BloomDigest::build(&[], 0.01, 1);
+        let old = m
+            .reconcile(&dept7(), ReconcileRequest { digest: digest(), summary_buckets: 4 })
+            .unwrap();
+        // A second exchange pushes the stashed total (3 + 3) over the cap
+        // of 4: the older exchange's stash is evicted, the new survives.
+        let new = m
+            .reconcile(&dept7(), ReconcileRequest { digest: digest(), summary_buckets: 4 })
+            .unwrap();
+        let probe = RangeRequest { probes: vec![RangeProbe { bucket: 0, hashes: vec![] }] };
+        let err = m.reconcile_ranges(old.cookie, &probe).unwrap_err();
+        assert!(
+            matches!(err, SyncError::ReconcileFailed(_)),
+            "evicted exchange falls to reinstall: {err:?}"
+        );
+        assert!(m.reconcile_ranges(new.cookie, &probe).is_ok(), "newest exchange intact");
+    }
+
+    #[test]
+    fn expire_idle_reclaims_in_the_same_pass() {
+        let mut m = master_with(vec![person("a", "7")]);
+        m.set_gc_config(GcConfig { every_ops: None, ..GcConfig::default() });
+        let req = dept7();
+        let c = m.resync(&req, ReSyncControl::poll(None)).unwrap().cookie.unwrap();
+        // The session accumulates departed history and an unacked batch,
+        // then goes silent.
+        for i in 0..10 {
+            m.apply(UpdateOp::Add(person(&format!("g{i}"), "7"))).unwrap();
+        }
+        let _ = m.resync(&req, ReSyncControl::poll(Some(c))).unwrap();
+        for i in 0..10 {
+            m.apply(UpdateOp::Delete(dn(&format!("cn=g{i},o=xyz")))).unwrap();
+        }
+        let full = m.memory_footprint();
+        assert!(full.replay_bytes > 0 && full.table_live > 1);
+        assert_eq!(m.expire_idle(5), 1);
+        // Eviction freed the replay buffer and the table slots in the
+        // same pass — no second collection needed.
+        let f = m.memory_footprint();
+        assert_eq!(f.sessions, 0);
+        assert_eq!(f.replay_bytes, 0);
+        assert_eq!(f.table_live, 0);
+        assert_eq!(m.stability_watermark(), None, "watermark advanced past the dead session");
+    }
+
+    #[test]
+    fn gc_state_survives_serde_round_trip() {
+        let mut m = master_with(vec![person("a", "7")]);
+        m.set_gc_config(GcConfig { every_ops: Some(7), ..GcConfig::default() });
+        let req = dept7();
+        let c0 = m.resync(&req, ReSyncControl::poll(None)).unwrap().cookie.unwrap();
+        m.apply(UpdateOp::Add(person("b", "7"))).unwrap();
+        let c1 = m.resync(&req, ReSyncControl::poll(Some(c0))).unwrap().cookie.unwrap();
+        let _ = m.resync(&req, ReSyncControl::poll(Some(c1))).unwrap();
+        let json = serde_json::to_string(&m).unwrap();
+        let mut back: SyncMaster = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.gc_config(), m.gc_config());
+        assert_eq!(back.stability_watermark(), m.stability_watermark());
+        assert_eq!(back.memory_footprint().table_live, m.memory_footprint().table_live);
+        // The restored master keeps collecting and serving.
+        back.collect_garbage();
+        m.apply(UpdateOp::Add(person("c", "7"))).unwrap();
+        back.apply(UpdateOp::Add(person("c", "7"))).unwrap();
+        let a = m.resync(&req, ReSyncControl::poll(Some(c1))).unwrap();
+        let b = back.resync(&req, ReSyncControl::poll(Some(c1))).unwrap();
+        assert_eq!(a, b);
     }
 }

@@ -19,7 +19,7 @@
 //! fresh updates.
 
 use crate::driver::{Clock, DriverStats, RetryConfig, SyncDriver, SyncTransport, SystemClock};
-use crate::master::{NotifyFlush, NotifyPolicy};
+use crate::master::{GcConfig, GcReport, MasterFootprint, NotifyFlush, NotifyPolicy};
 use crate::protocol::{
     Cookie, NotifyBatch, ReSyncControl, SyncAction, SyncError, SyncResponse, SyncTraffic,
 };
@@ -316,6 +316,54 @@ impl ShardedMaster {
     /// shards.
     pub fn notify_overflows(&self) -> u64 {
         self.shards.iter().map(SyncMaster::notify_overflows).sum()
+    }
+
+    /// Sets every shard's garbage-collector knobs (see [`GcConfig`]).
+    pub fn set_gc_config(&mut self, gc: GcConfig) {
+        for shard in &mut self.shards {
+            shard.set_gc_config(gc);
+        }
+    }
+
+    /// Bounds every shard's replay buffer (see
+    /// [`SyncMaster::set_replay_expiry_ops`]).
+    pub fn set_replay_expiry_ops(&mut self, ops: u64) {
+        for shard in &mut self.shards {
+            shard.set_replay_expiry_ops(ops);
+        }
+    }
+
+    /// Runs one causal-stability collection pass on every shard (see
+    /// [`SyncMaster::collect_garbage`]) and returns the summed report.
+    pub fn collect_garbage(&mut self) -> GcReport {
+        let mut report = GcReport::default();
+        for shard in &mut self.shards {
+            report.merge(shard.collect_garbage());
+        }
+        report
+    }
+
+    /// The fleet's stability watermark: the minimum of every shard's (the
+    /// slowest acknowledger anywhere pins it). `None` when no shard has
+    /// sessions.
+    pub fn stability_watermark(&self) -> Option<u64> {
+        self.shards.iter().filter_map(SyncMaster::stability_watermark).min()
+    }
+
+    /// The worst per-shard stability lag (each shard's op counter runs
+    /// independently, so lags are comparable per shard, not summed).
+    pub fn stability_lag(&self) -> u64 {
+        self.shards.iter().map(SyncMaster::stability_lag).max().unwrap_or(0)
+    }
+
+    /// Summed deterministic byte accounting across all shards (see
+    /// [`SyncMaster::memory_footprint`]).
+    pub fn memory_footprint(&self) -> MasterFootprint {
+        let mut f = MasterFootprint::default();
+        for shard in &self.shards {
+            f.merge(shard.memory_footprint());
+        }
+        f
     }
 }
 

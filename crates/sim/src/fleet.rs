@@ -23,8 +23,8 @@ use fbdr_net::link::splitmix64;
 use fbdr_net::LinkProfile;
 use fbdr_obs::Obs;
 use fbdr_resync::{
-    Cookie, NotifyPolicy, ReSyncControl, ReplicaContent, ShardId, ShardMap, ShardedMaster,
-    SyncTransport,
+    Cookie, GcConfig, NotifyPolicy, ReSyncControl, ReplicaContent, ShardId, ShardMap,
+    ShardedMaster, SyncTransport,
 };
 use crossbeam::channel::{Receiver, TryRecvError};
 use fbdr_resync::NotifyBatch;
@@ -85,6 +85,12 @@ pub struct FleetConfig {
     /// delivery, forcing that replica onto cookie-based polling. 0
     /// disables link faults.
     pub link_drop_per_mille: u32,
+    /// Cadence of the masters' causal-stability garbage collector, in
+    /// simulated milliseconds: every tick runs one
+    /// [`collect_garbage`](fbdr_resync::SyncMaster::collect_garbage)
+    /// pass across the shards, on the simulated clock like every other
+    /// event. 0 disables GC entirely (the monotonic-memory baseline).
+    pub gc_every_ms: u64,
     /// Master seed: workload choices, tie-breaking, link jitter.
     pub seed: u64,
 }
@@ -104,6 +110,7 @@ impl FleetConfig {
             flush_interval_ms: 10,
             link: LinkProfile::constant(2),
             link_drop_per_mille: 0,
+            gc_every_ms: 0,
             seed,
         }
     }
@@ -209,6 +216,8 @@ enum Event {
     FlushTick,
     /// One notification batch reaches replica `r`.
     Deliver(usize),
+    /// The masters' garbage-collection timer fires.
+    GcTick,
 }
 
 /// The simulator: build with [`FleetSim::new`] (installs every session
@@ -340,6 +349,13 @@ impl FleetSim {
         if cfg.flush_interval_ms > 0 {
             sched.push(cfg.flush_interval_ms, Event::FlushTick);
         }
+        if cfg.gc_every_ms > 0 {
+            // The tick is the sole GC trigger: op-count cadence off, so
+            // collection happens only on the simulated clock and the run
+            // stays reproducible event-for-event.
+            master.set_gc_config(GcConfig { every_ops: None, ..GcConfig::default() });
+            sched.push(cfg.gc_every_ms, Event::GcTick);
+        }
 
         FleetSim {
             cfg,
@@ -410,6 +426,13 @@ impl FleetSim {
                     }
                 }
                 Event::Deliver(r) => self.deliver(t, r),
+                Event::GcTick => {
+                    self.master.advance_to(t);
+                    self.master.collect_garbage();
+                    if t < horizon {
+                        self.sched.push(t + self.cfg.gc_every_ms, Event::GcTick);
+                    }
+                }
             }
         }
         self.finish()
@@ -658,6 +681,26 @@ mod tests {
             faulty.content_digest, clean.content_digest,
             "link faults only delay delivery; the same workload must yield the same content"
         );
+    }
+
+    #[test]
+    fn gc_ticks_are_content_transparent() {
+        let mut base_cfg = FleetConfig::small(40, 11);
+        base_cfg.updates = 200;
+        let mut gc_cfg = base_cfg;
+        gc_cfg.gc_every_ms = 25;
+        let sim = FleetSim::new(gc_cfg);
+        let obs = sim.obs().clone();
+        let gc = sim.run();
+        let base = FleetSim::new(base_cfg).run();
+        assert_eq!(gc.diverged, 0);
+        assert_eq!(
+            gc.content_digest, base.content_digest,
+            "collection must be invisible to every live session's content"
+        );
+        let rendered = obs.registry().render_prometheus();
+        assert!(rendered.contains("fbdr_resync_gc_runs_total"));
+        assert!(rendered.contains("fbdr_resync_stability_lag"));
     }
 
     #[test]

@@ -429,6 +429,156 @@ fn replay_eviction_recovers_by_reconciliation_without_reinstall() {
     }
 }
 
+/// Soak: ten times the suite's churn through a GC'd master, with a
+/// rolling window of *fresh* DNs (each added in-filter, then deleted a
+/// few steps later) so the garbage actually accumulates somewhere —
+/// departed posting lists, replay buffers, retired interner slots. The
+/// causal-stability collector must hold the deterministic memory
+/// footprint flat after warmup, and the usual convergence and
+/// zero-lost-deletion checks must still pass under the same faults.
+#[test]
+fn soak_memory_high_water_stays_flat_over_ten_x_churn() {
+    const SOAK_UPDATES: usize = UPDATES * 10;
+    const SEGMENTS: usize = 10;
+    /// Fresh churn DNs alive at once before deletion catches up.
+    const WINDOW: usize = 8;
+
+    let seed = 7u64;
+    let plan = FaultPlan::builder(seed)
+        .drop_request(0.05)
+        .drop_response(0.05)
+        .duplicate(0.05)
+        .latency_ms(1, 5)
+        .build();
+    let clock = SimClock::new();
+    let mut master = build_master();
+    master.set_gc_config(fbdr_resync::GcConfig {
+        session_deadline_ms: None,
+        stash_max_items: 1 << 16,
+        every_ops: Some(16),
+    });
+    let replica = FilterReplica::new(0);
+    replica.install_filter(&mut master, filter_request()).unwrap();
+    let mut link = FaultyLink::new(master, plan, clock.clone());
+    let mut driver = SyncDriver::with_clock(
+        RetryConfig {
+            max_retries: 2,
+            base_backoff_ms: 10,
+            max_backoff_ms: 40,
+            timeout_budget_ms: 10_000,
+            jitter_seed: seed,
+        },
+        clock,
+    );
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD_EF01);
+    let mut present: Vec<bool> = vec![true; ENTRIES];
+    let mut in_filter: Vec<bool> = (0..ENTRIES).map(|i| i % 2 == 0).collect();
+    let mut deleted: BTreeSet<usize> = BTreeSet::new();
+    let mut high_water = [0usize; SEGMENTS];
+    // Churn DNs get indices far above the base set so they never
+    // collide with it; each lives for WINDOW steps.
+    let churn_dn = |k: usize| ENTRIES + 1000 + k;
+
+    for step in 0..SOAK_UPDATES {
+        // The suite's usual boundary-toggling workload on the base set.
+        let i = rng.gen_range(0..ENTRIES);
+        let roll: f64 = rng.gen();
+        let op = if !present[i] {
+            in_filter[i] = roll < 0.5;
+            fbdr_dit::UpdateOp::Add(entry(i, &serial(in_filter[i], i)))
+        } else if roll < 0.25 {
+            fbdr_dit::UpdateOp::Delete(dn(i))
+        } else {
+            in_filter[i] = !in_filter[i];
+            fbdr_dit::UpdateOp::Modify {
+                dn: dn(i),
+                mods: vec![fbdr_dit::Modification::Replace(
+                    "serialNumber".into(),
+                    vec![serial(in_filter[i], i).into()],
+                )],
+            }
+        };
+        match &op {
+            fbdr_dit::UpdateOp::Delete(_) => {
+                present[i] = false;
+                deleted.insert(i);
+            }
+            fbdr_dit::UpdateOp::Add(_) => {
+                present[i] = true;
+                deleted.remove(&i);
+            }
+            _ => {}
+        }
+        link.master_mut().apply(op).unwrap();
+
+        // Fresh-DN turnover: one new in-filter entry per step, one
+        // deletion of the entry from WINDOW steps back. Un-collected,
+        // this grows the interner and every departed list forever.
+        let k = churn_dn(step);
+        link.master_mut()
+            .apply(fbdr_dit::UpdateOp::Add(entry(k, &serial(true, k))))
+            .unwrap();
+        if step >= WINDOW {
+            link.master_mut()
+                .apply(fbdr_dit::UpdateOp::Delete(dn(churn_dn(step - WINDOW))))
+                .unwrap();
+        }
+
+        if step % 4 == 0 {
+            replica.drain_notifications();
+            replica
+                .sync_with(&mut link, &mut driver)
+                .expect("only non-transient errors may surface");
+        }
+        let seg = step * SEGMENTS / SOAK_UPDATES;
+        high_water[seg] =
+            high_water[seg].max(link.master().memory_footprint().total_bytes());
+    }
+
+    link.quiesce();
+    for _ in 0..3 {
+        replica.drain_notifications();
+        replica.sync_with(&mut link, &mut driver).expect("clean cycle");
+    }
+    assert_eq!(replica.stale_filter_count(), 0, "soak: still stale after quiesce");
+
+    // Convergence under churn, exactly as the per-seed runs check it.
+    let request = filter_request();
+    let mut want = link.master().dit().search(&request);
+    want.sort_by(|a, b| a.dn().cmp(b.dn()));
+    let mut got = replica.try_answer(&request).expect("stored filter answers its own query");
+    got.sort_by(|a, b| a.dn().cmp(b.dn()));
+    assert_eq!(got, want, "soak: replica diverged from master");
+
+    // Zero lost deletions — on the base set and on every churn DN whose
+    // deletion has already been applied.
+    for &i in &deleted {
+        assert!(
+            !got.iter().any(|e| e.dn() == &dn(i)),
+            "soak: deleted entry e{i} still served by the replica"
+        );
+    }
+    for k in (0..SOAK_UPDATES.saturating_sub(WINDOW)).map(churn_dn) {
+        assert!(
+            !got.iter().any(|e| e.dn() == &dn(k)),
+            "soak: deleted churn entry e{k} still served by the replica"
+        );
+    }
+
+    // Memory flatness: after the first segment warms the buffers up,
+    // the high-water mark must not creep. 10% headroom covers posting
+    // lists caught mid-window and replay batches of uneven size.
+    let baseline = high_water[1];
+    assert!(baseline > 0, "footprint accounting returned zeros: {high_water:?}");
+    for (seg, &hw) in high_water.iter().enumerate().skip(2) {
+        assert!(
+            hw as f64 <= baseline as f64 * 1.10,
+            "soak: segment {seg} high-water {hw} exceeds 1.1x baseline {baseline}: {high_water:?}"
+        );
+    }
+}
+
 mod recovery_equivalence {
     //! Property: recovering a lost session by reconciliation yields
     //! byte-for-byte the same replica content as a full reinstall, for

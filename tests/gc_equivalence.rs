@@ -1,0 +1,173 @@
+//! GC transparency: a master that aggressively collects garbage must be
+//! observationally identical to one that never collects, for every live
+//! session, at every poll boundary.
+//!
+//! Causal-stability GC reclaims replay buffers, posting-list slack,
+//! reconcile stashes and interned ids strictly *below* the stability
+//! watermark — state no live session can ever ask about again. If that
+//! invariant holds, the wire protocol cannot tell the two masters apart:
+//! same actions, same cookies, same replay on duplicate cookies, same
+//! `ReplayExpired` on stale ones. This suite drives twin masters through
+//! arbitrary interleavings of updates and polls (including a session
+//! that goes silent through the churn and resumes right at the
+//! watermark) and asserts byte-for-byte equal responses throughout.
+
+use fbdr_ldap::{Entry, Filter, SearchRequest};
+use fbdr_resync::{Cookie, GcConfig, ReSyncControl, SyncMaster};
+use proptest::prelude::*;
+
+const ENTRIES: usize = 16;
+
+fn dn(i: usize) -> fbdr_ldap::Dn {
+    format!("cn=g{i},o=xyz").parse().unwrap()
+}
+
+fn entry(i: usize, serial: &str) -> Entry {
+    Entry::new(dn(i)).with("objectclass", "person").with("serialNumber", serial)
+}
+
+/// Serial inside the replicated filter region (`04*`) or outside it.
+fn serial(in_filter: bool, i: usize) -> String {
+    if in_filter {
+        format!("04{i:04}")
+    } else {
+        format!("99{i:04}")
+    }
+}
+
+fn filter_request() -> SearchRequest {
+    SearchRequest::from_root(Filter::parse("(serialNumber=04*)").unwrap())
+}
+
+fn build_master() -> SyncMaster {
+    let mut m = SyncMaster::new();
+    m.dit_mut().add_suffix("o=xyz".parse().unwrap());
+    m.dit_mut()
+        .add(Entry::new("o=xyz".parse().unwrap()).with("objectclass", "organization"))
+        .unwrap();
+    for i in 0..ENTRIES {
+        m.dit_mut().add(entry(i, &serial(i % 2 == 0, i))).unwrap();
+    }
+    m
+}
+
+/// Twin masters driven in lockstep: every mutation and every poll hits
+/// both; every response pair must match.
+struct Twins {
+    /// Collects after every single op, with a tiny stash cap.
+    gc: SyncMaster,
+    /// Never collects anything.
+    raw: SyncMaster,
+    /// Per-session resumption cookies, one slot per scripted session.
+    cookies: Vec<Option<Cookie>>,
+}
+
+impl Twins {
+    fn new(sessions: usize) -> Self {
+        let mut gc = build_master();
+        gc.set_gc_config(GcConfig {
+            session_deadline_ms: None,
+            stash_max_items: 8,
+            every_ops: Some(1),
+        });
+        let raw = build_master();
+        // `GcConfig::disabled()` is the default for a master nobody
+        // configures, but spell it out: this arm must never reclaim.
+        let mut raw = raw;
+        raw.set_gc_config(GcConfig::disabled());
+        Twins { gc, raw, cookies: vec![None; sessions] }
+    }
+
+    fn apply(&mut self, op: fbdr_dit::UpdateOp) {
+        // Deleting absent entries / re-adding present ones no-ops the
+        // same way on both arms.
+        let a = self.gc.apply(op.clone());
+        let b = self.raw.apply(op);
+        assert_eq!(a.is_ok(), b.is_ok());
+    }
+
+    /// Polls session `s` on both masters and asserts identical
+    /// responses; on success, both cookies advance in lockstep.
+    fn poll(&mut self, s: usize, redeliver: bool) -> Result<(), TestCaseError> {
+        let req = filter_request();
+        let ctl = ReSyncControl::poll(self.cookies[s]);
+        let a = self.gc.resync(&req, ctl);
+        let b = self.raw.resync(&req, ctl);
+        prop_assert_eq!(&a, &b, "poll diverged for session {}", s);
+        if redeliver {
+            // A duplicate of the *same* cookie must replay the same
+            // batch on both arms — the GC'd master may not have
+            // compacted the replay buffer out from under the retry.
+            let a2 = self.gc.resync(&req, ctl);
+            let b2 = self.raw.resync(&req, ctl);
+            prop_assert_eq!(&a2, &b2, "redelivery diverged for session {}", s);
+        }
+        if let Ok(resp) = a {
+            self.cookies[s] = resp.cookie.or(self.cookies[s]);
+        }
+        Ok(())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+    #[test]
+    fn gc_master_is_indistinguishable_from_ungcd_master(
+        steps in prop::collection::vec((any::<u8>(), any::<u8>(), any::<bool>()), 0..120),
+    ) {
+        let mut twins = Twins::new(3);
+
+        // All three sessions install up front. Session 2 then goes
+        // silent for the whole script: its stable-at pins the
+        // watermark, and it resumes only at the end — exactly at the
+        // watermark, the oldest state any live session may demand.
+        for s in 0..3 {
+            twins.poll(s, false)?;
+        }
+
+        for (kind, idx, flag) in steps {
+            let i = idx as usize % ENTRIES;
+            match kind % 8 {
+                // Delete-heavy churn: departures are what feed the
+                // per-session `departed` lists GC compacts.
+                0 | 1 => twins.apply(fbdr_dit::UpdateOp::Delete(dn(i))),
+                2 | 3 => twins.apply(fbdr_dit::UpdateOp::Add(entry(i, &serial(flag, i)))),
+                4 => twins.apply(fbdr_dit::UpdateOp::Modify {
+                    dn: dn(i),
+                    mods: vec![fbdr_dit::Modification::Replace(
+                        "serialNumber".into(),
+                        vec![serial(flag, i).into()],
+                    )],
+                }),
+                5 => twins.poll(0, flag)?,
+                6 => twins.poll(1, flag)?,
+                // Fresh DNs stress id recycling: slots freed by the
+                // deletes above get reused under new generations.
+                _ => {
+                    twins.apply(fbdr_dit::UpdateOp::Add(entry(
+                        ENTRIES + i,
+                        &serial(flag, ENTRIES + i),
+                    )));
+                    if flag {
+                        twins.apply(fbdr_dit::UpdateOp::Delete(dn(ENTRIES + i)));
+                    }
+                }
+            }
+        }
+
+        // The silent session resumes right at the watermark...
+        twins.poll(2, true)?;
+        // ...and every session drains to quiescence identically.
+        for s in 0..3 {
+            twins.poll(s, true)?;
+            twins.poll(s, false)?;
+        }
+
+        // GC actually did something to earn the name: the raw arm's
+        // table still carries every id it ever interned, the collected
+        // arm's carries at most that (usually much less).
+        let (g, r) = (twins.gc.memory_footprint(), twins.raw.memory_footprint());
+        prop_assert!(g.table_capacity <= r.table_capacity);
+        prop_assert!(g.table_live <= r.table_live);
+    }
+}
