@@ -1,0 +1,128 @@
+//! `selection_adapt` — adaptation ablation over the adversarial
+//! scenario matrix.
+//!
+//! ```text
+//! selection_adapt [--scenarios a,b,c] [--queries-per-phase N]
+//!                 [--budget N] [--sync-every N] [--revolve-every N]
+//!                 [--step-every N] [--move-budget N] [--small]
+//!                 [--seed N] [--out PATH]
+//! ```
+//!
+//! Replays every scenario through four arms — periodic batch
+//! revolutions, the per-query evolution baseline, the budgeted online
+//! revolution, and a train-on-the-final-phase oracle — and writes
+//! `BENCH_selection.json`. Exits non-zero if the online arm misses 90%
+//! of the oracle's end-state hit ratio on any scenario, if online
+//! installs exceed ⅓ of the evolution baseline's, or if any online step
+//! breached the move budget.
+
+use fbdr_bench::selection_adapt::{run, AdaptConfig};
+
+fn usage(msg: &str) -> ! {
+    eprintln!("selection_adapt: {msg} (try --help)");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = AdaptConfig::default();
+    let mut out = String::from("BENCH_selection.json");
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        let mut num = |flag: &str| -> u64 {
+            it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                usage(&format!("{flag} takes a number"));
+            })
+        };
+        match a.as_str() {
+            "--scenarios" => {
+                let list = it.next().unwrap_or_else(|| usage("--scenarios takes a list"));
+                cfg.scenarios = list.split(',').map(|s| s.trim().to_owned()).collect();
+            }
+            "--queries-per-phase" => cfg.queries_per_phase = num("--queries-per-phase") as usize,
+            "--budget" => cfg.entry_budget = num("--budget") as usize,
+            "--sync-every" => cfg.sync_every = num("--sync-every") as usize,
+            "--revolve-every" => cfg.revolution_interval = num("--revolve-every"),
+            "--step-every" => cfg.step_every = num("--step-every"),
+            "--move-budget" => cfg.move_budget = num("--move-budget") as usize,
+            "--small" => cfg.small_directory = true,
+            "--seed" => cfg.seed = num("--seed"),
+            "--out" => out = it.next().unwrap_or_else(|| usage("--out takes a path")),
+            "--help" | "-h" => {
+                println!(
+                    "usage: selection_adapt [--scenarios a,b,c] [--queries-per-phase N] \
+                     [--budget N] [--sync-every N] [--revolve-every N] [--step-every N] \
+                     [--move-budget N] [--small] [--seed N] [--out PATH]"
+                );
+                return;
+            }
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let report = run(&cfg);
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+
+    println!(
+        "# selection_adapt — budget {}, step every {} (≤{} moves), revolve every {}",
+        report.config.entry_budget,
+        report.config.step_every,
+        report.config.move_budget,
+        report.config.revolution_interval,
+    );
+    println!(
+        "  {:<13} {:>7} {:>7} {:>7} {:>7} | {:>9} {:>9} {:>9} | {:>5}",
+        "scenario", "period", "evolve", "online", "oracle", "p-inst", "e-inst", "o-inst", "moves",
+    );
+    for s in &report.scenarios {
+        println!(
+            "  {:<13} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% | {:>9} {:>9} {:>9} | {:>2}/{:<2}",
+            s.scenario,
+            100.0 * s.periodic.final_hit_ratio,
+            100.0 * s.evolution.final_hit_ratio,
+            100.0 * s.online.final_hit_ratio,
+            100.0 * s.oracle_final_hit_ratio,
+            s.periodic.installs,
+            s.evolution.installs,
+            s.online.installs,
+            s.online_max_moves,
+            report.config.move_budget,
+        );
+    }
+    println!(
+        "  online installs {} vs evolution {} (ratio {:.3})",
+        report.online_installs_total, report.evolution_installs_total, report.install_ratio,
+    );
+
+    let mut failed = false;
+    if !report.gates.adaptation_ok {
+        for s in &report.scenarios {
+            if s.online.final_hit_ratio + 0.02 < 0.9 * s.oracle_final_hit_ratio {
+                eprintln!(
+                    "FAIL: {}: online end-state hit ratio {:.3} < 0.9 x oracle {:.3}",
+                    s.scenario, s.online.final_hit_ratio, s.oracle_final_hit_ratio
+                );
+            }
+        }
+        failed = true;
+    }
+    if !report.gates.churn_ok {
+        eprintln!(
+            "FAIL: online installs {} exceed 1/3 of evolution baseline {}",
+            report.online_installs_total, report.evolution_installs_total
+        );
+        failed = true;
+    }
+    if !report.gates.bounded_ok {
+        eprintln!("FAIL: an online step exceeded the move budget or recorded no histogram sample");
+        failed = true;
+    }
+    println!("  wrote {out}");
+    if failed {
+        std::process::exit(1);
+    }
+}

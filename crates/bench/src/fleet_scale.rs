@@ -122,6 +122,7 @@ fn fleet_config(cfg: &FleetScaleConfig, workload: Workload, policy: NotifyPolicy
         link: cfg.link,
         link_drop_per_mille: 0,
         gc_every_ms: 0,
+        queries: 0,
         seed: cfg.seed,
     }
 }

@@ -1,0 +1,413 @@
+//! Adaptation ablation over the adversarial scenario matrix: periodic
+//! revolutions (§6.2) vs the per-query evolution baseline (\[12\]) vs the
+//! budgeted online revolution, with a train-on-the-end-state oracle as
+//! the quality ceiling.
+//!
+//! Every arm replays the *same* seeded [`Scenario`] event schedule
+//! (queries interleaved with master updates) against its own master, so
+//! hit ratios, install churn and traffic are directly comparable. The
+//! oracle arm trains a frozen selection on the final phase's queries and
+//! replays only that phase — the quality a selector could reach if it
+//! had known the end state in advance.
+//!
+//! Gates (the committed `BENCH_selection.json` must pass all three):
+//!
+//! 1. **adaptation** — per scenario, the online arm's final-phase hit
+//!    ratio reaches ≥ 90% of the oracle's (with a 2-point absolute slack
+//!    so noise-level ratios on the cache-buster scenario don't produce
+//!    spurious verdicts);
+//! 2. **churn** — summed over scenarios, online installs ≤ ⅓ of the
+//!    evolution baseline's;
+//! 3. **bounded moves** — no online step ever exceeds the move budget,
+//!    and the consideration set stays a strict subset of the candidate
+//!    table (no full-set recompute on the hot path), as recorded by the
+//!    `fbdr_selection_revolve_moves` / `fbdr_selection_step_considered`
+//!    histograms.
+
+use fbdr_core::experiment::{replay_filter, select_static_filters, ReplayConfig};
+use fbdr_core::{Replicator, ServedBy};
+use fbdr_obs::Obs;
+use fbdr_replica::FilterReplica;
+use fbdr_resync::{SyncDriver, SyncMaster, SystemClock};
+use fbdr_selection::generalize::{Generalizer, ValuePrefix, WidenToPresence};
+use fbdr_selection::{
+    EvolutionSelector, FilterSelector, OnlineConfig, OnlineSelector, SelectorConfig,
+};
+use fbdr_workload::{
+    DirectoryConfig, EnterpriseDirectory, Scenario, ScenarioConfig, ScenarioKind, TracedQuery,
+    WorkloadEvent,
+};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one adaptation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdaptConfig {
+    /// Scenario names to run (see [`ScenarioKind::name`]); empty = all.
+    pub scenarios: Vec<String>,
+    /// Queries per scenario phase.
+    pub queries_per_phase: usize,
+    /// Replica entry budget, every arm.
+    pub entry_budget: usize,
+    /// Queries between replica sync polls.
+    pub sync_every: usize,
+    /// Periodic arm: queries between batch revolutions.
+    pub revolution_interval: u64,
+    /// Online arm: queries between budgeted steps.
+    pub step_every: u64,
+    /// Online arm: max promote/evict moves per step.
+    pub move_budget: usize,
+    /// Use the small (1.2k entry) directory instead of the default 20k.
+    pub small_directory: bool,
+    /// Scenario seed.
+    pub seed: u64,
+}
+
+impl Default for AdaptConfig {
+    fn default() -> Self {
+        AdaptConfig {
+            scenarios: Vec::new(),
+            queries_per_phase: 6000,
+            entry_budget: 1200,
+            sync_every: 500,
+            revolution_interval: 600,
+            step_every: 60,
+            move_budget: 4,
+            small_directory: false,
+            seed: 0xADA7,
+        }
+    }
+}
+
+/// One arm's outcome on one scenario.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct ArmOutcome {
+    /// Queries replayed.
+    pub queries: u64,
+    /// Queries answered by the replica.
+    pub hits: u64,
+    /// `hits / queries`.
+    pub hit_ratio: f64,
+    /// Final-phase queries.
+    pub final_queries: u64,
+    /// Final-phase replica answers.
+    pub final_hits: u64,
+    /// `final_hits / final_queries` — end-state quality.
+    pub final_hit_ratio: f64,
+    /// Filter installs (each costs a content load).
+    pub installs: u64,
+    /// Filter evictions.
+    pub evictions: u64,
+    /// Batch revolutions / online steps / evolutions performed.
+    pub adaptations: u64,
+    /// Content-load traffic, full entries.
+    pub install_entries: u64,
+    /// ReSync poll traffic, full entries.
+    pub resync_entries: u64,
+}
+
+impl ArmOutcome {
+    fn seal(mut self) -> Self {
+        self.hit_ratio = self.hits as f64 / self.queries.max(1) as f64;
+        self.final_hit_ratio = self.final_hits as f64 / self.final_queries.max(1) as f64;
+        self
+    }
+}
+
+/// All arms on one scenario, plus the online-specific hot-path evidence.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioOutcome {
+    /// Scenario name.
+    pub scenario: String,
+    /// Phases in the schedule.
+    pub phases: usize,
+    /// Total queries replayed per arm.
+    pub queries: usize,
+    /// Master updates interleaved.
+    pub updates: usize,
+    /// Periodic batch revolutions (§6.2).
+    pub periodic: ArmOutcome,
+    /// Per-query evolution baseline (\[12\]).
+    pub evolution: ArmOutcome,
+    /// Budgeted online revolution (this PR).
+    pub online: ArmOutcome,
+    /// Oracle: frozen train-on-final-phase selection replaying the final
+    /// phase — `final_hit_ratio` is the only meaningful field.
+    pub oracle_final_hit_ratio: f64,
+    /// Oracle filters installed.
+    pub oracle_filters: usize,
+    /// `online.final_hit_ratio / oracle_final_hit_ratio` (1.0 when the
+    /// oracle found nothing to replicate).
+    pub online_vs_oracle: f64,
+    /// Largest single-step move count (must stay ≤ the move budget).
+    pub online_max_moves: usize,
+    /// Largest consideration set of any step.
+    pub online_max_considered: usize,
+    /// Candidate-table size at end of run — `online_max_considered`
+    /// strictly below this is the no-full-recompute evidence.
+    pub online_candidates: usize,
+    /// Samples in the `fbdr_selection_revolve_moves` histogram (== steps).
+    pub revolve_moves_samples: u64,
+}
+
+/// Gate verdicts over the whole run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AdaptGates {
+    /// Every scenario: online final-phase ratio ≥ 0.9×oracle (−0.02 slack).
+    pub adaptation_ok: bool,
+    /// Σ online installs ≤ Σ evolution installs / 3.
+    pub churn_ok: bool,
+    /// Moves bounded by budget and consideration sets below the table.
+    pub bounded_ok: bool,
+}
+
+/// The full report written to `BENCH_selection.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdaptReport {
+    /// Echo of the configuration.
+    pub config: AdaptConfig,
+    /// One outcome per scenario.
+    pub scenarios: Vec<ScenarioOutcome>,
+    /// Σ online installs across scenarios.
+    pub online_installs_total: u64,
+    /// Σ evolution installs across scenarios.
+    pub evolution_installs_total: u64,
+    /// `online_installs_total / evolution_installs_total`.
+    pub install_ratio: f64,
+    /// Gate verdicts.
+    pub gates: AdaptGates,
+}
+
+fn gens() -> Vec<Box<dyn Generalizer + Send>> {
+    vec![
+        Box::new(ValuePrefix::new("serialNumber", vec![4])),
+        Box::new(WidenToPresence::new("dept")),
+    ]
+}
+
+fn directory(cfg: &AdaptConfig) -> EnterpriseDirectory {
+    let dc = if cfg.small_directory { DirectoryConfig::small() } else { DirectoryConfig::default() };
+    EnterpriseDirectory::generate(dc)
+}
+
+fn kinds(cfg: &AdaptConfig) -> Vec<ScenarioKind> {
+    if cfg.scenarios.is_empty() {
+        ScenarioKind::ALL.to_vec()
+    } else {
+        cfg.scenarios
+            .iter()
+            .map(|s| ScenarioKind::parse(s).unwrap_or_else(|| panic!("unknown scenario {s:?}")))
+            .collect()
+    }
+}
+
+/// Replays the schedule against a [`Replicator`] (periodic or online arm).
+fn drive_replicator(
+    mut r: Replicator,
+    scenario: &Scenario,
+    cfg: &AdaptConfig,
+) -> (ArmOutcome, Replicator) {
+    let final_start = scenario.final_phase_first_query() as u64;
+    let mut out = ArmOutcome::default();
+    for ev in &scenario.events {
+        match ev {
+            WorkloadEvent::Query(tq) => {
+                let idx = out.queries;
+                let (_, served) = r.search(&tq.request);
+                out.queries += 1;
+                let hit = served == ServedBy::Replica;
+                out.hits += u64::from(hit);
+                if idx >= final_start {
+                    out.final_queries += 1;
+                    out.final_hits += u64::from(hit);
+                }
+                if cfg.sync_every > 0 && out.queries % cfg.sync_every as u64 == 0 {
+                    let _ = r.sync();
+                }
+            }
+            WorkloadEvent::Update(op) => {
+                let _ = r.apply_update(op.clone());
+            }
+        }
+    }
+    let _ = r.sync();
+    let rep = r.report();
+    out.install_entries = rep.revolution_traffic.full_entries;
+    out.resync_entries = rep.resync_traffic.full_entries;
+    (out.seal(), r)
+}
+
+/// Replays the schedule against the evolution/revolution baseline.
+fn drive_evolution(master: &mut SyncMaster, scenario: &Scenario, cfg: &AdaptConfig) -> ArmOutcome {
+    let final_start = scenario.final_phase_first_query() as u64;
+    let mut replica = FilterReplica::new(0);
+    let mut driver: SyncDriver<SystemClock> = SyncDriver::default();
+    let mut selector = EvolutionSelector::new(gens(), cfg.entry_budget, 0.95, 0.5);
+    let mut out = ArmOutcome::default();
+    for ev in &scenario.events {
+        match ev {
+            WorkloadEvent::Query(tq) => {
+                let idx = out.queries;
+                let hit = replica.try_answer(&tq.request).is_some();
+                out.queries += 1;
+                out.hits += u64::from(hit);
+                if idx >= final_start {
+                    out.final_queries += 1;
+                    out.final_hits += u64::from(hit);
+                }
+                // The baseline's defining property: selection runs on
+                // every query, not on a budgeted cadence.
+                let _ = selector.observe(&tq.request, master, &mut replica);
+                if cfg.sync_every > 0 && out.queries % cfg.sync_every as u64 == 0 {
+                    let _ = replica.sync_with(master, &mut driver);
+                }
+            }
+            WorkloadEvent::Update(op) => {
+                let _ = master.apply(op.clone());
+            }
+        }
+    }
+    let _ = replica.sync_with(master, &mut driver);
+    let rep = selector.report();
+    out.installs = rep.installs;
+    out.evictions = rep.evictions;
+    out.adaptations = rep.installs + rep.evictions;
+    out.install_entries = rep.traffic.full_entries;
+    out.seal()
+}
+
+/// Oracle: train a frozen selection on the final phase's queries, then
+/// replay exactly that phase against a fresh master.
+fn drive_oracle(
+    dir: &EnterpriseDirectory,
+    scenario: &Scenario,
+    cfg: &AdaptConfig,
+) -> (f64, usize) {
+    let final_queries: Vec<TracedQuery> = scenario
+        .events
+        .iter()
+        .skip(scenario.phases.last().map(|p| p.first_event).unwrap_or(0))
+        .filter_map(|e| match e {
+            WorkloadEvent::Query(tq) => Some(tq.clone()),
+            WorkloadEvent::Update(_) => None,
+        })
+        .collect();
+    let filters =
+        select_static_filters(dir.dit(), &final_queries, gens(), cfg.entry_budget);
+    let count = filters.len();
+    let mut r = Replicator::new(SyncMaster::with_dit(dir.dit().clone()), 0);
+    for f in filters {
+        let _ = r.install_filter(f);
+    }
+    let out = replay_filter(
+        &mut r,
+        &final_queries,
+        &[],
+        ReplayConfig { sync_every: 0, update_every: 0 },
+    );
+    (out.overall.hit_ratio(), count)
+}
+
+/// Runs the full ablation.
+pub fn run(cfg: &AdaptConfig) -> AdaptReport {
+    let dir = directory(cfg);
+    let scfg = ScenarioConfig {
+        seed: cfg.seed,
+        queries_per_phase: cfg.queries_per_phase,
+        ..ScenarioConfig::default()
+    };
+    let mut scenarios = Vec::new();
+    for kind in kinds(cfg) {
+        let scenario = Scenario::build(kind, &dir, &scfg);
+
+        // Periodic batch revolutions.
+        let periodic_obs = Obs::new();
+        let periodic_sel = FilterSelector::new(
+            SelectorConfig {
+                revolution_interval: cfg.revolution_interval,
+                entry_budget: cfg.entry_budget,
+                max_candidates: 4096,
+            },
+            gens(),
+        )
+        .with_obs(periodic_obs.clone());
+        let periodic_repl = Replicator::new(SyncMaster::with_dit(dir.dit().clone()), 0)
+            .with_selector(periodic_sel);
+        let (mut periodic, periodic_repl) = drive_replicator(periodic_repl, &scenario, cfg);
+        periodic.adaptations = periodic_repl.report().revolutions;
+        periodic.installs = periodic_obs.registry().counter("fbdr_selection_installed_total").get();
+        periodic.evictions = periodic_obs.registry().counter("fbdr_selection_evicted_total").get();
+
+        // Evolution baseline.
+        let mut evo_master = SyncMaster::with_dit(dir.dit().clone());
+        let evolution = drive_evolution(&mut evo_master, &scenario, cfg);
+
+        // Budgeted online revolution.
+        let obs = Obs::new();
+        let online_sel = OnlineSelector::new(
+            OnlineConfig {
+                entry_budget: cfg.entry_budget,
+                step_every: cfg.step_every,
+                move_budget: cfg.move_budget,
+                ..OnlineConfig::default()
+            },
+            gens(),
+        )
+        .with_obs(obs.clone());
+        let online_repl = Replicator::new(SyncMaster::with_dit(dir.dit().clone()), 0)
+            .with_online_selector(online_sel);
+        let (mut online, online_repl) = drive_replicator(online_repl, &scenario, cfg);
+        let online_report = online_repl.online_report().expect("online arm attached");
+        online.installs = online_report.installs;
+        online.evictions = online_report.evictions;
+        online.adaptations = online_report.steps;
+        let candidates = online_repl.online_candidates().unwrap_or(0);
+
+        // Oracle ceiling.
+        let (oracle_final, oracle_filters) = drive_oracle(&dir, &scenario, cfg);
+
+        let online_vs_oracle = if oracle_final > 0.0 {
+            online.final_hit_ratio / oracle_final
+        } else {
+            1.0
+        };
+        scenarios.push(ScenarioOutcome {
+            scenario: kind.name().to_owned(),
+            phases: scenario.phases.len(),
+            queries: scenario.queries,
+            updates: scenario.update_count(),
+            periodic,
+            evolution,
+            online,
+            oracle_final_hit_ratio: oracle_final,
+            oracle_filters,
+            online_vs_oracle,
+            online_max_moves: online_report.max_moves,
+            online_max_considered: online_report.max_considered,
+            online_candidates: candidates,
+            revolve_moves_samples: obs
+                .registry()
+                .histogram("fbdr_selection_revolve_moves")
+                .count(),
+        });
+    }
+
+    let online_installs_total: u64 = scenarios.iter().map(|s| s.online.installs).sum();
+    let evolution_installs_total: u64 = scenarios.iter().map(|s| s.evolution.installs).sum();
+    let gates = AdaptGates {
+        adaptation_ok: scenarios
+            .iter()
+            .all(|s| s.online.final_hit_ratio + 0.02 >= 0.9 * s.oracle_final_hit_ratio),
+        churn_ok: online_installs_total * 3 <= evolution_installs_total,
+        bounded_ok: scenarios.iter().all(|s| {
+            s.online_max_moves <= cfg.move_budget && s.revolve_moves_samples > 0
+        }),
+    };
+    AdaptReport {
+        config: cfg.clone(),
+        scenarios,
+        online_installs_total,
+        evolution_installs_total,
+        install_ratio: online_installs_total as f64 / evolution_installs_total.max(1) as f64,
+        gates,
+    }
+}

@@ -8,7 +8,7 @@ use fbdr_resync::{
     DriverStats, NotifyFlush, NotifyPolicy, ReconcileConfig, RetryConfig, ShardCoordinator,
     ShardId, ShardedMaster, SyncDriver, SyncError, SyncMaster, SyncTraffic, SystemClock,
 };
-use fbdr_selection::FilterSelector;
+use fbdr_selection::{FilterSelector, OnlineReport, OnlineSelector};
 use serde::{Deserialize, Serialize};
 
 /// Who answered a query.
@@ -34,6 +34,13 @@ pub struct ReplicatorReport {
     pub wan_entries: u64,
     /// Revolutions performed.
     pub revolutions: u64,
+    /// Budgeted online selection steps performed.
+    #[serde(default)]
+    pub online_steps: u64,
+    /// Promote/evict moves made by online selection steps (each step is
+    /// capped at the configured move budget).
+    #[serde(default)]
+    pub online_moves: u64,
     /// What the sync driver had to do to keep the replica converged:
     /// retries, recoveries, reconciliations, reinstalls (the robustness
     /// cost of §5.2-style failures, alongside the bandwidth cost above).
@@ -51,6 +58,7 @@ pub struct Replicator {
     replica: FilterReplica,
     driver: SyncDriver<SystemClock>,
     selector: Option<FilterSelector>,
+    online: Option<OnlineSelector>,
     cache_misses: bool,
     report: ReplicatorReport,
 }
@@ -64,6 +72,7 @@ impl Replicator {
             replica: FilterReplica::new(cache_window),
             driver: SyncDriver::default(),
             selector: None,
+            online: None,
             cache_misses: cache_window > 0,
             report: ReplicatorReport::default(),
         }
@@ -72,6 +81,15 @@ impl Replicator {
     /// Attaches a dynamic filter selector.
     pub fn with_selector(mut self, selector: FilterSelector) -> Self {
         self.selector = Some(selector);
+        self
+    }
+
+    /// Attaches a budgeted *online* selector: instead of periodic batch
+    /// revolutions, the stored filter set is adjusted by at most the
+    /// selector's move budget every `step_every` queries, on the search
+    /// path (see [`OnlineSelector`]).
+    pub fn with_online_selector(mut self, selector: OnlineSelector) -> Self {
+        self.online = Some(selector);
         self
     }
 
@@ -138,8 +156,11 @@ impl Replicator {
         if let Some(sel) = &mut self.selector {
             sel.observe(query);
         }
+        if let Some(on) = &mut self.online {
+            on.observe(query);
+        }
         if let Some(entries) = self.replica.try_answer(query) {
-            self.maybe_revolve();
+            self.maybe_adapt();
             return (entries, ServedBy::Replica);
         }
         let entries = self.master.dit().search(query);
@@ -148,7 +169,7 @@ impl Replicator {
         if self.cache_misses {
             self.replica.cache_query(query.clone(), &entries);
         }
-        self.maybe_revolve();
+        self.maybe_adapt();
         (entries, ServedBy::Master)
     }
 
@@ -178,12 +199,32 @@ impl Replicator {
         Ok(t)
     }
 
-    fn maybe_revolve(&mut self) {
+    /// Cumulative counters of the attached online selector, if any.
+    pub fn online_report(&self) -> Option<OnlineReport> {
+        self.online.as_ref().map(|on| on.report())
+    }
+
+    /// Candidate-table size of the attached online selector, if any —
+    /// useful to show consideration sets stayed a strict subset of it.
+    pub fn online_candidates(&self) -> Option<usize> {
+        self.online.as_ref().map(|on| on.candidate_count())
+    }
+
+    fn maybe_adapt(&mut self) {
         if let Some(sel) = &mut self.selector {
             if sel.revolution_due() {
                 if let Ok(rep) = sel.revolve(&mut self.master, &mut self.replica) {
                     self.report.revolutions += 1;
                     self.report.revolution_traffic.absorb(&rep.traffic);
+                }
+            }
+        }
+        if let Some(on) = &mut self.online {
+            if on.step_due() {
+                if let Ok(step) = on.step(&mut self.master, &mut self.replica) {
+                    self.report.online_steps += 1;
+                    self.report.online_moves += step.moves as u64;
+                    self.report.revolution_traffic.absorb(&step.traffic);
                 }
             }
         }
@@ -424,6 +465,34 @@ mod tests {
         assert!(r.replica().filter_count() >= 1);
         let (_, served) = r.search(&q("040003"));
         assert_eq!(served, ServedBy::Replica);
+    }
+
+    #[test]
+    fn online_selection_adapts_on_search_path() {
+        use fbdr_selection::{OnlineConfig, OnlineSelector};
+
+        let selector = OnlineSelector::new(
+            OnlineConfig {
+                entry_budget: 50,
+                step_every: 10,
+                move_budget: 2,
+                min_dwell_steps: 0,
+                ..OnlineConfig::default()
+            },
+            vec![Box::new(ValuePrefix::new("serialNumber", vec![4]))],
+        );
+        let mut r = Replicator::new(master(), 0).with_online_selector(selector);
+        for i in 0..20 {
+            r.search(&q(&format!("04{:04}", i % 5)));
+        }
+        let rep = r.report();
+        assert_eq!(rep.online_steps, 2, "a step every 10 queries");
+        assert!(rep.online_moves >= 1, "hot region promoted");
+        assert!(rep.online_moves <= 4, "two steps × move budget 2");
+        assert!(r.replica().filter_count() >= 1);
+        let (_, served) = r.search(&q("040003"));
+        assert_eq!(served, ServedBy::Replica);
+        assert_eq!(r.online_report().unwrap().steps, 2);
     }
 
     #[test]

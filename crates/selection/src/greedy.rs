@@ -1,0 +1,76 @@
+//! The greedy benefit/size selection core shared by every selector.
+//!
+//! [`FilterSelector`](crate::FilterSelector) runs it over the whole
+//! candidate table at each periodic revolution;
+//! [`OnlineSelector`](crate::OnlineSelector) runs it over the bounded
+//! *consideration set* of each budgeted step. Keeping the ranking, the
+//! tie-breaks and the containment skip in one place is what makes the
+//! online ≡ batch equivalence property checkable at all.
+
+use fbdr_containment::{ContainmentEngine, PreparedQuery};
+use fbdr_ldap::SearchRequest;
+
+/// One candidate entering greedy selection, already scored.
+///
+/// `ratio` is benefit (possibly net of update cost) divided by size;
+/// `key` is the candidate's canonical spelling ([`candidate_key`]), used
+/// both as identity and as the final deterministic tie-break.
+#[derive(Debug, Clone)]
+pub(crate) struct Scored {
+    /// Canonical identity ([`candidate_key`] of `request`).
+    pub key: String,
+    /// The candidate filter.
+    pub request: SearchRequest,
+    /// Benefit-to-size ratio (higher is better).
+    pub ratio: f64,
+    /// Estimated entries the filter matches at the master.
+    pub size: usize,
+}
+
+/// Greedy benefit/size pick within `budget` entries.
+///
+/// Candidates are ranked best ratio first; on ties the *larger* (coarser)
+/// filter wins — so contained duplicates of equal value are the ones
+/// skipped — then the shorter spelling, then lexicographic key, making
+/// selection fully deterministic. A candidate that does not fit the
+/// remaining budget is skipped (not a stopping point: a smaller candidate
+/// further down may still fit), and a candidate semantically contained in
+/// an already-picked filter is skipped — its entries (and hits) are
+/// already covered, so picking it would double-count budget for zero
+/// extra coverage. (The paper notes its size estimates ignore overlap;
+/// full overlap is the cheap, detectable case.)
+///
+/// Callers pre-filter zero-benefit, zero-size and over-budget candidates.
+/// Returns the picked candidates in pick (rank) order.
+pub(crate) fn greedy_pick(mut scored: Vec<Scored>, budget: usize) -> Vec<Scored> {
+    scored.sort_by(|a, b| {
+        b.ratio
+            .partial_cmp(&a.ratio)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| b.size.cmp(&a.size))
+            .then_with(|| a.key.len().cmp(&b.key.len()))
+            .then_with(|| a.key.cmp(&b.key))
+    });
+    let engine = ContainmentEngine::new();
+    let mut picked_queries: Vec<PreparedQuery> = Vec::new();
+    let mut used = 0usize;
+    let mut out = Vec::new();
+    for s in scored {
+        if used + s.size > budget {
+            continue;
+        }
+        let prepared = PreparedQuery::new(s.request.clone());
+        if picked_queries.iter().any(|p| engine.query_contained(&prepared, p)) {
+            continue; // fully covered by an already-selected filter
+        }
+        used += s.size;
+        picked_queries.push(prepared);
+        out.push(s);
+    }
+    out
+}
+
+/// Canonical identity of a candidate query — its `Display` form.
+pub(crate) fn candidate_key(r: &SearchRequest) -> String {
+    format!("{r}")
+}

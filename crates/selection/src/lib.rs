@@ -17,11 +17,21 @@
 //!   Kapitskaia, Ng and Srivastava \[12\], which updates the stored set on
 //!   *every* query; its filter churn shows why per-query evolutions are
 //!   unsuitable for a replication scenario (§6.2).
+//! * [`OnlineSelector`] — the incremental, budgeted online revolution:
+//!   decayed benefits updated on `observe`, and every `step_every`
+//!   queries a re-rank of only the *changed* candidates followed by at
+//!   most `move_budget` promote/evict moves with hysteresis, so the
+//!   stored set tracks the workload continuously without install storms.
+//!   All three selectors share one greedy benefit/size core, which is
+//!   what makes the online ≡ batch equivalence property checkable.
 
 pub mod generalize;
 
 mod evolution;
+mod greedy;
+mod online;
 mod selector;
 
 pub use evolution::{EvolutionReport, EvolutionSelector};
+pub use online::{OnlineConfig, OnlineReport, OnlineSelector, StepReport};
 pub use selector::{FilterSelector, RevolutionReport, SelectorConfig};

@@ -1,6 +1,7 @@
 //! Periodic benefit/size filter selection (§6.2).
 
 use crate::generalize::Generalizer;
+use crate::greedy::{candidate_key, greedy_pick, Scored};
 use fbdr_ldap::SearchRequest;
 use fbdr_obs::{event, span, Obs};
 use fbdr_replica::FilterReplica;
@@ -229,15 +230,13 @@ impl FilterSelector {
     /// Greedy benefit/size selection within the entry budget (also usable
     /// standalone for static, train-then-freeze configurations — Figure 4).
     ///
-    /// Improves on the paper's scheme in one respect: a candidate that is
-    /// *semantically contained* in an already-selected filter is skipped —
-    /// its entries (and hits) are already covered, so picking it would
-    /// double-count budget for zero extra coverage. (The paper notes its
-    /// size estimates ignore overlap; full overlap is the cheap,
-    /// detectable case.)
+    /// The ranking, tie-breaks and containment skip live in the shared
+    /// greedy core (the crate-private `greedy` module) so that the
+    /// budgeted online selector provably computes the same target set
+    /// from the same frozen statistics.
     pub fn select(&mut self, master: &fbdr_dit::DitStore) -> Vec<SearchRequest> {
         let budget = self.config.entry_budget;
-        let mut scored: Vec<(&mut Candidate, f64, usize, String)> = Vec::new();
+        let mut scored: Vec<Scored> = Vec::new();
         for c in self.candidates.values_mut() {
             if c.hits == 0 {
                 continue;
@@ -246,38 +245,14 @@ impl FilterSelector {
             if size == 0 || size > budget {
                 continue;
             }
-            let ratio = c.hits as f64 / size as f64;
-            let key = c.request.to_string();
-            scored.push((c, ratio, size, key));
+            scored.push(Scored {
+                key: candidate_key(&c.request),
+                request: c.request.clone(),
+                ratio: c.hits as f64 / size as f64,
+                size,
+            });
         }
-        // Best ratio first; on ties prefer the *larger* (coarser) filter —
-        // so contained duplicates of equal value are the ones skipped —
-        // and finally the shorter spelling, making selection fully
-        // deterministic.
-        scored.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| b.2.cmp(&a.2))
-                .then_with(|| a.3.len().cmp(&b.3.len()))
-                .then_with(|| a.3.cmp(&b.3))
-        });
-        let engine = fbdr_containment::ContainmentEngine::new();
-        let mut picked: Vec<fbdr_containment::PreparedQuery> = Vec::new();
-        let mut used = 0usize;
-        let mut out = Vec::new();
-        for (c, _ratio, size, _key) in scored {
-            if used + size > budget {
-                continue;
-            }
-            let prepared = fbdr_containment::PreparedQuery::new(c.request.clone());
-            if picked.iter().any(|p| engine.query_contained(&prepared, p)) {
-                continue; // fully covered by an already-selected filter
-            }
-            used += size;
-            out.push(c.request.clone());
-            picked.push(prepared);
-        }
-        out
+        greedy_pick(scored, budget).into_iter().map(|s| s.request).collect()
     }
 
     /// All candidates with at least one hit, ranked by benefit/size ratio
@@ -312,11 +287,6 @@ impl FilterSelector {
         let cutoff = hits[hits.len() / 4];
         self.candidates.retain(|_, c| c.hits > cutoff);
     }
-}
-
-/// Canonical identity of a candidate query.
-fn candidate_key(r: &SearchRequest) -> String {
-    format!("{r}")
 }
 
 #[cfg(test)]

@@ -93,6 +93,12 @@ pub struct FleetConfig {
     pub gc_every_ms: u64,
     /// Master seed: workload choices, tie-breaking, link jitter.
     pub seed: u64,
+    /// Client query events interleaved with the workload: each picks a
+    /// seeded replica and answers that replica's filter from its local
+    /// content, sampling wall-clock answer latency into
+    /// `fbdr_sim_answer_ns`. 0 disables query sampling.
+    #[serde(default)]
+    pub queries: usize,
 }
 
 impl FleetConfig {
@@ -112,6 +118,7 @@ impl FleetConfig {
             link_drop_per_mille: 0,
             gc_every_ms: 0,
             seed,
+            queries: 0,
         }
     }
 
@@ -161,8 +168,48 @@ impl StalenessSummary {
     }
 }
 
+/// Wall-clock percentiles over per-query local answer times, in
+/// nanoseconds. Unlike every other report field this is *measured*, not
+/// simulated — it varies run to run and is therefore excluded from
+/// [`FleetReport`]'s equality.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct AnswerLatencySummary {
+    /// Query events sampled.
+    pub samples: u64,
+    /// Median answer time (ns).
+    pub p50_ns: u64,
+    /// 99th percentile answer time (ns).
+    pub p99_ns: u64,
+    /// Worst observed answer time (ns).
+    pub max_ns: u64,
+    /// Mean answer time (ns, rounded down).
+    pub mean_ns: u64,
+}
+
+impl AnswerLatencySummary {
+    fn from_samples(mut samples: Vec<u64>) -> Self {
+        if samples.is_empty() {
+            return AnswerLatencySummary::default();
+        }
+        samples.sort_unstable();
+        let n = samples.len();
+        let pct = |q: f64| samples[(((n as f64) * q).ceil() as usize).clamp(1, n) - 1];
+        AnswerLatencySummary {
+            samples: n as u64,
+            p50_ns: pct(0.50),
+            p99_ns: pct(0.99),
+            max_ns: samples[n - 1],
+            mean_ns: samples.iter().sum::<u64>() / n as u64,
+        }
+    }
+}
+
 /// The outcome of one fleet run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Equality is manual: every simulated field participates, but the
+/// wall-clock [`answer_latency`](FleetReport::answer_latency) summary is
+/// skipped so equal-seed runs still compare equal.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FleetReport {
     /// Sessions that were installed (== configured replicas).
     pub sessions: usize,
@@ -186,11 +233,39 @@ pub struct FleetReport {
     pub diverged: u64,
     /// Per-batch answer staleness.
     pub staleness: StalenessSummary,
+    /// Query events answered from replica-local content.
+    pub queries_answered: u64,
+    /// Entries those answers returned — a deterministic content probe
+    /// (an answer against diverged content moves this count).
+    pub answered_entries: u64,
+    /// Wall-clock local answer latency (ns); excluded from equality.
+    pub answer_latency: AnswerLatencySummary,
     /// FNV-1a digest over every replica's sorted content DNs — equal
     /// digests mean entry-for-entry equal fleets.
     pub content_digest: u64,
     /// Simulated end-of-run clock.
     pub sim_end_ms: u64,
+}
+
+impl PartialEq for FleetReport {
+    fn eq(&self, other: &Self) -> bool {
+        // answer_latency is wall-clock noise by design; everything else
+        // must be bit-equal between equal-seed runs.
+        self.sessions == other.sessions
+            && self.updates_applied == other.updates_applied
+            && self.wakeups == other.wakeups
+            && self.notified_updates == other.notified_updates
+            && self.amplification_x == other.amplification_x
+            && self.deliveries == other.deliveries
+            && self.overflows == other.overflows
+            && self.poll_fallbacks == other.poll_fallbacks
+            && self.diverged == other.diverged
+            && self.staleness == other.staleness
+            && self.queries_answered == other.queries_answered
+            && self.answered_entries == other.answered_entries
+            && self.content_digest == other.content_digest
+            && self.sim_end_ms == other.sim_end_ms
+    }
 }
 
 /// One replica session's simulation state.
@@ -218,6 +293,9 @@ enum Event {
     Deliver(usize),
     /// The masters' garbage-collection timer fires.
     GcTick,
+    /// Client query `k` is answered from a seeded replica's local
+    /// content (answer-latency sampling).
+    Query(usize),
 }
 
 /// The simulator: build with [`FleetSim::new`] (installs every session
@@ -233,6 +311,9 @@ pub struct FleetSim {
     staleness_ms: Vec<u64>,
     deliveries: u64,
     poll_fallbacks: u64,
+    answer_ns: Vec<u64>,
+    queries_answered: u64,
+    answered_entries: u64,
     obs: Obs,
 }
 
@@ -356,6 +437,14 @@ impl FleetSim {
             master.set_gc_config(GcConfig { every_ops: None, ..GcConfig::default() });
             sched.push(cfg.gc_every_ms, Event::GcTick);
         }
+        if cfg.queries > 0 {
+            // Spread query events uniformly over the update window so
+            // samples see the content in every stage of convergence.
+            let span = cfg.workload.arrival_ms(cfg.updates.saturating_sub(1), cfg.updates).max(1);
+            for k in 0..cfg.queries {
+                sched.push(1 + (k as u64) * span / (cfg.queries as u64), Event::Query(k));
+            }
+        }
 
         FleetSim {
             cfg,
@@ -367,6 +456,9 @@ impl FleetSim {
             staleness_ms: Vec::new(),
             deliveries: 0,
             poll_fallbacks: 0,
+            answer_ns: Vec::new(),
+            queries_answered: 0,
+            answered_entries: 0,
             obs,
         }
     }
@@ -426,6 +518,7 @@ impl FleetSim {
                     }
                 }
                 Event::Deliver(r) => self.deliver(t, r),
+                Event::Query(k) => self.answer_query(k),
                 Event::GcTick => {
                     self.master.advance_to(t);
                     self.master.collect_garbage();
@@ -457,6 +550,22 @@ impl FleetSim {
             state.next_free_ms = at;
             self.sched.push(at, Event::Deliver(r));
         }
+    }
+
+    /// Answers query event `k` from a seeded replica's local content and
+    /// samples the wall-clock answer time. The *which replica* and *how
+    /// many entries matched* parts are deterministic (and reported); only
+    /// the nanosecond timing varies run to run.
+    fn answer_query(&mut self, k: usize) {
+        let r = (splitmix64(self.cfg.seed ^ (k as u64) ^ 0x9E37) as usize) % self.replicas.len();
+        let state = &self.replicas[r];
+        let started = std::time::Instant::now();
+        let matched = state.content.iter().filter(|e| state.request.matches(e)).count();
+        let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.answer_ns.push(ns);
+        self.queries_answered += 1;
+        self.answered_entries += matched as u64;
+        self.obs.registry().histogram("fbdr_sim_answer_ns").record(ns);
     }
 
     /// One batch crosses the link: consume it, sample staleness, apply.
@@ -583,6 +692,9 @@ impl FleetSim {
             poll_fallbacks: self.poll_fallbacks,
             diverged,
             staleness: StalenessSummary::from_samples(self.staleness_ms),
+            queries_answered: self.queries_answered,
+            answered_entries: self.answered_entries,
+            answer_latency: AnswerLatencySummary::from_samples(self.answer_ns),
             content_digest: digest,
             sim_end_ms: end,
         };
@@ -634,6 +746,27 @@ mod tests {
         let rendered = obs.registry().render_prometheus();
         assert!(rendered.contains("fbdr_sim_staleness_ms"));
         assert!(rendered.contains("fbdr_resync_notify_wakeups_total"));
+    }
+
+    #[test]
+    fn query_sampling_records_latency_and_stays_deterministic() {
+        let mut cfg = FleetConfig::small(20, 13);
+        cfg.queries = 50;
+        let sim = FleetSim::new(cfg);
+        let obs = sim.obs().clone();
+        let a = sim.run();
+        let b = FleetSim::new(cfg).run();
+        // Wall-clock latencies differ run to run; everything else —
+        // including which replica answered and what it matched — is
+        // deterministic, and equality must ignore exactly the former.
+        assert_eq!(a, b);
+        assert_eq!(a.queries_answered, 50);
+        assert_eq!(a.answered_entries, b.answered_entries);
+        assert_eq!(a.answer_latency.samples, 50);
+        assert!(a.answer_latency.max_ns >= a.answer_latency.p50_ns);
+        let h = obs.registry().histogram("fbdr_sim_answer_ns");
+        assert_eq!(h.count(), 50);
+        assert!(obs.registry().render_prometheus().contains("fbdr_sim_answer_ns"));
     }
 
     #[test]

@@ -46,5 +46,7 @@
 mod fleet;
 mod sched;
 
-pub use fleet::{FleetConfig, FleetReport, FleetSim, StalenessSummary, Workload};
+pub use fleet::{
+    AnswerLatencySummary, FleetConfig, FleetReport, FleetSim, StalenessSummary, Workload,
+};
 pub use sched::EventScheduler;

@@ -17,16 +17,21 @@
 //!   re-reference temporal locality for the query-cache experiments.
 //! * [`UpdateGenerator`] — a low-rate update stream (modifies, adds,
 //!   deletes, moves) for the update-traffic experiments (Figures 6–7).
+//! * [`Scenario`] — the adversarial scenario matrix (flash crowd, diurnal
+//!   shift, churn flip, multi tenant, cache buster): phased query/update
+//!   schedules that stress *adaptive* filter selection.
 //!
 //! Everything is seeded: the same configuration always produces the same
 //! directory and trace.
 
 mod directory;
+mod scenario;
 mod trace;
 mod updates;
 mod zipf;
 
 pub use directory::{DirectoryConfig, EmployeeRecord, EnterpriseDirectory};
+pub use scenario::{PhaseBound, Scenario, ScenarioConfig, ScenarioKind, WorkloadEvent};
 pub use trace::{distribution, QueryKind, TraceConfig, TraceGenerator, TracedQuery};
 pub use updates::{UpdateConfig, UpdateGenerator};
 pub use zipf::Zipf;

@@ -99,6 +99,18 @@ pub struct TraceConfig {
     /// workloads exhibit. Static selections capture the head; dynamic
     /// selection is needed for the drifting tail.
     pub dept_stable_head: usize,
+    /// Country (an index into [`EnterpriseDirectory::countries`]) whose
+    /// employees receive a transient popularity spike — the *flash crowd*
+    /// / diurnal-shift knob of the scenario matrix. `None` (the default)
+    /// disables the spike and leaves the random stream byte-identical to
+    /// configs predating the knob.
+    #[serde(default)]
+    pub hot_country: Option<usize>,
+    /// Probability a person query targets the hot country when
+    /// `hot_country` is set. Applied before the scattered/geography
+    /// split, so a high bias overrides the steady-state popularity.
+    #[serde(default)]
+    pub hot_country_bias: f64,
 }
 
 impl Default for TraceConfig {
@@ -117,6 +129,8 @@ impl Default for TraceConfig {
             dept_drift_period: 2000,
             dept_drift_step: 9,
             dept_stable_head: 4,
+            hot_country: None,
+            hot_country_bias: 0.0,
         }
     }
 }
@@ -140,6 +154,8 @@ pub struct TraceGenerator {
     dept_order: Vec<usize>,
     dept_zipf: Zipf,
     loc_zipf: Zipf,
+    country_ids: Vec<Vec<usize>>,
+    country_zipfs: Vec<Zipf>,
 }
 
 impl TraceGenerator {
@@ -182,6 +198,23 @@ impl TraceGenerator {
             let j = rng.gen_range(0..=i);
             scattered_ids.swap(i, j);
         }
+        // Per-country populations in serial order (employees are generated
+        // country-contiguously), so a hot-country spike concentrates in
+        // that country's serial block — capturable by prefix filters.
+        let country_index: std::collections::HashMap<&str, usize> = dir
+            .countries()
+            .iter()
+            .enumerate()
+            .map(|(i, (c, _))| (c.as_str(), i))
+            .collect();
+        let mut country_ids: Vec<Vec<usize>> = vec![Vec::new(); dir.countries().len()];
+        for (i, e) in dir.employees().iter().enumerate() {
+            if let Some(&c) = country_index.get(e.country.as_str()) {
+                country_ids[c].push(i);
+            }
+        }
+        let country_zipfs: Vec<Zipf> =
+            country_ids.iter().map(|ids| Zipf::new(ids.len().max(1), config.person_zipf)).collect();
         TraceGenerator {
             geo_zipf: Zipf::new(geo_ids.len().max(1), config.person_zipf),
             rest_zipf: Zipf::new(rest_ids.len().max(1), config.person_zipf),
@@ -192,6 +225,8 @@ impl TraceGenerator {
             dept_zipf: Zipf::new(dept_order.len().max(1), config.dept_zipf),
             dept_order,
             loc_zipf: Zipf::new(dir.locations().len().max(1), config.location_zipf),
+            country_ids,
+            country_zipfs,
         }
     }
 
@@ -284,6 +319,16 @@ impl TraceGenerator {
     }
 
     fn pick_person(&self, config: &TraceConfig, rng: &mut StdRng) -> usize {
+        // The hot-country spike pre-empts the steady-state popularity; when
+        // disabled no random draw is made, so traces without the knob are
+        // byte-identical to those of earlier configs.
+        if let Some(hc) = config.hot_country {
+            if let Some(ids) = self.country_ids.get(hc) {
+                if !ids.is_empty() && rng.gen::<f64>() < config.hot_country_bias {
+                    return ids[self.country_zipfs[hc].sample(rng)];
+                }
+            }
+        }
         if rng.gen::<f64>() < config.scattered_popularity {
             return self.scattered_ids[self.scattered_zipf.sample(rng)];
         }
